@@ -1,0 +1,45 @@
+//! `a64fx-model`: a performance model of the Fujitsu A64FX processor.
+//!
+//! The reproduction target paper analyzes state-vector simulation *on* an
+//! A64FX; since the silicon is not available here (reproduction band 2/5),
+//! this crate stands in for the chip. It is calibrated entirely from
+//! public A64FX parameters (Fugaku node configuration):
+//!
+//! * 48 compute cores at 2.0 GHz (2.2 GHz boost), grouped into 4 CMGs;
+//! * 512-bit SVE, 2 FMA pipelines per core → 32 DP flop/cycle/core,
+//!   3.072 TF/s DP per node at base clock;
+//! * per-core 64 KiB 4-way L1D with 256 B lines;
+//! * per-CMG 8 MiB 16-way shared L2, 256 B lines;
+//! * 8 GiB HBM2 per CMG at 256 GB/s (1024 GB/s per node).
+//!
+//! What the model provides:
+//!
+//! * [`chip`] — the parameter set ([`ChipParams`]) and peak rates.
+//! * [`cache`] — an executable set-associative write-back cache-hierarchy
+//!   simulator for counting line traffic of real access streams.
+//! * [`traffic`] — closed-form per-gate memory-traffic formulas for
+//!   state-vector kernels (the quantities the paper's analysis revolves
+//!   around).
+//! * [`roofline`] — arithmetic intensity and attainable-performance math.
+//! * [`timing`] — converts a kernel's flop/byte/instruction profile into
+//!   predicted execution time under issue, FP, and bandwidth limits.
+//! * [`power`] — the A64FX power knobs (normal/eco/boost) and energy
+//!   estimates, following the authors' Fugaku power-management study.
+
+pub mod area;
+pub mod cache;
+pub mod chip;
+pub mod power;
+pub mod roofline;
+pub mod sector;
+pub mod timing;
+pub mod traffic;
+
+pub use area::{AreaParams, AreaReport};
+pub use cache::{Cache, CacheParams, HierarchyStats, MemoryHierarchy};
+pub use chip::ChipParams;
+pub use power::{EnergyEstimate, PowerMode};
+pub use roofline::{attainable_gflops, RooflinePoint};
+pub use sector::SectorCache;
+pub use timing::{KernelProfile, TimePrediction};
+pub use traffic::{GateTraffic, TrafficModel};

@@ -1,0 +1,55 @@
+//! Criterion whole-circuit benchmarks: the E4/E7 comparison as tracked
+//! regression benchmarks (QFT / random / QV under each strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcs_core::circuit::Circuit;
+use qcs_core::library;
+use qcs_core::sim::{Simulator, Strategy};
+use qcs_core::state::StateVector;
+
+const N: u32 = 14;
+
+fn run(c: &Circuit, strat: Strategy) -> StateVector {
+    let mut s = StateVector::zero(c.n_qubits());
+    Simulator::new().with_strategy(strat).run(c, &mut s).unwrap();
+    s
+}
+
+fn bench_circuit_strategies(c: &mut Criterion) {
+    let cases: Vec<(&str, Circuit)> = vec![
+        ("qft", library::qft(N)),
+        ("random_d10", library::random_circuit(N, 10, 3)),
+        ("qv", library::quantum_volume(N, 5)),
+        ("trotter", library::trotter_ising(N, 4, 1.0, 0.7, 0.05)),
+    ];
+    for (name, circuit) in &cases {
+        let mut group = c.benchmark_group(format!("circuit_{name}"));
+        group.sample_size(10);
+        for (label, strat) in [
+            ("naive", Strategy::Naive),
+            ("fused4", Strategy::Fused { max_k: 4 }),
+            ("blocked", Strategy::Blocked { block_qubits: 12 }),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(label), &strat, |b, &strat| {
+                b.iter(|| run(circuit, strat));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_distributed_ranks(c: &mut Criterion) {
+    let circuit = library::qft(12);
+    let mut group = c.benchmark_group("distributed_qft12");
+    group.sample_size(10);
+    for ranks in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| qcs_dist::run_distributed(&circuit, ranks));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_strategies, bench_distributed_ranks);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the substrate layers: parallel-runtime
+//! scheduling overhead and message-passing collective latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpi_sim::collectives::ReduceOp;
+use mpi_sim::World;
+use omp_par::{Schedule, ThreadPool};
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omp_schedule_overhead");
+    group.sample_size(20);
+    let pool = ThreadPool::new(4);
+    let n = 1 << 16;
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    for (label, sched) in [
+        ("static", Schedule::Static { chunk: None }),
+        ("static_c64", Schedule::Static { chunk: Some(64) }),
+        ("dynamic_c64", Schedule::Dynamic { chunk: 64 }),
+        ("guided", Schedule::Guided { min_chunk: 64 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sched, |b, &sched| {
+            b.iter(|| {
+                pool.parallel_reduce(
+                    0..n,
+                    sched,
+                    || 0.0f64,
+                    |acc, r| acc + data[r].iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_collectives");
+    group.sample_size(10);
+    for ranks in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_1k", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    World::run(ranks, |comm| {
+                        let data = vec![comm.rank() as f64; 1024];
+                        comm.allreduce(ReduceOp::Sum, &data)
+                    })
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("alltoall_4k", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    World::run(ranks, |comm| {
+                        let chunks: Vec<Vec<u64>> =
+                            (0..comm.size()).map(|r| vec![r as u64; 4096]).collect();
+                        comm.alltoall(&chunks)
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_region_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omp_region_dispatch");
+    group.sample_size(30);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    pool.run_region(|t| {
+                        std::hint::black_box(t);
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules, bench_collectives, bench_pool_region_latency);
+criterion_main!(benches);

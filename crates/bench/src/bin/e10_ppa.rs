@@ -1,0 +1,133 @@
+//! E10 — Design-space exploration (extension experiment).
+//!
+//! The authors' Gem5/McPAT study ("Power/Performance/Area Evaluations
+//! for Next-Generation HPC Processors using the A64FX Chip") asks: at a
+//! future technology node, does widening SIMD or the FP pipes keep
+//! paying off? Their answer: no — the memory system caps it. This
+//! experiment asks the same question for the state-vector workload by
+//! sweeping A64FX design variants through the model.
+//!
+//! Expected shape: for the (memory-bound) dense-gate sweep, nothing
+//! above the baseline SIMD width helps; for the fused k=5 kernel
+//! (compute-bound), wider SIMD scales until the kernel drops onto the
+//! memory roof, then flattens — the paper's conclusion reproduced on
+//! this workload.
+
+use a64fx_model::timing::{predict, ExecConfig, KernelProfile};
+use a64fx_model::ChipParams;
+use qcs_bench::{fmt_secs, Table};
+
+fn profile(amps: u64, flops_per_amp: u64, instr_per_amp_vl512: u64, simd_bits: u16) -> KernelProfile {
+    // Instruction counts scale inversely with VL (regular kernels).
+    let scale = simd_bits as u64 / 64; // lanes
+    KernelProfile {
+        flops: amps * flops_per_amp,
+        mem_bytes: amps * 32,
+        l2_bytes: amps * 32,
+        instructions: amps * instr_per_amp_vl512 * 8 / scale,
+        gather_scatter: 0,
+    }
+}
+
+fn sweep(name: &str, flops_per_amp: u64, instr_per_amp: u64) {
+    println!();
+    println!("E10: {name} (n = 28 state, full chip)");
+    let mut table = Table::new(&[
+        "SIMD width",
+        "peak TF/s",
+        "pred time",
+        "vs 512-bit",
+        "bottleneck",
+    ]);
+    let amps = 1u64 << 28;
+    let t512 = {
+        let p = profile(amps, flops_per_amp, instr_per_amp, 512);
+        predict(&ChipParams::a64fx(), &p, &ExecConfig::full_chip()).seconds
+    };
+    for bits in [128u16, 256, 512, 1024, 2048] {
+        let mut chip = ChipParams::a64fx();
+        chip.simd_bits = bits;
+        let p = profile(amps, flops_per_amp, instr_per_amp, bits);
+        let pred = predict(&chip, &p, &ExecConfig::full_chip());
+        table.row(&[
+            format!("{bits}-bit"),
+            format!("{:.2}", chip.peak_flops_chip() / 1e12),
+            fmt_secs(pred.seconds),
+            format!("{:.2}×", t512 / pred.seconds),
+            format!("{:?}", pred.bottleneck),
+        ]);
+    }
+    table.print();
+}
+
+fn core_count_sweep() {
+    println!();
+    println!("E10b: core-count scaling at fixed 4-CMG bandwidth (dense 1q sweep, n = 28)");
+    let mut table = Table::new(&["cores", "pred time", "vs 48", "bottleneck"]);
+    let amps = 1u64 << 28;
+    let chip = ChipParams::a64fx();
+    let p = profile(amps, 8, 3, 512);
+    let t48 = predict(&chip, &p, &ExecConfig::full_chip()).seconds;
+    for cores in [12usize, 24, 48, 96, 192] {
+        let mut c = chip.clone();
+        c.cores_per_cmg = cores / 4;
+        let pred = predict(&c, &p, &ExecConfig { cores, active_cmgs: 4, ..ExecConfig::full_chip() });
+        table.row(&[
+            cores.to_string(),
+            fmt_secs(pred.seconds),
+            format!("{:.2}×", t48 / pred.seconds),
+            format!("{:?}", pred.bottleneck),
+        ]);
+    }
+    table.print();
+}
+
+fn area_efficiency_sweep() {
+    use a64fx_model::area::{estimate, AreaParams};
+    println!();
+    println!("E10c: workload performance per silicon area (7 nm), dense vs fused kernels");
+    let mut table = Table::new(&[
+        "SIMD width",
+        "chip mm²",
+        "dense GF/s/mm²",
+        "fused GF/s/mm²",
+    ]);
+    let amps = 1u64 << 28;
+    let params = AreaParams::tsmc7();
+    for bits in [128u16, 256, 512, 1024, 2048] {
+        let mut chip = ChipParams::a64fx();
+        chip.simd_bits = bits;
+        let area = estimate(&chip, &params, 7).chip_mm2;
+        let eff = |flops_per_amp: u64, instr: u64| {
+            let p = profile(amps, flops_per_amp, instr, bits);
+            let t = predict(&chip, &p, &ExecConfig::full_chip()).seconds;
+            p.flops as f64 / t / 1e9 / area
+        };
+        table.row(&[
+            format!("{bits}-bit"),
+            format!("{area:.0}"),
+            format!("{:.3}", eff(8, 3)),
+            format!("{:.3}", eff(256, 48)),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("The memory-bound column *falls* with SIMD width (same time, more silicon).");
+    println!("The fused column rises until the kernel lands on the memory roof at the");
+    println!("2048-bit architectural limit — past that point (or for any memory-bound");
+    println!("kernel) wider SIMD is pure area cost, the PPA paper's headline finding.");
+}
+
+fn main() {
+    // Dense 1q gate: 8 flops/amp, ~3 instructions/amp at VL512.
+    sweep("memory-bound: dense 1q sweep", 8, 3);
+    // Fused k=5: 8·2^5 = 256 flops/amp, ~48 instrs/amp at VL512.
+    sweep("compute-bound: fused k=5 sweep", 256, 48);
+    core_count_sweep();
+    area_efficiency_sweep();
+    println!();
+    println!("Expected shape: the memory-bound kernel is flat in SIMD width (1.00×) above");
+    println!("the point where issue stops mattering; the fused kernel gains ~2× per");
+    println!("doubling until it hits the memory roof and flattens; extra cores past");
+    println!("bandwidth saturation buy nothing — the PPA paper's conclusion.");
+}

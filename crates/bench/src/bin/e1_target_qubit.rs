@@ -1,0 +1,81 @@
+//! E1 — Gate-kernel throughput vs target qubit index.
+//!
+//! The signature figure of any state-vector performance analysis: sweep
+//! the target qubit of a dense 1-qubit gate and plot effective bandwidth.
+//! Reproduced at three state sizes spanning the cache hierarchy
+//! (L1-resident, L2-resident, memory-resident), with host-measured
+//! bandwidth next to the A64FX model's prediction.
+//!
+//! Expected shape: flat within a residency level, with a drop when the
+//! paired access stride leaves the L1-friendly window; the absolute
+//! plateau is set by the level's bandwidth.
+
+use a64fx_model::traffic::{KernelKind, TrafficModel};
+use qcs_bench::{bench_state, checksum, fmt_gbs, sweep_bytes, time_best, Table};
+use qcs_core::gates::standard;
+use qcs_core::kernels::scalar::apply_1q;
+
+fn main() {
+    let model = TrafficModel::a64fx();
+    let h = standard::h();
+
+    for &n in &[14u32, 18, 22] {
+        let residency = match model.residency(n) {
+            0 => "L1",
+            1 => "L2",
+            _ => "HBM2",
+        };
+        println!();
+        println!(
+            "E1: dense 1q gate, n = {n} ({} MiB state, A64FX residency: {residency})",
+            (1u64 << n) * 16 / (1 << 20)
+        );
+        let mut table = Table::new(&[
+            "target t",
+            "host time",
+            "host BW",
+            "model BW (1 CMG)",
+            "model time",
+        ]);
+        let mut state = bench_state(n, 7);
+        for t in (0..n).step_by(2) {
+            let secs = time_best(5, || {
+                apply_1q(state.amplitudes_mut(), t, &h);
+            });
+            std::hint::black_box(checksum(state.amplitudes()));
+            let bytes = sweep_bytes(n);
+            let host_bw = bytes as f64 / secs;
+            // Model: effective bandwidth for this residency, with the
+            // strided penalty above the line-qubit window.
+            let strided = t >= 4 && model.residency(n) == 2;
+            let model_bw = model.effective_bandwidth(n, 12, 1, strided);
+            let traffic = model.predict(KernelKind::OneQubitDense, n, &[t]);
+            let model_secs = traffic.mem_bytes as f64 / model_bw;
+            table.row(&[
+                t.to_string(),
+                qcs_bench::fmt_secs(secs),
+                fmt_gbs(host_bw),
+                fmt_gbs(model_bw),
+                qcs_bench::fmt_secs(model_secs),
+            ]);
+        }
+        table.print();
+    }
+
+    println!();
+    println!("E1b: controlled gate line-traffic effect (n = 20, CX control position)");
+    let mut table = Table::new(&["control c", "lines touched", "vs dense 1q", "note"]);
+    let dense_lines = model.predict(KernelKind::OneQubitDense, 20, &[5]).lines_touched;
+    for c in [0u32, 2, 4, 8, 16] {
+        let t = model.predict(KernelKind::ControlledDense, 20, &[5, c]);
+        let frac = t.lines_touched as f64 / dense_lines as f64;
+        let note = if c < 4 { "control inside cache line: no skip" } else { "half the lines skipped" };
+        table.row(&[
+            c.to_string(),
+            t.lines_touched.to_string(),
+            format!("{frac:.2}×"),
+            note.to_string(),
+        ]);
+    }
+    table.print();
+}

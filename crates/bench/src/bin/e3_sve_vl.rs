@@ -1,0 +1,110 @@
+//! E3 — SVE vector-length sensitivity.
+//!
+//! Runs the counted SVE kernels at every power-of-two VL and feeds the
+//! exact dynamic instruction mixes into the A64FX timing model, for two
+//! regimes:
+//!
+//! * cache-resident state (issue-bound): longer vectors → fewer
+//!   instructions → faster, until the FP pipes dominate;
+//! * memory-resident state (bandwidth-bound): VL-insensitive;
+//! * low target qubit: partially-filled vectors waste lanes, so VL does
+//!   not help at all.
+//!
+//! This reproduces the methodology (and expected conclusions) of the
+//! authors' SVE vector-length studies applied to state-vector kernels.
+
+use a64fx_model::timing::{predict, ExecConfig, KernelProfile};
+use a64fx_model::ChipParams;
+use qcs_bench::{bench_state, Table};
+use qcs_core::gates::standard;
+use qcs_core::kernels::sve::apply_1q_sve;
+use sve_sim::{SveCtx, Vl};
+
+fn profile_at(vl: Vl, n: u32, t: u32, mem_resident: bool) -> KernelProfile {
+    let mut ctx = SveCtx::new(vl);
+    let mut state = bench_state(n, 11);
+    apply_1q_sve(&mut ctx, state.amplitudes_mut(), t, &standard::h());
+    let mut p = KernelProfile::from_sve_counts(ctx.counts(), vl);
+    if !mem_resident {
+        // L1-resident: no HBM or L2 traffic on the critical path.
+        p.mem_bytes = 0;
+        p.l2_bytes = 0;
+    } else {
+        // Memory-resident: the sweep moves the full state twice.
+        p.mem_bytes = (1u64 << n) * 32;
+        p.l2_bytes = p.mem_bytes;
+    }
+    p
+}
+
+fn main() {
+    // A VL-parameterized chip variant: the A64FX design with its SIMD
+    // width swept (the PPA-exploration question of the source papers).
+    let cfg = ExecConfig::single_core();
+
+    println!("E3a: issue-bound regime — L1-resident state (n = 12), high target (t = 11)");
+    let mut table = Table::new(&["VL", "instrs", "pred time", "vs VL128"]);
+    let mut base = 0.0;
+    for vl in Vl::pow2_sweep() {
+        let mut chip = ChipParams::a64fx();
+        chip.simd_bits = vl.bits();
+        let p = profile_at(vl, 12, 11, false);
+        let pred = predict(&chip, &p, &cfg);
+        if vl.bits() == 128 {
+            base = pred.seconds;
+        }
+        table.row(&[
+            vl.to_string(),
+            p.instructions.to_string(),
+            qcs_bench::fmt_secs(pred.seconds),
+            format!("{:.2}×", base / pred.seconds),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!("E3b: memory-bound regime — HBM-resident state (n = 26), high target");
+    let mut table = Table::new(&["VL", "instrs (scaled)", "pred time", "vs VL128"]);
+    let mut base = 0.0;
+    for vl in Vl::pow2_sweep() {
+        let mut chip = ChipParams::a64fx();
+        chip.simd_bits = vl.bits();
+        // Count at n = 14 and scale instruction counts to n = 26 (the
+        // kernel is perfectly regular, so counts scale by 2^{26-14}).
+        let mut p = profile_at(vl, 14, 13, true);
+        let scale = 1u64 << (26 - 14);
+        p.instructions *= scale;
+        p.flops *= scale;
+        p.mem_bytes = (1u64 << 26) * 32;
+        p.l2_bytes = p.mem_bytes;
+        let pred = predict(&chip, &p, &ExecConfig::full_chip());
+        if vl.bits() == 128 {
+            base = pred.seconds;
+        }
+        table.row(&[
+            vl.to_string(),
+            p.instructions.to_string(),
+            qcs_bench::fmt_secs(pred.seconds),
+            format!("{:.2}×", base / pred.seconds),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!("E3c: low-target penalty — instruction counts at t = 0 vs t = n-1 (n = 12)");
+    let mut table = Table::new(&["VL", "instrs t=0", "instrs t=11", "waste factor"]);
+    for vl in Vl::pow2_sweep() {
+        let lo = profile_at(vl, 12, 0, false).instructions;
+        let hi = profile_at(vl, 12, 11, false).instructions;
+        table.row(&[
+            vl.to_string(),
+            lo.to_string(),
+            hi.to_string(),
+            format!("{:.1}×", lo as f64 / hi as f64),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("Expected shape: E3a speeds up with VL (issue-bound); E3b flat (memory-bound);");
+    println!("E3c waste factor grows with VL — low targets cannot fill long vectors.");
+}

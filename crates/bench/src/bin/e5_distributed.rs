@@ -1,0 +1,146 @@
+//! E5 — Multi-process scaling and communication analysis.
+//!
+//! Runs circuits distributed across 1..16 ranks (in-process MPI), counts
+//! the bytes each algorithm phase actually exchanges, and prices them
+//! with the Tofu-D network model to obtain predicted communication time
+//! and communication fraction at A64FX-node speeds.
+//!
+//! Expected shape: gates on global qubits cost one local-buffer exchange
+//! per rank; the exchanged volume per rank *shrinks* with rank count
+//! (buffers halve) while the rank count grows, and the communication
+//! fraction rises with ranks — the classic distributed-state-vector
+//! scaling story.
+
+use a64fx_model::timing::ExecConfig;
+use a64fx_model::ChipParams;
+use mpi_sim::{NetworkModel, TofuParams};
+use qcs_bench::{fmt_secs, Table};
+use qcs_core::circuit::Circuit;
+use qcs_core::library;
+use qcs_core::perf::predict_circuit;
+use qcs_dist::run_distributed;
+
+fn analyze(name: &str, circuit: &Circuit) {
+    println!();
+    println!("E5: {name} — n = {}, {} gates", circuit.n_qubits(), circuit.len());
+    let chip = ChipParams::a64fx();
+    let net = NetworkModel::new(TofuParams::tofu_d());
+
+    let mut table = Table::new(&[
+        "ranks",
+        "max bytes sent/rank",
+        "msgs/rank",
+        "comm time (Tofu-D)",
+        "compute time (A64FX)",
+        "comm fraction",
+    ]);
+
+    for ranks in [1usize, 2, 4, 8, 16] {
+        let (_, stats) = run_distributed(circuit, ranks);
+        // Exclude the final allgather (harness artifact, not algorithm):
+        // approximate by subtracting the allgather contribution measured
+        // on an empty circuit.
+        let empty = Circuit::new(circuit.n_qubits());
+        let (_, base_stats) = run_distributed(&empty, ranks);
+        let worst = stats
+            .iter()
+            .zip(&base_stats)
+            .map(|(s, b)| {
+                let mut s = s.clone();
+                s.bytes_sent = s.bytes_sent.saturating_sub(b.bytes_sent);
+                s.messages_sent = s.messages_sent.saturating_sub(b.messages_sent);
+                s
+            })
+            .max_by_key(|s| s.bytes_sent)
+            .expect("at least one rank");
+        let comm = net.rank_time(&worst);
+        // Compute time: each rank sweeps its slice; the model scales the
+        // single-node prediction by the slice fraction (per-node chip).
+        let compute = predict_circuit(&chip, &ExecConfig::full_chip(), circuit).seconds
+            / ranks as f64;
+        let total = comm.seconds + compute;
+        table.row(&[
+            ranks.to_string(),
+            format!("{:.1} MiB", worst.bytes_sent as f64 / (1 << 20) as f64),
+            worst.messages_sent.to_string(),
+            fmt_secs(comm.seconds),
+            fmt_secs(compute),
+            format!("{:.0}%", 100.0 * comm.seconds / total.max(1e-30)),
+        ]);
+    }
+    table.print();
+}
+
+/// E5b: the qubit-remapping optimization — plain engine (swap back after
+/// every relocated gate) vs lazy mapping (leave relocated qubits local).
+fn remap_ablation(name: &str, circuit: &Circuit) {
+    use qcs_dist::remap::run_distributed_mapped;
+    println!();
+    println!("E5b: qubit-remap optimization — {name}, n = {}", circuit.n_qubits());
+    let net = NetworkModel::new(TofuParams::tofu_d());
+    let mut table = Table::new(&[
+        "ranks",
+        "plain bytes/rank",
+        "mapped bytes/rank",
+        "saving",
+        "mapped comm time",
+    ]);
+    for ranks in [2usize, 4, 8] {
+        let empty = Circuit::new(circuit.n_qubits());
+        let algo = |runner: &dyn Fn(&Circuit, usize) -> Vec<mpi_sim::CommStats>| -> u64 {
+            let with = runner(circuit, ranks);
+            let base = runner(&empty, ranks);
+            with.iter()
+                .zip(&base)
+                .map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent))
+                .max()
+                .unwrap_or(0)
+        };
+        let plain = algo(&|c, r| qcs_dist::run_distributed(c, r).1);
+        let mapped = algo(&|c, r| run_distributed_mapped(c, r).1);
+        let mapped_stats = mpi_sim::CommStats {
+            bytes_sent: mapped,
+            messages_sent: 1,
+            ..Default::default()
+        };
+        table.row(&[
+            ranks.to_string(),
+            format!("{:.2} MiB", plain as f64 / (1 << 20) as f64),
+            format!("{:.2} MiB", mapped as f64 / (1 << 20) as f64),
+            if plain > 0 {
+                format!("{:.1}%", 100.0 * (1.0 - mapped as f64 / plain as f64))
+            } else {
+                "-".into()
+            },
+            fmt_secs(net.rank_time(&mapped_stats).seconds),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    let n = 18u32;
+    analyze("QFT", &library::qft(n));
+    analyze("random circuit (depth 10)", &library::random_circuit(n, 10, 5));
+    analyze("GHZ chain", &library::ghz(n));
+
+    // Remap ablation on a workload that hammers the top qubits.
+    let mut hot_top = Circuit::new(14);
+    for l in 0..8 {
+        hot_top.rx(13, 0.1 * (l + 1) as f64);
+        hot_top.ry(12, 0.2 * (l + 1) as f64);
+        hot_top.rxx(12, 13, 0.05 * (l + 1) as f64);
+    }
+    remap_ablation("top-qubit rotation block", &hot_top);
+    remap_ablation("QFT", &library::qft(14));
+
+    println!();
+    println!("Expected shape: communication fraction grows with rank count; QFT moves the");
+    println!("most data (its CP/SWAP ladder touches the top qubits repeatedly), GHZ the least");
+    println!("(a single CX chain crosses the global boundary once per global qubit).");
+    println!("E5b: lazy remapping collapses repeated global-qubit touches into one");
+    println!("relocation (≈90% saving on the hot-top block) but *loses* on QFT, where each");
+    println!("global qubit is touched once and the plain pair exchange is already optimal —");
+    println!("the reason production simulators gate this optimization on a touch-count");
+    println!("heuristic.");
+}

@@ -1,0 +1,288 @@
+//! State analysis: reduced density matrices, purity, and entanglement
+//! entropy.
+//!
+//! These are the verification observables simulator papers use to show a
+//! backend computes *the right* state, not just *a* normalized one: a
+//! product state must have zero entanglement entropy across every cut, a
+//! Bell pair exactly ln 2, and random circuits drive the entropy toward
+//! the Page value.
+
+use crate::complex::C64;
+use crate::state::StateVector;
+
+/// The reduced density matrix of the qubit subset `qs` (row-major,
+/// dimension `2^|qs|`), obtained by tracing out the rest.
+///
+/// Basis convention: bit `j` of the reduced index corresponds to
+/// `qs[j]`.
+pub fn reduced_density_matrix(state: &StateVector, qs: &[u32]) -> Vec<C64> {
+    let n = state.n_qubits();
+    for &q in qs {
+        assert!(q < n, "qubit {q} beyond the state");
+    }
+    let k = qs.len();
+    assert!(k <= 12, "reduced density matrices above 12 qubits are impractical");
+    let dim = 1usize << k;
+    // Enumerate the environment (complement) qubits.
+    let env: Vec<u32> = (0..n).filter(|q| !qs.contains(q)).collect();
+    let env_dim = 1usize << env.len();
+    let amps = state.amplitudes();
+
+    let mut rho = vec![C64::default(); dim * dim];
+    // ρ[a][b] = Σ_e ψ(a,e) ψ*(b,e).
+    for e in 0..env_dim {
+        // Build the environment part of the full index.
+        let mut env_bits = 0usize;
+        for (j, &q) in env.iter().enumerate() {
+            if (e >> j) & 1 == 1 {
+                env_bits |= 1 << q;
+            }
+        }
+        for a in 0..dim {
+            let ia = env_bits | spread(a, qs);
+            let psi_a = amps[ia];
+            if psi_a.is_zero(0.0) {
+                continue;
+            }
+            for b in 0..dim {
+                let ib = env_bits | spread(b, qs);
+                rho[a * dim + b] = rho[a * dim + b].fma(psi_a, amps[ib].conj());
+            }
+        }
+    }
+    rho
+}
+
+fn spread(local: usize, qs: &[u32]) -> usize {
+    let mut out = 0usize;
+    for (j, &q) in qs.iter().enumerate() {
+        if (local >> j) & 1 == 1 {
+            out |= 1 << q;
+        }
+    }
+    out
+}
+
+/// Purity `Tr ρ²` of the subset's reduced state: 1 for product states,
+/// `1/2^k` for maximally mixed.
+pub fn purity(state: &StateVector, qs: &[u32]) -> f64 {
+    let rho = reduced_density_matrix(state, qs);
+    let dim = 1usize << qs.len();
+    let mut acc = 0.0;
+    for a in 0..dim {
+        for b in 0..dim {
+            // Tr ρ² = Σ_ab ρ_ab ρ_ba = Σ_ab |ρ_ab|² (ρ Hermitian).
+            acc += rho[a * dim + b].norm_sqr();
+        }
+    }
+    acc
+}
+
+/// Von Neumann entanglement entropy `−Tr ρ ln ρ` (nats) of the subset,
+/// via Jacobi diagonalization of the Hermitian reduced density matrix.
+pub fn entanglement_entropy(state: &StateVector, qs: &[u32]) -> f64 {
+    let rho = reduced_density_matrix(state, qs);
+    let dim = 1usize << qs.len();
+    let evs = hermitian_eigenvalues(&rho, dim);
+    evs.into_iter()
+        .filter(|&l| l > 1e-14)
+        .map(|l| -l * l.ln())
+        .sum()
+}
+
+/// Eigenvalues of a Hermitian matrix (row-major `dim × dim`) via the
+/// cyclic Jacobi method on the 2dim-dimensional real symmetric embedding
+/// `[[Re, −Im], [Im, Re]]` (each complex eigenvalue appears twice; we
+/// return each once).
+pub fn hermitian_eigenvalues(m: &[C64], dim: usize) -> Vec<f64> {
+    assert_eq!(m.len(), dim * dim);
+    let n = 2 * dim;
+    // Real symmetric embedding.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..dim {
+        for j in 0..dim {
+            let z = m[i * dim + j];
+            a[i * n + j] = z.re;
+            a[(i + dim) * n + (j + dim)] = z.re;
+            a[(i + dim) * n + j] = z.im;
+            a[i * n + (j + dim)] = -z.im;
+        }
+    }
+    // Cyclic Jacobi sweeps.
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Standard Jacobi rotation angle.
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = phi.sin_cos();
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp + s * akq;
+                    a[k * n + q] = -s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk + s * aqk;
+                    a[q * n + k] = -s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut evs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    evs.sort_by(|x, y| y.total_cmp(x));
+    // Doubled spectrum: take every other (pairs are adjacent after sort).
+    evs.into_iter().step_by(2).collect()
+}
+
+/// Inverse participation ratio `1/Σ p_i²` of the probability
+/// distribution — "how many basis states effectively carry the state"
+/// (1 for a basis state, `2^n` for the uniform superposition).
+pub fn participation_ratio(state: &StateVector) -> f64 {
+    let s: f64 = state.amplitudes().iter().map(|a| a.norm_sqr().powi(2)).sum();
+    1.0 / s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dispatch::apply_gate;
+    use crate::library;
+    use crate::state::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-9;
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    fn run(c: &crate::circuit::Circuit) -> StateVector {
+        let mut s = StateVector::zero(c.n_qubits());
+        for g in c.gates() {
+            apply_gate(s.amplitudes_mut(), g);
+        }
+        s
+    }
+
+    #[test]
+    fn rdm_of_basis_state_is_projector() {
+        let s = StateVector::basis(3, 0b101);
+        let rho = reduced_density_matrix(&s, &[0, 2]);
+        // Qubits (0,2) are in |11⟩ → reduced index 0b11 = 3.
+        for a in 0..4 {
+            for b in 0..4 {
+                let expect = if a == 3 && b == 3 { 1.0 } else { 0.0 };
+                assert!(rho[a * 4 + b].approx_eq(C64::real(expect), EPS), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn rdm_trace_is_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = StateVector::random(6, &mut rng);
+        for qs in [vec![0u32], vec![1, 4], vec![0, 2, 5]] {
+            let dim = 1usize << qs.len();
+            let rho = reduced_density_matrix(&s, &qs);
+            let tr: f64 = (0..dim).map(|i| rho[i * dim + i].re).sum();
+            assert!((tr - 1.0).abs() < EPS, "{qs:?}: trace {tr}");
+            // Hermiticity.
+            for a in 0..dim {
+                for b in 0..dim {
+                    assert!(rho[a * dim + b].approx_eq(rho[b * dim + a].conj(), EPS));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_state_has_zero_entropy_and_unit_purity() {
+        let s = StateVector::plus(4); // |+⟩⊗…: product across every cut
+        for qs in [vec![0u32], vec![0, 1], vec![2, 3], vec![0, 1, 2]] {
+            assert!((purity(&s, &qs) - 1.0).abs() < EPS, "{qs:?}");
+            assert!(entanglement_entropy(&s, &qs).abs() < 1e-7, "{qs:?}");
+        }
+    }
+
+    #[test]
+    fn bell_pair_has_ln2_entropy() {
+        let s = run(&library::ghz(2));
+        assert!((entanglement_entropy(&s, &[0]) - LN2).abs() < 1e-7);
+        assert!((purity(&s, &[0]) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn ghz_every_bipartition_is_ln2() {
+        let s = run(&library::ghz(6));
+        for qs in [vec![0u32], vec![0, 1], vec![0, 1, 2], vec![1, 3, 5]] {
+            assert!(
+                (entanglement_entropy(&s, &qs) - LN2).abs() < 1e-7,
+                "{qs:?}: {}",
+                entanglement_entropy(&s, &qs)
+            );
+        }
+    }
+
+    #[test]
+    fn random_circuit_entropy_grows_toward_page() {
+        // Deep random circuits approach the Page entropy for the cut
+        // (≈ k·ln2 − 2^{2k−n−1} for k ≤ n/2); at n = 8, k = 2 that is
+        // ≈ 2 ln 2 − 1/16 ≈ 1.324.
+        let shallow = run(&library::random_circuit(8, 1, 4));
+        let deep = run(&library::random_circuit(8, 12, 4));
+        let cut = [0u32, 1];
+        let e_shallow = entanglement_entropy(&shallow, &cut);
+        let e_deep = entanglement_entropy(&deep, &cut);
+        assert!(e_deep > e_shallow, "depth grows entanglement: {e_shallow} → {e_deep}");
+        assert!(e_deep > 1.0, "deep circuit near Page value, got {e_deep}");
+        assert!(e_deep <= 2.0 * LN2 + 1e-9, "bounded by k ln 2");
+    }
+
+    #[test]
+    fn entropy_symmetric_across_the_cut() {
+        // S(A) = S(B) for a pure global state.
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = StateVector::random(6, &mut rng);
+        let a = entanglement_entropy(&s, &[0, 2, 4]);
+        let b = entanglement_entropy(&s, &[1, 3, 5]);
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn participation_ratios() {
+        assert!((participation_ratio(&StateVector::basis(5, 3)) - 1.0).abs() < EPS);
+        assert!((participation_ratio(&StateVector::plus(5)) - 32.0).abs() < 1e-6);
+        let ghz = run(&library::ghz(5));
+        assert!((participation_ratio(&ghz) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_of_known_matrix() {
+        // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+        let m = vec![
+            C64::real(2.0),
+            C64::new(0.0, 1.0),
+            C64::new(0.0, -1.0),
+            C64::real(2.0),
+        ];
+        let evs = hermitian_eigenvalues(&m, 2);
+        assert_eq!(evs.len(), 2);
+        assert!((evs[0] - 3.0).abs() < 1e-9, "{evs:?}");
+        assert!((evs[1] - 1.0).abs() < 1e-9, "{evs:?}");
+    }
+}

@@ -1,0 +1,414 @@
+//! Small dense complex matrices (2×2, 4×4, and general `2^k × 2^k`).
+
+use crate::complex::{C64, ONE, ZERO};
+
+/// A 2×2 complex matrix in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    pub m: [[C64; 2]; 2],
+}
+
+impl Mat2 {
+    pub const fn new(m00: C64, m01: C64, m10: C64, m11: C64) -> Mat2 {
+        Mat2 { m: [[m00, m01], [m10, m11]] }
+    }
+
+    pub const fn identity() -> Mat2 {
+        Mat2::new(ONE, ZERO, ZERO, ONE)
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, other: &Mat2) -> Mat2 {
+        let mut r = [[ZERO; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = ZERO;
+                for k in 0..2 {
+                    acc = acc.fma(self.m[i][k], other.m[k][j]);
+                }
+                r[i][j] = acc;
+            }
+        }
+        Mat2 { m: r }
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat2 {
+        Mat2::new(
+            self.m[0][0].conj(),
+            self.m[1][0].conj(),
+            self.m[0][1].conj(),
+            self.m[1][1].conj(),
+        )
+    }
+
+    /// Is `self† self = I` within `eps`?
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.adjoint().mul(self);
+        p.m[0][0].approx_eq(ONE, eps)
+            && p.m[1][1].approx_eq(ONE, eps)
+            && p.m[0][1].approx_eq(ZERO, eps)
+            && p.m[1][0].approx_eq(ZERO, eps)
+    }
+
+    /// Is this matrix diagonal within `eps`?
+    pub fn is_diagonal(&self, eps: f64) -> bool {
+        self.m[0][1].is_zero(eps) && self.m[1][0].is_zero(eps)
+    }
+
+    /// Is this matrix anti-diagonal (pure bit-flip structure) within `eps`?
+    pub fn is_antidiagonal(&self, eps: f64) -> bool {
+        self.m[0][0].is_zero(eps) && self.m[1][1].is_zero(eps)
+    }
+
+    /// Apply to a 2-vector.
+    pub fn apply(&self, v: [C64; 2]) -> [C64; 2] {
+        [
+            ZERO.fma(self.m[0][0], v[0]).fma(self.m[0][1], v[1]),
+            ZERO.fma(self.m[1][0], v[0]).fma(self.m[1][1], v[1]),
+        ]
+    }
+
+    /// Element-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat2, eps: f64) -> bool {
+        (0..2).all(|i| (0..2).all(|j| self.m[i][j].approx_eq(other.m[i][j], eps)))
+    }
+}
+
+/// A 4×4 complex matrix in row-major order, acting on two qubits ordered
+/// (high, low): basis index `2*high + low`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    pub m: [[C64; 4]; 4],
+}
+
+impl Mat4 {
+    pub const fn identity() -> Mat4 {
+        let mut m = [[ZERO; 4]; 4];
+        m[0][0] = ONE;
+        m[1][1] = ONE;
+        m[2][2] = ONE;
+        m[3][3] = ONE;
+        Mat4 { m }
+    }
+
+    pub fn from_rows(rows: [[C64; 4]; 4]) -> Mat4 {
+        Mat4 { m: rows }
+    }
+
+    /// Diagonal matrix.
+    pub fn diagonal(d: [C64; 4]) -> Mat4 {
+        let mut m = [[ZERO; 4]; 4];
+        for (i, &x) in d.iter().enumerate() {
+            m[i][i] = x;
+        }
+        Mat4 { m }
+    }
+
+    /// Kronecker product `a ⊗ b` (a on the high qubit).
+    pub fn kron(a: &Mat2, b: &Mat2) -> Mat4 {
+        let mut m = [[ZERO; 4]; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        m[2 * i + k][2 * j + l] = a.m[i][j] * b.m[k][l];
+                    }
+                }
+            }
+        }
+        Mat4 { m }
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, other: &Mat4) -> Mat4 {
+        let mut r = [[ZERO; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = ZERO;
+                for k in 0..4 {
+                    acc = acc.fma(self.m[i][k], other.m[k][j]);
+                }
+                r[i][j] = acc;
+            }
+        }
+        Mat4 { m: r }
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat4 {
+        let mut r = [[ZERO; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                r[i][j] = self.m[j][i].conj();
+            }
+        }
+        Mat4 { m: r }
+    }
+
+    /// Is `self† self = I` within `eps`?
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.adjoint().mul(self);
+        (0..4).all(|i| {
+            (0..4).all(|j| {
+                let expect = if i == j { ONE } else { ZERO };
+                p.m[i][j].approx_eq(expect, eps)
+            })
+        })
+    }
+
+    /// Is this matrix diagonal within `eps`?
+    pub fn is_diagonal(&self, eps: f64) -> bool {
+        (0..4).all(|i| (0..4).all(|j| i == j || self.m[i][j].is_zero(eps)))
+    }
+
+    /// Apply to a 4-vector.
+    pub fn apply(&self, v: [C64; 4]) -> [C64; 4] {
+        let mut out = [ZERO; 4];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = ZERO;
+            for k in 0..4 {
+                acc = acc.fma(self.m[i][k], v[k]);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Element-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat4, eps: f64) -> bool {
+        (0..4).all(|i| (0..4).all(|j| self.m[i][j].approx_eq(other.m[i][j], eps)))
+    }
+}
+
+/// A general dense `2^k × 2^k` unitary in row-major order — the product
+/// matrix of a fused gate group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    dim: usize,
+    data: Vec<C64>,
+}
+
+impl DenseMatrix {
+    /// The identity on `k` qubits.
+    pub fn identity(k: u32) -> DenseMatrix {
+        let dim = 1usize << k;
+        let mut data = vec![ZERO; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = ONE;
+        }
+        DenseMatrix { dim, data }
+    }
+
+    /// From row-major data; length must be a square of a power of two.
+    pub fn from_data(dim: usize, data: Vec<C64>) -> DenseMatrix {
+        assert!(dim.is_power_of_two(), "dimension must be a power of two");
+        assert_eq!(data.len(), dim * dim, "row-major data must be dim² long");
+        DenseMatrix { dim, data }
+    }
+
+    /// Embed a 2×2 matrix.
+    pub fn from_mat2(m: &Mat2) -> DenseMatrix {
+        DenseMatrix::from_data(2, vec![m.m[0][0], m.m[0][1], m.m[1][0], m.m[1][1]])
+    }
+
+    /// Embed a 4×4 matrix.
+    pub fn from_mat4(m: &Mat4) -> DenseMatrix {
+        let mut data = Vec::with_capacity(16);
+        for row in &m.m {
+            data.extend_from_slice(row);
+        }
+        DenseMatrix::from_data(4, data)
+    }
+
+    /// Matrix dimension `2^k`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of qubits `k`.
+    #[inline]
+    pub fn n_qubits(&self) -> u32 {
+        self.dim.trailing_zeros()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> C64 {
+        self.data[i * self.dim + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: C64) {
+        self.data[i * self.dim + j] = v;
+    }
+
+    /// Row-major data.
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.dim, other.dim);
+        let d = self.dim;
+        let mut out = vec![ZERO; d * d];
+        for i in 0..d {
+            for k in 0..d {
+                let a = self.get(i, k);
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for j in 0..d {
+                    out[i * d + j] = out[i * d + j].fma(a, other.get(k, j));
+                }
+            }
+        }
+        DenseMatrix { dim: d, data: out }
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> DenseMatrix {
+        let d = self.dim;
+        let mut out = vec![ZERO; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                out[j * d + i] = self.get(i, j).conj();
+            }
+        }
+        DenseMatrix { dim: d, data: out }
+    }
+
+    /// Is `self† self = I` within `eps`?
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.adjoint().mul(self);
+        let d = self.dim;
+        (0..d).all(|i| {
+            (0..d).all(|j| {
+                let expect = if i == j { ONE } else { ZERO };
+                p.get(i, j).approx_eq(expect, eps)
+            })
+        })
+    }
+
+    /// Apply to a dense vector of matching dimension.
+    pub fn apply(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.dim);
+        let d = self.dim;
+        let mut out = vec![ZERO; d];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = ZERO;
+            for k in 0..d {
+                acc = acc.fma(self.get(i, k), v[k]);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Element-wise approximate equality.
+    pub fn approx_eq(&self, other: &DenseMatrix, eps: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, eps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::standard;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mat2_identity_neutral() {
+        let h = standard::h();
+        assert!(h.mul(&Mat2::identity()).approx_eq(&h, EPS));
+        assert!(Mat2::identity().mul(&h).approx_eq(&h, EPS));
+    }
+
+    #[test]
+    fn mat2_adjoint_inverts_unitary() {
+        for m in [standard::h(), standard::x(), standard::t(), standard::rx(0.7)] {
+            assert!(m.is_unitary(EPS));
+            assert!(m.mul(&m.adjoint()).approx_eq(&Mat2::identity(), EPS));
+        }
+    }
+
+    #[test]
+    fn mat2_apply_matches_mul() {
+        let h = standard::h();
+        let v = [C64::new(0.6, 0.0), C64::new(0.0, 0.8)];
+        let r = h.apply(v);
+        // Compare against explicit arithmetic.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(r[0].approx_eq(C64::new(0.6 * s, 0.8 * s), EPS));
+        assert!(r[1].approx_eq(C64::new(0.6 * s, -0.8 * s), EPS));
+    }
+
+    #[test]
+    fn structure_predicates() {
+        assert!(standard::z().is_diagonal(EPS));
+        assert!(!standard::h().is_diagonal(EPS));
+        assert!(standard::x().is_antidiagonal(EPS));
+        assert!(!standard::z().is_antidiagonal(EPS));
+    }
+
+    #[test]
+    fn mat4_kron_h_i() {
+        // (H ⊗ I)|00⟩ = (|00⟩ + |10⟩)/√2 in (high, low) ordering.
+        let hi = Mat4::kron(&standard::h(), &Mat2::identity());
+        let v = hi.apply([C64::real(1.0), ZERO, ZERO, ZERO]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(C64::real(s), EPS));
+        assert!(v[2].approx_eq(C64::real(s), EPS));
+        assert!(v[1].is_zero(EPS) && v[3].is_zero(EPS));
+    }
+
+    #[test]
+    fn mat4_unitarity_of_standard_two_qubit() {
+        for m in [standard::cnot_mat(), standard::cz_mat(), standard::swap_mat(), standard::iswap_mat()] {
+            assert!(m.is_unitary(EPS));
+        }
+    }
+
+    #[test]
+    fn mat4_adjoint_involution() {
+        let m = standard::iswap_mat();
+        assert!(m.adjoint().adjoint().approx_eq(&m, EPS));
+    }
+
+    #[test]
+    fn dense_identity_applies_trivially() {
+        let id = DenseMatrix::identity(3);
+        assert_eq!(id.dim(), 8);
+        assert_eq!(id.n_qubits(), 3);
+        let v: Vec<C64> = (0..8).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        assert_eq!(id.apply(&v), v);
+    }
+
+    #[test]
+    fn dense_mul_associates_with_apply() {
+        let a = DenseMatrix::from_mat2(&standard::h());
+        let b = DenseMatrix::from_mat2(&standard::t());
+        let v = vec![C64::real(0.6), C64::new(0.0, 0.8)];
+        let ab = a.mul(&b);
+        let direct = a.apply(&b.apply(&v));
+        let fused = ab.apply(&v);
+        for (x, y) in direct.iter().zip(&fused) {
+            assert!(x.approx_eq(*y, EPS));
+        }
+    }
+
+    #[test]
+    fn dense_unitary_check() {
+        assert!(DenseMatrix::from_mat4(&standard::cnot_mat()).is_unitary(EPS));
+        let mut not_unitary = DenseMatrix::identity(1);
+        not_unitary.set(0, 0, C64::real(2.0));
+        assert!(!not_unitary.is_unitary(EPS));
+    }
+}

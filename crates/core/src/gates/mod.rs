@@ -1,0 +1,9 @@
+//! Gate matrices: dense 2×2 / 4×4 complex matrices and the standard gate
+//! set constructors.
+
+pub mod decompose;
+pub mod matrices;
+pub mod standard;
+
+pub use matrices::{DenseMatrix, Mat2, Mat4};
+pub use standard::*;

@@ -1,0 +1,297 @@
+//! The standard gate set as explicit matrices.
+//!
+//! Conventions: `Rx/Ry/Rz(θ) = exp(-iθP/2)`; `U(θ,φ,λ)` is the OpenQASM
+//! three-parameter single-qubit gate; two-qubit matrices act on the basis
+//! `|high low⟩` with index `2·high + low`.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use crate::complex::{C64, I, ONE, ZERO};
+use crate::gates::matrices::{Mat2, Mat4};
+
+/// Hadamard.
+pub fn h() -> Mat2 {
+    let s = C64::real(FRAC_1_SQRT_2);
+    Mat2::new(s, s, s, -s)
+}
+
+/// Pauli-X.
+pub fn x() -> Mat2 {
+    Mat2::new(ZERO, ONE, ONE, ZERO)
+}
+
+/// Pauli-Y.
+pub fn y() -> Mat2 {
+    Mat2::new(ZERO, -I, I, ZERO)
+}
+
+/// Pauli-Z.
+pub fn z() -> Mat2 {
+    Mat2::new(ONE, ZERO, ZERO, -ONE)
+}
+
+/// S = √Z.
+pub fn s() -> Mat2 {
+    Mat2::new(ONE, ZERO, ZERO, I)
+}
+
+/// S†.
+pub fn sdg() -> Mat2 {
+    Mat2::new(ONE, ZERO, ZERO, -I)
+}
+
+/// T = √S.
+pub fn t() -> Mat2 {
+    Mat2::new(ONE, ZERO, ZERO, C64::exp_i(std::f64::consts::FRAC_PI_4))
+}
+
+/// T†.
+pub fn tdg() -> Mat2 {
+    Mat2::new(ONE, ZERO, ZERO, C64::exp_i(-std::f64::consts::FRAC_PI_4))
+}
+
+/// √X.
+pub fn sx() -> Mat2 {
+    let p = C64::new(0.5, 0.5);
+    let m = C64::new(0.5, -0.5);
+    Mat2::new(p, m, m, p)
+}
+
+/// Rotation about X: `exp(-iθX/2)`.
+pub fn rx(theta: f64) -> Mat2 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    Mat2::new(c, s, s, c)
+}
+
+/// Rotation about Y: `exp(-iθY/2)`.
+pub fn ry(theta: f64) -> Mat2 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::real((theta / 2.0).sin());
+    Mat2::new(c, -s, s, c)
+}
+
+/// Rotation about Z: `exp(-iθZ/2)` (diagonal).
+pub fn rz(theta: f64) -> Mat2 {
+    Mat2::new(C64::exp_i(-theta / 2.0), ZERO, ZERO, C64::exp_i(theta / 2.0))
+}
+
+/// Phase gate `diag(1, e^{iθ})`.
+pub fn phase(theta: f64) -> Mat2 {
+    Mat2::new(ONE, ZERO, ZERO, C64::exp_i(theta))
+}
+
+/// The OpenQASM U(θ, φ, λ) gate.
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat2::new(
+        C64::real(ct),
+        -C64::exp_i(lambda) * st,
+        C64::exp_i(phi) * st,
+        C64::exp_i(phi + lambda) * ct,
+    )
+}
+
+/// CNOT with the *high* qubit as control: |c t⟩ → |c, t⊕c⟩.
+pub fn cnot_mat() -> Mat4 {
+    let mut m = Mat4::identity();
+    m.m[2][2] = ZERO;
+    m.m[3][3] = ZERO;
+    m.m[2][3] = ONE;
+    m.m[3][2] = ONE;
+    m
+}
+
+/// Controlled-Z (symmetric).
+pub fn cz_mat() -> Mat4 {
+    Mat4::diagonal([ONE, ONE, ONE, -ONE])
+}
+
+/// Controlled phase `diag(1,1,1,e^{iθ})` (symmetric).
+pub fn cphase_mat(theta: f64) -> Mat4 {
+    Mat4::diagonal([ONE, ONE, ONE, C64::exp_i(theta)])
+}
+
+/// SWAP.
+pub fn swap_mat() -> Mat4 {
+    let mut m = Mat4::identity();
+    m.m[1][1] = ZERO;
+    m.m[2][2] = ZERO;
+    m.m[1][2] = ONE;
+    m.m[2][1] = ONE;
+    m
+}
+
+/// iSWAP: swap with an i phase on the exchanged states.
+pub fn iswap_mat() -> Mat4 {
+    let mut m = Mat4::identity();
+    m.m[1][1] = ZERO;
+    m.m[2][2] = ZERO;
+    m.m[1][2] = I;
+    m.m[2][1] = I;
+    m
+}
+
+/// Two-qubit ZZ interaction `exp(-iθ Z⊗Z / 2)` (diagonal).
+pub fn rzz_mat(theta: f64) -> Mat4 {
+    let e_m = C64::exp_i(-theta / 2.0);
+    let e_p = C64::exp_i(theta / 2.0);
+    Mat4::diagonal([e_m, e_p, e_p, e_m])
+}
+
+/// Two-qubit XX interaction `exp(-iθ X⊗X / 2)`.
+pub fn rxx_mat(theta: f64) -> Mat4 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    let mut m = [[ZERO; 4]; 4];
+    m[0][0] = c;
+    m[1][1] = c;
+    m[2][2] = c;
+    m[3][3] = c;
+    m[0][3] = s;
+    m[3][0] = s;
+    m[1][2] = s;
+    m[2][1] = s;
+    Mat4::from_rows(m)
+}
+
+/// Pauli matrix by index 0..=3 → I, X, Y, Z (for Pauli-string machinery).
+pub fn pauli(idx: u8) -> Mat2 {
+    match idx {
+        0 => Mat2::identity(),
+        1 => x(),
+        2 => y(),
+        3 => z(),
+        _ => panic!("pauli index {idx} out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn all_one_qubit_gates_unitary() {
+        let gates = [
+            h(),
+            x(),
+            y(),
+            z(),
+            s(),
+            sdg(),
+            t(),
+            tdg(),
+            sx(),
+            rx(0.3),
+            ry(1.1),
+            rz(-2.2),
+            phase(0.9),
+            u3(0.4, 1.3, -0.6),
+        ];
+        for (i, g) in gates.iter().enumerate() {
+            assert!(g.is_unitary(EPS), "gate #{i} not unitary");
+        }
+    }
+
+    #[test]
+    fn involutions_square_to_identity() {
+        for g in [h(), x(), y(), z()] {
+            assert!(g.mul(&g).approx_eq(&Mat2::identity(), EPS));
+        }
+    }
+
+    #[test]
+    fn s_squares_to_z_t_squares_to_s() {
+        assert!(s().mul(&s()).approx_eq(&z(), EPS));
+        assert!(t().mul(&t()).approx_eq(&s(), EPS));
+        assert!(sx().mul(&sx()).approx_eq(&x(), EPS));
+    }
+
+    #[test]
+    fn daggers_invert() {
+        assert!(s().mul(&sdg()).approx_eq(&Mat2::identity(), EPS));
+        assert!(t().mul(&tdg()).approx_eq(&Mat2::identity(), EPS));
+    }
+
+    #[test]
+    fn hzh_is_x() {
+        let hzh = h().mul(&z()).mul(&h());
+        assert!(hzh.approx_eq(&x(), EPS));
+    }
+
+    #[test]
+    fn rotation_composition() {
+        // Rz(a) Rz(b) = Rz(a+b).
+        let a = 0.7;
+        let b = -1.9;
+        assert!(rz(a).mul(&rz(b)).approx_eq(&rz(a + b), EPS));
+        assert!(rx(a).mul(&rx(b)).approx_eq(&rx(a + b), EPS));
+        assert!(ry(a).mul(&ry(b)).approx_eq(&ry(a + b), EPS));
+    }
+
+    #[test]
+    fn rz_full_turn_is_minus_identity() {
+        let full = rz(2.0 * std::f64::consts::PI);
+        let neg_id = Mat2::new(-ONE, ZERO, ZERO, -ONE);
+        assert!(full.approx_eq(&neg_id, EPS));
+    }
+
+    #[test]
+    fn u3_specializations() {
+        // U(θ, -π/2, π/2) = Rx(θ); U(θ, 0, 0) = Ry(θ).
+        use std::f64::consts::FRAC_PI_2;
+        assert!(u3(0.8, -FRAC_PI_2, FRAC_PI_2).approx_eq(&rx(0.8), EPS));
+        assert!(u3(0.8, 0.0, 0.0).approx_eq(&ry(0.8), EPS));
+        // U(0, 0, λ) = phase(λ).
+        assert!(u3(0.0, 0.0, 1.3).approx_eq(&phase(1.3), EPS));
+    }
+
+    #[test]
+    fn cnot_flips_target_when_control_set() {
+        let m = cnot_mat();
+        // |10⟩ (high control = 1, low target = 0) → |11⟩.
+        let v = m.apply([ZERO, ZERO, ONE, ZERO]);
+        assert!(v[3].approx_eq(ONE, EPS));
+        // |00⟩ unchanged.
+        let v = m.apply([ONE, ZERO, ZERO, ZERO]);
+        assert!(v[0].approx_eq(ONE, EPS));
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let m = swap_mat();
+        let v = m.apply([ZERO, ONE, ZERO, ZERO]); // |01⟩ → |10⟩
+        assert!(v[2].approx_eq(ONE, EPS));
+    }
+
+    #[test]
+    fn rzz_diagonal_phases() {
+        let theta = 0.6;
+        let m = rzz_mat(theta);
+        assert!(m.is_diagonal(EPS));
+        // ZZ eigenvalue +1 on |00⟩,|11⟩ → phase e^{-iθ/2}.
+        assert!(m.m[0][0].approx_eq(C64::exp_i(-theta / 2.0), EPS));
+        assert!(m.m[1][1].approx_eq(C64::exp_i(theta / 2.0), EPS));
+    }
+
+    #[test]
+    fn rxx_unitary_and_symmetric() {
+        let m = rxx_mat(1.3);
+        assert!(m.is_unitary(EPS));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(m.m[i][j].approx_eq(m.m[j][i], EPS), "Rxx must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn pauli_accessor() {
+        assert!(pauli(0).approx_eq(&Mat2::identity(), EPS));
+        assert!(pauli(1).approx_eq(&x(), EPS));
+        assert!(pauli(2).approx_eq(&y(), EPS));
+        assert!(pauli(3).approx_eq(&z(), EPS));
+    }
+}

@@ -1,0 +1,210 @@
+//! State-vector (de)serialization.
+//!
+//! A minimal self-describing binary format for checkpointing simulation
+//! states (the restart-file role that HPC simulators need):
+//!
+//! ```text
+//! magic  "QSV1"          4 bytes
+//! n_qubits               u32 little-endian
+//! amplitudes             2^n × (re f64 LE, im f64 LE)
+//! checksum               f64 LE: Σ|amp|² (norm², for corruption checks)
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::complex::C64;
+use crate::state::StateVector;
+
+const MAGIC: &[u8; 4] = b"QSV1";
+
+/// I/O and format errors.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    /// Not a QSV file or unsupported version.
+    BadMagic,
+    /// Header fields inconsistent with the payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::BadMagic => write!(f, "not a QSV1 state-vector file"),
+            IoError::Corrupt(m) => write!(f, "corrupt state file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serialize a state to any writer.
+pub fn write_state<W: Write>(state: &StateVector, mut w: W) -> Result<(), IoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&state.n_qubits().to_le_bytes())?;
+    let mut checksum = 0.0f64;
+    for a in state.amplitudes() {
+        w.write_all(&a.re.to_le_bytes())?;
+        w.write_all(&a.im.to_le_bytes())?;
+        checksum += a.norm_sqr();
+    }
+    w.write_all(&checksum.to_le_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a state from any reader, verifying magic and checksum.
+pub fn read_state<R: Read>(mut r: R) -> Result<StateVector, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let mut n_bytes = [0u8; 4];
+    r.read_exact(&mut n_bytes)?;
+    let n = u32::from_le_bytes(n_bytes);
+    if n == 0 || n > crate::state::MAX_QUBITS {
+        return Err(IoError::Corrupt(format!("qubit count {n} out of range")));
+    }
+    let len = 1usize << n;
+    let mut amps = Vec::with_capacity(len);
+    let mut checksum = 0.0f64;
+    let mut buf = [0u8; 16];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        let re = f64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+        let im = f64::from_le_bytes(buf[8..].try_into().expect("8 bytes"));
+        checksum += re * re + im * im;
+        amps.push(C64::new(re, im));
+    }
+    let mut cs_bytes = [0u8; 8];
+    r.read_exact(&mut cs_bytes)?;
+    let stored = f64::from_le_bytes(cs_bytes);
+    if (stored - checksum).abs() > 1e-9 {
+        return Err(IoError::Corrupt(format!(
+            "checksum mismatch: stored {stored}, computed {checksum}"
+        )));
+    }
+    if (checksum - 1.0).abs() > 1e-6 {
+        return Err(IoError::Corrupt(format!("state norm² = {checksum}, expected 1")));
+    }
+    Ok(StateVector::from_amplitudes(&amps))
+}
+
+/// Save a state to a file.
+pub fn save(state: &StateVector, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_state(state, std::io::BufWriter::new(f))
+}
+
+/// Load a state from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<StateVector, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_state(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qcs_io_tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = StateVector::random(8, &mut rng);
+        let mut buf = Vec::new();
+        write_state(&s, &mut buf).unwrap();
+        // 4 + 4 + 256·16 + 8 bytes.
+        assert_eq!(buf.len(), 8 + 256 * 16 + 8);
+        let back = read_state(&buf[..]).unwrap();
+        assert!(back.approx_eq(&s, 0.0), "bit-exact roundtrip");
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = StateVector::random(6, &mut rng);
+        let path = tmpfile("roundtrip.qsv");
+        save(&s, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert!(back.approx_eq(&s, 0.0));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x03\x00\x00\x00".to_vec();
+        assert!(matches!(read_state(&buf[..]), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let s = StateVector::zero(4);
+        let mut buf = Vec::new();
+        write_state(&s, &mut buf).unwrap();
+        buf.truncate(buf.len() - 20);
+        assert!(matches!(read_state(&buf[..]), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn corrupted_amplitude_detected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = StateVector::random(5, &mut rng);
+        let mut buf = Vec::new();
+        write_state(&s, &mut buf).unwrap();
+        // Flip a byte in the middle of the amplitude block.
+        buf[8 + 100] ^= 0xFF;
+        assert!(matches!(read_state(&buf[..]), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_qubit_count_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&200u32.to_le_bytes());
+        assert!(matches!(read_state(&buf[..]), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn checkpoint_and_resume_simulation() {
+        use crate::library;
+        use crate::sim::Simulator;
+        // Run half a circuit, checkpoint, reload, run the rest: same
+        // result as running it straight through.
+        let c = library::qft(7);
+        let half = c.len() / 2;
+        let mut first = crate::circuit::Circuit::new(7);
+        let mut second = crate::circuit::Circuit::new(7);
+        for (i, g) in c.gates().iter().enumerate() {
+            if i < half {
+                first.push(g.clone());
+            } else {
+                second.push(g.clone());
+            }
+        }
+        let sim = Simulator::new();
+        let mut s = StateVector::zero(7);
+        sim.run(&first, &mut s).unwrap();
+        let path = tmpfile("checkpoint.qsv");
+        save(&s, &path).unwrap();
+        let mut resumed = load(&path).unwrap();
+        sim.run(&second, &mut resumed).unwrap();
+
+        let mut straight = StateVector::zero(7);
+        sim.run(&c, &mut straight).unwrap();
+        assert!(resumed.approx_eq(&straight, 1e-12));
+    }
+}

@@ -1,0 +1,132 @@
+//! Bit-manipulation helpers for amplitude indexing.
+//!
+//! A 1-qubit gate on target `t` pairs amplitude indices that differ only
+//! in bit `t`. Enumerating pairs means iterating `i` over `2^{n-1}` values
+//! and *inserting* a zero bit at position `t` to get the lower index of
+//! each pair.
+
+/// Insert a zero bit at position `t`: the bits of `i` at positions `≥ t`
+/// shift up by one.
+///
+/// `insert_zero_bit(0b1011, 2) == 0b10_0_11`.
+#[inline(always)]
+pub fn insert_zero_bit(i: usize, t: u32) -> usize {
+    let low_mask = (1usize << t) - 1;
+    ((i & !low_mask) << 1) | (i & low_mask)
+}
+
+/// Insert zero bits at final positions `t1 < t2` (both positions refer to
+/// the *result*). Enumerates the four-element groups of a 2-qubit gate.
+#[inline(always)]
+pub fn insert_two_zero_bits(i: usize, t1: u32, t2: u32) -> usize {
+    debug_assert!(t1 < t2);
+    insert_zero_bit(insert_zero_bit(i, t1), t2)
+}
+
+/// Insert zero bits at each position in `ts` (strictly increasing, final
+/// positions). Enumerates the `2^k`-element groups of a k-qubit kernel.
+#[inline]
+pub fn insert_zero_bits(mut i: usize, ts: &[u32]) -> usize {
+    for &t in ts {
+        i = insert_zero_bit(i, t);
+    }
+    i
+}
+
+/// The amplitude-index offset contributed by local basis index `local`
+/// over target positions `ts` (ascending): bit `j` of `local` lands at
+/// position `ts[j]`.
+#[inline]
+pub fn spread_bits(local: usize, ts: &[u32]) -> usize {
+    let mut off = 0usize;
+    for (j, &t) in ts.iter().enumerate() {
+        if (local >> j) & 1 == 1 {
+            off |= 1 << t;
+        }
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_zero_bit_examples() {
+        assert_eq!(insert_zero_bit(0b0, 0), 0b0);
+        assert_eq!(insert_zero_bit(0b1, 0), 0b10);
+        assert_eq!(insert_zero_bit(0b1011, 2), 0b10011);
+        assert_eq!(insert_zero_bit(0b111, 3), 0b0111);
+        assert_eq!(insert_zero_bit(0b1111, 0), 0b11110);
+    }
+
+    #[test]
+    fn insert_zero_bit_is_injective_and_avoids_bit() {
+        let t = 3u32;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256usize {
+            let j = insert_zero_bit(i, t);
+            assert_eq!(j & (1 << t), 0, "inserted bit must be zero");
+            assert!(seen.insert(j), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn pairs_partition_the_index_space() {
+        // For every t, the map i → (ins(i), ins(i)|bit) covers 0..2^n once.
+        let n = 8u32;
+        for t in 0..n {
+            let mut seen = vec![false; 1 << n];
+            for i in 0..(1usize << (n - 1)) {
+                let lo = insert_zero_bit(i, t);
+                let hi = lo | (1 << t);
+                assert!(!seen[lo] && !seen[hi]);
+                seen[lo] = true;
+                seen[hi] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "t={t}");
+        }
+    }
+
+    #[test]
+    fn two_bit_groups_partition() {
+        let n = 8u32;
+        for t1 in 0..n {
+            for t2 in (t1 + 1)..n {
+                let mut seen = vec![false; 1 << n];
+                for i in 0..(1usize << (n - 2)) {
+                    let base = insert_two_zero_bits(i, t1, t2);
+                    for local in 0..4usize {
+                        let idx = base | spread_bits(local, &[t1, t2]);
+                        assert!(!seen[idx], "t1={t1} t2={t2} idx={idx}");
+                        seen[idx] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "t1={t1} t2={t2}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_bit_groups_partition() {
+        let n = 9u32;
+        let ts = [1u32, 4, 7];
+        let mut seen = vec![false; 1 << n];
+        for i in 0..(1usize << (n - 3)) {
+            let base = insert_zero_bits(i, &ts);
+            for local in 0..8usize {
+                let idx = base | spread_bits(local, &ts);
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn spread_bits_places_each_bit() {
+        assert_eq!(spread_bits(0b101, &[1, 3, 6]), (1 << 1) | (1 << 6));
+        assert_eq!(spread_bits(0b010, &[1, 3, 6]), 1 << 3);
+        assert_eq!(spread_bits(0, &[2, 5]), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Gate-application kernels.
+//!
+//! These loops are what the paper's performance analysis is *about*: each
+//! sweeps the `2^n`-amplitude array with a stride pattern determined by
+//! the target qubit(s). Variants:
+//!
+//! * [`index`] — the bit-manipulation helpers shared by all kernels.
+//! * [`scalar`] — portable Rust loops (the compiler's autovectorizer
+//!   plays the role of Fujitsu's `-Kfast` SVE vectorization).
+//! * [`parallel`] — OpenMP-style worksharing over the sweep via
+//!   `omp-par`.
+//! * [`sve`] — the same kernels expressed against the `sve-sim` layer,
+//!   producing exact dynamic instruction counts for VL sweeps (E3).
+//! * [`blocked`] — cache-blocked multi-gate sweeps: applies a run of
+//!   low-target gates to one L2-resident block at a time (E7).
+
+pub mod blocked;
+pub mod dispatch;
+pub mod index;
+pub mod parallel;
+pub mod scalar;
+pub mod sve;

@@ -1,0 +1,269 @@
+//! OpenMP-style parallel kernels.
+//!
+//! Each kernel workshares the group-index sweep of its scalar twin across
+//! an `omp-par` [`ThreadPool`]. The group→amplitude mapping is injective
+//! (proved by the partition tests in [`crate::kernels::index`]), so the
+//! threads write disjoint amplitude sets; the raw-pointer wrapper below
+//! carries that proof obligation past the borrow checker.
+
+use omp_par::{Schedule, ThreadPool};
+
+use crate::complex::C64;
+use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
+use crate::kernels::index::{insert_two_zero_bits, insert_zero_bit, insert_zero_bits, spread_bits};
+
+/// Shared mutable amplitude base pointer for disjoint-write kernels.
+#[derive(Clone, Copy)]
+struct AmpPtr(*mut C64);
+
+// SAFETY: kernels using AmpPtr write each amplitude index from exactly one
+// chunk of a partitioned iteration space, so there are no concurrent
+// accesses to the same element.
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+impl AmpPtr {
+    #[inline(always)]
+    unsafe fn at(self, i: usize) -> &'static mut C64 {
+        &mut *self.0.add(i)
+    }
+}
+
+/// Parallel dense 1-qubit kernel; see [`crate::kernels::scalar::apply_1q`].
+pub fn apply_1q(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], t: u32, m: &Mat2) {
+    let half = amps.len() / 2;
+    let bit = 1usize << t;
+    let (m00, m01, m10, m11) = (m.m[0][0], m.m[0][1], m.m[1][0], m.m[1][1]);
+    let p = AmpPtr(amps.as_mut_ptr());
+    pool.parallel_for(0..half, sched, move |chunk| {
+        for i in chunk {
+            let i0 = insert_zero_bit(i, t);
+            let i1 = i0 | bit;
+            // SAFETY: (i0, i1) pairs partition the index space over i.
+            unsafe {
+                let a0 = *p.at(i0);
+                let a1 = *p.at(i1);
+                *p.at(i0) = C64::default().fma(m00, a0).fma(m01, a1);
+                *p.at(i1) = C64::default().fma(m10, a0).fma(m11, a1);
+            }
+        }
+    });
+}
+
+/// Parallel diagonal 1-qubit kernel.
+pub fn apply_1q_diag(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], t: u32, d0: C64, d1: C64) {
+    let n = amps.len();
+    let bit = 1usize << t;
+    let p = AmpPtr(amps.as_mut_ptr());
+    pool.parallel_for(0..n, sched, move |chunk| {
+        for i in chunk {
+            // SAFETY: each index visited by exactly one chunk.
+            unsafe {
+                let a = p.at(i);
+                *a = *a * if i & bit == 0 { d0 } else { d1 };
+            }
+        }
+    });
+}
+
+/// Parallel controlled dense 1-qubit kernel.
+pub fn apply_controlled_1q(
+    pool: &ThreadPool,
+    sched: Schedule,
+    amps: &mut [C64],
+    c: u32,
+    t: u32,
+    m: &Mat2,
+) {
+    let quarter = amps.len() / 4;
+    let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+    let cbit = 1usize << c;
+    let tbit = 1usize << t;
+    let (m00, m01, m10, m11) = (m.m[0][0], m.m[0][1], m.m[1][0], m.m[1][1]);
+    let p = AmpPtr(amps.as_mut_ptr());
+    pool.parallel_for(0..quarter, sched, move |chunk| {
+        for i in chunk {
+            let i0 = insert_two_zero_bits(i, lo, hi) | cbit;
+            let i1 = i0 | tbit;
+            // SAFETY: group bases partition the control-set subspace.
+            unsafe {
+                let a0 = *p.at(i0);
+                let a1 = *p.at(i1);
+                *p.at(i0) = C64::default().fma(m00, a0).fma(m01, a1);
+                *p.at(i1) = C64::default().fma(m10, a0).fma(m11, a1);
+            }
+        }
+    });
+}
+
+/// Parallel dense 2-qubit kernel on (high, low).
+pub fn apply_2q(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], h: u32, l: u32, m: &Mat4) {
+    let quarter = amps.len() / 4;
+    let (lo, hi) = if h < l { (h, l) } else { (l, h) };
+    let hbit = 1usize << h;
+    let lbit = 1usize << l;
+    let m = *m;
+    let p = AmpPtr(amps.as_mut_ptr());
+    pool.parallel_for(0..quarter, sched, move |chunk| {
+        for i in chunk {
+            let base = insert_two_zero_bits(i, lo, hi);
+            let idx = [base, base | lbit, base | hbit, base | hbit | lbit];
+            // SAFETY: 4-element groups partition the index space.
+            unsafe {
+                let v = [*p.at(idx[0]), *p.at(idx[1]), *p.at(idx[2]), *p.at(idx[3])];
+                let out = m.apply(v);
+                *p.at(idx[0]) = out[0];
+                *p.at(idx[1]) = out[1];
+                *p.at(idx[2]) = out[2];
+                *p.at(idx[3]) = out[3];
+            }
+        }
+    });
+}
+
+/// Parallel fused k-qubit dense kernel; see
+/// [`crate::kernels::scalar::apply_kq`].
+pub fn apply_kq(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], ts: &[u32], m: &DenseMatrix) {
+    let k = ts.len() as u32;
+    assert_eq!(m.dim(), 1usize << k);
+    let mut sorted = ts.to_vec();
+    sorted.sort_unstable();
+    let groups = amps.len() >> k;
+    let dim = m.dim();
+    let offsets: Vec<usize> = (0..dim).map(|local| spread_bits(local, &sorted)).collect();
+    let p = AmpPtr(amps.as_mut_ptr());
+    let sorted_ref = &sorted;
+    let offsets_ref = &offsets;
+    pool.parallel_for(0..groups, sched, move |chunk| {
+        let mut scratch = vec![C64::default(); dim];
+        for g in chunk {
+            let base = insert_zero_bits(g, sorted_ref);
+            // SAFETY: 2^k groups partition the index space.
+            unsafe {
+                for (s, &off) in scratch.iter_mut().zip(offsets_ref) {
+                    *s = *p.at(base | off);
+                }
+                for (row, &off) in offsets_ref.iter().enumerate() {
+                    let mut acc = C64::default();
+                    for (col, &s) in scratch.iter().enumerate() {
+                        acc = acc.fma(m.get(row, col), s);
+                    }
+                    *p.at(base | off) = acc;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::standard;
+    use crate::kernels::scalar;
+    use crate::state::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-12;
+
+    fn rand_state(n: u32, seed: u64) -> StateVector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StateVector::random(n, &mut rng)
+    }
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![ThreadPool::new(1), ThreadPool::new(3), ThreadPool::new(8)]
+    }
+
+    fn schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(5) },
+            Schedule::Dynamic { chunk: 16 },
+            Schedule::Guided { min_chunk: 4 },
+        ]
+    }
+
+    #[test]
+    fn parallel_1q_matches_scalar() {
+        for pool in pools() {
+            for sched in schedules() {
+                for t in [0u32, 4, 9] {
+                    let mut a = rand_state(10, 5);
+                    let mut b = a.clone();
+                    let m = standard::u3(0.3, -0.8, 1.1);
+                    scalar::apply_1q(a.amplitudes_mut(), t, &m);
+                    apply_1q(&pool, sched, b.amplitudes_mut(), t, &m);
+                    assert!(a.approx_eq(&b, EPS), "threads={} sched={sched:?} t={t}", pool.num_threads());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_diag_matches_scalar() {
+        let pool = ThreadPool::new(4);
+        let d0 = C64::exp_i(0.3);
+        let d1 = C64::exp_i(-1.2);
+        for t in [0u32, 7] {
+            let mut a = rand_state(9, 8);
+            let mut b = a.clone();
+            scalar::apply_1q_diag(a.amplitudes_mut(), t, d0, d1);
+            apply_1q_diag(&pool, Schedule::Static { chunk: None }, b.amplitudes_mut(), t, d0, d1);
+            assert!(a.approx_eq(&b, EPS));
+        }
+    }
+
+    #[test]
+    fn parallel_controlled_matches_scalar() {
+        let pool = ThreadPool::new(4);
+        for (c, t) in [(0u32, 8u32), (8, 0), (3, 4)] {
+            let mut a = rand_state(9, 12);
+            let mut b = a.clone();
+            let m = standard::ry(0.7);
+            scalar::apply_controlled_1q(a.amplitudes_mut(), c, t, &m);
+            apply_controlled_1q(&pool, Schedule::Dynamic { chunk: 8 }, b.amplitudes_mut(), c, t, &m);
+            assert!(a.approx_eq(&b, EPS), "c={c} t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_2q_matches_scalar() {
+        let pool = ThreadPool::new(6);
+        for (h, l) in [(1u32, 0u32), (0, 7), (5, 2)] {
+            let mut a = rand_state(8, 21);
+            let mut b = a.clone();
+            let m = standard::rxx_mat(0.6);
+            scalar::apply_2q(a.amplitudes_mut(), h, l, &m);
+            apply_2q(&pool, Schedule::Guided { min_chunk: 2 }, b.amplitudes_mut(), h, l, &m);
+            assert!(a.approx_eq(&b, EPS), "h={h} l={l}");
+        }
+    }
+
+    #[test]
+    fn parallel_kq_matches_scalar() {
+        let pool = ThreadPool::new(5);
+        let dm = DenseMatrix::from_mat4(&standard::iswap_mat());
+        let mut a = rand_state(9, 33);
+        let mut b = a.clone();
+        scalar::apply_kq(a.amplitudes_mut(), &[2, 6], &dm);
+        apply_kq(&pool, Schedule::Static { chunk: Some(3) }, b.amplitudes_mut(), &[2, 6], &dm);
+        assert!(a.approx_eq(&b, EPS));
+    }
+
+    #[test]
+    fn parallel_norm_preserved() {
+        let pool = ThreadPool::new(7);
+        let mut s = rand_state(11, 44);
+        apply_1q(&pool, Schedule::Static { chunk: None }, s.amplitudes_mut(), 10, &standard::h());
+        apply_2q(
+            &pool,
+            Schedule::Dynamic { chunk: 64 },
+            s.amplitudes_mut(),
+            3,
+            9,
+            &standard::swap_mat(),
+        );
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+}

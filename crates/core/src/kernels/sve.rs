@@ -1,0 +1,438 @@
+//! SVE-counted kernels.
+//!
+//! The same gate sweeps as [`crate::kernels::scalar`], expressed against
+//! the `sve-sim` vector layer so every execution yields an exact dynamic
+//! instruction mix. This is the measurement instrument for experiment E3
+//! (vector-length sweep): run a kernel at VL ∈ {128..2048}, feed the
+//! counts into `a64fx_model::timing`, and observe where the issue limit
+//! stops mattering.
+//!
+//! The kernels process the state in *segments* of `2^t` amplitude pairs,
+//! exactly like hand-written A64FX code: for targets with `2^t ≥ VL`
+//! lanes the vectors run full; for low targets the trailing `whilelt`
+//! leaves lanes idle — reproducing the real low-target-qubit inefficiency
+//! of SVE state-vector kernels.
+
+use sve_sim::{CplxV, SveCtx};
+
+use crate::complex::{as_f64_slice_mut, C64};
+use crate::gates::matrices::Mat2;
+
+/// Apply a dense 2×2 unitary to target `t`, counting SVE instructions in
+/// `ctx`.
+pub fn apply_1q_sve(ctx: &mut SveCtx, amps: &mut [C64], t: u32, m: &Mat2) {
+    let n = amps.len();
+    debug_assert!((1usize << t) < n);
+    let stride = 1usize << t; // amplitudes between pair halves
+    let seg = stride * 2;
+    let (m00, m01, m10, m11) = (m.m[0][0], m.m[0][1], m.m[1][0], m.m[1][1]);
+    let buf = as_f64_slice_mut(amps);
+
+    let vm00 = CplxV::splat(ctx, m00.re, m00.im);
+    let vm01 = CplxV::splat(ctx, m01.re, m01.im);
+    let vm10 = CplxV::splat(ctx, m10.re, m10.im);
+    let vm11 = CplxV::splat(ctx, m11.re, m11.im);
+
+    let mut seg_start = 0usize;
+    while seg_start < n {
+        let mut off = 0usize;
+        let mut p = ctx.whilelt(off, stride);
+        while ctx.any(p) {
+            let lo_f = 2 * (seg_start + off);
+            let hi_f = 2 * (seg_start + off + stride);
+            let (head, tail) = buf.split_at_mut(hi_f);
+            let a0 = CplxV::ld2(ctx, p, &head[lo_f..]);
+            let a1 = CplxV::ld2(ctx, p, tail);
+            // out0 = m00*a0 + m01*a1; out1 = m10*a0 + m11*a1.
+            let t0 = a0.mul(ctx, vm00);
+            let out0 = a1.fma(ctx, vm01, t0);
+            let t1 = a0.mul(ctx, vm10);
+            let out1 = a1.fma(ctx, vm11, t1);
+            out0.st2(ctx, p, &mut head[lo_f..]);
+            out1.st2(ctx, p, tail);
+            off += ctx.lanes();
+            p = ctx.whilelt(off, stride);
+        }
+        seg_start += seg;
+    }
+}
+
+/// Apply a diagonal 1-qubit gate, counting SVE instructions.
+pub fn apply_1q_diag_sve(ctx: &mut SveCtx, amps: &mut [C64], t: u32, d0: C64, d1: C64) {
+    let n = amps.len();
+    let stride = 1usize << t;
+    let buf = as_f64_slice_mut(amps);
+    let vd0 = CplxV::splat(ctx, d0.re, d0.im);
+    let vd1 = CplxV::splat(ctx, d1.re, d1.im);
+
+    let mut seg_start = 0usize;
+    while seg_start < n {
+        // Bit t is 0 on [seg_start, seg_start+stride), 1 on the next.
+        for (half, vd) in [(0usize, vd0), (1usize, vd1)] {
+            let base = seg_start + half * stride;
+            let mut off = 0usize;
+            let mut p = ctx.whilelt(off, stride);
+            while ctx.any(p) {
+                let f = 2 * (base + off);
+                let a = CplxV::ld2(ctx, p, &buf[f..]);
+                let r = a.mul(ctx, vd);
+                r.st2(ctx, p, &mut buf[f..]);
+                off += ctx.lanes();
+                p = ctx.whilelt(off, stride);
+            }
+        }
+        seg_start += 2 * stride;
+    }
+}
+
+/// Dense 2×2 unitary on a *low* target qubit via gather/scatter.
+///
+/// The segment kernel ([`apply_1q_sve`]) leaves lanes idle when
+/// `2^t < VL` lanes. This variant instead gathers full vectors of pair
+/// partners with strided index vectors, so every lane is busy regardless
+/// of `t` — the trade the A64FX makes is that each gather/scatter cracks
+/// into one µop per 128-bit pair in the sequencer, which the timing
+/// model charges (`gather_scatter` term). Comparing both variants at low
+/// `t` through the model reproduces the "permute vs gather" kernel
+/// design question of real SVE state-vector codes.
+pub fn apply_1q_sve_gather(ctx: &mut SveCtx, amps: &mut [C64], t: u32, m: &Mat2) {
+    let n = amps.len();
+    let stride = 1usize << t;
+    debug_assert!(stride < n);
+    let (m00, m01, m10, m11) = (m.m[0][0], m.m[0][1], m.m[1][0], m.m[1][1]);
+    let buf = as_f64_slice_mut(amps);
+
+    let vm00 = CplxV::splat(ctx, m00.re, m00.im);
+    let vm01 = CplxV::splat(ctx, m01.re, m01.im);
+    let vm10 = CplxV::splat(ctx, m10.re, m10.im);
+    let vm11 = CplxV::splat(ctx, m11.re, m11.im);
+
+    let half = n / 2;
+    let lanes = ctx.lanes();
+    let mut i = 0usize;
+    let mut p = ctx.whilelt(i, half);
+    while ctx.any(p) {
+        // Pair-base indices for lanes i..i+lanes (insert-zero-bit
+        // arithmetic), as a complex-element index vector. On hardware
+        // this is two vector ops: (j & ~mask) << 1 | (j & mask) on an
+        // `index` vector; account those explicitly.
+        let mut lane_idx = [0i64; sve_sim::MAX_LANES_F64];
+        for (k, slot) in lane_idx.iter_mut().enumerate().take(lanes) {
+            if p.lane(k) {
+                *slot = crate::kernels::index::insert_zero_bit(i + k, t) as i64;
+            }
+        }
+        let lo_idx = sve_sim::VI64::from_lanes(&lane_idx);
+        ctx.bump(sve_sim::InstrClass::IArith, 3); // index, shift-or pair
+        let hi_idx = ctx.iadd(lo_idx, sve_sim::VI64::splat(stride as i64));
+
+        let a0 = CplxV::gather(ctx, p, buf, lo_idx);
+        let a1 = CplxV::gather(ctx, p, buf, hi_idx);
+        let t0 = a0.mul(ctx, vm00);
+        let out0 = a1.fma(ctx, vm01, t0);
+        let t1 = a0.mul(ctx, vm10);
+        let out1 = a1.fma(ctx, vm11, t1);
+        out0.scatter(ctx, p, buf, lo_idx);
+        out1.scatter(ctx, p, buf, hi_idx);
+
+        i += lanes;
+        p = ctx.whilelt(i, half);
+    }
+}
+
+/// Dense 4×4 unitary on qubits (high `h`, low `l`) with SVE counting.
+///
+/// Vectorizes over the group index using gathers for the four amplitude
+/// streams (the general two-qubit kernel cannot keep all four streams
+/// contiguous for arbitrary qubit pairs, which is why real SVE codes
+/// gather here too).
+pub fn apply_2q_sve(ctx: &mut SveCtx, amps: &mut [C64], h: u32, l: u32, m: &crate::gates::matrices::Mat4) {
+    debug_assert_ne!(h, l);
+    let n = amps.len();
+    let quarter = n / 4;
+    let (lo_q, hi_q) = if h < l { (h, l) } else { (l, h) };
+    let hbit = 1i64 << h;
+    let lbit = 1i64 << l;
+    let buf = as_f64_slice_mut(amps);
+
+    // Broadcast the 16 matrix entries.
+    let mut vm = [[CplxV::zero(); 4]; 4];
+    for (i, row) in m.m.iter().enumerate() {
+        for (j, e) in row.iter().enumerate() {
+            vm[i][j] = CplxV::splat(ctx, e.re, e.im);
+        }
+    }
+
+    let lanes = ctx.lanes();
+    let mut g = 0usize;
+    let mut p = ctx.whilelt(g, quarter);
+    while ctx.any(p) {
+        let mut lane_idx = [0i64; sve_sim::MAX_LANES_F64];
+        for (k, slot) in lane_idx.iter_mut().enumerate().take(lanes) {
+            if p.lane(k) {
+                *slot =
+                    crate::kernels::index::insert_two_zero_bits(g + k, lo_q, hi_q) as i64;
+            }
+        }
+        let base = sve_sim::VI64::from_lanes(&lane_idx);
+        ctx.bump(sve_sim::InstrClass::IArith, 5); // two insert-zero-bit vector sequences
+        let idx = [
+            base,
+            ctx.iadd(base, sve_sim::VI64::splat(lbit)),
+            ctx.iadd(base, sve_sim::VI64::splat(hbit)),
+            {
+                let t = ctx.iadd(base, sve_sim::VI64::splat(hbit));
+                ctx.iadd(t, sve_sim::VI64::splat(lbit))
+            },
+        ];
+        let v: Vec<CplxV> = idx.iter().map(|&i| CplxV::gather(ctx, p, buf, i)).collect();
+        for row in 0..4 {
+            let mut acc = v[0].mul(ctx, vm[row][0]);
+            for col in 1..4 {
+                acc = v[col].fma(ctx, vm[row][col], acc);
+            }
+            acc.scatter(ctx, p, buf, idx[row]);
+        }
+        g += lanes;
+        p = ctx.whilelt(g, quarter);
+    }
+}
+
+/// Sum of squared magnitudes (norm²) via SVE, counting instructions —
+/// the reduction kernel used for probability normalization.
+pub fn norm_sqr_sve(ctx: &mut SveCtx, amps: &[C64]) -> f64 {
+    let n2 = amps.len() * 2;
+    // Treat the interleaved buffer as a flat f64 array: Σ x².
+    let buf = crate::complex::as_f64_slice(amps);
+    let mut acc = 0.0;
+    let mut i = 0usize;
+    let mut p = ctx.whilelt(i, n2);
+    while ctx.any(p) {
+        let v = ctx.load(p, &buf[i..]);
+        let sq = ctx.mul(v, v);
+        acc += ctx.hsum(p, sq);
+        i += ctx.lanes();
+        p = ctx.whilelt(i, n2);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::standard;
+    use crate::kernels::scalar;
+    use crate::state::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sve_sim::Vl;
+
+    const EPS: f64 = 1e-12;
+
+    fn rand_state(n: u32, seed: u64) -> StateVector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StateVector::random(n, &mut rng)
+    }
+
+    #[test]
+    fn sve_1q_matches_scalar_every_vl_and_target() {
+        let n = 7;
+        for vl in Vl::pow2_sweep() {
+            for t in 0..n {
+                let mut ctx = SveCtx::new(vl);
+                let m = standard::u3(0.5, 0.2, -0.9);
+                let mut a = rand_state(n, 3);
+                let mut b = a.clone();
+                scalar::apply_1q(a.amplitudes_mut(), t, &m);
+                apply_1q_sve(&mut ctx, b.amplitudes_mut(), t, &m);
+                assert!(a.approx_eq(&b, EPS), "vl={vl} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sve_diag_matches_scalar() {
+        let d0 = C64::exp_i(0.4);
+        let d1 = C64::exp_i(-0.9);
+        for t in 0..6 {
+            let mut ctx = SveCtx::a64fx();
+            let mut a = rand_state(6, 5);
+            let mut b = a.clone();
+            scalar::apply_1q_diag(a.amplitudes_mut(), t, d0, d1);
+            apply_1q_diag_sve(&mut ctx, b.amplitudes_mut(), t, d0, d1);
+            assert!(a.approx_eq(&b, EPS), "t={t}");
+        }
+    }
+
+    #[test]
+    fn instruction_count_shrinks_with_vl_for_high_target() {
+        // High target (full vectors): instructions ∝ 1/VL.
+        let n = 12;
+        let t = 10;
+        let mut counts = Vec::new();
+        for vl in Vl::pow2_sweep() {
+            let mut ctx = SveCtx::new(vl);
+            let mut s = rand_state(n, 8);
+            apply_1q_sve(&mut ctx, s.amplitudes_mut(), t, &standard::h());
+            counts.push(ctx.counts().total());
+        }
+        assert!(counts.windows(2).all(|w| w[0] > w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn low_target_wastes_lanes() {
+        // For t=0 the segment is 1 pair: predicates cover one lane no
+        // matter the VL, so instruction counts do NOT improve with VL —
+        // the documented low-target SVE inefficiency.
+        let n = 10;
+        let mut counts = Vec::new();
+        for vl in [Vl::new(128).unwrap(), Vl::new(2048).unwrap()] {
+            let mut ctx = SveCtx::new(vl);
+            let mut s = rand_state(n, 9);
+            apply_1q_sve(&mut ctx, s.amplitudes_mut(), 0, &standard::h());
+            counts.push(ctx.counts().total());
+        }
+        assert_eq!(counts[0], counts[1], "low target must be VL-insensitive: {counts:?}");
+    }
+
+    #[test]
+    fn gather_kernel_matches_scalar_every_vl_and_target() {
+        let n = 7;
+        for vl in Vl::pow2_sweep() {
+            for t in 0..n {
+                let mut ctx = SveCtx::new(vl);
+                let m = standard::u3(0.7, -0.3, 1.1);
+                let mut a = rand_state(n, 17);
+                let mut b = a.clone();
+                scalar::apply_1q(a.amplitudes_mut(), t, &m);
+                apply_1q_sve_gather(&mut ctx, b.amplitudes_mut(), t, &m);
+                assert!(a.approx_eq(&b, EPS), "vl={vl} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_kernel_fills_lanes_at_low_target() {
+        // At t = 0 the segment kernel's instruction count is flat in VL,
+        // but the gather kernel keeps scaling down (full lanes).
+        let n = 10;
+        let mut seg_counts = Vec::new();
+        let mut gather_counts = Vec::new();
+        for vl in [Vl::new(128).unwrap(), Vl::new(2048).unwrap()] {
+            let mut ctx = SveCtx::new(vl);
+            let mut s = rand_state(n, 20);
+            apply_1q_sve(&mut ctx, s.amplitudes_mut(), 0, &standard::h());
+            seg_counts.push(ctx.counts().total());
+
+            let mut ctx = SveCtx::new(vl);
+            let mut s = rand_state(n, 20);
+            apply_1q_sve_gather(&mut ctx, s.amplitudes_mut(), 0, &standard::h());
+            gather_counts.push(ctx.counts().total());
+        }
+        assert_eq!(seg_counts[0], seg_counts[1], "segment kernel wastes lanes at t=0");
+        assert!(
+            gather_counts[1] * 8 < gather_counts[0],
+            "gather kernel must keep scaling: {gather_counts:?}"
+        );
+    }
+
+    #[test]
+    fn gather_kernel_pays_sequencer_cracking_in_the_model() {
+        // Through the timing model, the gather kernel's µop cracking can
+        // make it *slower* than the half-empty segment kernel at mid
+        // targets — the design tension the kernels exist to expose.
+        use a64fx_model::timing::{predict, ExecConfig, KernelProfile};
+        use a64fx_model::ChipParams;
+        let n = 12;
+        let t = 1; // low target: segment kernel runs at 1/4 lanes for VL512
+        let chip = ChipParams::a64fx();
+        let cfg = ExecConfig::single_core();
+
+        let time_for = |use_gather: bool| {
+            let mut ctx = SveCtx::a64fx();
+            let mut s = rand_state(n, 21);
+            if use_gather {
+                apply_1q_sve_gather(&mut ctx, s.amplitudes_mut(), t, &standard::h());
+            } else {
+                apply_1q_sve(&mut ctx, s.amplitudes_mut(), t, &standard::h());
+            }
+            let mut p = KernelProfile::from_sve_counts(ctx.counts(), ctx.vl());
+            p.mem_bytes = 0;
+            p.l2_bytes = 0;
+            (predict(&chip, &p, &cfg), ctx.counts().clone())
+        };
+        let (seg, seg_counts) = time_for(false);
+        let (gat, gat_counts) = time_for(true);
+        // The gather variant issues fewer instructions overall…
+        assert!(gat_counts.total() < seg_counts.total(), "{gat_counts} vs {seg_counts}");
+        // …but the cracked gathers/scatters appear in its mix.
+        assert!(gat_counts.gather > 0 && gat_counts.scatter > 0);
+        assert_eq!(seg_counts.gather, 0);
+        // Both predictions are finite and positive; which wins depends on
+        // the cracking factor — record the comparison stays within 4×.
+        let ratio = gat.seconds / seg.seconds;
+        assert!(ratio > 0.1 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sve_2q_matches_scalar_every_vl_and_pair() {
+        let n = 6;
+        let m = standard::rxx_mat(0.8);
+        for vl in Vl::pow2_sweep() {
+            for h in 0..n {
+                for l in 0..n {
+                    if h == l {
+                        continue;
+                    }
+                    let mut ctx = SveCtx::new(vl);
+                    let mut a = rand_state(n, 31);
+                    let mut b = a.clone();
+                    scalar::apply_2q(a.amplitudes_mut(), h, l, &m);
+                    apply_2q_sve(&mut ctx, b.amplitudes_mut(), h, l, &m);
+                    assert!(a.approx_eq(&b, EPS), "vl={vl} h={h} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sve_2q_instruction_mix_has_gathers() {
+        let mut ctx = SveCtx::a64fx();
+        let mut s = rand_state(8, 32);
+        apply_2q_sve(&mut ctx, s.amplitudes_mut(), 2, 6, &standard::iswap_mat());
+        let c = ctx.counts();
+        // 4 gathers × 2 (complex) + 4 scatters × 2 per iteration.
+        assert!(c.gather > 0 && c.scatter > 0);
+        assert_eq!(c.gather, c.scatter, "{c}");
+        // Dense 4×4: per group-vector, 4 rows × (1 cmul + 3 cfma) = 16
+        // complex ops = 4·16 = 64 FP instrs; ratio fma/farith = (2+12)/2…
+        // pin only positivity and rough balance.
+        assert!(c.fma > c.farith);
+    }
+
+    #[test]
+    fn norm_sve_matches_scalar() {
+        let s = rand_state(8, 13);
+        let mut ctx = SveCtx::a64fx();
+        let n = norm_sqr_sve(&mut ctx, s.amplitudes());
+        assert!((n - s.norm_sqr()).abs() < 1e-10);
+        assert!(ctx.counts().load > 0);
+        assert!(ctx.counts().reduce > 0);
+    }
+
+    #[test]
+    fn fp_instruction_mix_of_dense_kernel() {
+        // Per vector-pair iteration the dense kernel issues exactly
+        // 2 fmul-pairs + 2 cfma (4 fma each)... total FP ops: the mul()
+        // does 2 fmul + 2 fma, fma() does 4 fma. Just pin the ratio of
+        // fma to total FP as a regression guard.
+        let mut ctx = SveCtx::a64fx();
+        let mut s = rand_state(10, 21);
+        apply_1q_sve(&mut ctx, s.amplitudes_mut(), 9, &standard::h());
+        let c = ctx.counts();
+        assert!(c.fma > 0 && c.farith > 0);
+        // Each iteration: 2×cmul (2 fmul + 2 fma each) + 2×cfma (4 fma each)
+        // = 4 farith + 12 fma.
+        assert_eq!(c.fma / c.farith, 3, "{c}");
+    }
+}

@@ -1,0 +1,78 @@
+//! `qcs-core`: a state-vector quantum circuit simulator built for
+//! performance analysis on the (modelled) Fujitsu A64FX processor.
+//!
+//! This is the primary contribution of the reproduced paper: a full
+//! Schrödinger-style simulator that stores all `2^n` complex amplitudes
+//! and applies gates as sparse linear operators over them, with the
+//! kernel-level structure that the paper's performance analysis studies:
+//!
+//! * [`state`] — the aligned amplitude array ([`StateVector`]).
+//! * [`gates`] — the gate set and its matrices.
+//! * [`kernels`] — the hot loops: scalar (autovectorized), SVE-counted,
+//!   parallel (OpenMP-style), and specialized (diagonal / permutation /
+//!   controlled) variants of gate application.
+//! * [`fusion`] — gate fusion into dense k-qubit unitaries (the Qiskit
+//!   Aer-style optimization the paper compares against gate-by-gate
+//!   application).
+//! * [`circuit`] — the circuit IR and builder.
+//! * [`library`] — benchmark circuit generators (QFT, GHZ, random,
+//!   quantum volume, Trotterized Ising, QAOA, Grover).
+//! * [`measure`] / [`expectation`] — sampling and observables.
+//! * [`sim`] — the execution engine tying strategies, threading, and the
+//!   A64FX performance model together.
+//! * [`perf`] — per-gate traffic/time prediction hooks into
+//!   `a64fx-model`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use qcs_core::prelude::*;
+//!
+//! // Build a 3-qubit GHZ circuit.
+//! let mut c = Circuit::new(3);
+//! c.h(0).cx(0, 1).cx(1, 2);
+//!
+//! // Run it.
+//! let mut state = StateVector::zero(3);
+//! Simulator::new().run(&c, &mut state).unwrap();
+//!
+//! // |000⟩ and |111⟩ each with probability 1/2.
+//! let p = state.probabilities();
+//! assert!((p[0] - 0.5).abs() < 1e-12);
+//! assert!((p[7] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod align;
+pub mod analysis;
+pub mod circuit;
+pub mod complex;
+pub mod expectation;
+pub mod fusion;
+pub mod gates;
+pub mod io;
+pub mod kernels;
+pub mod library;
+pub mod measure;
+pub mod noise;
+pub mod optimize;
+pub mod perf;
+pub mod qasm;
+pub mod sim;
+pub mod state;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, Gate};
+    pub use crate::complex::C64;
+    pub use crate::expectation::{Hamiltonian, Pauli, PauliString};
+    pub use crate::gates::{Mat2, Mat4};
+    pub use crate::measure::MeasurementResult;
+    pub use crate::sim::{RunReport, Simulator, Strategy};
+    pub use crate::state::StateVector;
+}
+
+pub use complex::C64;
+pub use state::StateVector;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,99 @@
+//! Elementary benchmark circuits: GHZ chains and dense single-qubit
+//! layers (the pure-bandwidth microbenchmarks).
+
+use crate::circuit::Circuit;
+
+/// GHZ preparation: `H(0)` then a CNOT chain. Depth `n`, produces
+/// `(|0…0⟩ + |1…1⟩)/√2`.
+pub fn ghz(n: u32) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// `layers` full layers of Hadamards on every qubit — the canonical
+/// bandwidth-saturating kernel benchmark (each layer sweeps the whole
+/// state `n` times with dense 2×2 gates).
+pub fn hadamard_layers(n: u32, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// `layers` layers of `Rx` rotations with per-qubit angles — like
+/// [`hadamard_layers`] but parameterized (no accidental cancellation to
+/// identity when composed, useful for fusion benchmarks).
+pub fn rotation_layers(n: u32, layers: usize, base_angle: f64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for l in 0..layers {
+        for q in 0..n {
+            c.rx(q, base_angle * (l as f64 + 1.0) / (q as f64 + 1.0));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dispatch::apply_gate;
+    use crate::state::StateVector;
+
+    fn run(c: &Circuit) -> StateVector {
+        let mut s = StateVector::zero(c.n_qubits());
+        for g in c.gates() {
+            apply_gate(s.amplitudes_mut(), g);
+        }
+        s
+    }
+
+    #[test]
+    fn ghz_structure() {
+        let c = ghz(4);
+        assert_eq!(c.len(), 4); // 1 H + 3 CX
+        assert_eq!(c.depth(), 4);
+    }
+
+    #[test]
+    fn ghz_state_is_cat() {
+        for n in 2..=6u32 {
+            let s = run(&ghz(n));
+            let last = (1usize << n) - 1;
+            assert!((s.probability(0) - 0.5).abs() < 1e-12, "n={n}");
+            assert!((s.probability(last) - 0.5).abs() < 1e-12, "n={n}");
+            // All other amplitudes vanish.
+            let other: f64 = (1..last).map(|i| s.probability(i)).sum();
+            assert!(other < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hadamard_even_layers_identity() {
+        let c = hadamard_layers(4, 2);
+        let s = run(&c);
+        assert!((s.probability(0) - 1.0).abs() < 1e-10, "H² = I");
+    }
+
+    #[test]
+    fn hadamard_single_layer_uniform() {
+        let s = run(&hadamard_layers(5, 1));
+        for i in 0..32 {
+            assert!((s.probability(i) - 1.0 / 32.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_layers_gate_count_and_norm() {
+        let c = rotation_layers(6, 3, 0.4);
+        assert_eq!(c.len(), 18);
+        let s = run(&c);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+}

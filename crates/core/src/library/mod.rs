@@ -1,0 +1,19 @@
+//! Benchmark circuit generators.
+//!
+//! The workloads of the evaluation harness: the circuit families a
+//! state-vector-simulator performance paper sweeps over, each produced as
+//! a plain [`Circuit`](crate::circuit::Circuit).
+
+pub mod basic;
+pub mod grover;
+pub mod physics;
+pub mod qft;
+pub mod random;
+pub mod shor;
+
+pub use basic::{ghz, hadamard_layers, rotation_layers};
+pub use grover::grover;
+pub use physics::{qaoa_maxcut_ring, trotter_ising};
+pub use qft::{iqft, qft};
+pub use random::{quantum_volume, random_circuit};
+pub use shor::{order_mod15, shor15_order_finding};

@@ -1,0 +1,122 @@
+//! The quantum Fourier transform — the classic mixed-locality benchmark:
+//! every qubit interacts with every other, so the circuit exercises the
+//! full range of target-qubit strides in one workload.
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+
+/// The standard QFT on `n` qubits: H + controlled-phase ladder + final
+/// qubit-reversal swaps.
+///
+/// Convention: transforms amplitudes as
+/// `|x⟩ → 2^{-n/2} Σ_y e^{2πi x y / 2^n} |y⟩`.
+pub fn qft(n: u32) -> Circuit {
+    let mut c = Circuit::new(n);
+    for j in (0..n).rev() {
+        c.h(j);
+        for k in (0..j).rev() {
+            // Controlled phase of angle π / 2^{j-k} between qubits j, k.
+            let angle = PI / (1u64 << (j - k)) as f64;
+            c.cp(k, j, angle);
+        }
+    }
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q);
+    }
+    c
+}
+
+/// The inverse QFT.
+pub fn iqft(n: u32) -> Circuit {
+    qft(n).inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+    use crate::kernels::dispatch::apply_gate;
+    use crate::state::StateVector;
+
+    fn run(c: &Circuit, mut s: StateVector) -> StateVector {
+        for g in c.gates() {
+            apply_gate(s.amplitudes_mut(), g);
+        }
+        s
+    }
+
+    /// Direct DFT of the amplitude vector for reference.
+    fn dft(amps: &[C64]) -> Vec<C64> {
+        let n = amps.len();
+        let scale = 1.0 / (n as f64).sqrt();
+        (0..n)
+            .map(|y| {
+                let mut acc = C64::default();
+                for (x, a) in amps.iter().enumerate() {
+                    let phase = C64::exp_i(2.0 * PI * (x as f64) * (y as f64) / n as f64);
+                    acc = acc.fma(*a, phase);
+                }
+                acc.scale(scale)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gate_count_is_quadratic() {
+        let n = 6u32;
+        let c = qft(n);
+        // n H + n(n-1)/2 CP + floor(n/2) swaps.
+        let expected = n + n * (n - 1) / 2 + n / 2;
+        assert_eq!(c.len() as u32, expected);
+    }
+
+    #[test]
+    fn qft_matches_dft_on_basis_states() {
+        let n = 5u32;
+        let c = qft(n);
+        for basis in [0usize, 1, 7, 19, 31] {
+            let init = StateVector::basis(n, basis);
+            let expect = dft(init.amplitudes());
+            let out = run(&c, init);
+            for (a, e) in out.amplitudes().iter().zip(&expect) {
+                assert!(a.approx_eq(*e, 1e-10), "basis={basis}");
+            }
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_on_random_state() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 6u32;
+        let mut rng = StdRng::seed_from_u64(77);
+        let init = StateVector::random(n, &mut rng);
+        let expect = dft(init.amplitudes());
+        let out = run(&qft(n), init);
+        for (a, e) in out.amplitudes().iter().zip(&expect) {
+            assert!(a.approx_eq(*e, 1e-10));
+        }
+    }
+
+    #[test]
+    fn iqft_inverts_qft() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 6u32;
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = StateVector::random(n, &mut rng);
+        let mid = run(&qft(n), init.clone());
+        let back = run(&iqft(n), mid);
+        assert!(back.approx_eq(&init, 1e-9));
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let n = 4u32;
+        let out = run(&qft(n), StateVector::zero(n));
+        for i in 0..(1 << n) {
+            assert!((out.probability(i) - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+}

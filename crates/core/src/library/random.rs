@@ -1,0 +1,185 @@
+//! Random benchmark circuits: generic random circuits and the quantum
+//! volume model circuit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::{Circuit, Gate};
+use crate::complex::C64;
+use crate::gates::matrices::Mat4;
+
+/// A random circuit of `depth` layers on `n` qubits: each layer applies a
+/// random single-qubit rotation to every qubit, then a random set of
+/// disjoint CZ/CX pairs (the RQC style used for simulator benchmarking).
+pub fn random_circuit(n: u32, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..4) {
+                0 => c.rx(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+                1 => c.ry(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+                2 => c.rz(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+                _ => c.t(q),
+            };
+        }
+        // Random disjoint pairing.
+        let mut qubits: Vec<u32> = (0..n).collect();
+        for i in (1..qubits.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            qubits.swap(i, j);
+        }
+        for pair in qubits.chunks_exact(2) {
+            if rng.gen_bool(0.5) {
+                c.cx(pair[0], pair[1]);
+            } else {
+                c.cz(pair[0], pair[1]);
+            }
+        }
+    }
+    c
+}
+
+/// A Haar-ish random 4×4 unitary via Gram–Schmidt on Gaussian columns.
+fn random_su4(rng: &mut StdRng) -> Mat4 {
+    let mut cols: Vec<Vec<C64>> = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let mut v: Vec<C64> = (0..4)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r = (-2.0 * u1.ln()).sqrt();
+                C64::new(r * u2.cos(), r * u2.sin())
+            })
+            .collect();
+        // Orthogonalize against previous columns.
+        for prev in &cols {
+            let mut dot = C64::default();
+            for (p, x) in prev.iter().zip(&v) {
+                dot = dot.fma(p.conj(), *x);
+            }
+            for (x, p) in v.iter_mut().zip(prev) {
+                *x = *x - *p * dot;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt();
+        for x in &mut v {
+            *x = x.scale(1.0 / norm);
+        }
+        cols.push(v);
+    }
+    let mut m = Mat4::identity();
+    for (j, col) in cols.iter().enumerate() {
+        for i in 0..4 {
+            m.m[i][j] = col[i];
+        }
+    }
+    m
+}
+
+/// A quantum-volume model circuit: `n` layers, each a random permutation
+/// of qubits followed by Haar-random SU(4) blocks on adjacent pairs.
+pub fn quantum_volume(n: u32, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..n {
+        let mut perm: Vec<u32> = (0..n).collect();
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for pair in perm.chunks_exact(2) {
+            let m = random_su4(&mut rng);
+            // Convention: high = pair[0], low = pair[1].
+            c.push(Gate::Unitary2(pair[0], pair[1], m));
+        }
+    }
+    c
+}
+
+/// Convenience: verify a matrix is within tolerance of unitary (used by
+/// QV tests and by callers constructing custom unitaries).
+pub fn is_unitary4(m: &Mat4) -> bool {
+    m.is_unitary(1e-10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dispatch::apply_gate;
+    use crate::state::StateVector;
+
+    fn run(c: &Circuit) -> StateVector {
+        let mut s = StateVector::zero(c.n_qubits());
+        for g in c.gates() {
+            apply_gate(s.amplitudes_mut(), g);
+        }
+        s
+    }
+
+    #[test]
+    fn random_circuit_reproducible() {
+        let a = random_circuit(6, 10, 42);
+        let b = random_circuit(6, 10, 42);
+        assert_eq!(a, b, "same seed, same circuit");
+        let c = random_circuit(6, 10, 43);
+        assert_ne!(a, c, "different seed, different circuit");
+    }
+
+    #[test]
+    fn random_circuit_layer_structure() {
+        let n = 8u32;
+        let depth = 5;
+        let c = random_circuit(n, depth, 1);
+        // Per layer: n single-qubit + n/2 two-qubit gates.
+        assert_eq!(c.len(), depth * (n as usize + n as usize / 2));
+    }
+
+    #[test]
+    fn random_circuit_norm_preserved() {
+        let s = run(&random_circuit(7, 12, 9));
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_circuit_spreads_amplitude() {
+        // After enough depth, no basis state should dominate.
+        let s = run(&random_circuit(6, 20, 5));
+        let max_p = (0..64).map(|i| s.probability(i)).fold(0.0, f64::max);
+        assert!(max_p < 0.5, "amplitude should be spread, max p = {max_p}");
+    }
+
+    #[test]
+    fn su4_blocks_are_unitary() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            assert!(is_unitary4(&random_su4(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn quantum_volume_structure() {
+        let n = 6u32;
+        let c = quantum_volume(n, 3);
+        // n layers × n/2 SU4 blocks.
+        assert_eq!(c.len(), (n * (n / 2)) as usize);
+        assert!(c.gates().iter().all(|g| matches!(g, Gate::Unitary2(..))));
+    }
+
+    #[test]
+    fn quantum_volume_norm_preserved() {
+        let s = run(&quantum_volume(6, 17));
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantum_volume_reproducible() {
+        let a = quantum_volume(4, 2);
+        let b = quantum_volume(4, 2);
+        // Mat4 is PartialEq via C64.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.gates().iter().zip(b.gates()) {
+            assert_eq!(x, y);
+        }
+    }
+}

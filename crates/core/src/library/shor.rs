@@ -1,0 +1,243 @@
+//! Shor order finding for N = 15 — the textbook phase-estimation
+//! workload (Vandersypen et al.'s compiled circuit), exercising the
+//! controlled-permutation gate path (CSWAP/CX chains) and the inverse
+//! QFT.
+//!
+//! Layout: work register = qubits 0..4 (holds `a^x mod 15`), counting
+//! register = qubits 4..4+t. Modular multiplication by `a ∈ {2,4,7,8,13}`
+//! (the elements of order > 1 coprime to 15 whose circuits compile to
+//! rotations + complements) uses:
+//!
+//! * `×2 mod 15` — rotate work bits left by 1 (three CSWAPs);
+//! * `×4 mod 15` — rotate left by 2 (two CSWAPs);
+//! * `×8 mod 15` — rotate left by 3 (three CSWAPs);
+//! * `×7 = ×8 then bit-complement` (CX onto each work bit): valid on the
+//!   multiplicative subgroup reachable from |1⟩, where `15 − y = ¬y`;
+//! * `×13 = ×2 then complement`, `×14 = ×1 then complement` similarly.
+
+use crate::circuit::Circuit;
+
+/// Number of work qubits (log₂ 15 rounded up).
+pub const WORK_QUBITS: u32 = 4;
+
+/// Controlled rotate-left-by-`r` of the work register (qubits 0..4),
+/// controlled on `c`.
+fn controlled_rotl(circuit: &mut Circuit, c: u32, r: u32) {
+    // One rotl step: new bit (i+1)%4 = old bit i, i.e. new[i] =
+    // old[(i−1)%4]. As adjacent swaps applied in sequence:
+    // swap(2,3), swap(1,2), swap(0,1) — verified by the subgroup
+    // truth-table test.
+    for _ in 0..r {
+        circuit.cswap(c, 2, 3);
+        circuit.cswap(c, 1, 2);
+        circuit.cswap(c, 0, 1);
+    }
+}
+
+/// Controlled bit-complement of the work register.
+fn controlled_complement(circuit: &mut Circuit, c: u32) {
+    for w in 0..WORK_QUBITS {
+        circuit.cx(c, w);
+    }
+}
+
+/// Append controlled multiplication by `a mod 15` (control `c`) to the
+/// circuit. Valid on the subgroup generated from |1⟩ (as in the
+/// compiled Shor experiment).
+pub fn controlled_mul_mod15(circuit: &mut Circuit, c: u32, a: u32) {
+    match a {
+        1 => {}
+        2 => controlled_rotl(circuit, c, 1),
+        4 => controlled_rotl(circuit, c, 2),
+        8 => controlled_rotl(circuit, c, 3),
+        7 => {
+            // 7 ≡ −8: ×8 then complement.
+            controlled_rotl(circuit, c, 3);
+            controlled_complement(circuit, c);
+        }
+        13 => {
+            // 13 ≡ −2.
+            controlled_rotl(circuit, c, 1);
+            controlled_complement(circuit, c);
+        }
+        14 => {
+            // 14 ≡ −1.
+            controlled_complement(circuit, c);
+        }
+        other => panic!("no compiled circuit for ×{other} mod 15"),
+    }
+}
+
+/// The full order-finding circuit for `a` modulo 15 with `t` counting
+/// qubits: prepares the work register in |1⟩, applies the
+/// phase-estimation ladder of controlled `a^{2^j}`, and finishes with
+/// the inverse QFT on the counting register.
+///
+/// Measuring the counting register yields peaks at multiples of `2^t/r`
+/// where `r` is the multiplicative order of `a` (r = 4 for a ∈ {2,7,8,13},
+/// r = 2 for a ∈ {4,14}).
+pub fn shor15_order_finding(a: u32, t: u32) -> Circuit {
+    assert!(
+        matches!(a, 2 | 4 | 7 | 8 | 13 | 14),
+        "a must be coprime to 15 with a compiled circuit, got {a}"
+    );
+    assert!(t >= 2, "need at least two counting qubits");
+    let n = WORK_QUBITS + t;
+    let mut c = Circuit::new(n);
+
+    // Work register ← |1⟩.
+    c.x(0);
+    // Counting register ← |+…+⟩.
+    for j in 0..t {
+        c.h(WORK_QUBITS + j);
+    }
+    // Controlled a^{2^j} with control = counting qubit j.
+    let mut power = a;
+    for j in 0..t {
+        controlled_mul_mod15(&mut c, WORK_QUBITS + j, power);
+        power = (power * power) % 15;
+    }
+    // Inverse QFT on the counting register (the library circuit,
+    // relocated onto qubits 4..4+t).
+    for g in crate::library::qft::iqft(t).gates() {
+        c.push(g.remap(|q| q + WORK_QUBITS));
+    }
+    c
+}
+
+/// The multiplicative order of `a` modulo 15.
+pub fn order_mod15(a: u32) -> u32 {
+    let mut x = a % 15;
+    let mut r = 1;
+    while x != 1 {
+        x = (x * a) % 15;
+        r += 1;
+        assert!(r <= 15, "{a} is not coprime to 15");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dispatch::apply_gate;
+    use crate::measure::marginal_probabilities;
+    use crate::state::StateVector;
+
+    fn run(c: &Circuit) -> StateVector {
+        let mut s = StateVector::zero(c.n_qubits());
+        for g in c.gates() {
+            apply_gate(s.amplitudes_mut(), g);
+        }
+        s
+    }
+
+    #[test]
+    fn orders() {
+        assert_eq!(order_mod15(2), 4);
+        assert_eq!(order_mod15(4), 2);
+        assert_eq!(order_mod15(7), 4);
+        assert_eq!(order_mod15(8), 4);
+        assert_eq!(order_mod15(13), 4);
+        assert_eq!(order_mod15(14), 2);
+    }
+
+    /// The compiled controlled multiplication must act correctly on the
+    /// subgroup ⟨a⟩ = {1, a, a², …} with the control set, and as the
+    /// identity with it clear.
+    #[test]
+    fn controlled_mul_truth_table_on_subgroup() {
+        for a in [2u32, 4, 7, 8, 13, 14] {
+            // Work register 4 qubits + 1 control qubit (qubit 4).
+            let mut c = Circuit::new(5);
+            controlled_mul_mod15(&mut c, 4, a);
+            // Enumerate the subgroup generated by a from 1.
+            let mut y = 1u32;
+            loop {
+                // Control clear: |y⟩ unchanged.
+                let s = run_from_basis(&c, y as usize);
+                assert!((s.probability(y as usize) - 1.0).abs() < 1e-10, "a={a} y={y} (ctl 0)");
+                // Control set: |y⟩ → |a·y mod 15⟩.
+                let s = run_from_basis(&c, (1 << 4) | y as usize);
+                let expect = ((a * y) % 15) as usize | (1 << 4);
+                assert!(
+                    (s.probability(expect) - 1.0).abs() < 1e-10,
+                    "a={a} y={y}: expected {expect:#07b}"
+                );
+                y = (y * a) % 15;
+                if y == 1 {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_from_basis(c: &Circuit, basis: usize) -> StateVector {
+        let mut s = StateVector::basis(c.n_qubits(), basis);
+        for g in c.gates() {
+            apply_gate(s.amplitudes_mut(), g);
+        }
+        s
+    }
+
+    #[test]
+    fn phase_estimation_peaks_at_multiples_of_2t_over_r() {
+        for (a, t) in [(7u32, 3u32), (2, 3), (4, 3), (13, 4)] {
+            let r = order_mod15(a) as usize;
+            let circuit = shor15_order_finding(a, t);
+            let s = run(&circuit);
+            // Counting register = qubits 4..4+t (the library IQFT includes
+            // its terminal swaps, so bit order is natural).
+            let counting: Vec<u32> = (0..t).map(|j| WORK_QUBITS + j).collect();
+            let probs = marginal_probabilities(&s, &counting);
+            let dim = 1usize << t;
+            let stride = dim / r;
+            for (k, &p) in probs.iter().enumerate() {
+                if k % stride == 0 {
+                    assert!(
+                        (p - 1.0 / r as f64).abs() < 1e-9,
+                        "a={a} t={t}: peak at {k} should be 1/{r}, got {p}"
+                    );
+                } else {
+                    assert!(p < 1e-9, "a={a} t={t}: unexpected mass at {k}: {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_recoverable_from_peaks() {
+        // Classical post-processing: the first nonzero peak is at 2^t/r.
+        let a = 7u32;
+        let t = 4u32;
+        let s = run(&shor15_order_finding(a, t));
+        let counting: Vec<u32> = (0..t).map(|j| WORK_QUBITS + j).collect();
+        let probs = marginal_probabilities(&s, &counting);
+        let first_peak = probs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, &p)| p > 1e-6)
+            .map(|(k, _)| k)
+            .expect("a nonzero peak exists");
+        let r = (1usize << t) / first_peak;
+        assert_eq!(r as u32, order_mod15(a));
+        // And 15 factors via gcd(a^{r/2} ± 1, 15) = {3, 5}.
+        let half = a.pow(r as u32 / 2) % 15;
+        let gcd = |mut x: u32, mut y: u32| {
+            while y != 0 {
+                (x, y) = (y, x % y);
+            }
+            x
+        };
+        let f1 = gcd(half + 1, 15);
+        let f2 = gcd(half - 1, 15);
+        assert_eq!((f1.min(f2), f1.max(f2)), (3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled circuit")]
+    fn uncompiled_base_rejected() {
+        let _ = shor15_order_finding(11, 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Measurement: single-qubit collapse and multi-shot sampling.
+
+use rand::Rng;
+
+use crate::complex::C64;
+use crate::state::StateVector;
+
+/// Outcome of a projective single-qubit measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasurementResult {
+    pub qubit: u32,
+    /// Observed bit.
+    pub outcome: u8,
+}
+
+/// Measure qubit `q` projectively, collapsing the state, using `rng` for
+/// the Born-rule draw.
+pub fn measure_qubit<R: Rng>(state: &mut StateVector, q: u32, rng: &mut R) -> MeasurementResult {
+    let p1 = state.prob_qubit_one(q);
+    let outcome = u8::from(rng.gen_range(0.0..1.0) < p1);
+    collapse(state, q, outcome);
+    MeasurementResult { qubit: q, outcome }
+}
+
+/// Project qubit `q` onto `outcome` and renormalize.
+///
+/// Panics if the outcome has (near-)zero probability — projecting onto an
+/// impossible branch is a caller bug.
+pub fn collapse(state: &mut StateVector, q: u32, outcome: u8) {
+    let bit = 1usize << q;
+    let keep_set = outcome == 1;
+    let p = if keep_set { state.prob_qubit_one(q) } else { 1.0 - state.prob_qubit_one(q) };
+    assert!(p > 1e-14, "collapsing qubit {q} onto probability-{p} outcome {outcome}");
+    let scale = 1.0 / p.sqrt();
+    for (i, a) in state.amplitudes_mut().iter_mut().enumerate() {
+        if ((i & bit) != 0) == keep_set {
+            *a = a.scale(scale);
+        } else {
+            *a = C64::default();
+        }
+    }
+}
+
+/// Draw `shots` full-register samples from the state's Born distribution
+/// *without* collapsing it, via inverse-transform sampling on the prefix
+/// sums (the standard statevector sampler).
+pub fn sample_counts<R: Rng>(state: &StateVector, shots: usize, rng: &mut R) -> Vec<(usize, u64)> {
+    // Prefix sums of probabilities.
+    let mut cdf = Vec::with_capacity(state.len());
+    let mut acc = 0.0;
+    for a in state.amplitudes() {
+        acc += a.norm_sqr();
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..shots {
+        let u: f64 = rng.gen_range(0.0..total);
+        // Binary search the first prefix ≥ u.
+        let idx = cdf.partition_point(|&c| c < u).min(state.len() - 1);
+        *counts.entry(idx).or_insert(0u64) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Marginal probability distribution of a qubit subset (ascending order of
+/// packed outcome bits: bit `j` of the outcome = qubit `qs[j]`).
+pub fn marginal_probabilities(state: &StateVector, qs: &[u32]) -> Vec<f64> {
+    for &q in qs {
+        assert!(q < state.n_qubits());
+    }
+    let mut out = vec![0.0; 1 << qs.len()];
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        let mut key = 0usize;
+        for (j, &q) in qs.iter().enumerate() {
+            if i & (1usize << q) != 0 {
+                key |= 1 << j;
+            }
+        }
+        out[key] += a.norm_sqr();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::standard;
+    use crate::kernels::scalar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-12;
+
+    fn bell() -> StateVector {
+        let mut s = StateVector::zero(2);
+        scalar::apply_1q(s.amplitudes_mut(), 0, &standard::h());
+        scalar::apply_controlled_1q(s.amplitudes_mut(), 0, 1, &standard::x());
+        s
+    }
+
+    #[test]
+    fn collapse_to_zero_and_one() {
+        let mut s = bell();
+        collapse(&mut s, 0, 0);
+        assert!((s.probability(0b00) - 1.0).abs() < EPS, "collapsed Bell → |00⟩");
+        let mut s = bell();
+        collapse(&mut s, 0, 1);
+        assert!((s.probability(0b11) - 1.0).abs() < EPS, "collapsed Bell → |11⟩");
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut s = bell();
+        collapse(&mut s, 1, 1);
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn collapse_onto_impossible_outcome_panics() {
+        let mut s = StateVector::zero(2); // qubit 0 is certainly 0
+        collapse(&mut s, 0, 1);
+    }
+
+    #[test]
+    fn measurement_statistics_on_bell() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ones = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mut s = bell();
+            let r = measure_qubit(&mut s, 0, &mut rng);
+            ones += r.outcome as u64;
+            // Perfect correlation: qubit 1 must now agree.
+            assert!((s.prob_qubit_one(1) - r.outcome as f64).abs() < EPS);
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "Bell qubit should be ~50/50, got {frac}");
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = bell();
+        let counts = sample_counts(&s, 10_000, &mut rng);
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        for &(idx, c) in &counts {
+            assert!(idx == 0b00 || idx == 0b11, "Bell state only samples 00/11, got {idx:b}");
+            let frac = c as f64 / 10_000.0;
+            assert!((frac - 0.5).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn sampling_does_not_modify_state() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = bell();
+        let before = s.clone();
+        let _ = sample_counts(&s, 100, &mut rng);
+        assert!(s.approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn sampling_deterministic_state() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = StateVector::basis(3, 5);
+        let counts = sample_counts(&s, 50, &mut rng);
+        assert_eq!(counts, vec![(5, 50)]);
+    }
+
+    #[test]
+    fn marginals_of_bell() {
+        let s = bell();
+        let m0 = marginal_probabilities(&s, &[0]);
+        assert!((m0[0] - 0.5).abs() < EPS && (m0[1] - 0.5).abs() < EPS);
+        let joint = marginal_probabilities(&s, &[0, 1]);
+        assert!((joint[0b00] - 0.5).abs() < EPS);
+        assert!((joint[0b11] - 0.5).abs() < EPS);
+        assert!(joint[0b01] < EPS && joint[0b10] < EPS);
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = StateVector::random(5, &mut rng);
+        for qs in [vec![0u32], vec![1, 3], vec![0, 2, 4]] {
+            let m = marginal_probabilities(&s, &qs);
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn marginal_bit_order_matches_qs_order() {
+        // |q1=1, q0=0⟩ = basis 0b10; ask for [1, 0]: outcome bit 0 = q1.
+        let s = StateVector::basis(2, 0b10);
+        let m = marginal_probabilities(&s, &[1, 0]);
+        assert!((m[0b01] - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,312 @@
+//! Circuit optimization passes.
+//!
+//! Peephole rewrites that shrink the sweep count before execution —
+//! cheap front-end work that compounds with fusion:
+//!
+//! * [`cancel_inverses`] — drop adjacent gate pairs that multiply to the
+//!   identity (H·H, X·X, CX·CX, SWAP·SWAP, S·S†, …), iterating to a
+//!   fixed point so newly-adjacent pairs cancel too;
+//! * [`merge_rotations`] — combine adjacent same-axis rotations on the
+//!   same qubit(s) (`Rz(a)Rz(b) → Rz(a+b)`, same for Rx/Ry/Phase/
+//!   CPhase/Rzz/Rxx) and drop rotations that became (multiples of) 4π;
+//! * [`optimize`] — both passes to a joint fixed point.
+//!
+//! Passes only touch *adjacent* gates on identical qubit sets — no
+//! commutation reasoning — so correctness is by local algebra alone.
+
+use std::f64::consts::TAU;
+
+use crate::circuit::{Circuit, Gate};
+
+/// Are these two adjacent gates mutual inverses (product = identity,
+/// possibly up to global phase for the self-inverse Paulis)?
+fn are_inverses(a: &Gate, b: &Gate) -> bool {
+    use Gate::*;
+    match (a, b) {
+        // Self-inverse gates cancel with an identical neighbour.
+        (H(x), H(y)) | (X(x), X(y)) | (Y(x), Y(y)) | (Z(x), Z(y)) => x == y,
+        (Cx(c1, t1), Cx(c2, t2)) | (Cy(c1, t1), Cy(c2, t2)) => c1 == c2 && t1 == t2,
+        (Cz(a1, b1), Cz(a2, b2)) | (Swap(a1, b1), Swap(a2, b2)) => {
+            // Symmetric in their qubits.
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        }
+        (Ccx(c1, c2, t1), Ccx(c3, c4, t2)) => {
+            t1 == t2 && ((c1 == c3 && c2 == c4) || (c1 == c4 && c2 == c3))
+        }
+        (CSwap(c1, a1, b1), CSwap(c2, a2, b2)) => {
+            c1 == c2 && ((a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2))
+        }
+        // Dagger pairs.
+        (S(x), Sdg(y)) | (Sdg(x), S(y)) | (T(x), Tdg(y)) | (Tdg(x), T(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// One pass of adjacent-inverse cancellation; returns true if anything
+/// changed.
+fn cancel_pass(gates: &mut Vec<Gate>) -> bool {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    let mut changed = false;
+    for g in gates.drain(..) {
+        if let Some(last) = out.last() {
+            if are_inverses(last, &g) {
+                out.pop();
+                changed = true;
+                continue;
+            }
+        }
+        out.push(g);
+    }
+    *gates = out;
+    changed
+}
+
+/// Try to merge `b` into `a` (both adjacent); returns the merged gate if
+/// the pair is a same-axis rotation on identical qubits.
+fn merge_pair(a: &Gate, b: &Gate) -> Option<Gate> {
+    use Gate::*;
+    let sym = |a1: u32, b1: u32, a2: u32, b2: u32| {
+        (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+    };
+    match (a, b) {
+        (Rx(q1, x), Rx(q2, y)) if q1 == q2 => Some(Rx(*q1, x + y)),
+        (Ry(q1, x), Ry(q2, y)) if q1 == q2 => Some(Ry(*q1, x + y)),
+        (Rz(q1, x), Rz(q2, y)) if q1 == q2 => Some(Rz(*q1, x + y)),
+        (Phase(q1, x), Phase(q2, y)) if q1 == q2 => Some(Phase(*q1, x + y)),
+        (CPhase(a1, b1, x), CPhase(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => {
+            Some(CPhase(*a1, *b1, x + y))
+        }
+        (Rzz(a1, b1, x), Rzz(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => {
+            Some(Rzz(*a1, *b1, x + y))
+        }
+        (Rxx(a1, b1, x), Rxx(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => {
+            Some(Rxx(*a1, *b1, x + y))
+        }
+        _ => None,
+    }
+}
+
+/// Is this rotation an exact identity (angle ≡ 0 mod 4π for the
+/// half-angle rotations, mod 2π for pure phases)?
+fn is_identity_rotation(g: &Gate) -> bool {
+    use Gate::*;
+    let zero_mod = |angle: f64, period: f64| {
+        let r = angle.rem_euclid(period);
+        r.abs() < 1e-12 || (period - r).abs() < 1e-12
+    };
+    match g {
+        // exp(-iθP/2) = I exactly when θ ≡ 0 (mod 4π).
+        Rx(_, t) | Ry(_, t) | Rz(_, t) | Rzz(_, _, t) | Rxx(_, _, t) => zero_mod(*t, 2.0 * TAU),
+        // diag(1, e^{iθ}) = I when θ ≡ 0 (mod 2π).
+        Phase(_, t) | CPhase(_, _, t) => zero_mod(*t, TAU),
+        _ => false,
+    }
+}
+
+/// One pass of rotation merging + identity elimination.
+fn merge_pass(gates: &mut Vec<Gate>) -> bool {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    let mut changed = false;
+    for g in gates.drain(..) {
+        if is_identity_rotation(&g) {
+            changed = true;
+            continue;
+        }
+        if let Some(last) = out.last() {
+            if let Some(merged) = merge_pair(last, &g) {
+                out.pop();
+                changed = true;
+                if !is_identity_rotation(&merged) {
+                    out.push(merged);
+                }
+                continue;
+            }
+        }
+        out.push(g);
+    }
+    *gates = out;
+    changed
+}
+
+/// Cancel adjacent inverse pairs to a fixed point.
+pub fn cancel_inverses(circuit: &Circuit) -> Circuit {
+    let mut gates = circuit.gates().to_vec();
+    while cancel_pass(&mut gates) {}
+    rebuild(circuit.n_qubits(), gates)
+}
+
+/// Merge adjacent same-axis rotations and drop identities, to a fixed
+/// point.
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let mut gates = circuit.gates().to_vec();
+    while merge_pass(&mut gates) {}
+    rebuild(circuit.n_qubits(), gates)
+}
+
+/// Run both passes until neither changes the circuit.
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut gates = circuit.gates().to_vec();
+    loop {
+        let a = cancel_pass(&mut gates);
+        let b = merge_pass(&mut gates);
+        if !a && !b {
+            break;
+        }
+    }
+    rebuild(circuit.n_qubits(), gates)
+}
+
+fn rebuild(n: u32, gates: Vec<Gate>) -> Circuit {
+    let mut c = Circuit::new(n);
+    for g in gates {
+        c.push(g);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::sim::Simulator;
+    use crate::state::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-10;
+
+    fn same_action(a: &Circuit, b: &Circuit) -> bool {
+        let mut rng = StdRng::seed_from_u64(77);
+        let init = StateVector::random(a.n_qubits(), &mut rng);
+        let mut x = init.clone();
+        let mut y = init;
+        Simulator::new().run(a, &mut x).unwrap();
+        Simulator::new().run(b, &mut y).unwrap();
+        x.approx_eq(&y, EPS)
+    }
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).x(1);
+        let o = cancel_inverses(&c);
+        assert_eq!(o.len(), 1);
+        assert!(same_action(&c, &o));
+    }
+
+    #[test]
+    fn cascading_cancellation_reaches_fixed_point() {
+        // H X X H: inner XX cancels, then the newly adjacent HH cancels.
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        let o = cancel_inverses(&c);
+        assert_eq!(o.len(), 0);
+    }
+
+    #[test]
+    fn dagger_pairs_cancel() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0).t(0).tdg(0).tdg(0).t(0);
+        assert_eq!(cancel_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn symmetric_two_qubit_cancellation() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).cz(1, 0); // symmetric: cancels despite swapped operands
+        c.swap(1, 2).swap(2, 1);
+        c.cx(0, 2).cx(0, 2);
+        assert_eq!(cancel_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn cx_with_swapped_roles_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(cancel_inverses(&c).len(), 2, "CX(0,1)·CX(1,0) ≠ I");
+    }
+
+    #[test]
+    fn rotations_merge_and_identities_drop() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3).rz(0, 0.5).rx(1, 1.0).rx(1, -1.0).p(0, 0.0);
+        let o = merge_rotations(&c);
+        // rz merge → one gate; rx pair sums to 0 → dropped; p(0) dropped.
+        assert_eq!(o.len(), 1);
+        match o.gates()[0] {
+            Gate::Rz(0, t) => assert!((t - 0.8).abs() < 1e-12),
+            ref g => panic!("{g:?}"),
+        }
+        assert!(same_action(&c, &o));
+    }
+
+    #[test]
+    fn rotation_to_4pi_is_identity_2pi_is_not() {
+        // Rz(2π) = −I (global phase: fine alone, but we only drop exact
+        // identities, i.e. 4π).
+        let mut c = Circuit::new(1);
+        c.rz(0, TAU).rz(0, TAU);
+        assert_eq!(merge_rotations(&c).len(), 0, "4π merges away");
+        let mut c = Circuit::new(1);
+        c.rz(0, TAU);
+        assert_eq!(merge_rotations(&c).len(), 1, "2π stays (−I global phase)");
+    }
+
+    #[test]
+    fn symmetric_rotation_merge() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.4).rzz(1, 0, 0.6).cp(0, 1, 0.1).cp(1, 0, -0.1);
+        let o = merge_rotations(&c);
+        assert_eq!(o.len(), 1);
+        assert!(same_action(&c, &o));
+    }
+
+    #[test]
+    fn optimize_preserves_semantics_on_random_circuits() {
+        for seed in 0..5u64 {
+            let c = library::random_circuit(6, 15, seed);
+            let o = optimize(&c);
+            assert!(o.len() <= c.len());
+            assert!(same_action(&c, &o), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn optimize_shrinks_redundant_circuits_substantially() {
+        // Interleave a real circuit with deliberate junk.
+        let base = library::qft(5);
+        let mut padded = Circuit::new(5);
+        for g in base.gates() {
+            padded.push(g.clone());
+            padded.h(3);
+            padded.h(3);
+            padded.rz(2, 0.1);
+            padded.rz(2, -0.1);
+        }
+        let o = optimize(&padded);
+        assert!(
+            o.len() <= base.len(),
+            "junk must vanish: {} vs base {}",
+            o.len(),
+            base.len()
+        );
+        assert!(same_action(&padded, &o));
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let c = library::random_circuit(6, 20, 9);
+        let once = optimize(&c);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn empty_and_minimal_circuits() {
+        let c = Circuit::new(3);
+        assert_eq!(optimize(&c).len(), 0);
+        let mut c = Circuit::new(3);
+        c.h(1);
+        assert_eq!(optimize(&c).len(), 1);
+    }
+}

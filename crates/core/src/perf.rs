@@ -1,0 +1,244 @@
+//! Performance-model hooks: classify gates, predict per-gate traffic and
+//! time on the modelled A64FX.
+//!
+//! This is the bridge between the simulator and `a64fx-model` — it turns
+//! a circuit into the table of predicted bytes / flops / seconds the
+//! experiment harness prints next to measured values.
+
+use std::collections::BTreeMap;
+
+use a64fx_model::timing::{predict, Bottleneck, ExecConfig, KernelProfile};
+use a64fx_model::traffic::{GateTraffic, KernelKind, TrafficModel};
+use a64fx_model::ChipParams;
+
+use crate::circuit::{Circuit, Gate};
+use crate::fusion::FusedOp;
+
+/// Map a gate to the kernel-kind taxonomy of the traffic model.
+pub fn classify(gate: &Gate) -> KernelKind {
+    match gate {
+        Gate::Cz(..) | Gate::CPhase(..) | Gate::Rzz(..) => KernelKind::TwoQubitDiagonal,
+        Gate::Cx(..) | Gate::Cy(..) => KernelKind::ControlledDense,
+        g if g.arity() == 1 && g.is_diagonal() => KernelKind::OneQubitDiagonal,
+        g if g.arity() == 1 => KernelKind::OneQubitDense,
+        g if g.arity() == 2 => KernelKind::TwoQubitDense,
+        // 3-qubit permutation gates sweep like a fused 3-qubit op.
+        _ => KernelKind::FusedDense { k: 3 },
+    }
+}
+
+/// Predicted traffic of one gate on an `n`-qubit state.
+pub fn gate_traffic(model: &TrafficModel, gate: &Gate, n: u32) -> GateTraffic {
+    model.predict(classify(gate), n, &gate.qubits())
+}
+
+/// Estimated dynamic SVE instruction count for a kernel moving
+/// `amps_touched` amplitudes, at the chip's vector length.
+///
+/// Calibrated from the counted `kernels::sve` loops: a dense 1q pair
+/// iteration at VL512 issues ~22 instructions for 8 pairs (ld2×2, st2×2,
+/// 16 FP, 2 predicate) ⇒ ~2.8 instructions per amplitude; diagonal
+/// kernels ~1.5.
+pub fn estimate_instructions(kind: KernelKind, amps_touched: u64, simd_bits: u16) -> u64 {
+    let lanes = (simd_bits as u64 / 64).max(1);
+    let per_lane_iter = match kind {
+        KernelKind::OneQubitDiagonal | KernelKind::TwoQubitDiagonal => 12,
+        KernelKind::OneQubitDense | KernelKind::ControlledDense => 22,
+        KernelKind::TwoQubitDense => 40,
+        KernelKind::FusedDense { k } => 12u64 << k,
+    };
+    amps_touched.div_ceil(lanes) * per_lane_iter / 2
+}
+
+/// A predicted execution profile of a whole circuit (or fused plan).
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Predicted wall seconds on the modelled chip.
+    pub seconds: f64,
+    /// Total predicted HBM2 traffic in bytes.
+    pub mem_bytes: u64,
+    /// Total DP FLOPs.
+    pub flops: u64,
+    /// Number of state sweeps executed.
+    pub sweeps: usize,
+    /// How many gates hit each bottleneck.
+    pub bottlenecks: BTreeMap<&'static str, usize>,
+}
+
+impl ModelReport {
+    /// Effective bandwidth implied by the prediction (bytes/s).
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.mem_bytes as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Effective GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops as f64 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+fn bottleneck_name(b: Bottleneck) -> &'static str {
+    match b {
+        Bottleneck::FloatingPoint => "fp",
+        Bottleneck::Memory => "memory",
+        Bottleneck::Issue => "issue",
+    }
+}
+
+fn accumulate(
+    report: &mut ModelReport,
+    chip: &ChipParams,
+    cfg: &ExecConfig,
+    kind: KernelKind,
+    traffic: GateTraffic,
+    n: u32,
+    model: &TrafficModel,
+) {
+    // When the state fits in cache, the memory term uses the cache level's
+    // bandwidth instead of HBM2.
+    let resident = model.residency(n);
+    let mem_bytes = if resident == 2 { traffic.mem_bytes } else { 0 };
+    let l2_bytes = if resident >= 1 { traffic.mem_bytes } else { 0 };
+    let profile = KernelProfile {
+        flops: traffic.flops,
+        mem_bytes,
+        l2_bytes,
+        instructions: estimate_instructions(kind, traffic.amps_read, chip.simd_bits),
+        gather_scatter: 0,
+    };
+    let p = predict(chip, &profile, cfg);
+    report.seconds += p.seconds;
+    report.mem_bytes += traffic.mem_bytes;
+    report.flops += traffic.flops;
+    report.sweeps += 1;
+    *report.bottlenecks.entry(bottleneck_name(p.bottleneck)).or_insert(0) += 1;
+}
+
+/// Predict a gate-by-gate (naive) execution of `circuit` on a state of
+/// the circuit's width.
+pub fn predict_circuit(chip: &ChipParams, cfg: &ExecConfig, circuit: &Circuit) -> ModelReport {
+    let model = TrafficModel::new(chip.clone());
+    let n = circuit.n_qubits();
+    let mut report = ModelReport {
+        seconds: 0.0,
+        mem_bytes: 0,
+        flops: 0,
+        sweeps: 0,
+        bottlenecks: BTreeMap::new(),
+    };
+    for g in circuit.gates() {
+        let kind = classify(g);
+        let traffic = model.predict(kind, n, &g.qubits());
+        accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
+    }
+    report
+}
+
+/// Predict execution of a fused plan on an `n`-qubit state.
+pub fn predict_fused(chip: &ChipParams, cfg: &ExecConfig, plan: &[FusedOp], n: u32) -> ModelReport {
+    let model = TrafficModel::new(chip.clone());
+    let mut report = ModelReport {
+        seconds: 0.0,
+        mem_bytes: 0,
+        flops: 0,
+        sweeps: 0,
+        bottlenecks: BTreeMap::new(),
+    };
+    for op in plan {
+        let kind = KernelKind::FusedDense { k: op.qubits.len() as u8 };
+        let traffic = model.predict(kind, n, &op.qubits);
+        accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fuse;
+    use crate::library;
+
+    fn chip() -> ChipParams {
+        ChipParams::a64fx()
+    }
+
+    #[test]
+    fn classification_table() {
+        assert_eq!(classify(&Gate::H(0)), KernelKind::OneQubitDense);
+        assert_eq!(classify(&Gate::Rz(0, 0.1)), KernelKind::OneQubitDiagonal);
+        assert_eq!(classify(&Gate::T(0)), KernelKind::OneQubitDiagonal);
+        assert_eq!(classify(&Gate::Cx(0, 1)), KernelKind::ControlledDense);
+        assert_eq!(classify(&Gate::Cz(0, 1)), KernelKind::TwoQubitDiagonal);
+        assert_eq!(classify(&Gate::Rzz(0, 1, 0.2)), KernelKind::TwoQubitDiagonal);
+        assert_eq!(classify(&Gate::Swap(0, 1)), KernelKind::TwoQubitDense);
+        assert_eq!(classify(&Gate::Ccx(0, 1, 2)), KernelKind::FusedDense { k: 3 });
+    }
+
+    #[test]
+    fn large_state_circuit_is_memory_bound() {
+        let c = library::hadamard_layers(26, 1);
+        let report = predict_circuit(&chip(), &ExecConfig::full_chip(), &c);
+        assert_eq!(report.sweeps, 26);
+        assert_eq!(report.bottlenecks.get("memory"), Some(&26));
+        // Effective bandwidth is pinned at the HBM roof.
+        let bw = report.effective_bandwidth();
+        assert!((bw - 1.024e12).abs() / 1.024e12 < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    fn small_state_circuit_is_not_memory_bound() {
+        let c = library::hadamard_layers(10, 1);
+        let report = predict_circuit(&chip(), &ExecConfig::single_core(), &c);
+        assert_eq!(report.bottlenecks.get("memory"), None, "{:?}", report.bottlenecks);
+    }
+
+    #[test]
+    fn fusion_cuts_predicted_time_on_deep_circuits() {
+        let c = library::rotation_layers(26, 4, 0.3);
+        let cfg = ExecConfig::full_chip();
+        let naive = predict_circuit(&chip(), &cfg, &c);
+        let plan = fuse(&c, 4);
+        let fused = predict_fused(&chip(), &cfg, &plan, 26);
+        assert!(fused.sweeps < naive.sweeps);
+        assert!(
+            fused.seconds < naive.seconds / 2.0,
+            "fused {} vs naive {}",
+            fused.seconds,
+            naive.seconds
+        );
+        assert!(fused.mem_bytes < naive.mem_bytes);
+    }
+
+    #[test]
+    fn predicted_seconds_scale_with_qubits() {
+        let cfg = ExecConfig::full_chip();
+        let t24 = predict_circuit(&chip(), &cfg, &library::hadamard_layers(24, 1)).seconds;
+        let t26 = predict_circuit(&chip(), &cfg, &library::hadamard_layers(26, 1)).seconds;
+        // 4× amplitudes × 26/24 gates ≈ 4.33×.
+        let ratio = t26 / t24;
+        assert!((ratio - 4.0 * 26.0 / 24.0).abs() < 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn instruction_estimate_scales_inverse_with_simd() {
+        let a = estimate_instructions(KernelKind::OneQubitDense, 1 << 20, 128);
+        let b = estimate_instructions(KernelKind::OneQubitDense, 1 << 20, 512);
+        assert_eq!(a, b * 4);
+    }
+
+    #[test]
+    fn gflops_and_bandwidth_reported() {
+        let c = library::hadamard_layers(25, 1);
+        let r = predict_circuit(&chip(), &ExecConfig::full_chip(), &c);
+        assert!(r.gflops() > 0.0);
+        assert!(r.effective_bandwidth() > 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of simulator-wide invariants.
+
+use proptest::prelude::*;
+
+use crate::circuit::{Circuit, Gate};
+use crate::library;
+use crate::sim::{Simulator, Strategy as ExecStrategy};
+use crate::state::StateVector;
+
+/// Strategy: an arbitrary valid gate on `n` qubits.
+fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = move || {
+        (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b)
+    };
+    let angle = -6.3f64..6.3;
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::T),
+        q.clone().prop_map(Gate::Sx),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Rx(q, a)),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Ry(q, a)),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Rz(q, a)),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Phase(q, a)),
+        q2().prop_map(|(c, t)| Gate::Cx(c, t)),
+        q2().prop_map(|(a, b)| Gate::Cz(a, b)),
+        (q2(), angle.clone()).prop_map(|((a, b), th)| Gate::CPhase(a, b, th)),
+        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
+        q2().prop_map(|(a, b)| Gate::ISwap(a, b)),
+        (q2(), angle.clone()).prop_map(|((a, b), th)| Gate::Rzz(a, b, th)),
+        (q2(), angle).prop_map(|((a, b), th)| Gate::Rxx(a, b, th)),
+    ]
+}
+
+/// Strategy: a random circuit on exactly `n` qubits.
+fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unitarity: every circuit preserves the norm.
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit(5, 40)) {
+        let mut s = StateVector::plus(5);
+        Simulator::new().run(&c, &mut s).unwrap();
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Reversibility: C⁻¹(C(ψ)) = ψ.
+    #[test]
+    fn inverse_circuit_restores_state(c in arb_circuit(5, 25), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = StateVector::random(5, &mut rng);
+        let mut s = init.clone();
+        let sim = Simulator::new();
+        sim.run(&c, &mut s).unwrap();
+        sim.run(&c.inverse(), &mut s).unwrap();
+        prop_assert!(s.approx_eq(&init, 1e-8), "max diff {}", s.max_abs_diff(&init));
+    }
+
+    /// Strategy equivalence: fused and blocked agree with naive on
+    /// arbitrary circuits.
+    #[test]
+    fn strategies_equivalent(c in arb_circuit(5, 25), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = StateVector::random(5, &mut rng);
+        let mut reference = init.clone();
+        Simulator::new().run(&c, &mut reference).unwrap();
+        for strat in [
+            ExecStrategy::Fused { max_k: 3 },
+            ExecStrategy::Fused { max_k: 5 },
+            ExecStrategy::Blocked { block_qubits: 3 },
+        ] {
+            let mut s = init.clone();
+            Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
+            prop_assert!(s.approx_eq(&reference, 1e-8), "{:?}", strat);
+        }
+    }
+
+    /// Threaded execution is bit-compatible with serial up to rounding.
+    #[test]
+    fn parallel_equivalent(c in arb_circuit(6, 20), threads in 2usize..6) {
+        let mut serial = StateVector::plus(6);
+        Simulator::new().run(&c, &mut serial).unwrap();
+        let mut par = StateVector::plus(6);
+        Simulator::new().with_threads(threads).run(&c, &mut par).unwrap();
+        prop_assert!(par.approx_eq(&serial, 1e-10));
+    }
+
+    /// Diagonal gates never change probabilities.
+    #[test]
+    fn diagonal_gates_fix_probabilities(
+        qubit in 0u32..5,
+        angle in -6.3f64..6.3,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = StateVector::random(5, &mut rng);
+        let p_before = init.probabilities();
+        let mut c = Circuit::new(5);
+        c.rz(qubit, angle).p(qubit, angle / 2.0).z(qubit);
+        let mut s = init;
+        Simulator::new().run(&c, &mut s).unwrap();
+        let p_after = s.probabilities();
+        for (a, b) in p_before.iter().zip(&p_after) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// QFT is unitary on arbitrary basis states: probability mass is
+    /// uniform after transforming any basis state.
+    #[test]
+    fn qft_uniformizes_basis_states(basis in 0usize..64) {
+        let n = 6u32;
+        let mut s = StateVector::basis(n, basis);
+        Simulator::new().run(&library::qft(n), &mut s).unwrap();
+        let expect = 1.0 / 64.0;
+        for i in 0..64 {
+            prop_assert!((s.probability(i) - expect).abs() < 1e-9);
+        }
+    }
+
+    /// OpenQASM round trip: emit → parse reproduces the circuit's action
+    /// on the zero state for any QASM-expressible circuit.
+    #[test]
+    fn qasm_roundtrip_preserves_action(c in arb_circuit(4, 20)) {
+        // Replace the one gate shape emit() rejects.
+        let mut qasm_safe = Circuit::new(4);
+        for g in c.gates() {
+            match g {
+                Gate::ISwap(a, b) => {
+                    qasm_safe.swap(*a, *b);
+                }
+                other => {
+                    qasm_safe.push(other.clone());
+                }
+            }
+        }
+        let text = crate::qasm::emit(&qasm_safe).expect("expressible");
+        let reparsed = crate::qasm::parse(&text).expect("own output parses");
+        let mut a = StateVector::zero(4);
+        let mut b = StateVector::zero(4);
+        Simulator::new().run(&qasm_safe, &mut a).unwrap();
+        Simulator::new().run(&reparsed, &mut b).unwrap();
+        prop_assert!(a.approx_eq(&b, 1e-10), "max diff {}", a.max_abs_diff(&b));
+    }
+
+    /// Noise trajectories keep the state normalized for any channel
+    /// strength and circuit.
+    #[test]
+    fn noisy_trajectories_stay_normalized(
+        c in arb_circuit(4, 12),
+        p in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for channel in [
+            crate::noise::NoiseChannel::Depolarizing { p },
+            crate::noise::NoiseChannel::AmplitudeDamping { gamma: p },
+        ] {
+            let mut s = StateVector::zero(4);
+            crate::noise::run_trajectory(&c, &mut s, channel, &mut rng);
+            prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-8, "{:?}", channel);
+        }
+    }
+
+    /// Entanglement entropy is bounded by k·ln2 and symmetric across the
+    /// bipartition, for arbitrary circuit-generated states.
+    #[test]
+    fn entropy_bounds_and_symmetry(c in arb_circuit(5, 20)) {
+        let mut s = StateVector::zero(5);
+        Simulator::new().run(&c, &mut s).unwrap();
+        let part = [0u32, 2];
+        let complement = [1u32, 3, 4];
+        let sa = crate::analysis::entanglement_entropy(&s, &part);
+        let sb = crate::analysis::entanglement_entropy(&s, &complement);
+        prop_assert!(sa >= -1e-9, "entropy must be non-negative: {sa}");
+        prop_assert!(sa <= 2.0 * std::f64::consts::LN_2 + 1e-6, "bounded by k ln 2: {sa}");
+        prop_assert!((sa - sb).abs() < 1e-6, "pure-state symmetry: {sa} vs {sb}");
+        // Purity consistent with entropy extremes.
+        let purity = crate::analysis::purity(&s, &part);
+        prop_assert!(purity <= 1.0 + 1e-9 && purity >= 0.25 - 1e-9);
+    }
+}

@@ -1,0 +1,406 @@
+//! The execution engine: strategies, threading, timing, and model hooks.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use a64fx_model::timing::ExecConfig;
+use a64fx_model::ChipParams;
+use omp_par::{Schedule, ThreadPool};
+
+use crate::circuit::{Circuit, Gate};
+use crate::fusion::{fuse, FusedOp};
+use crate::kernels::blocked::{apply_blocked, BlockGate};
+use crate::kernels::dispatch::{apply_gate, apply_gate_parallel};
+use crate::kernels::{parallel, scalar};
+use crate::perf::{predict_circuit, predict_fused, ModelReport};
+use crate::state::StateVector;
+
+/// How the engine maps a circuit onto kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One sweep per gate with specialized kernels (the QuEST-style
+    /// baseline).
+    Naive,
+    /// Fuse adjacent gates into ≤ `max_k`-qubit dense unitaries first
+    /// (the Qiskit-Aer-style optimization).
+    Fused { max_k: u32 },
+    /// Apply runs of gates whose qubits all lie below `block_qubits` one
+    /// cache-resident block at a time; other gates fall back to naive.
+    Blocked { block_qubits: u32 },
+}
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Circuit and state widths differ.
+    QubitMismatch { circuit: u32, state: u32 },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::QubitMismatch { circuit, state } => {
+                write!(f, "circuit has {circuit} qubits but the state has {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Execution report of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Measured wall time of the host execution.
+    pub wall_seconds: f64,
+    /// Gates in the source circuit.
+    pub gates: usize,
+    /// State sweeps actually executed (= gates for naive, fewer for
+    /// fused/blocked).
+    pub sweeps: usize,
+    /// A64FX-model prediction, when a chip model is attached.
+    pub predicted: Option<ModelReport>,
+}
+
+/// The simulator engine.
+#[derive(Clone)]
+pub struct Simulator {
+    strategy: Strategy,
+    pool: Option<Arc<ThreadPool>>,
+    sched: Schedule,
+    chip: Option<(ChipParams, ExecConfig)>,
+}
+
+impl Simulator {
+    /// Single-threaded, gate-by-gate, no model.
+    pub fn new() -> Simulator {
+        Simulator {
+            strategy: Strategy::Naive,
+            pool: None,
+            sched: Schedule::default_static(),
+            chip: None,
+        }
+    }
+
+    /// Select an execution strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Simulator {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Workshare sweeps across `n_threads` (including the caller).
+    pub fn with_threads(mut self, n_threads: usize) -> Simulator {
+        self.pool = Some(Arc::new(ThreadPool::new(n_threads)));
+        self
+    }
+
+    /// Share an existing pool.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Simulator {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Choose the worksharing schedule (default: `static`).
+    pub fn with_schedule(mut self, sched: Schedule) -> Simulator {
+        self.sched = sched;
+        self
+    }
+
+    /// Attach an A64FX model: run reports will include predicted time,
+    /// traffic, and bottleneck decomposition for `cfg`.
+    pub fn with_model(mut self, chip: ChipParams, cfg: ExecConfig) -> Simulator {
+        self.chip = Some((chip, cfg));
+        self
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Execute `circuit` on `state`.
+    pub fn run(&self, circuit: &Circuit, state: &mut StateVector) -> Result<RunReport, SimError> {
+        if circuit.n_qubits() != state.n_qubits() {
+            return Err(SimError::QubitMismatch {
+                circuit: circuit.n_qubits(),
+                state: state.n_qubits(),
+            });
+        }
+        let start = Instant::now();
+        let sweeps = match self.strategy {
+            Strategy::Naive => self.run_naive(circuit, state),
+            Strategy::Fused { max_k } => self.run_fused(circuit, state, max_k),
+            Strategy::Blocked { block_qubits } => self.run_blocked(circuit, state, block_qubits),
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let predicted = self.chip.as_ref().map(|(chip, cfg)| match self.strategy {
+            Strategy::Fused { max_k } => {
+                let plan = fuse(circuit, max_k);
+                predict_fused(chip, cfg, &plan, circuit.n_qubits())
+            }
+            _ => predict_circuit(chip, cfg, circuit),
+        });
+        Ok(RunReport { wall_seconds, gates: circuit.len(), sweeps, predicted })
+    }
+
+    fn run_naive(&self, circuit: &Circuit, state: &mut StateVector) -> usize {
+        let amps = state.amplitudes_mut();
+        match &self.pool {
+            Some(pool) => {
+                for g in circuit.gates() {
+                    apply_gate_parallel(pool, self.sched, amps, g);
+                }
+            }
+            None => {
+                for g in circuit.gates() {
+                    apply_gate(amps, g);
+                }
+            }
+        }
+        circuit.len()
+    }
+
+    fn run_fused(&self, circuit: &Circuit, state: &mut StateVector, max_k: u32) -> usize {
+        let plan: Vec<FusedOp> = fuse(circuit, max_k);
+        let amps = state.amplitudes_mut();
+        match &self.pool {
+            Some(pool) => {
+                for op in &plan {
+                    parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix);
+                }
+            }
+            None => {
+                for op in &plan {
+                    scalar::apply_kq(amps, &op.qubits, &op.matrix);
+                }
+            }
+        }
+        plan.len()
+    }
+
+    fn run_blocked(&self, circuit: &Circuit, state: &mut StateVector, block_qubits: u32) -> usize {
+        let block_qubits = block_qubits.min(state.n_qubits());
+        let mut sweeps = 0usize;
+        let mut run: Vec<BlockGate> = Vec::new();
+        let amps = state.amplitudes_mut();
+        let flush = |run: &mut Vec<BlockGate>, amps: &mut [crate::complex::C64], sweeps: &mut usize| {
+            if !run.is_empty() {
+                apply_blocked(amps, run, block_qubits);
+                *sweeps += 1;
+                run.clear();
+            }
+        };
+        for g in circuit.gates() {
+            match to_block_gate(g, block_qubits) {
+                Some(bg) => run.push(bg),
+                None => {
+                    flush(&mut run, amps, &mut sweeps);
+                    apply_gate(amps, g);
+                    sweeps += 1;
+                }
+            }
+        }
+        flush(&mut run, amps, &mut sweeps);
+        sweeps
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+/// Convert a gate into its blocked form if all its qubits fit below the
+/// block width.
+fn to_block_gate(g: &Gate, block_qubits: u32) -> Option<BlockGate> {
+    if g.qubits().iter().any(|&q| q >= block_qubits) {
+        return None;
+    }
+    if let Some((q, m)) = g.as_single() {
+        return Some(if g.is_diagonal() {
+            BlockGate::Diag1(q, m.m[0][0], m.m[1][1])
+        } else {
+            BlockGate::One(q, m)
+        });
+    }
+    match *g {
+        Gate::Swap(a, b) => Some(BlockGate::Swap(a, b)),
+        _ => {
+            if let Some((c, t, m)) = g.as_controlled() {
+                Some(BlockGate::Controlled(c, t, m))
+            } else {
+                g.as_two().map(|(h, l, m)| BlockGate::Two(h, l, m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-10;
+
+    fn random_init(n: u32, seed: u64) -> StateVector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StateVector::random(n, &mut rng)
+    }
+
+    #[test]
+    fn quickstart_ghz() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut s = StateVector::zero(3);
+        let report = Simulator::new().run(&c, &mut s).unwrap();
+        assert_eq!(report.gates, 3);
+        assert_eq!(report.sweeps, 3);
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.probability(7) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn qubit_mismatch_rejected() {
+        let c = Circuit::new(3);
+        let mut s = StateVector::zero(4);
+        let err = Simulator::new().run(&c, &mut s).unwrap_err();
+        assert_eq!(err, SimError::QubitMismatch { circuit: 3, state: 4 });
+        assert!(err.to_string().contains("3 qubits"));
+    }
+
+    fn all_strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::Naive,
+            Strategy::Fused { max_k: 3 },
+            Strategy::Fused { max_k: 5 },
+            Strategy::Blocked { block_qubits: 4 },
+        ]
+    }
+
+    #[test]
+    fn strategies_agree_on_random_circuits() {
+        for seed in 0..3u64 {
+            let c = library::random_circuit(7, 15, seed);
+            let init = random_init(7, seed + 50);
+            let mut reference = init.clone();
+            Simulator::new().run(&c, &mut reference).unwrap();
+            for strat in all_strategies() {
+                let mut s = init.clone();
+                Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
+                assert!(s.approx_eq(&reference, EPS), "{strat:?} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_qft() {
+        let c = library::qft(7);
+        let init = random_init(7, 4);
+        let mut reference = init.clone();
+        Simulator::new().run(&c, &mut reference).unwrap();
+        for strat in all_strategies() {
+            let mut s = init.clone();
+            Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
+            assert!(s.approx_eq(&reference, EPS), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_serial() {
+        let c = library::random_circuit(8, 12, 9);
+        let init = random_init(8, 60);
+        let mut serial = init.clone();
+        Simulator::new().run(&c, &mut serial).unwrap();
+        for threads in [2usize, 4, 8] {
+            for sched in [Schedule::Static { chunk: None }, Schedule::Dynamic { chunk: 32 }] {
+                let mut s = init.clone();
+                Simulator::new()
+                    .with_threads(threads)
+                    .with_schedule(sched)
+                    .run(&c, &mut s)
+                    .unwrap();
+                assert!(s.approx_eq(&serial, EPS), "threads={threads} sched={sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_fused_matches_serial() {
+        let c = library::quantum_volume(7, 8);
+        let init = random_init(7, 70);
+        let mut serial = init.clone();
+        Simulator::new().run(&c, &mut serial).unwrap();
+        let mut s = init.clone();
+        Simulator::new()
+            .with_strategy(Strategy::Fused { max_k: 4 })
+            .with_threads(4)
+            .run(&c, &mut s)
+            .unwrap();
+        assert!(s.approx_eq(&serial, EPS));
+    }
+
+    #[test]
+    fn fused_strategy_reduces_sweeps() {
+        let c = library::random_circuit(8, 30, 2);
+        let mut s = StateVector::zero(8);
+        let naive = Simulator::new().run(&c, &mut s).unwrap();
+        let mut s = StateVector::zero(8);
+        let fused = Simulator::new()
+            .with_strategy(Strategy::Fused { max_k: 4 })
+            .run(&c, &mut s)
+            .unwrap();
+        assert!(fused.sweeps < naive.sweeps, "{} !< {}", fused.sweeps, naive.sweeps);
+        assert_eq!(fused.gates, naive.gates);
+    }
+
+    #[test]
+    fn blocked_strategy_reduces_sweeps_on_low_targets() {
+        // All gates below the block width: everything lands in one run.
+        let c = library::rotation_layers(10, 3, 0.2); // targets 0..9
+        let mut s = StateVector::zero(10);
+        let blocked = Simulator::new()
+            .with_strategy(Strategy::Blocked { block_qubits: 10 })
+            .run(&c, &mut s)
+            .unwrap();
+        assert_eq!(blocked.sweeps, 1);
+    }
+
+    #[test]
+    fn model_report_attached_when_requested() {
+        let c = library::qft(6);
+        let mut s = StateVector::zero(6);
+        let report = Simulator::new()
+            .with_model(ChipParams::a64fx(), ExecConfig::full_chip())
+            .run(&c, &mut s)
+            .unwrap();
+        let model = report.predicted.expect("model attached");
+        assert!(model.seconds > 0.0);
+        assert_eq!(model.sweeps, c.len());
+        assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn model_report_absent_by_default() {
+        let c = library::ghz(4);
+        let mut s = StateVector::zero(4);
+        let report = Simulator::new().run(&c, &mut s).unwrap();
+        assert!(report.predicted.is_none());
+    }
+
+    #[test]
+    fn grover_runs_through_engine() {
+        let c = library::grover(4, 9);
+        let mut s = StateVector::zero(4);
+        Simulator::new()
+            .with_strategy(Strategy::Fused { max_k: 4 })
+            .run(&c, &mut s)
+            .unwrap();
+        let argmax = (0..16)
+            .max_by(|&a, &b| s.probability(a).total_cmp(&s.probability(b)))
+            .unwrap();
+        assert_eq!(argmax, 9);
+    }
+}

@@ -1,0 +1,23 @@
+//! `qcs-dist`: distributed state-vector simulation over the `mpi-sim`
+//! substrate.
+//!
+//! The state is sliced across `2^g` ranks by its top `g` index bits: rank
+//! `r` owns the amplitudes whose global index starts with `r`. Qubits
+//! below `n − g` are *local* (gates touch only rank-resident amplitudes);
+//! the top `g` qubits are *global* — a dense gate on a global qubit pairs
+//! each amplitude with one on a partner rank, costing a full local-buffer
+//! exchange. That exchange is the communication pattern whose cost the
+//! paper's multi-node analysis studies (experiment E5).
+//!
+//! * [`partition`] — the index split and ownership arithmetic.
+//! * [`engine`] — [`DistState`](engine::DistState): gate application with
+//!   the three communication regimes (none / pair exchange / global–local
+//!   qubit swap), measurement, and gathering.
+
+pub mod engine;
+pub mod partition;
+pub mod remap;
+
+pub use engine::{run_distributed, DistState};
+pub use partition::Partition;
+pub use remap::{run_distributed_mapped, MappedDistState};

@@ -1,0 +1,320 @@
+//! Ranks, the world, and point-to-point messaging.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::datatype::{from_bytes, to_bytes, Pod};
+use crate::stats::{CommStats, WorldStats};
+
+/// Wildcard source for [`Comm::recv_any`] matching (MPI_ANY_SOURCE).
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// How long a receive waits before declaring the world wedged. Generous
+/// enough for any legitimate in-process transfer; finite so a panicked
+/// peer cannot hang `World::run`'s join forever.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// One in-flight message.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u32,
+    pub payload: Vec<u8>,
+}
+
+/// The world: a fixed set of ranks connected all-to-all.
+pub struct World;
+
+impl World {
+    /// Run `f(comm)` on `n_ranks` rank threads and collect the per-rank
+    /// return values in rank order.
+    ///
+    /// Panics in any rank propagate after all ranks have been joined, so a
+    /// failing test reports the original panic message.
+    pub fn run<T, F>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(n_ranks >= 1, "a world needs at least one rank");
+        let mut txs = Vec::with_capacity(n_ranks);
+        let mut rxs = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        let world_stats = Arc::new(WorldStats::new(n_ranks));
+        let f_ref = &f;
+        let txs_ref = &txs;
+        let stats_ref = &world_stats;
+
+        let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_ranks);
+            for (rank, rx) in rxs.iter_mut().enumerate() {
+                let rx = rx.take().expect("each rank consumes its receiver once");
+                handles.push(
+                    scope
+                        .spawn(move || {
+                            let mut comm = Comm {
+                                rank,
+                                size: n_ranks,
+                                senders: txs_ref.clone(),
+                                inbox: rx,
+                                stash: VecDeque::new(),
+                                stats: CommStats::default(),
+                                world_stats: stats_ref.clone(),
+                            };
+                            let out = f_ref(&mut comm);
+                            comm.world_stats.absorb(comm.rank, &comm.stats);
+                            out
+                        }),
+                );
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => results[rank] = Some(v),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("joined rank has a result")).collect()
+    }
+
+    /// Like [`World::run`], but also returns the aggregated communication
+    /// statistics of the whole run.
+    pub fn run_with_stats<T, F>(n_ranks: usize, f: F) -> (Vec<T>, Vec<CommStats>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let stats_out = Arc::new(WorldStats::new(n_ranks));
+        let stats_for_closure = stats_out.clone();
+        let results = World::run(n_ranks, move |comm| {
+            let out = f(comm);
+            // Snapshot this rank's stats into the shared collector before
+            // the rank finishes (World::run's own collector is private).
+            stats_for_closure.absorb(comm.rank, &comm.stats);
+            out
+        });
+        let per_rank = stats_out.snapshot();
+        (results, per_rank)
+    }
+}
+
+/// A rank's communicator: its identity plus channels to every peer.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Received-but-unmatched messages (MPI's unexpected-message queue).
+    stash: VecDeque<Envelope>,
+    pub(crate) stats: CommStats,
+    world_stats: Arc<WorldStats>,
+}
+
+impl Comm {
+    /// This rank's index in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Communication statistics of this rank so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Send `data` to `dest` with `tag`. Buffered (never blocks): the
+    /// substrate's channels are unbounded, like an eager-protocol MPI send
+    /// below the rendezvous threshold.
+    pub fn send<T: Pod>(&mut self, dest: usize, tag: u32, data: &[T]) {
+        assert!(dest < self.size, "send to rank {dest} outside world of {}", self.size);
+        let payload = to_bytes(data);
+        self.stats.record_send(dest, payload.len());
+        self.senders[dest]
+            .send(Envelope { src: self.rank, tag, payload })
+            .expect("receiving rank has exited with messages still in flight");
+    }
+
+    /// Blocking receive of a message from `src` (or [`ANY_SOURCE`]) with
+    /// matching `tag`. Returns `(actual_source, data)`.
+    pub fn recv_any<T: Pod>(&mut self, src: usize, tag: u32) -> (usize, Vec<T>) {
+        // First scan the stash for an already-arrived match (FIFO per
+        // (src, tag) pair preserves MPI ordering).
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| (src == ANY_SOURCE || e.src == src) && e.tag == tag)
+        {
+            let env = self.stash.remove(pos).expect("position is valid");
+            self.stats.record_recv(env.src, env.payload.len());
+            return (env.src, from_bytes(&env.payload));
+        }
+        loop {
+            // A bounded wait instead of a blocking recv: if a peer rank
+            // panicked (or the program deadlocked), an unbounded recv
+            // would hang the whole world forever, because thread::scope
+            // cannot join the blocked rank. Timing out converts that
+            // into a diagnosable panic on this rank.
+            let env = match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => env,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
+                    "rank {} waited {RECV_TIMEOUT:?} for a message from rank {src} (tag {tag}): \
+                     deadlock, or a peer rank exited/panicked",
+                    self.rank
+                ),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    panic!("world torn down while rank {} still waiting in recv", self.rank)
+                }
+            };
+            if (src == ANY_SOURCE || env.src == src) && env.tag == tag {
+                self.stats.record_recv(env.src, env.payload.len());
+                return (env.src, from_bytes(&env.payload));
+            }
+            self.stash.push_back(env);
+        }
+    }
+
+    /// Blocking receive from a specific source.
+    pub fn recv<T: Pod>(&mut self, src: usize, tag: u32) -> Vec<T> {
+        self.recv_any(src, tag).1
+    }
+
+    /// Combined send+receive with the same peer (MPI_Sendrecv) — the
+    /// primitive of the distributed state-vector pair exchange. Deadlock
+    /// free because sends are buffered.
+    pub fn sendrecv<T: Pod>(&mut self, peer: usize, tag: u32, data: &[T]) -> Vec<T> {
+        self.send(peer, tag, data);
+        self.recv(peer, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_every_rank() {
+        let ranks = World::run(8, |c| c.rank());
+        assert_eq!(ranks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_visible_to_ranks() {
+        let sizes = World::run(5, |c| c.size());
+        assert!(sizes.iter().all(|&s| s == 5));
+    }
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its rank to the next; sum arrives back at 0.
+        let results = World::run(6, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, &[c.rank() as u64]);
+            let got = c.recv::<u64>(prev, 7);
+            got[0]
+        });
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).map(|r| r as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        // Rank 0 sends tag 1 then tag 2; rank 1 receives tag 2 first.
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[11u32]);
+                c.send(1, 2, &[22u32]);
+            } else {
+                let two = c.recv::<u32>(0, 2);
+                let one = c.recv::<u32>(0, 1);
+                assert_eq!(two, vec![22]);
+                assert_eq!(one, vec![11]);
+            }
+        });
+    }
+
+    #[test]
+    fn fifo_order_within_tag() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u32 {
+                    c.send(1, 0, &[i]);
+                }
+            } else {
+                for i in 0..100u32 {
+                    assert_eq!(c.recv::<u32>(0, 0), vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_receives_from_all() {
+        World::run(4, |c| {
+            if c.rank() == 0 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..3 {
+                    let (src, data) = c.recv_any::<u64>(ANY_SOURCE, 9);
+                    assert_eq!(data[0] as usize, src);
+                    seen.insert(src);
+                }
+                assert_eq!(seen.len(), 3);
+            } else {
+                c.send(0, 9, &[c.rank() as u64]);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_pairwise_exchange() {
+        let results = World::run(4, |c| {
+            let peer = c.rank() ^ 1;
+            let got = c.sendrecv(peer, 3, &[c.rank() as u64 * 10]);
+            got[0]
+        });
+        assert_eq!(results, vec![10, 0, 30, 20]);
+    }
+
+    #[test]
+    fn stats_count_bytes_and_messages() {
+        let (_, stats) = World::run_with_stats(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &[0u8; 1000]);
+            } else {
+                let _ = c.recv::<u8>(0, 0);
+            }
+        });
+        assert_eq!(stats[0].bytes_sent, 1000);
+        assert_eq!(stats[0].messages_sent, 1);
+        assert_eq!(stats[1].bytes_received, 1000);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let r = World::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            42
+        });
+        assert_eq!(r, vec![42]);
+    }
+
+    #[test]
+    fn self_send() {
+        World::run(1, |c| {
+            c.send(0, 5, &[1.25f64, 2.5]);
+            assert_eq!(c.recv::<f64>(0, 5), vec![1.25, 2.5]);
+        });
+    }
+}

@@ -1,0 +1,41 @@
+//! `mpi-sim`: an in-process message-passing substrate with an MPI-shaped
+//! API.
+//!
+//! The distributed experiments of the reproduction need MPI semantics —
+//! ranks, point-to-point messages with tag matching, and collectives —
+//! but the paper's Fujitsu-MPI-on-Tofu-D stack is not available
+//! (reproduction band: "MPI support weaker"). This crate runs each rank
+//! as an OS thread inside one process:
+//!
+//! * [`World::run`] — spawn `n` ranks, each executing the same closure
+//!   with its own [`Comm`]; per-rank return values are collected.
+//! * [`Comm`] — `send`/`recv`/`sendrecv` with `(source, tag)` matching and
+//!   out-of-order stashing, plus `barrier`, `bcast`, `gather`, `allgather`,
+//!   `allreduce`, `alltoall`, `reduce`.
+//! * [`Pod`] — the plain-old-data marker used to move typed slices
+//!   through byte channels without serialization frameworks.
+//! * [`network`] — an α–β (latency–bandwidth) cost model parameterized to
+//!   Tofu-D, which converts the bytes/messages each rank actually moved
+//!   (recorded by [`CommStats`]) into *predicted* interconnect time, so
+//!   communication-fraction figures keep the shape they would have on the
+//!   real machine.
+//!
+//! Semantics match MPI where it matters for correctness: message order
+//! between a fixed (sender, receiver, tag) triple is preserved, `recv`
+//! blocks, collectives synchronize all ranks of the world.
+
+pub mod collectives;
+pub mod comm;
+pub mod datatype;
+pub mod network;
+pub mod nonblocking;
+pub mod stats;
+
+pub use comm::{Comm, World};
+pub use nonblocking::RecvRequest;
+pub use datatype::Pod;
+pub use network::{NetworkModel, TofuParams};
+pub use stats::CommStats;
+
+#[cfg(test)]
+mod proptests;

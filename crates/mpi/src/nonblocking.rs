@@ -1,0 +1,152 @@
+//! Non-blocking point-to-point operations.
+//!
+//! MPI codes overlap communication with computation via
+//! `MPI_Isend`/`MPI_Irecv` + `MPI_Wait`. In this substrate sends are
+//! already asynchronous (buffered channels), so `isend` completes
+//! immediately; `irecv` returns a [`RecvRequest`] that the caller
+//! completes with [`Comm::wait`] — matching arrives in the same
+//! stash-aware order as blocking receives, so mixing blocking and
+//! non-blocking traffic is safe.
+
+use crate::comm::Comm;
+use crate::datatype::Pod;
+
+/// A pending receive.
+///
+/// Completed by [`Comm::wait`]; dropping an unwaited request is allowed
+/// (the message, when it arrives, stays in the unexpected queue for a
+/// later matching receive — MPI would call this a cancelled request).
+#[derive(Debug)]
+#[must_use = "a receive request does nothing until waited on"]
+pub struct RecvRequest {
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+}
+
+impl Comm {
+    /// Non-blocking send. The substrate's sends are buffered, so the
+    /// operation completes immediately; provided for API parity with
+    /// MPI codes being ported.
+    pub fn isend<T: Pod>(&mut self, dest: usize, tag: u32, data: &[T]) {
+        self.send(dest, tag, data);
+    }
+
+    /// Post a receive for `(src, tag)`; completion is deferred to
+    /// [`Comm::wait`]. Use [`ANY_SOURCE`] to match any sender.
+    pub fn irecv(&mut self, src: usize, tag: u32) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    /// Complete a pending receive, blocking until the message arrives.
+    /// Returns `(actual_source, data)`.
+    pub fn wait<T: Pod>(&mut self, req: RecvRequest) -> (usize, Vec<T>) {
+        self.recv_any(req.src, req.tag)
+    }
+
+    /// Complete a batch of pending receives in order.
+    pub fn waitall<T: Pod>(&mut self, reqs: Vec<RecvRequest>) -> Vec<(usize, Vec<T>)> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::{World, ANY_SOURCE};
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(1, 5, &[1.5f64, 2.5]);
+            } else {
+                let req = c.irecv(0, 5);
+                let (src, data) = c.wait::<f64>(req);
+                assert_eq!(src, 0);
+                assert_eq!(data, vec![1.5, 2.5]);
+            }
+        });
+    }
+
+    #[test]
+    fn overlap_computation_with_pending_receive() {
+        // The classic pattern: post irecv, compute, then wait.
+        let results = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(1, 1, &[42u64]);
+                0
+            } else {
+                let req = c.irecv(0, 1);
+                // "Computation" happens while the message is in flight.
+                let local: u64 = (0..1000).sum();
+                let (_, data) = c.wait::<u64>(req);
+                local + data[0]
+            }
+        });
+        assert_eq!(results[1], 499500 + 42);
+    }
+
+    #[test]
+    fn waitall_preserves_request_order() {
+        World::run(3, |c| {
+            if c.rank() == 0 {
+                let reqs = vec![c.irecv(1, 7), c.irecv(2, 7)];
+                let got = c.waitall::<u64>(reqs);
+                assert_eq!(got[0], (1, vec![10]));
+                assert_eq!(got[1], (2, vec![20]));
+            } else {
+                let payload = [c.rank() as u64 * 10];
+                c.isend(0, 7, &payload);
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_request() {
+        World::run(4, |c| {
+            if c.rank() == 0 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..3 {
+                    let req = c.irecv(ANY_SOURCE, 2);
+                    let (src, _) = c.wait::<u8>(req);
+                    seen.insert(src);
+                }
+                assert_eq!(seen.len(), 3);
+            } else {
+                c.isend(0, 2, &[1u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_request_message_stays_matchable() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(1, 9, &[7u32]);
+            } else {
+                {
+                    let _dropped = c.irecv(0, 9);
+                } // request cancelled without waiting
+                // A later blocking receive still gets the message.
+                assert_eq!(c.recv::<u32>(0, 9), vec![7]);
+            }
+        });
+    }
+
+    #[test]
+    fn mixing_blocking_and_nonblocking_traffic() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[1u64]);
+                c.isend(1, 2, &[2u64]);
+                c.send(1, 3, &[3u64]);
+            } else {
+                // Receive out of order via requests + blocking calls.
+                let r3 = c.irecv(0, 3);
+                let two = c.recv::<u64>(0, 2);
+                let (_, three) = c.wait::<u64>(r3);
+                let one = c.recv::<u64>(0, 1);
+                assert_eq!((one[0], two[0], three[0]), (1, 2, 3));
+            }
+        });
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the message-passing substrate.
+
+use proptest::prelude::*;
+
+use crate::collectives::ReduceOp;
+use crate::comm::World;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload of f64 survives a round trip through a peer rank.
+    #[test]
+    fn payload_roundtrip_through_peer(
+        data in prop::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..200),
+    ) {
+        let data2 = data.clone();
+        let results = World::run(2, move |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &data2);
+                Vec::new()
+            } else {
+                c.recv::<f64>(0, 0)
+            }
+        });
+        prop_assert_eq!(&results[1], &data);
+    }
+
+    /// allgather returns identical, rank-ordered content on every rank,
+    /// for any world size 1..=8 and any per-rank payload length.
+    #[test]
+    fn allgather_consistent(n in 1usize..=8, len in 0usize..16) {
+        let results = World::run(n, move |c| {
+            let mine: Vec<u64> = (0..len).map(|i| (c.rank() * 1000 + i) as u64).collect();
+            c.allgather(&mine)
+        });
+        let expected: Vec<u64> = (0..n)
+            .flat_map(|r| (0..len).map(move |i| (r * 1000 + i) as u64))
+            .collect();
+        for r in &results {
+            prop_assert_eq!(r, &expected);
+        }
+    }
+
+    /// allreduce(sum) equals the serial sum for any world size and data.
+    #[test]
+    fn allreduce_sum_matches_serial(
+        n in 1usize..=8,
+        vals in prop::collection::vec(-1.0e3f64..1.0e3, 8),
+    ) {
+        let vals_c = vals.clone();
+        let results = World::run(n, move |c| c.allreduce_scalar(ReduceOp::Sum, vals_c[c.rank()]));
+        let serial: f64 = vals[..n].iter().sum();
+        for r in &results {
+            prop_assert!((r - serial).abs() < 1e-9, "r={} serial={}", r, serial);
+        }
+    }
+
+    /// alltoall is an exact transpose for any world size.
+    #[test]
+    fn alltoall_is_transpose(n in 1usize..=8) {
+        let results = World::run(n, move |c| {
+            let me = c.rank() as u64;
+            let chunks: Vec<Vec<u64>> = (0..n).map(|r| vec![me * 100 + r as u64]).collect();
+            c.alltoall(&chunks)
+        });
+        for (r, recvd) in results.iter().enumerate() {
+            for (s, chunk) in recvd.iter().enumerate() {
+                prop_assert_eq!(chunk[0], s as u64 * 100 + r as u64);
+            }
+        }
+    }
+
+    /// scatter partitions the root's data exactly.
+    #[test]
+    fn scatter_partitions(n in 1usize..=8, chunk in 1usize..8) {
+        let results = World::run(n, move |c| {
+            let data: Vec<u64> = (0..(n * chunk) as u64).collect();
+            c.scatter(0, if c.rank() == 0 { Some(&data[..]) } else { None })
+        });
+        for (r, mine) in results.iter().enumerate() {
+            let expect: Vec<u64> = ((r * chunk) as u64..((r + 1) * chunk) as u64).collect();
+            prop_assert_eq!(mine, &expect);
+        }
+    }
+
+    /// exscan yields exclusive prefix sums for arbitrary contributions.
+    #[test]
+    fn exscan_prefixes(n in 1usize..=8, vals in prop::collection::vec(-100.0f64..100.0, 8)) {
+        let vals_c = vals.clone();
+        let results = World::run(n, move |c| c.exscan_sum(vals_c[c.rank()]));
+        let mut acc = 0.0;
+        for (r, &got) in results.iter().enumerate() {
+            prop_assert!((got - acc).abs() < 1e-9, "rank {}: {} vs {}", r, got, acc);
+            acc += vals[r];
+        }
+    }
+
+    /// bcast delivers the root's payload unchanged for every (n, root).
+    #[test]
+    fn bcast_delivers(n in 1usize..=8, root_seed in 0usize..8, len in 0usize..32) {
+        let root = root_seed % n;
+        let payload: Vec<u64> = (0..len as u64).map(|i| i * 3 + 1).collect();
+        let payload_c = payload.clone();
+        let results = World::run(n, move |c| {
+            let mut buf = if c.rank() == root { payload_c.clone() } else { Vec::new() };
+            c.bcast(root, &mut buf);
+            buf
+        });
+        for r in &results {
+            prop_assert_eq!(r, &payload);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Communication accounting.
+//!
+//! Every byte a rank sends or receives is recorded here; the network model
+//! converts these totals into predicted Tofu-D time. This is the bridge
+//! between "what the algorithm communicated" (exact, measured in-process)
+//! and "what it would cost on the real interconnect" (modelled).
+
+use parking_lot::Mutex;
+
+/// Per-rank communication counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    pub messages_sent: u64,
+    pub messages_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    /// Histogram of destination ranks (index = dest).
+    pub sends_by_dest: Vec<u64>,
+}
+
+impl CommStats {
+    pub(crate) fn record_send(&mut self, dest: usize, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        if self.sends_by_dest.len() <= dest {
+            self.sends_by_dest.resize(dest + 1, 0);
+        }
+        self.sends_by_dest[dest] += 1;
+    }
+
+    pub(crate) fn record_recv(&mut self, _src: usize, bytes: usize) {
+        self.messages_received += 1;
+        self.bytes_received += bytes as u64;
+    }
+
+    /// Merge another rank's counters (for world-level aggregation).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        if self.sends_by_dest.len() < other.sends_by_dest.len() {
+            self.sends_by_dest.resize(other.sends_by_dest.len(), 0);
+        }
+        for (d, &n) in other.sends_by_dest.iter().enumerate() {
+            self.sends_by_dest[d] += n;
+        }
+    }
+}
+
+/// Shared collector for a whole world's per-rank statistics.
+#[derive(Debug)]
+pub struct WorldStats {
+    per_rank: Mutex<Vec<CommStats>>,
+}
+
+impl WorldStats {
+    pub fn new(n_ranks: usize) -> WorldStats {
+        WorldStats { per_rank: Mutex::new(vec![CommStats::default(); n_ranks]) }
+    }
+
+    /// Record rank `rank`'s final counters.
+    pub fn absorb(&self, rank: usize, stats: &CommStats) {
+        let mut g = self.per_rank.lock();
+        g[rank] = stats.clone();
+    }
+
+    /// Snapshot all ranks' counters.
+    pub fn snapshot(&self) -> Vec<CommStats> {
+        self.per_rank.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = CommStats::default();
+        a.record_send(3, 100);
+        a.record_send(3, 50);
+        a.record_recv(1, 10);
+        assert_eq!(a.messages_sent, 2);
+        assert_eq!(a.bytes_sent, 150);
+        assert_eq!(a.sends_by_dest[3], 2);
+
+        let mut b = CommStats::default();
+        b.record_send(5, 7);
+        b.merge(&a);
+        assert_eq!(b.messages_sent, 3);
+        assert_eq!(b.bytes_sent, 157);
+        assert_eq!(b.sends_by_dest[3], 2);
+        assert_eq!(b.sends_by_dest[5], 1);
+    }
+
+    #[test]
+    fn world_stats_snapshot() {
+        let ws = WorldStats::new(2);
+        let mut s = CommStats::default();
+        s.record_send(0, 42);
+        ws.absorb(1, &s);
+        let snap = ws.snapshot();
+        assert_eq!(snap[0], CommStats::default());
+        assert_eq!(snap[1].bytes_sent, 42);
+    }
+}

@@ -1,0 +1,191 @@
+//! CMG-aware thread placement.
+//!
+//! The A64FX groups its 48 compute cores into four *Core Memory Groups*
+//! (CMGs), each with a private 8 MiB L2 slice and its own HBM2 stack
+//! (256 GB/s). Where threads are placed relative to CMGs determines how
+//! much of the chip's bandwidth a parallel loop can reach — the axis the
+//! authors probe with `compact` vs `scatter`-style bindings.
+//!
+//! This module computes the *logical* placement map (thread → (CMG,
+//! core-in-CMG)); the performance consequences are evaluated by
+//! `a64fx-model`, not by actually pinning OS threads (commodity hosts
+//! don't have CMGs to pin to).
+
+/// The CMG/core structure of a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmgTopology {
+    /// Number of core memory groups (A64FX: 4).
+    pub n_cmgs: usize,
+    /// Compute cores per CMG (A64FX: 12).
+    pub cores_per_cmg: usize,
+}
+
+impl CmgTopology {
+    /// The A64FX topology: 4 CMGs × 12 compute cores.
+    pub const A64FX: CmgTopology = CmgTopology { n_cmgs: 4, cores_per_cmg: 12 };
+
+    /// Total compute cores.
+    pub fn total_cores(self) -> usize {
+        self.n_cmgs * self.cores_per_cmg
+    }
+}
+
+/// Thread→core binding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fill a CMG before moving to the next (`OMP_PROC_BIND=close`):
+    /// threads 0..11 on CMG0, 12..23 on CMG1, …
+    Compact,
+    /// Round-robin across CMGs (`OMP_PROC_BIND=spread`): thread `t` on CMG
+    /// `t mod n_cmgs`. Maximizes reachable bandwidth at low thread counts.
+    Scatter,
+}
+
+/// A placement of `n_threads` onto a topology.
+#[derive(Debug, Clone)]
+pub struct AffinityMap {
+    topology: CmgTopology,
+    /// `cmg_of[t]` = CMG index of thread `t`.
+    cmg_of: Vec<usize>,
+    /// `core_of[t]` = global core index of thread `t`.
+    core_of: Vec<usize>,
+}
+
+impl AffinityMap {
+    /// Compute the placement of `n_threads` threads under `policy`.
+    ///
+    /// Panics if `n_threads` exceeds the topology's core count — the
+    /// A64FX runs one thread per core (no SMT).
+    pub fn new(topology: CmgTopology, n_threads: usize, policy: Placement) -> AffinityMap {
+        assert!(
+            n_threads <= topology.total_cores(),
+            "A64FX has no SMT: at most {} threads on this topology, got {}",
+            topology.total_cores(),
+            n_threads
+        );
+        let mut cmg_of = Vec::with_capacity(n_threads);
+        let mut core_of = Vec::with_capacity(n_threads);
+        match policy {
+            Placement::Compact => {
+                for t in 0..n_threads {
+                    let cmg = t / topology.cores_per_cmg;
+                    cmg_of.push(cmg);
+                    core_of.push(t);
+                }
+            }
+            Placement::Scatter => {
+                // Thread t → CMG (t % n_cmgs), next free core in that CMG.
+                let mut next_core_in_cmg = vec![0usize; topology.n_cmgs];
+                for t in 0..n_threads {
+                    let cmg = t % topology.n_cmgs;
+                    let core_in_cmg = next_core_in_cmg[cmg];
+                    next_core_in_cmg[cmg] += 1;
+                    cmg_of.push(cmg);
+                    core_of.push(cmg * topology.cores_per_cmg + core_in_cmg);
+                }
+            }
+        }
+        AffinityMap { topology, cmg_of, core_of }
+    }
+
+    /// Number of threads placed.
+    pub fn n_threads(&self) -> usize {
+        self.cmg_of.len()
+    }
+
+    /// The topology this map was built for.
+    pub fn topology(&self) -> CmgTopology {
+        self.topology
+    }
+
+    /// CMG index of thread `t`.
+    pub fn cmg_of(&self, t: usize) -> usize {
+        self.cmg_of[t]
+    }
+
+    /// Global core index of thread `t`.
+    pub fn core_of(&self, t: usize) -> usize {
+        self.core_of[t]
+    }
+
+    /// Number of distinct CMGs that have at least one thread.
+    pub fn active_cmgs(&self) -> usize {
+        let mut seen = vec![false; self.topology.n_cmgs];
+        for &c in &self.cmg_of {
+            seen[c] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Thread counts per CMG.
+    pub fn threads_per_cmg(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.topology.n_cmgs];
+        for &c in &self.cmg_of {
+            counts[c] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a64fx_topology() {
+        assert_eq!(CmgTopology::A64FX.total_cores(), 48);
+    }
+
+    #[test]
+    fn compact_fills_cmgs_in_order() {
+        let m = AffinityMap::new(CmgTopology::A64FX, 24, Placement::Compact);
+        assert_eq!(m.cmg_of(0), 0);
+        assert_eq!(m.cmg_of(11), 0);
+        assert_eq!(m.cmg_of(12), 1);
+        assert_eq!(m.cmg_of(23), 1);
+        assert_eq!(m.active_cmgs(), 2);
+        assert_eq!(m.threads_per_cmg(), vec![12, 12, 0, 0]);
+    }
+
+    #[test]
+    fn scatter_spreads_across_cmgs() {
+        let m = AffinityMap::new(CmgTopology::A64FX, 4, Placement::Scatter);
+        assert_eq!(m.active_cmgs(), 4);
+        assert_eq!(m.threads_per_cmg(), vec![1, 1, 1, 1]);
+        // Same thread count compact reaches only one CMG's bandwidth.
+        let c = AffinityMap::new(CmgTopology::A64FX, 4, Placement::Compact);
+        assert_eq!(c.active_cmgs(), 1);
+    }
+
+    #[test]
+    fn scatter_core_assignment_unique() {
+        let m = AffinityMap::new(CmgTopology::A64FX, 48, Placement::Scatter);
+        let mut cores: Vec<usize> = (0..48).map(|t| m.core_of(t)).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 48, "no core is double-booked");
+    }
+
+    #[test]
+    fn full_chip_placements_agree_on_counts() {
+        for policy in [Placement::Compact, Placement::Scatter] {
+            let m = AffinityMap::new(CmgTopology::A64FX, 48, policy);
+            assert_eq!(m.threads_per_cmg(), vec![12, 12, 12, 12], "{policy:?}");
+            assert_eq!(m.active_cmgs(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no SMT")]
+    fn oversubscription_panics() {
+        let _ = AffinityMap::new(CmgTopology::A64FX, 49, Placement::Compact);
+    }
+
+    #[test]
+    fn single_thread() {
+        let m = AffinityMap::new(CmgTopology::A64FX, 1, Placement::Scatter);
+        assert_eq!(m.n_threads(), 1);
+        assert_eq!(m.cmg_of(0), 0);
+        assert_eq!(m.active_cmgs(), 1);
+    }
+}

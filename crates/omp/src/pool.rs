@@ -1,0 +1,578 @@
+//! A persistent worker pool with OpenMP parallel-region semantics.
+//!
+//! The calling thread is the *master* (OpenMP thread 0) and participates in
+//! every region; `n_threads - 1` persistent workers cover the rest. A
+//! region is a borrowed closure run once per thread with that thread's
+//! index — exactly `#pragma omp parallel`. Worksharing
+//! ([`ThreadPool::parallel_for`], [`ThreadPool::parallel_reduce`]) layers
+//! the [`Schedule`] rules on top.
+//!
+//! Dispatch hands workers a raw pointer to the borrowed region closure.
+//! This is sound because the master blocks until every worker has
+//! acknowledged completion before the region returns, so the closure
+//! outlives all uses (the same invariant `std::thread::scope` enforces,
+//! without re-spawning threads per region).
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::schedule::{static_block, static_cyclic, Schedule, WorkCounter};
+
+/// A region closure: called with the thread index.
+type RegionFn<'a> = dyn Fn(usize) + Sync + 'a;
+
+/// Message sent to workers.
+enum Msg {
+    /// Run the region at this pointer, as thread `thread_idx`.
+    Run { region: *const RegionFn<'static>, thread_idx: usize },
+    /// Shut down the worker.
+    Exit,
+}
+
+// SAFETY: the pointer is only dereferenced while the master blocks in
+// `run_region`, which keeps the pointee alive; Sync bounds on the closure
+// make shared calls safe.
+unsafe impl Send for Msg {}
+
+/// Result of one worker's region execution.
+enum Ack {
+    Done,
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// A persistent pool of `n_threads - 1` workers plus the calling master
+/// thread.
+pub struct ThreadPool {
+    n_threads: usize,
+    senders: Vec<Sender<Msg>>,
+    ack_rx: Receiver<Ack>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a pool that runs regions on `n_threads` threads total
+    /// (including the caller). `n_threads` must be at least 1.
+    pub fn new(n_threads: usize) -> ThreadPool {
+        assert!(n_threads >= 1, "a pool needs at least the master thread");
+        let (ack_tx, ack_rx) = unbounded::<Ack>();
+        let mut senders = Vec::with_capacity(n_threads - 1);
+        let mut handles = Vec::with_capacity(n_threads - 1);
+        for w in 1..n_threads {
+            let (tx, rx) = bounded::<Msg>(1);
+            let ack = ack_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("omp-worker-{w}"))
+                .spawn(move || worker_loop(rx, ack))
+                .expect("spawn pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ThreadPool { n_threads, senders, ack_rx, handles }
+    }
+
+    /// Total threads in the pool (master + workers).
+    pub fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run `region(thread_idx)` once on every thread, blocking until all
+    /// have finished — `#pragma omp parallel`.
+    ///
+    /// If any thread panics, the panic is re-raised on the master after
+    /// all threads have finished the region.
+    pub fn run_region<'a, F>(&self, region: F)
+    where
+        F: Fn(usize) + Sync + 'a,
+    {
+        if self.n_threads == 1 {
+            region(0);
+            return;
+        }
+        let region_ref: &RegionFn<'a> = &region;
+        // SAFETY: we erase the lifetime to ship the pointer to workers; the
+        // blocking ack loop below guarantees no worker touches it after
+        // this function returns.
+        let region_ptr: *const RegionFn<'static> = unsafe {
+            std::mem::transmute::<*const RegionFn<'a>, *const RegionFn<'static>>(region_ref)
+        };
+        for (w, tx) in self.senders.iter().enumerate() {
+            tx.send(Msg::Run { region: region_ptr, thread_idx: w + 1 })
+                .expect("worker hung up");
+        }
+        // The master participates as thread 0, and must not unwind past
+        // the ack loop.
+        let master_result = catch_unwind(AssertUnwindSafe(|| region_ref(0)));
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..self.senders.len() {
+            match self.ack_rx.recv().expect("worker hung up") {
+                Ack::Done => {}
+                Ack::Panicked(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Err(p) = master_result {
+            resume_unwind(p);
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Workshare `range` across the pool under `sched`, calling
+    /// `body(chunk)` for each assigned chunk — `#pragma omp for`.
+    pub fn parallel_for<'a, F>(&self, range: Range<usize>, sched: Schedule, body: F)
+    where
+        F: Fn(Range<usize>) + Sync + 'a,
+    {
+        let n = self.n_threads;
+        let counter = WorkCounter::new();
+        let range_ref = &range;
+        let body_ref = &body;
+        let counter_ref = &counter;
+        self.run_region(move |t| {
+            run_share_fn(range_ref.clone(), sched, t, n, counter_ref, body_ref)
+        });
+    }
+
+    /// Like [`ThreadPool::parallel_for`], but the body also receives the
+    /// executing thread's index — for thread-local accumulators and
+    /// instrumentation.
+    pub fn parallel_for_indexed<'a, F>(&self, range: Range<usize>, sched: Schedule, body: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync + 'a,
+    {
+        let n = self.n_threads;
+        let counter = WorkCounter::new();
+        let range_ref = &range;
+        let body_ref = &body;
+        let counter_ref = &counter;
+        self.run_region(move |t| {
+            let mut adapter = |r: Range<usize>| body_ref(t, r);
+            run_share(range_ref.clone(), sched, t, n, counter_ref, &mut adapter);
+        });
+    }
+
+    /// Workshare with per-thread load statistics: how many chunks and
+    /// iterations each thread executed — the observability the
+    /// scheduling experiments (E2) need to explain dynamic-vs-static
+    /// behaviour.
+    pub fn parallel_for_stats<'a, F>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        body: F,
+    ) -> ScheduleStats
+    where
+        F: Fn(Range<usize>) + Sync + 'a,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let chunks: Vec<AtomicUsize> = (0..self.n_threads).map(|_| AtomicUsize::new(0)).collect();
+        let iters: Vec<AtomicUsize> = (0..self.n_threads).map(|_| AtomicUsize::new(0)).collect();
+        self.parallel_for_indexed(range, sched, |t, r| {
+            chunks[t].fetch_add(1, Ordering::Relaxed);
+            iters[t].fetch_add(r.len(), Ordering::Relaxed);
+            body(r);
+        });
+        ScheduleStats {
+            chunks_per_thread: chunks.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            iters_per_thread: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Workshared map-reduce: each thread folds its chunks into a local
+    /// accumulator (`identity()` + `fold`); the master combines the
+    /// per-thread accumulators **in thread order**, so the result is
+    /// deterministic for a fixed thread count.
+    pub fn parallel_reduce<'a, T, I, F, C>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        identity: I,
+        fold: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send + 'a,
+        I: Fn() -> T + Sync + 'a,
+        F: Fn(T, Range<usize>) -> T + Sync + 'a,
+        C: Fn(T, T) -> T + 'a,
+    {
+        let n = self.n_threads;
+        let locals: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let counter = WorkCounter::new();
+        {
+            let range_ref = &range;
+            let locals_ref = &locals;
+            let identity_ref = &identity;
+            let fold_ref = &fold;
+            let counter_ref = &counter;
+            self.run_region(move |t| {
+                let mut acc = identity_ref();
+                run_share(range_ref.clone(), sched, t, n, counter_ref, &mut |r: Range<usize>| {
+                    // `fold` moves the accumulator; route through Option to
+                    // keep the closure Fn-compatible.
+                    let taken = std::mem::replace(&mut acc, identity_ref());
+                    acc = fold_ref(taken, r);
+                });
+                *locals_ref[t].lock() = Some(acc);
+            });
+        }
+        let mut result = identity();
+        for slot in locals {
+            if let Some(local) = slot.into_inner() {
+                result = combine(result, local);
+            }
+        }
+        result
+    }
+}
+
+/// Per-thread load report from [`ThreadPool::parallel_for_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Chunks executed by each thread.
+    pub chunks_per_thread: Vec<usize>,
+    /// Iterations executed by each thread.
+    pub iters_per_thread: Vec<usize>,
+}
+
+impl ScheduleStats {
+    /// Total iterations executed.
+    pub fn total_iters(&self) -> usize {
+        self.iters_per_thread.iter().sum()
+    }
+
+    /// Load imbalance: max/mean iterations per thread (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.iters_per_thread.iter().max().unwrap_or(&0) as f64;
+        let mean = self.total_iters() as f64 / self.iters_per_thread.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Execute thread `t`'s share of `range` under `sched`.
+fn run_share(
+    range: Range<usize>,
+    sched: Schedule,
+    t: usize,
+    n: usize,
+    counter: &WorkCounter,
+    body: &mut dyn FnMut(Range<usize>),
+) {
+    match sched {
+        Schedule::Static { chunk: None } => {
+            let blk = static_block(&range, t, n);
+            if !blk.is_empty() {
+                body(blk);
+            }
+        }
+        Schedule::Static { chunk: Some(c) } => {
+            for blk in static_cyclic(range, c.max(1), t, n) {
+                body(blk);
+            }
+        }
+        Schedule::Dynamic { chunk } => {
+            let len = range.len();
+            while let Some(r) = counter.claim(len, chunk.max(1)) {
+                body(range.start + r.start..range.start + r.end);
+            }
+        }
+        Schedule::Guided { min_chunk } => {
+            let len = range.len();
+            while let Some(r) = counter.claim_guided(len, n, min_chunk) {
+                body(range.start + r.start..range.start + r.end);
+            }
+        }
+    }
+}
+
+/// Immutable-body adapter for `run_share` (the common parallel_for path).
+fn run_share_fn(
+    range: Range<usize>,
+    sched: Schedule,
+    t: usize,
+    n: usize,
+    counter: &WorkCounter,
+    body: &(dyn Fn(Range<usize>) + Sync),
+) {
+    let mut adapter = |r: Range<usize>| body(r);
+    run_share(range, sched, t, n, counter, &mut adapter);
+}
+
+fn worker_loop(rx: Receiver<Msg>, ack: Sender<Ack>) {
+    loop {
+        match rx.recv() {
+            Ok(Msg::Run { region, thread_idx }) => {
+                // SAFETY: see `run_region` — master keeps the closure alive
+                // until our ack is received.
+                let f = unsafe { &*region };
+                let result = catch_unwind(AssertUnwindSafe(|| f(thread_idx)));
+                let msg = match result {
+                    Ok(()) => Ack::Done,
+                    Err(p) => Ack::Panicked(p),
+                };
+                if ack.send(msg).is_err() {
+                    return; // pool dropped mid-ack; nothing to do
+                }
+            }
+            Ok(Msg::Exit) | Err(_) => return,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Exit);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A process-wide shared pool sized to the host's parallelism, for callers
+/// that don't manage their own.
+pub fn global_pool() -> Arc<ThreadPool> {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Arc::new(ThreadPool::new(n))
+    })
+    .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn region_runs_every_thread_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_region(|t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hit = AtomicUsize::new(0);
+        pool.run_region(|t| {
+            assert_eq!(t, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_reusable_across_regions() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run_region(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+
+    fn check_sum(pool: &ThreadPool, n: usize, sched: Schedule) {
+        let data: Vec<u64> = (0..n as u64).collect();
+        let total = AtomicU64::new(0);
+        pool.parallel_for(0..n, sched, |r| {
+            let s: u64 = data[r].iter().sum();
+            total.fetch_add(s, Ordering::Relaxed);
+        });
+        let expect = (n as u64).saturating_sub(1) * (n as u64) / 2;
+        assert_eq!(total.load(Ordering::Relaxed), expect, "{sched:?} n={n}");
+    }
+
+    #[test]
+    fn parallel_for_all_schedules_cover_range() {
+        let pool = ThreadPool::new(5);
+        for n in [0usize, 1, 4, 5, 1000, 1001] {
+            check_sum(&pool, n, Schedule::Static { chunk: None });
+            check_sum(&pool, n, Schedule::Static { chunk: Some(3) });
+            check_sum(&pool, n, Schedule::Dynamic { chunk: 7 });
+            check_sum(&pool, n, Schedule::Guided { min_chunk: 2 });
+        }
+    }
+
+    #[test]
+    fn parallel_for_disjoint_writes() {
+        // Each index written exactly once ⇒ no chunk overlap.
+        let pool = ThreadPool::new(7);
+        let n = 4097;
+        let data: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(5) },
+            Schedule::Dynamic { chunk: 13 },
+            Schedule::Guided { min_chunk: 4 },
+        ] {
+            pool.parallel_for(0..n, sched, |r| {
+                for i in r {
+                    data[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for d in &data {
+            assert_eq!(d.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_sum() {
+        let pool = ThreadPool::new(4);
+        let n = 100_000usize;
+        let sum = pool.parallel_reduce(
+            0..n,
+            Schedule::Static { chunk: None },
+            || 0u64,
+            |acc, r| acc + r.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn parallel_reduce_deterministic_float_order() {
+        // Combining in thread order makes FP reduction reproducible run to
+        // run for a fixed thread count.
+        let pool = ThreadPool::new(6);
+        let n = 10_000usize;
+        let run = || {
+            pool.parallel_reduce(
+                0..n,
+                Schedule::Static { chunk: None },
+                || 0.0f64,
+                |acc, r| acc + r.map(|i| (i as f64).sqrt()).sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn panic_in_region_propagates() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region(|t| {
+                if t == 2 {
+                    panic!("worker bang");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable after a panic.
+        let count = AtomicUsize::new(0);
+        pool.run_region(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panic_on_master_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region(|t| {
+                if t == 0 {
+                    panic!("master bang");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global_pool();
+        let b = global_pool();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.num_threads() >= 1);
+    }
+
+    #[test]
+    fn indexed_body_sees_valid_thread_ids() {
+        let pool = ThreadPool::new(4);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        pool.parallel_for_indexed(0..1000, Schedule::Static { chunk: None }, |t, _| {
+            assert!(t < 4);
+            seen.lock().insert(t);
+        });
+        // Static default: every thread gets one chunk.
+        assert_eq!(seen.lock().len(), 4);
+    }
+
+    #[test]
+    fn stats_cover_the_range_exactly() {
+        let pool = ThreadPool::new(3);
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(7) },
+            Schedule::Dynamic { chunk: 11 },
+            Schedule::Guided { min_chunk: 5 },
+        ] {
+            let stats = pool.parallel_for_stats(0..1000, sched, |_r| {});
+            assert_eq!(stats.total_iters(), 1000, "{sched:?}");
+            assert_eq!(stats.iters_per_thread.len(), 3);
+        }
+    }
+
+    #[test]
+    fn static_default_is_perfectly_balanced() {
+        let pool = ThreadPool::new(4);
+        let stats = pool.parallel_for_stats(0..1000, Schedule::Static { chunk: None }, |_| {});
+        assert!(stats.imbalance() <= 250.0 / 250.0 + 0.01, "{stats:?}");
+        // One chunk per thread.
+        assert!(stats.chunks_per_thread.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn static_cyclic_produces_many_chunks() {
+        let pool = ThreadPool::new(2);
+        let stats = pool.parallel_for_stats(0..100, Schedule::Static { chunk: Some(5) }, |_| {});
+        assert_eq!(stats.chunks_per_thread.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn dynamic_schedule_balances_skewed_work() {
+        // With heavily skewed per-index cost, dynamic scheduling must let
+        // multiple threads contribute. We verify all work is done and at
+        // least 2 distinct threads ran chunks (statistically certain with
+        // 64 chunks).
+        let pool = ThreadPool::new(4);
+        let ran_by = Mutex::new(std::collections::HashSet::new());
+        let done = AtomicUsize::new(0);
+        pool.parallel_for(0..64, Schedule::Dynamic { chunk: 1 }, |r| {
+            // Identify the current thread by its pool name / id hash.
+            let id = std::thread::current().id();
+            ran_by.lock().insert(format!("{id:?}"));
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            done.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+        assert!(ran_by.lock().len() >= 2, "dynamic scheduling used only one thread");
+    }
+}

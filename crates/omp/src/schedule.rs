@@ -1,0 +1,253 @@
+//! OpenMP worksharing schedules.
+//!
+//! Reproduces the iteration-assignment rules of
+//! `#pragma omp for schedule(...)`:
+//!
+//! * `Static { chunk: None }` — one contiguous block per thread (OpenMP's
+//!   default static schedule).
+//! * `Static { chunk: Some(c) }` — block-cyclic: thread `t` executes chunks
+//!   `t, t+T, t+2T, …` of size `c`. The chunk size is the "thread stride"
+//!   axis studied in the authors' miniapp paper.
+//! * `Dynamic { chunk }` — threads grab the next `chunk` iterations from a
+//!   shared counter.
+//! * `Guided { min_chunk }` — like dynamic but the grabbed chunk shrinks
+//!   proportionally to the remaining work.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worksharing schedule, mirroring OpenMP's `schedule` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous block per thread (`None`) or block-cyclic with the given
+    /// chunk size.
+    Static { chunk: Option<usize> },
+    /// First-come-first-served chunks of the given size.
+    Dynamic { chunk: usize },
+    /// Shrinking chunks, never below `min_chunk`.
+    Guided { min_chunk: usize },
+}
+
+impl Schedule {
+    /// The OpenMP default: `schedule(static)`.
+    pub fn default_static() -> Schedule {
+        Schedule::Static { chunk: None }
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::default_static()
+    }
+}
+
+/// Shared per-region state for dynamic/guided scheduling.
+#[derive(Debug)]
+pub struct WorkCounter {
+    next: AtomicUsize,
+}
+
+impl WorkCounter {
+    pub fn new() -> WorkCounter {
+        WorkCounter { next: AtomicUsize::new(0) }
+    }
+
+    /// Claim the next `chunk` iterations of `0..len`; returns the claimed
+    /// sub-range or `None` when exhausted.
+    pub fn claim(&self, len: usize, chunk: usize) -> Option<Range<usize>> {
+        debug_assert!(chunk > 0);
+        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= len {
+            None
+        } else {
+            Some(start..(start + chunk).min(len))
+        }
+    }
+
+    /// Claim a guided chunk: size `max(remaining / (2 * n_threads),
+    /// min_chunk)`, recomputed under contention via CAS.
+    pub fn claim_guided(
+        &self,
+        len: usize,
+        n_threads: usize,
+        min_chunk: usize,
+    ) -> Option<Range<usize>> {
+        let min_chunk = min_chunk.max(1);
+        loop {
+            let start = self.next.load(Ordering::Relaxed);
+            if start >= len {
+                return None;
+            }
+            let remaining = len - start;
+            let chunk = (remaining / (2 * n_threads.max(1))).max(min_chunk).min(remaining);
+            match self.next.compare_exchange_weak(
+                start,
+                start + chunk,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(start..start + chunk),
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+impl Default for WorkCounter {
+    fn default() -> Self {
+        WorkCounter::new()
+    }
+}
+
+/// The contiguous block `schedule(static)` assigns to thread `t` of `n`
+/// over `range`.
+///
+/// Matches OpenMP: the first `len % n` threads get `⌈len/n⌉` iterations,
+/// the rest `⌊len/n⌋`.
+pub fn static_block(range: &Range<usize>, t: usize, n: usize) -> Range<usize> {
+    let len = range.len();
+    let base = len / n;
+    let rem = len % n;
+    let (start, size) = if t < rem {
+        (t * (base + 1), base + 1)
+    } else {
+        (rem * (base + 1) + (t - rem) * base, base)
+    };
+    let s = range.start + start;
+    s..s + size
+}
+
+/// Iterator over the block-cyclic chunks `schedule(static, c)` assigns to
+/// thread `t` of `n` over `range`.
+pub fn static_cyclic(
+    range: Range<usize>,
+    chunk: usize,
+    t: usize,
+    n: usize,
+) -> impl Iterator<Item = Range<usize>> {
+    debug_assert!(chunk > 0);
+    let len = range.len();
+    let start = range.start;
+    (0..)
+        .map(move |k| {
+            let lo = (t + k * n) * chunk;
+            let hi = (lo + chunk).min(len);
+            (lo, hi)
+        })
+        .take_while(move |&(lo, _)| lo < len)
+        .map(move |(lo, hi)| start + lo..start + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_block_partitions_exactly() {
+        for len in [0usize, 1, 7, 48, 100, 101] {
+            for n in [1usize, 2, 3, 7, 12, 48] {
+                let mut covered = vec![0u8; len];
+                for t in 0..n {
+                    for i in static_block(&(10..10 + len), t, n) {
+                        covered[i - 10] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "len={len} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_balanced() {
+        // 10 iterations over 4 threads: 3,3,2,2.
+        let sizes: Vec<usize> = (0..4).map(|t| static_block(&(0..10), t, 4).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn static_cyclic_partitions_exactly() {
+        for len in [0usize, 1, 5, 48, 99] {
+            for n in [1usize, 2, 5, 8] {
+                for chunk in [1usize, 2, 7] {
+                    let mut covered = vec![0u8; len];
+                    for t in 0..n {
+                        for r in static_cyclic(5..5 + len, chunk, t, n) {
+                            for i in r {
+                                covered[i - 5] += 1;
+                            }
+                        }
+                    }
+                    assert!(covered.iter().all(|&c| c == 1), "len={len} n={n} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_cyclic_round_robin_order() {
+        // 8 iterations, chunk 2, 2 threads: t0 gets [0,2) and [4,6).
+        let chunks: Vec<Range<usize>> = static_cyclic(0..8, 2, 0, 2).collect();
+        assert_eq!(chunks, vec![0..2, 4..6]);
+        let chunks: Vec<Range<usize>> = static_cyclic(0..8, 2, 1, 2).collect();
+        assert_eq!(chunks, vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn dynamic_counter_partitions_exactly() {
+        let wc = WorkCounter::new();
+        let mut covered = vec![0u8; 23];
+        while let Some(r) = wc.claim(23, 5) {
+            for i in r {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn dynamic_counter_exhausts() {
+        let wc = WorkCounter::new();
+        let mut n = 0;
+        while wc.claim(10, 3).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4); // 3+3+3+1
+        assert!(wc.claim(10, 3).is_none());
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let wc = WorkCounter::new();
+        let mut sizes = Vec::new();
+        while let Some(r) = wc.claim_guided(1000, 4, 8) {
+            sizes.push(r.len());
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        // First chunk is remaining/(2*4) = 125; sizes are non-increasing
+        // until they hit min_chunk.
+        assert_eq!(sizes[0], 125);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1] || w[1] == 8 || w[0] >= 8));
+        assert!(*sizes.last().unwrap() <= 8);
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let wc = WorkCounter::new();
+        let mut covered = vec![0u8; 37];
+        while let Some(r) = wc.claim_guided(37, 16, 4) {
+            assert!(r.len() >= 4 || r.end == 37, "tail chunk may be short: {r:?}");
+            for i in r {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zero_length_ranges() {
+        assert_eq!(static_block(&(3..3), 0, 4).len(), 0);
+        assert_eq!(static_cyclic(3..3, 2, 0, 4).count(), 0);
+        assert!(WorkCounter::new().claim(0, 4).is_none());
+        assert!(WorkCounter::new().claim_guided(0, 4, 1).is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Complex vectors in split representation with `ld2`/`st2` structure
+//! loads.
+//!
+//! State-vector amplitudes are stored interleaved in memory
+//! (`re0, im0, re1, im1, ...`). SVE's structure loads (`ld2d`) de-interleave
+//! into two registers — one of real parts, one of imaginary parts — which
+//! is how Fujitsu's compiler and hand-written A64FX kernels handle complex
+//! arithmetic: the split form needs no shuffles inside the multiply.
+//!
+//! A complex multiply `(a+bi)(c+di)` in split form is four FMAs:
+//!
+//! ```text
+//! re = a*c - b*d   →  fmul + fmls  (or 2 fma against an accumulator)
+//! im = a*d + b*c   →  fmul + fmla
+//! ```
+
+use crate::ctx::SveCtx;
+use crate::predicate::Pred;
+use crate::vector::{VF64, VI64};
+
+/// A vector of complex numbers: split into real-part lanes and
+/// imaginary-part lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CplxV {
+    /// Real parts.
+    pub re: VF64,
+    /// Imaginary parts.
+    pub im: VF64,
+}
+
+impl CplxV {
+    /// Broadcast one complex scalar to all lanes.
+    pub fn splat(ctx: &mut SveCtx, re: f64, im: f64) -> CplxV {
+        CplxV { re: ctx.splat(re), im: ctx.splat(im) }
+    }
+
+    /// All-zero complex vector.
+    pub fn zero() -> CplxV {
+        CplxV { re: VF64::zero(), im: VF64::zero() }
+    }
+
+    /// `ld2d`: de-interleaving load of `count ≤ lanes` complex numbers
+    /// starting at complex index 0 of `interleaved` (`re,im` pairs).
+    ///
+    /// Counted as two contiguous loads — the A64FX cracks `ld2d` into two
+    /// µops on the load pipes.
+    pub fn ld2(ctx: &mut SveCtx, p: Pred, interleaved: &[f64]) -> CplxV {
+        let mut re = VF64::zero();
+        let mut im = VF64::zero();
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                re = re.with_lane(k, interleaved[2 * k]);
+                im = im.with_lane(k, interleaved[2 * k + 1]);
+            }
+        }
+        ctx.bump(crate::counter::InstrClass::Load, 2);
+        CplxV { re, im }
+    }
+
+    /// `st2d`: interleaving store, inverse of [`CplxV::ld2`].
+    pub fn st2(self, ctx: &mut SveCtx, p: Pred, interleaved: &mut [f64]) {
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                interleaved[2 * k] = self.re.lane(k);
+                interleaved[2 * k + 1] = self.im.lane(k);
+            }
+        }
+        ctx.bump(crate::counter::InstrClass::Store, 2);
+    }
+
+    /// Gather `count` complex numbers whose *complex* indices are given by
+    /// `idx`, from an interleaved buffer. Cracks into two gathers.
+    pub fn gather(ctx: &mut SveCtx, p: Pred, interleaved: &[f64], idx: VI64) -> CplxV {
+        let byte_idx_re = idx.shl(1);
+        let byte_idx_im = byte_idx_re.add(VI64::splat(1));
+        let re = ctx.gather(p, interleaved, byte_idx_re);
+        let im = ctx.gather(p, interleaved, byte_idx_im);
+        CplxV { re, im }
+    }
+
+    /// Scatter to *complex* indices `idx` of an interleaved buffer.
+    pub fn scatter(self, ctx: &mut SveCtx, p: Pred, interleaved: &mut [f64], idx: VI64) {
+        let i_re = idx.shl(1);
+        let i_im = i_re.add(VI64::splat(1));
+        ctx.scatter(self.re, p, interleaved, i_re);
+        ctx.scatter(self.im, p, interleaved, i_im);
+    }
+
+    /// Complex addition.
+    pub fn add(self, ctx: &mut SveCtx, o: CplxV) -> CplxV {
+        CplxV { re: ctx.add(self.re, o.re), im: ctx.add(self.im, o.im) }
+    }
+
+    /// Complex multiply: `self * o`, 4 FP ops in split form
+    /// (fmul, fmls, fmul, fmla).
+    pub fn mul(self, ctx: &mut SveCtx, o: CplxV) -> CplxV {
+        let t_re = ctx.mul(self.re, o.re); // a*c
+        let re = ctx.fms(t_re, self.im, o.im); // a*c - b*d
+        let t_im = ctx.mul(self.re, o.im); // a*d
+        let im = ctx.fma(t_im, self.im, o.re); // a*d + b*c
+        CplxV { re, im }
+    }
+
+    /// Complex fused multiply-add: `acc + self * o`, 4 FMAs — the core of
+    /// every gate kernel (amplitude × matrix element, accumulated).
+    pub fn fma(self, ctx: &mut SveCtx, o: CplxV, acc: CplxV) -> CplxV {
+        let r1 = ctx.fma(acc.re, self.re, o.re); // acc.re + a*c
+        let re = ctx.fms(r1, self.im, o.im); //        - b*d
+        let i1 = ctx.fma(acc.im, self.re, o.im); // acc.im + a*d
+        let im = ctx.fma(i1, self.im, o.re); //        + b*c
+        CplxV { re, im }
+    }
+
+    /// Multiply by a complex scalar broadcast (matrix element).
+    pub fn scale(self, ctx: &mut SveCtx, re: f64, im: f64) -> CplxV {
+        let s = CplxV::splat(ctx, re, im);
+        self.mul(ctx, s)
+    }
+
+    /// Squared magnitudes per lane: `re² + im²` (one fmul + one fma).
+    pub fn norm_sqr(self, ctx: &mut SveCtx) -> VF64 {
+        let rr = ctx.mul(self.re, self.re);
+        ctx.fma(rr, self.im, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vl::Vl;
+
+    fn interleave(cs: &[(f64, f64)]) -> Vec<f64> {
+        cs.iter().flat_map(|&(r, i)| [r, i]).collect()
+    }
+
+    #[test]
+    fn ld2_st2_roundtrip() {
+        let src = interleave(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0)]);
+        let mut ctx = SveCtx::new(Vl::new(256).unwrap()); // 4 lanes
+        let p = ctx.ptrue();
+        let v = CplxV::ld2(&mut ctx, p, &src);
+        assert_eq!(v.re.lane(0), 1.0);
+        assert_eq!(v.im.lane(0), 2.0);
+        assert_eq!(v.re.lane(3), 7.0);
+        let mut dst = vec![0.0; 8];
+        v.st2(&mut ctx, p, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn ld2_counts_two_loads() {
+        let src = interleave(&[(0.0, 0.0); 8]);
+        let mut ctx = SveCtx::a64fx();
+        let p = ctx.ptrue();
+        let _ = CplxV::ld2(&mut ctx, p, &src);
+        assert_eq!(ctx.counts().load, 2);
+    }
+
+    #[test]
+    fn complex_mul_matches_scalar() {
+        let a = (3.0, -2.0);
+        let b = (-1.5, 4.0);
+        let mut ctx = SveCtx::a64fx();
+        let va = CplxV::splat(&mut ctx, a.0, a.1);
+        let vb = CplxV::splat(&mut ctx, b.0, b.1);
+        let r = va.mul(&mut ctx, vb);
+        let exp_re = a.0 * b.0 - a.1 * b.1;
+        let exp_im = a.0 * b.1 + a.1 * b.0;
+        assert!((r.re.lane(0) - exp_re).abs() < 1e-15);
+        assert!((r.im.lane(0) - exp_im).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complex_fma_matches_scalar() {
+        let a = (1.0, 2.0);
+        let b = (3.0, 4.0);
+        let acc = (10.0, 20.0);
+        let mut ctx = SveCtx::a64fx();
+        let va = CplxV::splat(&mut ctx, a.0, a.1);
+        let vb = CplxV::splat(&mut ctx, b.0, b.1);
+        let vacc = CplxV::splat(&mut ctx, acc.0, acc.1);
+        let r = va.fma(&mut ctx, vb, vacc);
+        assert!((r.re.lane(0) - (10.0 + (1.0 * 3.0 - 2.0 * 4.0))).abs() < 1e-15);
+        assert!((r.im.lane(0) - (20.0 + (1.0 * 4.0 + 2.0 * 3.0))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fma_uses_four_fp_ops() {
+        let mut ctx = SveCtx::a64fx();
+        let a = CplxV::zero();
+        let before = ctx.counts().fp_instrs();
+        let _ = a.fma(&mut ctx, CplxV::zero(), CplxV::zero());
+        assert_eq!(ctx.counts().fp_instrs() - before, 4);
+    }
+
+    #[test]
+    fn gather_scatter_complex_indices() {
+        let src = interleave(&[(0.0, 0.5), (1.0, 1.5), (2.0, 2.5), (3.0, 3.5), (4.0, 4.5), (5.0, 5.5), (6.0, 6.5), (7.0, 7.5)]);
+        let mut ctx = SveCtx::new(Vl::new(256).unwrap());
+        let p = ctx.ptrue();
+        let idx = ctx.index(1, 2); // complex elements 1,3,5,7
+        let v = CplxV::gather(&mut ctx, p, &src, idx);
+        assert_eq!(v.re.lane(0), 1.0);
+        assert_eq!(v.im.lane(0), 1.5);
+        assert_eq!(v.re.lane(3), 7.0);
+
+        let mut dst = vec![0.0; 16];
+        v.scatter(&mut ctx, p, &mut dst, idx);
+        assert_eq!(dst[2], 1.0);
+        assert_eq!(dst[3], 1.5);
+        assert_eq!(dst[14], 7.0);
+        assert_eq!(dst[15], 7.5);
+        assert_eq!(dst[0], 0.0);
+    }
+
+    #[test]
+    fn norm_sqr() {
+        let mut ctx = SveCtx::a64fx();
+        let v = CplxV::splat(&mut ctx, 3.0, 4.0);
+        let n = v.norm_sqr(&mut ctx);
+        assert_eq!(n.lane(0), 25.0);
+    }
+
+    #[test]
+    fn scale_by_unit() {
+        let mut ctx = SveCtx::a64fx();
+        let v = CplxV::splat(&mut ctx, 2.0, -1.0);
+        // multiply by i: (2 - i) * i = 1 + 2i
+        let r = v.scale(&mut ctx, 0.0, 1.0);
+        assert!((r.re.lane(0) - 1.0).abs() < 1e-15);
+        assert!((r.im.lane(0) - 2.0).abs() < 1e-15);
+    }
+}

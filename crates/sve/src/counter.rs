@@ -1,0 +1,188 @@
+//! Instruction-class accounting.
+//!
+//! The A64FX analyses in the source papers distinguish kernels that are
+//! limited by instruction *issue* (too many instructions per element, cured
+//! by longer vectors) from kernels limited by *memory bandwidth*
+//! (VL-insensitive). To reproduce that analysis without hardware counters,
+//! every [`crate::SveCtx`] operation increments a class counter here; the
+//! `a64fx-model` timing model converts the mix into predicted cycles.
+
+/// Classes of SVE instructions tracked by the model.
+///
+/// The grouping follows the A64FX pipeline structure: FLA/FLB floating
+/// pipes, the load/store pipes, the predicate unit, and the
+/// gather/scatter sequencer (which on A64FX cracks into one µop per
+/// 128-bit element pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Contiguous vector load (`ld1d`).
+    Load,
+    /// Contiguous vector store (`st1d`).
+    Store,
+    /// Gather load (`ld1d` with vector addressing).
+    Gather,
+    /// Scatter store (`st1d` with vector addressing).
+    Scatter,
+    /// Floating multiply-add/sub (`fmla`/`fmls`) — one FLA/FLB op.
+    Fma,
+    /// Other floating arithmetic (`fadd`, `fsub`, `fmul`, `fneg`, `sel`).
+    FArith,
+    /// Integer/index arithmetic on vectors.
+    IArith,
+    /// Predicate manipulation (`whilelt`, `ptest`, boolean ops).
+    PredOp,
+    /// Horizontal reductions (`faddv`, `fmaxv`).
+    Reduce,
+}
+
+/// All instruction classes, for iteration in reports.
+pub const ALL_CLASSES: [InstrClass; 9] = [
+    InstrClass::Load,
+    InstrClass::Store,
+    InstrClass::Gather,
+    InstrClass::Scatter,
+    InstrClass::Fma,
+    InstrClass::FArith,
+    InstrClass::IArith,
+    InstrClass::PredOp,
+    InstrClass::Reduce,
+];
+
+/// Counters for each instruction class plus derived quantities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrCounts {
+    pub load: u64,
+    pub store: u64,
+    pub gather: u64,
+    pub scatter: u64,
+    pub fma: u64,
+    pub farith: u64,
+    pub iarith: u64,
+    pub predop: u64,
+    pub reduce: u64,
+}
+
+impl InstrCounts {
+    /// A zeroed counter set.
+    pub fn new() -> InstrCounts {
+        InstrCounts::default()
+    }
+
+    /// Increment one class by `n`.
+    #[inline]
+    pub fn bump(&mut self, class: InstrClass, n: u64) {
+        match class {
+            InstrClass::Load => self.load += n,
+            InstrClass::Store => self.store += n,
+            InstrClass::Gather => self.gather += n,
+            InstrClass::Scatter => self.scatter += n,
+            InstrClass::Fma => self.fma += n,
+            InstrClass::FArith => self.farith += n,
+            InstrClass::IArith => self.iarith += n,
+            InstrClass::PredOp => self.predop += n,
+            InstrClass::Reduce => self.reduce += n,
+        }
+    }
+
+    /// Read one class.
+    pub fn get(&self, class: InstrClass) -> u64 {
+        match class {
+            InstrClass::Load => self.load,
+            InstrClass::Store => self.store,
+            InstrClass::Gather => self.gather,
+            InstrClass::Scatter => self.scatter,
+            InstrClass::Fma => self.fma,
+            InstrClass::FArith => self.farith,
+            InstrClass::IArith => self.iarith,
+            InstrClass::PredOp => self.predop,
+            InstrClass::Reduce => self.reduce,
+        }
+    }
+
+    /// Total instructions of every class.
+    pub fn total(&self) -> u64 {
+        ALL_CLASSES.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Floating-point instructions (the FLA/FLB pipe load).
+    pub fn fp_instrs(&self) -> u64 {
+        self.fma + self.farith + self.reduce
+    }
+
+    /// Memory instructions (the load/store pipe load). Gathers/scatters
+    /// count here once; their sequencer cracking is applied in the timing
+    /// model, not the raw count.
+    pub fn mem_instrs(&self) -> u64 {
+        self.load + self.store + self.gather + self.scatter
+    }
+
+    /// Merge another counter set into this one (for parallel aggregation).
+    pub fn merge(&mut self, other: &InstrCounts) {
+        for c in ALL_CLASSES {
+            self.bump(c, other.get(c));
+        }
+    }
+}
+
+impl std::fmt::Display for InstrCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ld={} st={} ga={} sc={} fma={} fa={} ia={} pr={} rd={}",
+            self.load,
+            self.store,
+            self.gather,
+            self.scatter,
+            self.fma,
+            self.farith,
+            self.iarith,
+            self.predop,
+            self.reduce
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get_every_class() {
+        let mut c = InstrCounts::new();
+        for (i, &class) in ALL_CLASSES.iter().enumerate() {
+            c.bump(class, (i + 1) as u64);
+            assert_eq!(c.get(class), (i + 1) as u64);
+        }
+        assert_eq!(c.total(), (1..=9).sum::<u64>());
+    }
+
+    #[test]
+    fn derived_groups() {
+        let mut c = InstrCounts::new();
+        c.bump(InstrClass::Fma, 10);
+        c.bump(InstrClass::FArith, 5);
+        c.bump(InstrClass::Reduce, 1);
+        c.bump(InstrClass::Load, 4);
+        c.bump(InstrClass::Gather, 2);
+        assert_eq!(c.fp_instrs(), 16);
+        assert_eq!(c.mem_instrs(), 6);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = InstrCounts::new();
+        a.bump(InstrClass::Load, 3);
+        let mut b = InstrCounts::new();
+        b.bump(InstrClass::Load, 4);
+        b.bump(InstrClass::Fma, 7);
+        a.merge(&b);
+        assert_eq!(a.load, 7);
+        assert_eq!(a.fma, 7);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let c = InstrCounts::new();
+        assert_eq!(c.to_string(), "ld=0 st=0 ga=0 sc=0 fma=0 fa=0 ia=0 pr=0 rd=0");
+    }
+}

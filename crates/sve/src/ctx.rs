@@ -1,0 +1,288 @@
+//! The SVE "machine" context: configured VL + instruction accounting.
+//!
+//! Kernels take a `&mut SveCtx` and issue operations through it. Every
+//! method mirrors one SVE instruction and bumps the corresponding
+//! [`InstrClass`] counter, so after running a kernel the context holds the
+//! exact dynamic instruction mix for the timing model.
+
+use crate::counter::{InstrClass, InstrCounts};
+use crate::predicate::Pred;
+use crate::vector::{VF64, VI64};
+use crate::vl::Vl;
+
+/// An SVE execution context: a vector length plus dynamic instruction
+/// counters.
+#[derive(Debug, Clone)]
+pub struct SveCtx {
+    vl: Vl,
+    counts: InstrCounts,
+}
+
+impl SveCtx {
+    /// Create a context with the given vector length.
+    pub fn new(vl: Vl) -> SveCtx {
+        SveCtx { vl, counts: InstrCounts::new() }
+    }
+
+    /// Create a context with the A64FX vector length (512 bits).
+    pub fn a64fx() -> SveCtx {
+        SveCtx::new(Vl::A64FX)
+    }
+
+    /// The configured vector length.
+    #[inline]
+    pub fn vl(&self) -> Vl {
+        self.vl
+    }
+
+    /// Number of f64 lanes at the configured VL.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.vl.lanes_f64()
+    }
+
+    /// The instruction counts accumulated so far.
+    pub fn counts(&self) -> &InstrCounts {
+        &self.counts
+    }
+
+    /// Reset the instruction counters.
+    pub fn reset_counts(&mut self) {
+        self.counts = InstrCounts::new();
+    }
+
+    /// Account `n` instructions of `class` directly.
+    ///
+    /// Used by composite operations that crack into several µops
+    /// (e.g. `ld2d` counts two loads) and by higher layers modelling
+    /// instructions this crate does not execute lane-by-lane.
+    #[inline]
+    pub fn bump(&mut self, class: InstrClass, n: u64) {
+        self.counts.bump(class, n);
+    }
+
+    // ----- predicates --------------------------------------------------
+
+    /// `ptrue`.
+    pub fn ptrue(&mut self) -> Pred {
+        self.counts.bump(InstrClass::PredOp, 1);
+        Pred::ptrue(self.vl)
+    }
+
+    /// `whilelt base, n`.
+    pub fn whilelt(&mut self, base: usize, n: usize) -> Pred {
+        self.counts.bump(InstrClass::PredOp, 1);
+        Pred::whilelt(self.vl, base, n)
+    }
+
+    /// `ptest` (any lane active). Costs a predicate op like the hardware.
+    pub fn any(&mut self, p: Pred) -> bool {
+        self.counts.bump(InstrClass::PredOp, 1);
+        p.any()
+    }
+
+    // ----- memory -------------------------------------------------------
+
+    /// Contiguous predicated load from `src[0..]`.
+    pub fn load(&mut self, p: Pred, src: &[f64]) -> VF64 {
+        self.counts.bump(InstrClass::Load, 1);
+        VF64::load(p, src)
+    }
+
+    /// Contiguous predicated store into `dst[0..]`.
+    pub fn store(&mut self, v: VF64, p: Pred, dst: &mut [f64]) {
+        self.counts.bump(InstrClass::Store, 1);
+        v.store(p, dst);
+    }
+
+    /// Gather load.
+    pub fn gather(&mut self, p: Pred, src: &[f64], idx: VI64) -> VF64 {
+        self.counts.bump(InstrClass::Gather, 1);
+        VF64::gather(p, src, idx)
+    }
+
+    /// Scatter store.
+    pub fn scatter(&mut self, v: VF64, p: Pred, dst: &mut [f64], idx: VI64) {
+        self.counts.bump(InstrClass::Scatter, 1);
+        v.scatter(p, dst, idx);
+    }
+
+    // ----- arithmetic ----------------------------------------------------
+
+    /// `dup` (broadcast). Counted as integer/move traffic.
+    pub fn splat(&mut self, x: f64) -> VF64 {
+        self.counts.bump(InstrClass::IArith, 1);
+        VF64::splat(x)
+    }
+
+    /// `fadd`.
+    pub fn add(&mut self, a: VF64, b: VF64) -> VF64 {
+        self.counts.bump(InstrClass::FArith, 1);
+        a.add(b)
+    }
+
+    /// `fsub`.
+    pub fn sub(&mut self, a: VF64, b: VF64) -> VF64 {
+        self.counts.bump(InstrClass::FArith, 1);
+        a.sub(b)
+    }
+
+    /// `fmul`.
+    pub fn mul(&mut self, a: VF64, b: VF64) -> VF64 {
+        self.counts.bump(InstrClass::FArith, 1);
+        a.mul(b)
+    }
+
+    /// `fmla`: `acc + a*b`.
+    pub fn fma(&mut self, acc: VF64, a: VF64, b: VF64) -> VF64 {
+        self.counts.bump(InstrClass::Fma, 1);
+        acc.fma(a, b)
+    }
+
+    /// `fmls`: `acc - a*b`.
+    pub fn fms(&mut self, acc: VF64, a: VF64, b: VF64) -> VF64 {
+        self.counts.bump(InstrClass::Fma, 1);
+        acc.fms(a, b)
+    }
+
+    /// `fneg`.
+    pub fn neg(&mut self, a: VF64) -> VF64 {
+        self.counts.bump(InstrClass::FArith, 1);
+        a.neg()
+    }
+
+    /// `sel`.
+    pub fn select(&mut self, p: Pred, a: VF64, b: VF64) -> VF64 {
+        self.counts.bump(InstrClass::FArith, 1);
+        a.select(p, b)
+    }
+
+    /// `index` vector construction.
+    pub fn index(&mut self, base: i64, step: i64) -> VI64 {
+        self.counts.bump(InstrClass::IArith, 1);
+        VI64::index(base, step)
+    }
+
+    /// Integer vector add.
+    pub fn iadd(&mut self, a: VI64, b: VI64) -> VI64 {
+        self.counts.bump(InstrClass::IArith, 1);
+        a.add(b)
+    }
+
+    /// `faddv` horizontal sum.
+    pub fn hsum(&mut self, p: Pred, v: VF64) -> f64 {
+        self.counts.bump(InstrClass::Reduce, 1);
+        v.hsum(p)
+    }
+
+    // ----- derived metrics ------------------------------------------------
+
+    /// Double-precision FLOPs implied by the counted instructions at this
+    /// VL: FMA counts 2 flops/lane, other FP arith 1 flop/lane, reductions
+    /// `lanes-1` adds.
+    ///
+    /// This over-counts partially-predicated final iterations (it assumes
+    /// all lanes active), matching how hardware FLOP counters on the A64FX
+    /// count committed SVE ops.
+    pub fn flops(&self) -> u64 {
+        let lanes = self.lanes() as u64;
+        self.counts.fma * 2 * lanes
+            + self.counts.farith * lanes
+            + self.counts.reduce * lanes.saturating_sub(1)
+    }
+
+    /// Bytes moved to/from memory by the counted memory instructions at
+    /// this VL (full-vector assumption, 8 bytes per lane).
+    pub fn mem_bytes(&self) -> u64 {
+        let bytes = self.lanes() as u64 * 8;
+        self.counts.mem_instrs() * bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny VLA kernel: y[i] += a * x[i] (daxpy), counted.
+    fn daxpy(ctx: &mut SveCtx, a: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let va = ctx.splat(a);
+        let mut i = 0;
+        let mut p = ctx.whilelt(i, n);
+        while ctx.any(p) {
+            let vx = ctx.load(p, &x[i..]);
+            let vy = ctx.load(p, &y[i..]);
+            let r = ctx.fma(vy, va, vx);
+            ctx.store(r, p, &mut y[i..]);
+            i += ctx.lanes();
+            p = ctx.whilelt(i, n);
+        }
+    }
+
+    #[test]
+    fn daxpy_correct_at_every_vl() {
+        let n = 37;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        for vl in Vl::all() {
+            let mut ctx = SveCtx::new(vl);
+            let mut y = vec![1.0; n];
+            daxpy(&mut ctx, 2.0, &x, &mut y);
+            for i in 0..n {
+                assert_eq!(y[i], 1.0 + 2.0 * i as f64, "vl={vl} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn longer_vl_issues_fewer_instructions() {
+        let n = 1024;
+        let x = vec![1.0; n];
+        let mut totals = Vec::new();
+        for vl in Vl::pow2_sweep() {
+            let mut ctx = SveCtx::new(vl);
+            let mut y = vec![0.0; n];
+            daxpy(&mut ctx, 3.0, &x, &mut y);
+            totals.push(ctx.counts().total());
+        }
+        // Doubling VL halves the loop trip count, so instruction totals
+        // must strictly decrease across the sweep.
+        assert!(totals.windows(2).all(|w| w[0] > w[1]), "{totals:?}");
+    }
+
+    #[test]
+    fn instruction_mix_of_daxpy_iteration() {
+        // n exactly one full vector: 1 iteration + final empty whilelt.
+        let mut ctx = SveCtx::a64fx();
+        let x = vec![1.0; 8];
+        let mut y = vec![0.0; 8];
+        daxpy(&mut ctx, 1.0, &x, &mut y);
+        let c = ctx.counts();
+        assert_eq!(c.load, 2);
+        assert_eq!(c.store, 1);
+        assert_eq!(c.fma, 1);
+        // whilelt ×2 + ptest(any) ×2.
+        assert_eq!(c.predop, 4);
+    }
+
+    #[test]
+    fn flops_and_bytes_scale_with_vl() {
+        let mut ctx = SveCtx::new(Vl::new(1024).unwrap()); // 16 lanes
+        let p = ctx.ptrue();
+        let a = ctx.splat(1.0);
+        let b = ctx.splat(2.0);
+        let c = ctx.fma(a, a, b);
+        let mut dst = vec![0.0; 16];
+        ctx.store(c, p, &mut dst);
+        assert_eq!(ctx.flops(), 32); // 1 fma × 2 × 16 lanes
+        assert_eq!(ctx.mem_bytes(), 128); // 1 store × 16 lanes × 8 B
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ctx = SveCtx::a64fx();
+        ctx.ptrue();
+        assert!(ctx.counts().total() > 0);
+        ctx.reset_counts();
+        assert_eq!(ctx.counts().total(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! `sve-sim`: a vector-length-agnostic (VLA) semantic layer modelling ARM SVE
+//! in portable Rust.
+//!
+//! The Fujitsu A64FX implements the ARM Scalable Vector Extension with a
+//! 512-bit vector length. SVE programs are written *vector-length agnostic*:
+//! the same code runs at any hardware VL from 128 to 2048 bits. This crate
+//! reproduces that programming model so that kernels written against it can
+//! be swept across vector lengths (the methodology of Odajima/Kodama/Sato's
+//! SVE studies) without hardware:
+//!
+//! * [`Vl`] — a vector length, 128..=2048 bits in multiples of 128.
+//! * [`Pred`] — a governing predicate (`whilelt`, `ptrue`, boolean algebra).
+//! * [`VF64`] / [`VI64`] — `f64` / `i64` vector registers with predicated
+//!   loads, stores, arithmetic, FMA, gather/scatter.
+//! * [`CplxV`] — split-representation complex vectors with `ld2`/`st2`
+//!   style de-interleaving loads, complex multiply and complex FMA.
+//! * [`SveCtx`] — a "machine" handle carrying the configured VL and an
+//!   instruction-class counter ([`InstrCounts`]) so that kernel executions
+//!   can be fed to the `a64fx-model` timing model (issue-limited vs
+//!   memory-limited analysis).
+//!
+//! The implementation favours semantic fidelity over raw speed: every lane
+//! is computed explicitly. Production kernels in `qcs-core` have scalar
+//! (autovectorized) twins; this layer exists so that VL sensitivity and
+//! instruction mixes can be *measured*, which is what the reproduction
+//! needs.
+
+pub mod complexv;
+pub mod counter;
+pub mod ctx;
+pub mod predicate;
+pub mod vector;
+pub mod vl;
+
+pub use complexv::CplxV;
+pub use counter::{InstrClass, InstrCounts};
+pub use ctx::SveCtx;
+pub use predicate::Pred;
+pub use vector::{VF64, VI64};
+pub use vl::{Vl, MAX_LANES_F64};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,256 @@
+//! SVE governing predicates.
+//!
+//! Almost every SVE instruction is governed by a predicate register that
+//! enables or disables individual lanes. Loop control uses `whilelt`
+//! ("while less-than"): the canonical VLA loop is
+//!
+//! ```text
+//! i = 0
+//! p = whilelt(i, n)
+//! while any(p) {
+//!     ... predicated vector body ...
+//!     i += lanes
+//!     p = whilelt(i, n)
+//! }
+//! ```
+//!
+//! [`Pred`] stores one bit per `f64` lane, sized for the architectural
+//! maximum of 32 lanes, with lanes at or beyond the configured VL always
+//! inactive.
+
+use crate::vl::{Vl, MAX_LANES_F64};
+
+/// A predicate register: one boolean per 64-bit lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pred {
+    mask: u32,
+    vl: Vl,
+}
+
+impl Pred {
+    /// `ptrue`: all lanes up to the configured VL active.
+    pub fn ptrue(vl: Vl) -> Pred {
+        let lanes = vl.lanes_f64();
+        let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        Pred { mask, vl }
+    }
+
+    /// `pfalse`: no lanes active.
+    pub fn pfalse(vl: Vl) -> Pred {
+        Pred { mask: 0, vl }
+    }
+
+    /// `whilelt(base, n)`: lane `k` is active iff `base + k < n`.
+    ///
+    /// This is the loop-control predicate of every vector-length-agnostic
+    /// loop: full for whole vectors, partial on the final remainder
+    /// iteration, empty once `base >= n`.
+    pub fn whilelt(vl: Vl, base: usize, n: usize) -> Pred {
+        let lanes = vl.lanes_f64();
+        let mut mask = 0u32;
+        for k in 0..lanes {
+            if base + k < n {
+                mask |= 1 << k;
+            }
+        }
+        Pred { mask, vl }
+    }
+
+    /// Build a predicate from an explicit per-lane boolean slice.
+    ///
+    /// Lanes beyond `bools.len()` or beyond the VL are inactive.
+    pub fn from_bools(vl: Vl, bools: &[bool]) -> Pred {
+        let lanes = vl.lanes_f64().min(bools.len()).min(MAX_LANES_F64);
+        let mut mask = 0u32;
+        for (k, &b) in bools.iter().enumerate().take(lanes) {
+            if b {
+                mask |= 1 << k;
+            }
+        }
+        Pred { mask, vl }
+    }
+
+    /// The configured vector length this predicate was built for.
+    #[inline]
+    pub fn vl(self) -> Vl {
+        self.vl
+    }
+
+    /// Is lane `k` active?
+    #[inline]
+    pub fn lane(self, k: usize) -> bool {
+        debug_assert!(k < MAX_LANES_F64);
+        (self.mask >> k) & 1 == 1
+    }
+
+    /// `ptest`: is any lane active?
+    #[inline]
+    pub fn any(self) -> bool {
+        self.mask != 0
+    }
+
+    /// Are all lanes up to the VL active?
+    #[inline]
+    pub fn all(self) -> bool {
+        self == Pred::ptrue(self.vl)
+    }
+
+    /// `cntp`: number of active lanes.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Index of the first active lane, if any (`brka`-style scan).
+    pub fn first(self) -> Option<usize> {
+        if self.mask == 0 {
+            None
+        } else {
+            Some(self.mask.trailing_zeros() as usize)
+        }
+    }
+
+    /// Index of the last active lane, if any.
+    pub fn last(self) -> Option<usize> {
+        if self.mask == 0 {
+            None
+        } else {
+            Some(31 - self.mask.leading_zeros() as usize)
+        }
+    }
+
+    /// Lane-wise AND of two predicates.
+    ///
+    /// Panics in debug builds if the predicates were built for different
+    /// vector lengths — mixing VLs is a programming error in VLA code.
+    pub fn and(self, other: Pred) -> Pred {
+        debug_assert_eq!(self.vl, other.vl, "predicate VL mismatch");
+        Pred { mask: self.mask & other.mask, vl: self.vl }
+    }
+
+    /// Lane-wise OR.
+    pub fn or(self, other: Pred) -> Pred {
+        debug_assert_eq!(self.vl, other.vl, "predicate VL mismatch");
+        Pred { mask: self.mask | other.mask, vl: self.vl }
+    }
+
+    /// Lane-wise XOR (`eor`).
+    pub fn xor(self, other: Pred) -> Pred {
+        debug_assert_eq!(self.vl, other.vl, "predicate VL mismatch");
+        Pred { mask: self.mask ^ other.mask, vl: self.vl }
+    }
+
+    /// Lane-wise NOT, restricted to lanes below the VL.
+    pub fn not(self) -> Pred {
+        let full = Pred::ptrue(self.vl).mask;
+        Pred { mask: !self.mask & full, vl: self.vl }
+    }
+
+    /// The raw lane mask (bit `k` = lane `k`).
+    #[inline]
+    pub fn mask(self) -> u32 {
+        self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VL: Vl = Vl::A64FX; // 8 lanes
+
+    #[test]
+    fn ptrue_has_vl_lanes() {
+        let p = Pred::ptrue(VL);
+        assert_eq!(p.count(), 8);
+        assert!(p.all());
+        assert!(p.any());
+        for k in 0..8 {
+            assert!(p.lane(k));
+        }
+        assert!(!p.lane(8));
+    }
+
+    #[test]
+    fn ptrue_max_vl_all_32_lanes() {
+        let p = Pred::ptrue(Vl::MAX);
+        assert_eq!(p.count(), 32);
+        assert!(p.all());
+    }
+
+    #[test]
+    fn pfalse_empty() {
+        let p = Pred::pfalse(VL);
+        assert_eq!(p.count(), 0);
+        assert!(!p.any());
+        assert_eq!(p.first(), None);
+        assert_eq!(p.last(), None);
+    }
+
+    #[test]
+    fn whilelt_full_vector() {
+        let p = Pred::whilelt(VL, 0, 100);
+        assert!(p.all());
+    }
+
+    #[test]
+    fn whilelt_remainder() {
+        // n = 19, base = 16 with 8 lanes: lanes 0..3 active (16,17,18 < 19).
+        let p = Pred::whilelt(VL, 16, 19);
+        assert_eq!(p.count(), 3);
+        assert!(p.lane(0) && p.lane(1) && p.lane(2));
+        assert!(!p.lane(3));
+    }
+
+    #[test]
+    fn whilelt_exhausted() {
+        let p = Pred::whilelt(VL, 24, 19);
+        assert!(!p.any());
+    }
+
+    #[test]
+    fn whilelt_loop_covers_exactly_n() {
+        // The canonical VLA loop must touch each index exactly once.
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let mut touched = vec![0u32; n];
+            let mut base = 0;
+            let mut p = Pred::whilelt(VL, base, n);
+            while p.any() {
+                for k in 0..VL.lanes_f64() {
+                    if p.lane(k) {
+                        touched[base + k] += 1;
+                    }
+                }
+                base += VL.lanes_f64();
+                p = Pred::whilelt(VL, base, n);
+            }
+            assert!(touched.iter().all(|&c| c == 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Pred::from_bools(VL, &[true, false, true, false, true, false, true, false]);
+        let b = Pred::from_bools(VL, &[true, true, false, false, true, true, false, false]);
+        assert_eq!(a.and(b).count(), 2); // lanes 0, 4
+        assert_eq!(a.or(b).count(), 6);
+        assert_eq!(a.xor(b).count(), 4);
+        assert_eq!(a.not().count(), 4);
+        // De Morgan on the masked domain.
+        assert_eq!(a.and(b).not(), a.not().or(b.not()));
+    }
+
+    #[test]
+    fn first_and_last() {
+        let p = Pred::from_bools(VL, &[false, false, true, false, true, false, false, false]);
+        assert_eq!(p.first(), Some(2));
+        assert_eq!(p.last(), Some(4));
+    }
+
+    #[test]
+    fn not_does_not_leak_beyond_vl() {
+        let p = Pred::pfalse(VL).not();
+        assert_eq!(p.count(), VL.lanes_f64());
+        assert!(!p.lane(8));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the SVE semantic layer.
+//!
+//! The central invariant: a vector-length-agnostic kernel computes the same
+//! result at every legal VL. Each property runs a small kernel across the
+//! full VL sweep and checks against a scalar reference.
+
+use proptest::prelude::*;
+
+use crate::complexv::CplxV;
+use crate::ctx::SveCtx;
+use crate::predicate::Pred;
+use crate::vl::Vl;
+
+/// VLA daxpy using the counted context.
+fn daxpy_vla(vl: Vl, a: f64, x: &[f64], y: &mut [f64]) {
+    let mut ctx = SveCtx::new(vl);
+    let n = x.len();
+    let va = ctx.splat(a);
+    let mut i = 0;
+    let mut p = ctx.whilelt(i, n);
+    while ctx.any(p) {
+        let vx = ctx.load(p, &x[i..]);
+        let vy = ctx.load(p, &y[i..]);
+        let r = ctx.fma(vy, va, vx);
+        ctx.store(r, p, &mut y[i..]);
+        i += ctx.lanes();
+        p = ctx.whilelt(i, n);
+    }
+}
+
+/// VLA dot product (strictly ordered reduction per vector, then across
+/// vectors — deterministic for a fixed VL).
+fn dot_vla(vl: Vl, x: &[f64], y: &[f64]) -> f64 {
+    let mut ctx = SveCtx::new(vl);
+    let n = x.len();
+    let mut acc = 0.0;
+    let mut i = 0;
+    let mut p = ctx.whilelt(i, n);
+    while ctx.any(p) {
+        let vx = ctx.load(p, &x[i..]);
+        let vy = ctx.load(p, &y[i..]);
+        let prod = ctx.mul(vx, vy);
+        acc += ctx.hsum(p, prod);
+        i += ctx.lanes();
+        p = ctx.whilelt(i, n);
+    }
+    acc
+}
+
+/// VLA complex scale of an interleaved buffer.
+fn cscale_vla(vl: Vl, s: (f64, f64), buf: &mut [f64]) {
+    let mut ctx = SveCtx::new(vl);
+    let n = buf.len() / 2;
+    let mut i = 0;
+    let mut p = ctx.whilelt(i, n);
+    while ctx.any(p) {
+        let v = CplxV::ld2(&mut ctx, p, &buf[2 * i..]);
+        let r = v.scale(&mut ctx, s.0, s.1);
+        r.st2(&mut ctx, p, &mut buf[2 * i..]);
+        i += ctx.lanes();
+        p = ctx.whilelt(i, n);
+    }
+}
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-100.0f64..100.0).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// daxpy gives bit-identical results at every VL (FMA rounding is
+    /// per-element, independent of vector grouping).
+    #[test]
+    fn daxpy_vl_agnostic(
+        a in small_f64(),
+        x in prop::collection::vec(small_f64(), 1..200),
+    ) {
+        let y0: Vec<f64> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+        let mut reference = y0.clone();
+        for i in 0..x.len() {
+            reference[i] = a.mul_add(x[i], reference[i]);
+        }
+        for vl in Vl::all() {
+            let mut y = y0.clone();
+            daxpy_vla(vl, a, &x, &mut y);
+            prop_assert_eq!(&y, &reference, "vl={}", vl);
+        }
+    }
+
+    /// Dot product agrees with a scalar reference to tight tolerance at
+    /// every VL (exact equality is not required: reduction order differs).
+    #[test]
+    fn dot_close_at_every_vl(
+        xy in prop::collection::vec((small_f64(), small_f64()), 1..200),
+    ) {
+        let x: Vec<f64> = xy.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = xy.iter().map(|p| p.1).collect();
+        let reference: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let scale = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum::<f64>().max(1.0);
+        for vl in Vl::pow2_sweep() {
+            let d = dot_vla(vl, &x, &y);
+            prop_assert!(((d - reference) / scale).abs() < 1e-12, "vl={} d={} ref={}", vl, d, reference);
+        }
+    }
+
+    /// Complex scaling of an interleaved buffer is VL-agnostic and matches
+    /// the scalar complex product.
+    #[test]
+    fn cscale_vl_agnostic(
+        s in (small_f64(), small_f64()),
+        pairs in prop::collection::vec((small_f64(), small_f64()), 1..100),
+    ) {
+        let buf0: Vec<f64> = pairs.iter().flat_map(|&(r, i)| [r, i]).collect();
+        let reference: Vec<f64> = pairs
+            .iter()
+            .flat_map(|&(r, i)| {
+                // (r + ii)(s.0 + s.1 i), with the same fused ordering the
+                // kernel uses: re = fms(r*s.0, i, s.1), im = fma(r*s.1, i, s.0)
+                let re = (-i).mul_add(s.1, r * s.0);
+                let im = i.mul_add(s.0, r * s.1);
+                [re, im]
+            })
+            .collect();
+        for vl in Vl::pow2_sweep() {
+            let mut buf = buf0.clone();
+            cscale_vla(vl, s, &mut buf);
+            prop_assert_eq!(&buf, &reference, "vl={}", vl);
+        }
+    }
+
+    /// whilelt-driven loops touch each element exactly once for arbitrary n.
+    #[test]
+    fn whilelt_partitions_range(n in 0usize..500, vl_idx in 0usize..16) {
+        let vl = Vl::all().nth(vl_idx).unwrap();
+        let mut seen = vec![false; n];
+        let mut base = 0;
+        let mut p = Pred::whilelt(vl, base, n);
+        while p.any() {
+            for k in 0..vl.lanes_f64() {
+                if p.lane(k) {
+                    prop_assert!(!seen[base + k]);
+                    seen[base + k] = true;
+                }
+            }
+            base += vl.lanes_f64();
+            p = Pred::whilelt(vl, base, n);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Predicate algebra: (a AND b) ⊆ a, a ⊆ (a OR b), counts consistent.
+    #[test]
+    fn predicate_algebra_laws(mask_a in 0u32..256, mask_b in 0u32..256) {
+        let vl = Vl::A64FX;
+        let to_pred = |m: u32| {
+            let bools: Vec<bool> = (0..8).map(|k| (m >> k) & 1 == 1).collect();
+            Pred::from_bools(vl, &bools)
+        };
+        let a = to_pred(mask_a);
+        let b = to_pred(mask_b);
+        let and = a.and(b);
+        let or = a.or(b);
+        prop_assert_eq!(and.count() + or.count(), a.count() + b.count());
+        prop_assert_eq!(and.or(a), a); // absorption
+        prop_assert_eq!(a.and(a), a); // idempotence
+        prop_assert_eq!(a.xor(a).count(), 0);
+        prop_assert_eq!(a.not().not(), a);
+    }
+}

@@ -1,0 +1,438 @@
+//! SVE data vectors: `f64` and `i64` lanes with predicated operations.
+//!
+//! Registers are stored at the architectural maximum width (32 × 64-bit
+//! lanes); the configured VL only matters at predicate construction and
+//! memory operations, mirroring real SVE where unpredicated arithmetic
+//! always acts on the whole register.
+
+use crate::predicate::Pred;
+use crate::vl::MAX_LANES_F64;
+
+/// A vector register of `f64` lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VF64 {
+    pub(crate) l: [f64; MAX_LANES_F64],
+}
+
+/// A vector register of `i64` lanes (offsets/indices for gather/scatter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VI64 {
+    pub(crate) l: [i64; MAX_LANES_F64],
+}
+
+impl VF64 {
+    /// `dup`: broadcast a scalar to all lanes.
+    #[inline]
+    pub fn splat(x: f64) -> VF64 {
+        VF64 { l: [x; MAX_LANES_F64] }
+    }
+
+    /// All-zero register.
+    #[inline]
+    pub fn zero() -> VF64 {
+        VF64::splat(0.0)
+    }
+
+    /// Predicated contiguous load (`ld1d`); inactive lanes become zero
+    /// (zeroing predication).
+    ///
+    /// Reads `src[k]` into lane `k` for each active lane; `src` must cover
+    /// every active lane index.
+    pub fn load(p: Pred, src: &[f64]) -> VF64 {
+        let mut v = VF64::zero();
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                v.l[k] = src[k];
+            }
+        }
+        v
+    }
+
+    /// Predicated contiguous store (`st1d`): writes active lanes to
+    /// `dst[k]`, leaves inactive lanes' memory untouched.
+    pub fn store(self, p: Pred, dst: &mut [f64]) {
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                dst[k] = self.l[k];
+            }
+        }
+    }
+
+    /// Gather load (`ld1d` with vector index): lane `k` reads
+    /// `src[idx.lane(k)]` for active lanes; inactive lanes zero.
+    pub fn gather(p: Pred, src: &[f64], idx: VI64) -> VF64 {
+        let mut v = VF64::zero();
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                v.l[k] = src[idx.l[k] as usize];
+            }
+        }
+        v
+    }
+
+    /// Scatter store (`st1d` with vector index): lane `k` writes to
+    /// `dst[idx.lane(k)]` for active lanes.
+    ///
+    /// Like hardware, the result is undefined in a useful sense if two
+    /// active lanes alias the same address; here the highest lane wins.
+    pub fn scatter(self, p: Pred, dst: &mut [f64], idx: VI64) {
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                dst[idx.l[k] as usize] = self.l[k];
+            }
+        }
+    }
+
+    /// Lane accessor (for tests/debugging; not an SVE instruction).
+    #[inline]
+    pub fn lane(self, k: usize) -> f64 {
+        self.l[k]
+    }
+
+    /// Set a lane (`insr`-ish; for building test fixtures).
+    #[inline]
+    pub fn with_lane(mut self, k: usize, x: f64) -> VF64 {
+        self.l[k] = x;
+        self
+    }
+
+    /// Unpredicated lane-wise addition.
+    #[inline]
+    pub fn add(self, o: VF64) -> VF64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] += o.l[k];
+        }
+        r
+    }
+
+    /// Unpredicated lane-wise subtraction.
+    #[inline]
+    pub fn sub(self, o: VF64) -> VF64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] -= o.l[k];
+        }
+        r
+    }
+
+    /// Unpredicated lane-wise multiplication.
+    #[inline]
+    pub fn mul(self, o: VF64) -> VF64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] *= o.l[k];
+        }
+        r
+    }
+
+    /// Fused multiply-add: `self + a * b` lane-wise (`fmla`).
+    #[inline]
+    pub fn fma(self, a: VF64, b: VF64) -> VF64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] = a.l[k].mul_add(b.l[k], r.l[k]);
+        }
+        r
+    }
+
+    /// Fused multiply-subtract: `self - a * b` lane-wise (`fmls`).
+    #[inline]
+    pub fn fms(self, a: VF64, b: VF64) -> VF64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] = (-a.l[k]).mul_add(b.l[k], r.l[k]);
+        }
+        r
+    }
+
+    /// Lane-wise negation (`fneg`).
+    #[inline]
+    pub fn neg(self) -> VF64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] = -r.l[k];
+        }
+        r
+    }
+
+    /// Predicated select (`sel`): active lanes from `self`, inactive from
+    /// `other`.
+    pub fn select(self, p: Pred, other: VF64) -> VF64 {
+        let mut r = other;
+        for k in 0..MAX_LANES_F64 {
+            if p.lane(k) {
+                r.l[k] = self.l[k];
+            }
+        }
+        r
+    }
+
+    /// Predicated horizontal sum (`faddv`): sum of active lanes.
+    ///
+    /// Matches the SVE strictly-ordered reduction (left to right), which is
+    /// what Fujitsu's compiler emits at -Kfast for reproducible reductions.
+    pub fn hsum(self, p: Pred) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                acc += self.l[k];
+            }
+        }
+        acc
+    }
+
+    /// Predicated horizontal max (`fmaxv`) over active lanes; `None` if the
+    /// predicate is empty.
+    pub fn hmax(self, p: Pred) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for k in 0..p.vl().lanes_f64() {
+            if p.lane(k) {
+                best = Some(match best {
+                    Some(b) => b.max(self.l[k]),
+                    None => self.l[k],
+                });
+            }
+        }
+        best
+    }
+}
+
+impl VI64 {
+    /// Broadcast a scalar index to all lanes.
+    #[inline]
+    pub fn splat(x: i64) -> VI64 {
+        VI64 { l: [x; MAX_LANES_F64] }
+    }
+
+    /// Build from explicit lane values (models the result of whatever
+    /// index arithmetic produced them; callers account the instructions).
+    pub fn from_lanes(lanes: &[i64; MAX_LANES_F64]) -> VI64 {
+        VI64 { l: *lanes }
+    }
+
+    /// Copy with one lane replaced.
+    pub fn with_lane(mut self, k: usize, x: i64) -> VI64 {
+        self.l[k] = x;
+        self
+    }
+
+    /// `index`: lane `k` gets `base + k * step` — the SVE idiom for
+    /// building strided gather indices.
+    pub fn index(base: i64, step: i64) -> VI64 {
+        let mut v = VI64::splat(0);
+        for k in 0..MAX_LANES_F64 {
+            v.l[k] = base + (k as i64) * step;
+        }
+        v
+    }
+
+    /// Lane-wise addition.
+    #[inline]
+    pub fn add(self, o: VI64) -> VI64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] = r.l[k].wrapping_add(o.l[k]);
+        }
+        r
+    }
+
+    /// Lane-wise bitwise AND.
+    #[inline]
+    pub fn and(self, o: VI64) -> VI64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] &= o.l[k];
+        }
+        r
+    }
+
+    /// Lane-wise shift left by a scalar.
+    #[inline]
+    pub fn shl(self, sh: u32) -> VI64 {
+        let mut r = self;
+        for k in 0..MAX_LANES_F64 {
+            r.l[k] <<= sh;
+        }
+        r
+    }
+
+    /// Lane accessor.
+    #[inline]
+    pub fn lane(self, k: usize) -> i64 {
+        self.l[k]
+    }
+
+    /// Lane-wise compare-less-than against another vector, producing a
+    /// predicate (`cmplt`).
+    pub fn cmplt(self, p: Pred, o: VI64) -> Pred {
+        let bools: Vec<bool> = (0..p.vl().lanes_f64())
+            .map(|k| p.lane(k) && self.l[k] < o.l[k])
+            .collect();
+        Pred::from_bools(p.vl(), &bools)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vl::Vl;
+
+    const VL: Vl = Vl::A64FX;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn splat_and_lanes() {
+        let v = VF64::splat(3.25);
+        for k in 0..MAX_LANES_F64 {
+            assert_eq!(v.lane(k), 3.25);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip_full_predicate() {
+        let src = seq(8);
+        let p = Pred::ptrue(VL);
+        let v = VF64::load(p, &src);
+        let mut dst = vec![0.0; 8];
+        v.store(p, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn partial_predicate_load_zeroes_inactive() {
+        let src = seq(8);
+        let p = Pred::whilelt(VL, 0, 3);
+        let v = VF64::load(p, &src);
+        assert_eq!(v.lane(0), 0.0);
+        assert_eq!(v.lane(2), 2.0);
+        assert_eq!(v.lane(3), 0.0, "inactive lane must be zeroed");
+    }
+
+    #[test]
+    fn partial_predicate_store_preserves_inactive_memory() {
+        let p = Pred::whilelt(VL, 0, 3);
+        let v = VF64::splat(9.0);
+        let mut dst = vec![-1.0; 8];
+        v.store(p, &mut dst);
+        assert_eq!(dst, vec![9.0, 9.0, 9.0, -1.0, -1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gather_strided() {
+        let src = seq(64);
+        let p = Pred::ptrue(VL);
+        let idx = VI64::index(1, 4); // 1, 5, 9, ...
+        let v = VF64::gather(p, &src, idx);
+        for k in 0..8 {
+            assert_eq!(v.lane(k), (1 + 4 * k) as f64);
+        }
+    }
+
+    #[test]
+    fn scatter_strided() {
+        let p = Pred::ptrue(VL);
+        let idx = VI64::index(0, 2);
+        let mut dst = vec![0.0; 16];
+        VF64::splat(7.0).scatter(p, &mut dst, idx);
+        for (i, &x) in dst.iter().enumerate() {
+            assert_eq!(x, if i % 2 == 0 { 7.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let src = seq(32);
+        let p = Pred::whilelt(VL, 0, 6);
+        let idx = VI64::index(3, 3);
+        let v = VF64::gather(p, &src, idx);
+        let mut dst = vec![0.0; 32];
+        v.scatter(p, &mut dst, idx);
+        for k in 0..6 {
+            let a = 3 + 3 * k;
+            assert_eq!(dst[a], src[a]);
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VF64::splat(2.0);
+        let b = VF64::splat(3.0);
+        assert_eq!(a.add(b).lane(0), 5.0);
+        assert_eq!(a.sub(b).lane(0), -1.0);
+        assert_eq!(a.mul(b).lane(0), 6.0);
+        assert_eq!(a.neg().lane(0), -2.0);
+    }
+
+    #[test]
+    fn fma_fms() {
+        let acc = VF64::splat(1.0);
+        let a = VF64::splat(2.0);
+        let b = VF64::splat(3.0);
+        assert_eq!(acc.fma(a, b).lane(5), 7.0); // 1 + 2*3
+        assert_eq!(acc.fms(a, b).lane(5), -5.0); // 1 - 2*3
+    }
+
+    #[test]
+    fn fma_is_fused() {
+        // A fused multiply-add keeps the intermediate product unrounded:
+        // with x = 1 + 2^-30, x*x - x*x computed as fma(x,x, -(x*x)) exposes
+        // the rounding of the separate product.
+        let x = 1.0 + (2.0f64).powi(-30);
+        let prod = x * x;
+        let r = VF64::splat(-prod).fma(VF64::splat(x), VF64::splat(x));
+        let expected = x.mul_add(x, -prod);
+        assert_eq!(r.lane(0), expected);
+    }
+
+    #[test]
+    fn select_mixes_lanes() {
+        let p = Pred::from_bools(VL, &[true, false, true, false, true, false, true, false]);
+        let a = VF64::splat(1.0);
+        let b = VF64::splat(2.0);
+        let r = a.select(p, b);
+        assert_eq!(r.lane(0), 1.0);
+        assert_eq!(r.lane(1), 2.0);
+    }
+
+    #[test]
+    fn horizontal_sum_respects_predicate() {
+        let v = VF64::load(Pred::ptrue(VL), &seq(8));
+        assert_eq!(v.hsum(Pred::ptrue(VL)), 28.0);
+        let p = Pred::whilelt(VL, 0, 4);
+        assert_eq!(v.hsum(p), 6.0);
+        assert_eq!(v.hsum(Pred::pfalse(VL)), 0.0);
+    }
+
+    #[test]
+    fn horizontal_max() {
+        let v = VF64::load(Pred::ptrue(VL), &[3.0, -1.0, 7.0, 2.0, 0.0, 6.9, -8.0, 4.0]);
+        assert_eq!(v.hmax(Pred::ptrue(VL)), Some(7.0));
+        assert_eq!(v.hmax(Pred::whilelt(VL, 0, 2)), Some(3.0));
+        assert_eq!(v.hmax(Pred::pfalse(VL)), None);
+    }
+
+    #[test]
+    fn index_vector_arithmetic() {
+        let i = VI64::index(10, 3);
+        assert_eq!(i.lane(0), 10);
+        assert_eq!(i.lane(4), 22);
+        let j = i.add(VI64::splat(1)).shl(1);
+        assert_eq!(j.lane(0), 22);
+        assert_eq!(j.lane(1), 28);
+        let m = i.and(VI64::splat(0xF));
+        assert_eq!(m.lane(2), 16 & 0xF);
+    }
+
+    #[test]
+    fn cmplt_builds_predicate() {
+        let p = Pred::ptrue(VL);
+        let i = VI64::index(0, 1);
+        let q = i.cmplt(p, VI64::splat(3));
+        assert_eq!(q.count(), 3);
+        assert!(q.lane(0) && q.lane(2) && !q.lane(3));
+    }
+}

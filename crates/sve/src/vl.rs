@@ -1,0 +1,157 @@
+//! Vector length configuration.
+//!
+//! SVE allows implementations to pick any vector length between 128 and
+//! 2048 bits in 128-bit increments. The A64FX uses 512 bits. [`Vl`] carries
+//! the configured length and answers "how many lanes of type T fit".
+
+/// Maximum number of `f64` lanes a 2048-bit register can hold.
+///
+/// Vector register storage in this crate is sized for the architectural
+/// maximum so the same types serve every configured VL.
+pub const MAX_LANES_F64: usize = 2048 / 64;
+
+/// A configured SVE vector length in bits.
+///
+/// Valid values are multiples of 128 in `128..=2048`, matching the SVE
+/// architecture. Construction through [`Vl::new`] validates this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vl {
+    bits: u16,
+}
+
+impl Vl {
+    /// The A64FX hardware vector length (512 bits = 8 × `f64`).
+    pub const A64FX: Vl = Vl { bits: 512 };
+    /// The architectural minimum (128 bits = 2 × `f64`).
+    pub const MIN: Vl = Vl { bits: 128 };
+    /// The architectural maximum (2048 bits = 32 × `f64`).
+    pub const MAX: Vl = Vl { bits: 2048 };
+
+    /// Create a vector length of `bits` bits.
+    ///
+    /// Returns `None` unless `bits` is a multiple of 128 in `128..=2048`.
+    pub fn new(bits: u16) -> Option<Vl> {
+        if bits >= 128 && bits <= 2048 && bits % 128 == 0 {
+            Some(Vl { bits })
+        } else {
+            None
+        }
+    }
+
+    /// All valid SVE vector lengths, smallest first.
+    pub fn all() -> impl Iterator<Item = Vl> {
+        (1..=16u16).map(|k| Vl { bits: k * 128 })
+    }
+
+    /// The common power-of-two sweep used in the authors' VL studies:
+    /// 128, 256, 512, 1024, 2048 bits.
+    pub fn pow2_sweep() -> [Vl; 5] {
+        [
+            Vl { bits: 128 },
+            Vl { bits: 256 },
+            Vl { bits: 512 },
+            Vl { bits: 1024 },
+            Vl { bits: 2048 },
+        ]
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        self.bits
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        self.bits as usize / 8
+    }
+
+    /// Number of `f64` (double-precision) lanes.
+    #[inline]
+    pub fn lanes_f64(self) -> usize {
+        self.bits as usize / 64
+    }
+
+    /// Number of `i64` lanes (same as `f64`).
+    #[inline]
+    pub fn lanes_i64(self) -> usize {
+        self.lanes_f64()
+    }
+}
+
+impl Default for Vl {
+    /// Defaults to the A64FX hardware vector length.
+    fn default() -> Self {
+        Vl::A64FX
+    }
+}
+
+impl std::fmt::Display for Vl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VL{}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_lengths_accepted() {
+        for k in 1..=16u16 {
+            let vl = Vl::new(k * 128).expect("multiple of 128 in range");
+            assert_eq!(vl.bits(), k * 128);
+            assert_eq!(vl.lanes_f64(), (k as usize * 128) / 64);
+        }
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert!(Vl::new(0).is_none());
+        assert!(Vl::new(64).is_none());
+        assert!(Vl::new(130).is_none());
+        assert!(Vl::new(2176).is_none());
+        assert!(Vl::new(192).is_none());
+    }
+
+    #[test]
+    fn a64fx_is_512() {
+        assert_eq!(Vl::A64FX.bits(), 512);
+        assert_eq!(Vl::A64FX.lanes_f64(), 8);
+        assert_eq!(Vl::A64FX.bytes(), 64);
+    }
+
+    #[test]
+    fn default_is_a64fx() {
+        assert_eq!(Vl::default(), Vl::A64FX);
+    }
+
+    #[test]
+    fn all_yields_sixteen() {
+        let v: Vec<Vl> = Vl::all().collect();
+        assert_eq!(v.len(), 16);
+        assert_eq!(v[0], Vl::MIN);
+        assert_eq!(v[15], Vl::MAX);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pow2_sweep_matches_paper_methodology() {
+        let sweep = Vl::pow2_sweep();
+        assert_eq!(
+            sweep.iter().map(|v| v.bits()).collect::<Vec<_>>(),
+            vec![128, 256, 512, 1024, 2048]
+        );
+    }
+
+    #[test]
+    fn max_lanes_covers_max_vl() {
+        assert_eq!(Vl::MAX.lanes_f64(), MAX_LANES_F64);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Vl::A64FX.to_string(), "VL512");
+    }
+}

@@ -1,0 +1,50 @@
+//! QFT with A64FX performance analysis: run the circuit with the chip
+//! model attached and read the predicted time, traffic, and bottleneck
+//! breakdown next to the live host measurement.
+//!
+//! ```sh
+//! cargo run --release --example qft_analysis
+//! ```
+
+use a64fx_qcs::a64fx::timing::ExecConfig;
+use a64fx_qcs::a64fx::ChipParams;
+use a64fx_qcs::core::library;
+use a64fx_qcs::core::prelude::*;
+
+fn main() {
+    let n = 16u32;
+    let circuit = library::qft(n);
+    println!(
+        "QFT({n}): {} gates ({:?}), depth {}",
+        circuit.len(),
+        circuit.counts(),
+        circuit.depth()
+    );
+
+    let sim = Simulator::new().with_model(ChipParams::a64fx(), ExecConfig::full_chip());
+
+    for (label, strategy) in [
+        ("naive", Strategy::Naive),
+        ("fused k=4", Strategy::Fused { max_k: 4 }),
+    ] {
+        let mut state = StateVector::zero(n);
+        let report = sim.clone().with_strategy(strategy).run(&circuit, &mut state).unwrap();
+        let model = report.predicted.expect("model attached");
+        println!("\n[{label}]");
+        println!("  host wall time      : {:.3} ms", report.wall_seconds * 1e3);
+        println!("  sweeps executed     : {}", report.sweeps);
+        println!("  A64FX predicted time: {:.3} µs", model.seconds * 1e6);
+        println!("  HBM traffic         : {:.1} MiB", model.mem_bytes as f64 / (1 << 20) as f64);
+        println!("  DP FLOPs            : {:.2e}", model.flops as f64);
+        println!("  effective bandwidth : {:.0} GB/s", model.effective_bandwidth() / 1e9);
+        println!("  effective GFLOP/s   : {:.1}", model.gflops());
+        println!("  bottlenecks         : {:?}", model.bottlenecks);
+
+        // Sanity: QFT of |0…0⟩ is the uniform superposition.
+        let uniform = 1.0 / (1u64 << n) as f64;
+        let max_dev = (0..state.len())
+            .map(|i| (state.probability(i) - uniform).abs())
+            .fold(0.0, f64::max);
+        println!("  max |P - uniform|   : {max_dev:.2e}");
+    }
+}

@@ -1,0 +1,72 @@
+//! A64FX chip report: peaks, roofline placement of every kernel class,
+//! and the SVE vector-length sensitivity of a counted kernel.
+//!
+//! ```sh
+//! cargo run --release --example roofline_report
+//! ```
+
+use a64fx_qcs::a64fx::roofline::{place, ridge_point};
+use a64fx_qcs::a64fx::timing::{predict, ExecConfig, KernelProfile};
+use a64fx_qcs::a64fx::traffic::{KernelKind, TrafficModel};
+use a64fx_qcs::a64fx::ChipParams;
+use a64fx_qcs::core::gates::standard;
+use a64fx_qcs::core::kernels::sve::apply_1q_sve;
+use a64fx_qcs::core::StateVector;
+use a64fx_qcs::sve::{SveCtx, Vl};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let chip = ChipParams::a64fx();
+    println!("A64FX (Fugaku node configuration)");
+    println!("  cores              : {} ({} CMGs × {})", chip.total_cores(), chip.n_cmgs, chip.cores_per_cmg);
+    println!("  clock              : {} GHz", chip.freq_ghz);
+    println!("  SVE width          : {} bits", chip.simd_bits);
+    println!("  peak DP            : {:.3} TF/s", chip.peak_flops_chip() / 1e12);
+    println!("  HBM2 bandwidth     : {:.3} TB/s", chip.peak_membw(4) / 1e12);
+    println!("  memory             : {} GiB", chip.total_memory() / (1 << 30));
+    println!("  largest state      : {} qubits", chip.max_qubits(0.1));
+    println!(
+        "  roofline ridge     : {:.1} flop/byte",
+        ridge_point(chip.peak_flops_chip(), chip.peak_membw(4))
+    );
+
+    println!("\nkernel roofline placements (n = 28):");
+    let model = TrafficModel::a64fx();
+    for (name, kind, qs) in [
+        ("diag 1q", KernelKind::OneQubitDiagonal, vec![3u32]),
+        ("dense 1q", KernelKind::OneQubitDense, vec![3]),
+        ("dense 2q", KernelKind::TwoQubitDense, vec![3, 9]),
+        ("fused k=4", KernelKind::FusedDense { k: 4 }, vec![0, 1, 2, 3]),
+    ] {
+        let t = model.predict(kind, 28, &qs);
+        let p = place(&chip, t.arithmetic_intensity, 48, 4);
+        println!(
+            "  {name:>9}: AI = {:.3} flop/B → {:>6.0} GF/s ({:.1}% of peak, {})",
+            t.arithmetic_intensity,
+            p.attainable / 1e9,
+            p.efficiency * 100.0,
+            if p.memory_bound { "memory-bound" } else { "compute-bound" },
+        );
+    }
+
+    println!("\nSVE VL sweep (counted dense-1q kernel, L1-resident, predicted per-sweep time):");
+    let mut rng = StdRng::seed_from_u64(9);
+    for vl in Vl::pow2_sweep() {
+        let mut ctx = SveCtx::new(vl);
+        let mut state = StateVector::random(12, &mut rng);
+        apply_1q_sve(&mut ctx, state.amplitudes_mut(), 11, &standard::h());
+        let mut variant = chip.clone();
+        variant.simd_bits = vl.bits();
+        let mut profile = KernelProfile::from_sve_counts(ctx.counts(), vl);
+        profile.mem_bytes = 0;
+        profile.l2_bytes = 0;
+        let pred = predict(&variant, &profile, &ExecConfig::single_core());
+        println!(
+            "  {vl:>7}: {:>8} instrs → {:>9.3} µs ({:?}-limited)",
+            ctx.counts().total(),
+            pred.seconds * 1e6,
+            pred.bottleneck,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Variational quantum eigensolver for the transverse-field Ising chain:
+//! a hardware-efficient Ry/CZ ansatz optimized by coordinate descent,
+//! compared against exact diagonalization.
+//!
+//! ```sh
+//! cargo run --release --example vqe_ising
+//! ```
+
+use a64fx_qcs::core::prelude::*;
+
+const N: u32 = 4;
+const LAYERS: usize = 4;
+
+/// Parameters per layer: one Rzz angle per bond + one Rx angle per qubit.
+const PARAMS_PER_LAYER: usize = (N as usize - 1) + N as usize;
+
+/// Hamiltonian-variational ansatz for the TFIM: from |+…+⟩, alternate
+/// bond-wise Rzz layers (cost direction) and qubit-wise Rx layers (mixer
+/// direction). Every parameter drives exactly one gate, so the energy is
+/// an exact sinusoid in each coordinate and Rotosolve lands on the
+/// per-coordinate minimum in closed form.
+fn ansatz(params: &[f64]) -> Circuit {
+    assert_eq!(params.len(), LAYERS * PARAMS_PER_LAYER);
+    let mut c = Circuit::new(N);
+    for q in 0..N {
+        c.h(q);
+    }
+    for layer in 0..LAYERS {
+        let base = layer * PARAMS_PER_LAYER;
+        for q in 0..N - 1 {
+            c.rzz(q, q + 1, params[base + q as usize]);
+        }
+        for q in 0..N {
+            c.rx(q, params[base + (N - 1) as usize + q as usize]);
+        }
+    }
+    c
+}
+
+fn energy(h: &Hamiltonian, params: &[f64]) -> f64 {
+    let mut s = StateVector::zero(N);
+    Simulator::new().run(&ansatz(params), &mut s).unwrap();
+    h.expectation(&s)
+}
+
+fn main() {
+    let h = Hamiltonian::ising_chain(N, 1.0, 1.0);
+    let exact = h.ground_energy(N);
+    println!("TFIM chain, n = {N}, J = h = 1");
+    println!("exact ground energy (dense diagonalization): {exact:.6}");
+
+    // Coordinate descent (Rotosolve) from a symmetry-broken start — a
+    // uniform initialization puts every qubit on the same trajectory and
+    // coordinate descent stalls in the symmetric subspace.
+    let mut params: Vec<f64> = (0..LAYERS * PARAMS_PER_LAYER)
+        .map(|i| 0.4 * ((i as f64) * 1.7).sin() + 0.2)
+        .collect();
+    let mut current = energy(&h, &params);
+    println!("\n{:>5}  {:>12}  {:>10}", "sweep", "energy", "gap");
+    for sweep in 0..100 {
+        for i in 0..params.len() {
+            // Rotosolve-style update: for Ry ansätze the energy in one
+            // parameter is A·cos(θ − φ) + c; three evaluations give the
+            // minimizer in closed form.
+            let orig = params[i];
+            let e0 = current;
+            params[i] = orig + std::f64::consts::FRAC_PI_2;
+            let e_plus = energy(&h, &params);
+            params[i] = orig - std::f64::consts::FRAC_PI_2;
+            let e_minus = energy(&h, &params);
+            // Rotosolve closed form: θ* = θ − π/2 − atan2(2e₀ − e₊ − e₋,
+            //                                            e₊ − e₋).
+            let theta_star = orig
+                - std::f64::consts::FRAC_PI_2
+                - (2.0 * e0 - e_plus - e_minus).atan2(e_plus - e_minus);
+            // Fall back to the best of the three probes plus the analytic
+            // candidate (robust against the atan2 branch).
+            let candidates = [
+                (orig, e0),
+                (orig + std::f64::consts::FRAC_PI_2, e_plus),
+                (orig - std::f64::consts::FRAC_PI_2, e_minus),
+                (theta_star, {
+                    params[i] = theta_star;
+                    energy(&h, &params)
+                }),
+            ];
+            let (best_theta, best_e) = candidates
+                .into_iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            params[i] = best_theta;
+            current = best_e;
+        }
+        if sweep % 10 == 0 || sweep == 99 {
+            println!("{sweep:>5}  {current:>12.6}  {:>10.2e}", current - exact);
+        }
+    }
+
+    let gap = current - exact;
+    println!("\nfinal VQE energy : {current:.6}");
+    println!("energy gap       : {gap:.2e}");
+    assert!(gap < 2e-3, "VQE should land near the ground state, gap = {gap}");
+    println!("(within chemical-accuracy-scale distance of the exact value)");
+}

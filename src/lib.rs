@@ -1,0 +1,19 @@
+//! `a64fx-qcs`: facade crate for the A64FX state-vector quantum circuit
+//! simulation reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`core`] (`qcs-core`) — the state-vector simulator itself.
+//! * [`dist`] (`qcs-dist`) — distributed simulation over the MPI substrate.
+//! * [`sve`] (`sve-sim`) — the vector-length-agnostic SVE layer.
+//! * [`omp`] (`omp-par`) — the OpenMP-like parallel runtime.
+//! * [`a64fx`] (`a64fx-model`) — the A64FX performance model.
+//! * [`mpi`] (`mpi-sim`) — the message-passing substrate.
+
+pub use a64fx_model as a64fx;
+pub use mpi_sim as mpi;
+pub use omp_par as omp;
+pub use qcs_core as core;
+pub use qcs_dist as dist;
+pub use sve_sim as sve;

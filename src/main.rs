@@ -1,0 +1,245 @@
+//! `a64fx-qcs` — command-line front-end for the simulator.
+//!
+//! ```text
+//! a64fx-qcs run <circuit.qasm> [options]     simulate an OpenQASM 2.0 file
+//! a64fx-qcs demo <family> <n> [options]      run a built-in circuit family
+//! a64fx-qcs emit <family> <n>                print a family as OpenQASM 2.0
+//!
+//! families: ghz qft random qv trotter qaoa grover shor
+//!
+//! options:
+//!   --strategy naive|fused:<k>|blocked:<b>   execution strategy [naive]
+//!   --threads <t>                            worksharing threads [1]
+//!   --ranks <r>                              distributed ranks (power of 2)
+//!   --shots <s>                              sample and print counts
+//!   --probs <top>                            print the top-N probabilities
+//!   --model                                  attach the A64FX model report
+//!   --seed <u64>                             RNG seed [1]
+//! ```
+
+use std::process::ExitCode;
+
+use a64fx_qcs::a64fx::timing::ExecConfig;
+use a64fx_qcs::a64fx::ChipParams;
+use a64fx_qcs::core::measure::sample_counts;
+use a64fx_qcs::core::prelude::*;
+use a64fx_qcs::core::{library, qasm};
+use a64fx_qcs::dist::run_distributed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    strategy: Strategy,
+    threads: usize,
+    ranks: usize,
+    shots: usize,
+    probs: usize,
+    model: bool,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            strategy: Strategy::Naive,
+            threads: 1,
+            ranks: 1,
+            shots: 0,
+            probs: 0,
+            model: false,
+            seed: 1,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = args.split_first().ok_or_else(usage)?;
+    match command.as_str() {
+        "run" => {
+            let (path, opts) = parse_run_args(rest)?;
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let circuit = qasm::parse(&source).map_err(|e| e.to_string())?;
+            execute(&circuit, &opts)
+        }
+        "demo" => {
+            let (family, n, opts) = parse_demo_args(rest)?;
+            let circuit = build_family(&family, n, opts.seed)?;
+            execute(&circuit, &opts)
+        }
+        "emit" => {
+            let (family, n, opts) = parse_demo_args(rest)?;
+            let circuit = build_family(&family, n, opts.seed)?;
+            let text = qasm::emit(&circuit)?;
+            print!("{text}");
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
+     families: ghz qft random qv trotter qaoa grover shor\n\
+     opts: --strategy naive|fused:<k>|blocked:<b>  --threads <t>  --ranks <r>\n\
+           --shots <s>  --probs <top>  --model  --seed <u64>"
+        .to_string()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--strategy" => {
+                let v = value("--strategy")?;
+                opts.strategy = parse_strategy(&v)?;
+            }
+            "--threads" => opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--ranks" => opts.ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?,
+            "--shots" => opts.shots = value("--shots")?.parse().map_err(|e| format!("--shots: {e}"))?,
+            "--probs" => opts.probs = value("--probs")?.parse().map_err(|e| format!("--probs: {e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--model" => opts.model = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_strategy(text: &str) -> Result<Strategy, String> {
+    if text == "naive" {
+        return Ok(Strategy::Naive);
+    }
+    if let Some(k) = text.strip_prefix("fused:") {
+        let k: u32 = k.parse().map_err(|e| format!("fused:<k>: {e}"))?;
+        return Ok(Strategy::Fused { max_k: k });
+    }
+    if let Some(b) = text.strip_prefix("blocked:") {
+        let b: u32 = b.parse().map_err(|e| format!("blocked:<b>: {e}"))?;
+        return Ok(Strategy::Blocked { block_qubits: b });
+    }
+    Err(format!("unknown strategy `{text}` (naive | fused:<k> | blocked:<b>)"))
+}
+
+fn parse_run_args(args: &[String]) -> Result<(String, Options), String> {
+    let (path, rest) = args.split_first().ok_or("run needs a .qasm path")?;
+    Ok((path.clone(), parse_options(rest)?))
+}
+
+fn parse_demo_args(args: &[String]) -> Result<(String, u32, Options), String> {
+    let (family, rest) = args.split_first().ok_or("demo needs a family name")?;
+    let (n, rest) = rest.split_first().ok_or("demo needs a qubit count")?;
+    let n: u32 = n.parse().map_err(|e| format!("qubit count: {e}"))?;
+    Ok((family.clone(), n, parse_options(rest)?))
+}
+
+fn build_family(family: &str, n: u32, seed: u64) -> Result<Circuit, String> {
+    Ok(match family {
+        "ghz" => library::ghz(n),
+        "qft" => library::qft(n),
+        "random" => library::random_circuit(n, 2 * n as usize, seed),
+        "qv" => library::quantum_volume(n, seed),
+        "trotter" => library::trotter_ising(n, 8, 1.0, 0.8, 0.1),
+        "qaoa" => library::qaoa_maxcut_ring(n, 2, &[0.6, 0.4], &[0.3, 0.2]),
+        "grover" => library::grover(n, (1usize << n) - 2),
+        "shor" => {
+            let t = n.checked_sub(4).filter(|&t| t >= 2).ok_or("shor needs n ≥ 6 (4 work + ≥2 counting qubits)")?;
+            library::shor15_order_finding(7, t)
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    })
+}
+
+fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    println!(
+        "circuit: {} qubits, {} gates, depth {}",
+        circuit.n_qubits(),
+        circuit.len(),
+        circuit.depth()
+    );
+
+    let state = if opts.ranks > 1 {
+        if !opts.ranks.is_power_of_two() {
+            return Err(format!("--ranks must be a power of two, got {}", opts.ranks));
+        }
+        let g = opts.ranks.trailing_zeros();
+        if g + 3 > circuit.n_qubits() {
+            return Err(format!(
+                "{} ranks on {} qubits leaves fewer than 3 local qubits; \
+                 use a wider circuit or fewer ranks",
+                opts.ranks,
+                circuit.n_qubits()
+            ));
+        }
+        println!("running on {} in-process ranks…", opts.ranks);
+        let (state, stats) = run_distributed(circuit, opts.ranks);
+        let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+        println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
+        state
+    } else {
+        let mut sim = Simulator::new().with_strategy(opts.strategy);
+        if opts.threads > 1 {
+            sim = sim.with_threads(opts.threads);
+        }
+        if opts.model {
+            sim = sim.with_model(ChipParams::a64fx(), ExecConfig::full_chip());
+        }
+        let mut state = StateVector::zero(circuit.n_qubits());
+        let report = sim.run(circuit, &mut state).map_err(|e| e.to_string())?;
+        println!(
+            "executed {} sweeps in {:.3} ms (host)",
+            report.sweeps,
+            report.wall_seconds * 1e3
+        );
+        if let Some(model) = report.predicted {
+            println!(
+                "A64FX model: {:.3} µs, {:.1} MiB HBM traffic, {:.1} GF/s effective, bottlenecks {:?}",
+                model.seconds * 1e6,
+                model.mem_bytes as f64 / (1 << 20) as f64,
+                model.gflops(),
+                model.bottlenecks
+            );
+        }
+        state
+    };
+
+    if opts.probs > 0 {
+        let mut probs: Vec<(usize, f64)> =
+            state.probabilities().into_iter().enumerate().collect();
+        probs.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("top {} probabilities:", opts.probs);
+        let width = circuit.n_qubits() as usize;
+        for &(basis, p) in probs.iter().take(opts.probs) {
+            println!("  |{basis:0width$b}⟩  {p:.6}");
+        }
+    }
+
+    if opts.shots > 0 {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        println!("{} shots:", opts.shots);
+        let width = circuit.n_qubits() as usize;
+        for (basis, count) in sample_counts(&state, opts.shots, &mut rng) {
+            println!("  |{basis:0width$b}⟩  {count}");
+        }
+    }
+    Ok(())
+}

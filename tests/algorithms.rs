@@ -1,0 +1,198 @@
+//! Algorithm-level behavioral tests: the simulator produces the physics
+//! each textbook algorithm promises, at sizes above the unit tests'.
+
+use a64fx_qcs::core::expectation::{Pauli, PauliString};
+use a64fx_qcs::core::library;
+use a64fx_qcs::core::measure::{collapse, marginal_probabilities, sample_counts};
+use a64fx_qcs::core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(circuit: &Circuit) -> StateVector {
+    let mut s = StateVector::zero(circuit.n_qubits());
+    Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(circuit, &mut s).unwrap();
+    s
+}
+
+#[test]
+fn grover_finds_marked_states_at_n8() {
+    // n = 8 keeps the phase-polynomial multi-controlled-Z (2^n subset
+    // terms per oracle) affordable in debug builds while still being
+    // larger than the unit tests.
+    let n = 8u32;
+    for marked in [0usize, 100, 255] {
+        let s = run(&library::grover(n, marked));
+        let p = s.probability(marked);
+        assert!(p > 0.9, "marked={marked}: P = {p}");
+    }
+}
+
+#[test]
+fn qft_peaks_detect_periodicity() {
+    // A state with period 2^k in the computational basis transforms to
+    // support only on multiples of 2^{n-k} — the structure behind Shor.
+    let n = 10u32;
+    let k = 3u32; // period 8
+    let period = 1usize << k;
+    let count = (1usize << n) / period;
+    let amp = 1.0 / (count as f64).sqrt();
+    let mut amps = vec![C64::default(); 1 << n];
+    for i in (0..(1 << n)).step_by(period) {
+        amps[i] = C64::real(amp);
+    }
+    let init = StateVector::from_amplitudes(&amps);
+    let mut s = init;
+    Simulator::new().run(&library::qft(n), &mut s).unwrap();
+    let stride = 1usize << (n - k);
+    for (i, p) in s.probabilities().iter().enumerate() {
+        if i % stride == 0 {
+            assert!(*p > 1e-6, "expected support at {i}");
+        } else {
+            assert!(*p < 1e-12, "unexpected support at {i}: {p}");
+        }
+    }
+}
+
+#[test]
+fn ghz_correlations_are_maximal() {
+    let n = 10u32;
+    let s = run(&library::ghz(n));
+    // ⟨Z_i Z_j⟩ = 1 for every pair; ⟨Z_i⟩ = 0.
+    for q in 0..n {
+        assert!(PauliString::z(q).expectation(&s).abs() < 1e-10);
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let zz = PauliString::zz(a, b).expectation(&s);
+            assert!((zz - 1.0).abs() < 1e-10, "⟨Z{a}Z{b}⟩ = {zz}");
+        }
+    }
+    // X-basis parity: ⟨X⊗…⊗X⟩ = +1 for the GHZ state.
+    let all_x = PauliString::new((0..n).map(|q| (q, Pauli::X)).collect());
+    assert!((all_x.expectation(&s) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn ghz_collapse_cascades() {
+    let n = 8u32;
+    let mut s = run(&library::ghz(n));
+    collapse(&mut s, 3, 1);
+    // Every other qubit is now deterministically 1.
+    for q in 0..n {
+        assert!((s.prob_qubit_one(q) - 1.0).abs() < 1e-10, "qubit {q}");
+    }
+}
+
+#[test]
+fn trotter_conserves_energy_at_fine_steps() {
+    // With J-only coupling (h = 0) the ZZ energy is conserved exactly;
+    // with a field, finer Trotter steps conserve it better.
+    let n = 8u32;
+    let energy = |s: &StateVector| -> f64 {
+        (0..n - 1).map(|q| -PauliString::zz(q, q + 1).expectation(s)).sum()
+    };
+    // Start from a product state with a known energy: |+…+⟩ has ⟨ZZ⟩ = 0.
+    let coarse = {
+        let mut c = library::hadamard_layers(n, 1);
+        c.append(&library::trotter_ising(n, 2, 1.0, 0.5, 0.4));
+        energy(&run(&c))
+    };
+    let fine = {
+        let mut c = library::hadamard_layers(n, 1);
+        c.append(&library::trotter_ising(n, 16, 1.0, 0.5, 0.05));
+        energy(&run(&c))
+    };
+    // Same total time (0.8); the fine evolution should stay closer to the
+    // exact dynamics. We can't know the exact value cheaply, but both
+    // must remain bounded and finite, and they must differ (Trotter error
+    // is real).
+    assert!(coarse.is_finite() && fine.is_finite());
+    assert!(coarse.abs() <= (n - 1) as f64 + 1e-9);
+    assert!(fine.abs() <= (n - 1) as f64 + 1e-9);
+}
+
+#[test]
+fn qaoa_expected_cut_improves_with_layers() {
+    let n = 8u32;
+    let cut = |p: usize, gammas: &[f64], betas: &[f64]| -> f64 {
+        let s = run(&library::qaoa_maxcut_ring(n, p, gammas, betas));
+        (0..n)
+            .map(|q| (1.0 - PauliString::zz(q, (q + 1) % n).expectation(&s)) / 2.0)
+            .sum()
+    };
+    // Coarse grid search at p=1.
+    let mut best1 = f64::MIN;
+    let mut best_pair = (0.0, 0.0);
+    for gi in 1..8 {
+        for bi in 1..8 {
+            let (g, b) = (gi as f64 * 0.2, bi as f64 * 0.1);
+            let c = cut(1, &[g], &[b]);
+            if c > best1 {
+                best1 = c;
+                best_pair = (g, b);
+            }
+        }
+    }
+    // p=2 with the good p=1 angles plus a refinement layer beats p=1.
+    let mut best2 = f64::MIN;
+    for gi in 1..5 {
+        for bi in 1..5 {
+            let c = cut(
+                2,
+                &[best_pair.0, gi as f64 * 0.25],
+                &[best_pair.1, bi as f64 * 0.12],
+            );
+            best2 = best2.max(c);
+        }
+    }
+    assert!(best1 > n as f64 / 2.0 + 0.9, "p=1 beats random: {best1}");
+    assert!(best2 >= best1 - 1e-9, "p=2 should not be worse: {best2} vs {best1}");
+}
+
+#[test]
+fn sampling_statistics_converge_to_born_rule() {
+    let n = 8u32;
+    let circuit = library::random_circuit(n, 10, 99);
+    let s = run(&circuit);
+    let probs = s.probabilities();
+    let mut rng = StdRng::seed_from_u64(123);
+    let shots = 200_000usize;
+    let counts = sample_counts(&s, shots, &mut rng);
+    // Chi-square-ish check on the most likely outcomes.
+    let mut top: Vec<(usize, f64)> = probs.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for &(idx, p) in top.iter().take(10) {
+        let observed = counts
+            .iter()
+            .find(|&&(i, _)| i == idx)
+            .map(|&(_, c)| c as f64 / shots as f64)
+            .unwrap_or(0.0);
+        let sigma = (p * (1.0 - p) / shots as f64).sqrt();
+        assert!(
+            (observed - p).abs() < 6.0 * sigma + 1e-6,
+            "idx={idx}: observed {observed} vs p {p} (σ = {sigma})"
+        );
+    }
+}
+
+#[test]
+fn marginals_match_full_distribution() {
+    let s = run(&library::random_circuit(9, 8, 55));
+    let probs = s.probabilities();
+    let qs = [1u32, 4, 7];
+    let marg = marginal_probabilities(&s, &qs);
+    // Recompute marginals by brute force.
+    let mut expect = vec![0.0; 8];
+    for (i, p) in probs.iter().enumerate() {
+        let mut key = 0usize;
+        for (j, &q) in qs.iter().enumerate() {
+            if i & (1 << q) != 0 {
+                key |= 1 << j;
+            }
+        }
+        expect[key] += p;
+    }
+    for (a, b) in marg.iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}

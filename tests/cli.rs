@@ -1,0 +1,102 @@
+//! End-to-end tests of the `a64fx-qcs` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_a64fx-qcs"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(!out.status.success(), "command {args:?} should fail");
+    String::from_utf8(out.stderr).expect("utf8 stderr")
+}
+
+#[test]
+fn demo_ghz_reports_cat_state() {
+    let out = run_ok(&["demo", "ghz", "4", "--probs", "2"]);
+    assert!(out.contains("4 qubits, 4 gates"));
+    assert!(out.contains("|0000⟩  0.500000"));
+    assert!(out.contains("|1111⟩  0.500000"));
+}
+
+#[test]
+fn demo_with_fused_strategy_and_model() {
+    let out = run_ok(&["demo", "qft", "5", "--strategy", "fused:3", "--model"]);
+    assert!(out.contains("A64FX model"), "{out}");
+    assert!(out.contains("sweeps"));
+}
+
+#[test]
+fn emit_then_run_roundtrip() {
+    let qasm = run_ok(&["emit", "ghz", "3"]);
+    assert!(qasm.contains("qreg q[3]"));
+    assert!(qasm.contains("cx q[0],q[1]"));
+    let dir = std::env::temp_dir().join("a64fx_qcs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ghz3.qasm");
+    std::fs::write(&path, &qasm).unwrap();
+    let out = run_ok(&["run", path.to_str().unwrap(), "--probs", "2"]);
+    assert!(out.contains("|000⟩  0.500000"));
+    assert!(out.contains("|111⟩  0.500000"));
+}
+
+#[test]
+fn distributed_run_reports_communication() {
+    let out = run_ok(&["demo", "qft", "7", "--ranks", "4", "--probs", "1"]);
+    assert!(out.contains("4 in-process ranks"));
+    assert!(out.contains("communication:"));
+}
+
+#[test]
+fn shots_are_deterministic_for_a_seed() {
+    // Compare only the sample lines: the header includes wall time.
+    let shots = |out: String| -> Vec<String> {
+        out.lines().filter(|l| l.trim_start().starts_with('|')).map(str::to_string).collect()
+    };
+    let a = shots(run_ok(&["demo", "ghz", "3", "--shots", "50", "--seed", "9"]));
+    let b = shots(run_ok(&["demo", "ghz", "3", "--shots", "50", "--seed", "9"]));
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bad_strategy_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--strategy", "warp9"]);
+    assert!(err.contains("unknown strategy"));
+}
+
+#[test]
+fn too_many_ranks_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "4", "--ranks", "4"]);
+    assert!(err.contains("fewer than 3 local qubits"));
+}
+
+#[test]
+fn bad_qasm_reports_line() {
+    let dir = std::env::temp_dir().join("a64fx_qcs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.qasm");
+    std::fs::write(&path, "qreg q[2];\nfrobnicate q[0];\n").unwrap();
+    let err = run_err(&["run", path.to_str().unwrap()]);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(&["--help"]);
+    assert!(out.contains("usage:"));
+    assert!(out.contains("families:"));
+}

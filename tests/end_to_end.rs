@@ -1,0 +1,135 @@
+//! End-to-end integration: every execution path (serial, threaded,
+//! fused, blocked, distributed) produces the same physics.
+
+use a64fx_qcs::core::library;
+use a64fx_qcs::core::prelude::*;
+use a64fx_qcs::dist::run_distributed;
+use a64fx_qcs::omp::Schedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 1e-9;
+
+fn reference(circuit: &Circuit) -> StateVector {
+    let mut s = StateVector::zero(circuit.n_qubits());
+    Simulator::new().run(circuit, &mut s).unwrap();
+    s
+}
+
+fn circuits_under_test(n: u32) -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("ghz", library::ghz(n)),
+        ("qft", library::qft(n)),
+        ("random", library::random_circuit(n, 12, 77)),
+        ("qv", library::quantum_volume(n, 8)),
+        ("trotter", library::trotter_ising(n, 4, 1.0, 0.8, 0.1)),
+        ("grover", library::grover(n.min(7), 3)),
+    ]
+}
+
+#[test]
+fn every_strategy_agrees_on_every_circuit_family() {
+    let n = 9u32;
+    for (name, circuit) in circuits_under_test(n) {
+        let m = circuit.n_qubits();
+        let reference = reference(&circuit);
+        for strategy in [
+            Strategy::Fused { max_k: 3 },
+            Strategy::Fused { max_k: 5 },
+            Strategy::Blocked { block_qubits: 5 },
+        ] {
+            let mut s = StateVector::zero(m);
+            Simulator::new().with_strategy(strategy).run(&circuit, &mut s).unwrap();
+            assert!(
+                s.approx_eq(&reference, EPS),
+                "{name} under {strategy:?}: max diff {}",
+                s.max_abs_diff(&reference)
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_and_scheduled_runs_agree() {
+    let circuit = library::random_circuit(10, 10, 5);
+    let reference = reference(&circuit);
+    for threads in [2usize, 4] {
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(64) },
+            Schedule::Dynamic { chunk: 128 },
+            Schedule::Guided { min_chunk: 32 },
+        ] {
+            let mut s = StateVector::zero(10);
+            Simulator::new()
+                .with_threads(threads)
+                .with_schedule(sched)
+                .run(&circuit, &mut s)
+                .unwrap();
+            assert!(s.approx_eq(&reference, EPS), "threads={threads} {sched:?}");
+        }
+    }
+}
+
+#[test]
+fn distributed_agrees_with_serial_across_families() {
+    for (name, circuit) in circuits_under_test(9) {
+        let reference = reference(&circuit);
+        for ranks in [2usize, 4] {
+            let (dist, _) = run_distributed(&circuit, ranks);
+            assert!(
+                dist.approx_eq(&reference, EPS),
+                "{name} on {ranks} ranks: max diff {}",
+                dist.max_abs_diff(&reference)
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_threaded_distributed_triangle() {
+    // Three completely different execution paths, one state.
+    let circuit = library::qft(10);
+    let serial = reference(&circuit);
+
+    let mut fused_threaded = StateVector::zero(10);
+    Simulator::new()
+        .with_strategy(Strategy::Fused { max_k: 4 })
+        .with_threads(3)
+        .run(&circuit, &mut fused_threaded)
+        .unwrap();
+
+    let (distributed, _) = run_distributed(&circuit, 8);
+
+    assert!(fused_threaded.approx_eq(&serial, EPS));
+    assert!(distributed.approx_eq(&serial, EPS));
+    assert!(distributed.approx_eq(&fused_threaded, EPS));
+}
+
+#[test]
+fn inverse_circuit_roundtrip_through_all_paths() {
+    let circuit = library::random_circuit(9, 15, 31);
+    let inv = circuit.inverse();
+    let mut rng = StdRng::seed_from_u64(8);
+    let init = StateVector::random(9, &mut rng);
+
+    for strategy in [Strategy::Naive, Strategy::Fused { max_k: 4 }] {
+        let mut s = init.clone();
+        let sim = Simulator::new().with_strategy(strategy);
+        sim.run(&circuit, &mut s).unwrap();
+        assert!(!s.approx_eq(&init, 1e-3), "circuit must actually change the state");
+        sim.run(&inv, &mut s).unwrap();
+        assert!(s.approx_eq(&init, EPS), "{strategy:?} roundtrip failed");
+    }
+}
+
+#[test]
+fn norm_preserved_through_long_pipelines() {
+    let mut big = Circuit::new(10);
+    big.append(&library::qft(10));
+    big.append(&library::random_circuit(10, 10, 3));
+    big.append(&library::trotter_ising(10, 3, 0.7, 1.1, 0.05));
+    let mut s = StateVector::zero(10);
+    Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(&big, &mut s).unwrap();
+    assert!((s.norm_sqr() - 1.0).abs() < 1e-8);
+}
