@@ -68,7 +68,9 @@ pub enum Lookup {
     Hit,
     /// Miss; `victim` is the evicted line's address and dirtiness, if a
     /// line was evicted to make room.
-    Miss { victim: Option<(u64, bool)> },
+    Miss {
+        victim: Option<(u64, bool)>,
+    },
 }
 
 impl Lookup {
@@ -366,7 +368,10 @@ mod tests {
     fn streaming_traffic_equals_footprint() {
         // Cold sequential read of N bytes moves exactly N bytes (in lines)
         // across both boundaries.
-        let mut h = MemoryHierarchy::new(tiny(), CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 });
+        let mut h = MemoryHierarchy::new(
+            tiny(),
+            CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+        );
         let n = 64 * 128; // 128 lines, way beyond both capacities
         for a in (0..n).step_by(8) {
             h.access(a as u64, 8, false);
@@ -383,7 +388,7 @@ mod tests {
         let l2 = CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 };
         let mut h = MemoryHierarchy::new(tiny(), l2);
         let n = 2048usize; // fits in L2 (4096), not in L1 (512)
-        // Warm-up pass.
+                           // Warm-up pass.
         for a in (0..n).step_by(8) {
             h.access(a as u64, 8, false);
         }
@@ -400,7 +405,10 @@ mod tests {
 
     #[test]
     fn l1_resident_working_set_stops_l2_traffic() {
-        let mut h = MemoryHierarchy::new(tiny(), CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 });
+        let mut h = MemoryHierarchy::new(
+            tiny(),
+            CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+        );
         let n = 256usize; // fits in L1 (512 B)
         for a in (0..n).step_by(8) {
             h.access(a as u64, 8, false);
@@ -420,7 +428,10 @@ mod tests {
     fn read_modify_write_stream_doubles_mem_traffic() {
         // Streaming read+write of a big buffer: fills + dirty writebacks ⇒
         // ~2× footprint at the memory boundary.
-        let mut h = MemoryHierarchy::new(tiny(), CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 });
+        let mut h = MemoryHierarchy::new(
+            tiny(),
+            CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+        );
         let n = 64 * 256;
         for a in (0..n).step_by(16) {
             h.access(a as u64, 16, false);
@@ -433,21 +444,32 @@ mod tests {
         }
         let s = h.stats();
         let footprint = n as u64;
-        assert!(s.l2_mem_bytes >= 2 * footprint, "read+writeback {} < {}", s.l2_mem_bytes, 2 * footprint);
+        assert!(
+            s.l2_mem_bytes >= 2 * footprint,
+            "read+writeback {} < {}",
+            s.l2_mem_bytes,
+            2 * footprint
+        );
         // And not wildly more than fills(2n)+writebacks(n).
         assert!(s.l2_mem_bytes <= 3 * footprint + 4096);
     }
 
     #[test]
     fn access_spanning_lines_touches_both() {
-        let mut h = MemoryHierarchy::new(tiny(), CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 });
+        let mut h = MemoryHierarchy::new(
+            tiny(),
+            CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+        );
         h.access(60, 8, false); // straddles lines 0 and 1
         assert_eq!(h.stats().l1.misses, 2);
     }
 
     #[test]
     fn zero_byte_access_is_noop() {
-        let mut h = MemoryHierarchy::new(tiny(), CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 });
+        let mut h = MemoryHierarchy::new(
+            tiny(),
+            CacheParams { size_bytes: 4096, assoc: 4, line_bytes: 64 },
+        );
         h.access(0, 0, true);
         assert_eq!(h.stats().l1.accesses(), 0);
     }

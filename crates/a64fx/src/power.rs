@@ -87,11 +87,7 @@ impl EnergyEstimate {
             + active_cores as f64 * mode.watts_per_core()
             + parked as f64 * RETENTION_WATTS;
         let joules = watts * seconds;
-        EnergyEstimate {
-            watts,
-            joules,
-            flops_per_joule: flops.map(|f| f as f64 / joules),
-        }
+        EnergyEstimate { watts, joules, flops_per_joule: flops.map(|f| f as f64 / joules) }
     }
 }
 

@@ -42,7 +42,9 @@ impl KernelProfile {
     /// Build a profile from counted SVE instructions at a given VL.
     pub fn from_sve_counts(counts: &InstrCounts, vl: Vl) -> KernelProfile {
         let lanes = vl.lanes_f64() as u64;
-        let flops = counts.fma * 2 * lanes + counts.farith * lanes + counts.reduce * lanes.saturating_sub(1);
+        let flops = counts.fma * 2 * lanes
+            + counts.farith * lanes
+            + counts.reduce * lanes.saturating_sub(1);
         let mem_bytes = counts.mem_instrs() * lanes * 8;
         KernelProfile {
             flops,
@@ -108,8 +110,7 @@ pub fn predict(chip: &ChipParams, profile: &KernelProfile, cfg: &ExecConfig) -> 
     let issue = chip.peak_issue_rate(cfg.cores) * freq_scale;
 
     let fp_seconds = profile.flops as f64 / peak_flops;
-    let mem_seconds =
-        (profile.mem_bytes as f64 / mem_bw).max(profile.l2_bytes as f64 / l2_bw);
+    let mem_seconds = (profile.mem_bytes as f64 / mem_bw).max(profile.l2_bytes as f64 / l2_bw);
     // Gather/scatter cracking: one µop per 128-bit pair ⇒ (VL/128 - 1)
     // extra µops each; at 512-bit VL that's 3 extra µops per instruction.
     let cracked = profile.gather_scatter * (chip.simd_bits as u64 / 128).saturating_sub(1);

@@ -31,6 +31,9 @@ pub enum KernelKind {
     TwoQubitDense,
     /// Fused dense k-qubit unitary applied in one sweep.
     FusedDense { k: u8 },
+    /// SWAP / axis-relabeling sweep: a pure amplitude permutation with no
+    /// arithmetic (the planner's relocation primitive).
+    Swap,
 }
 
 /// Traffic/flop prediction for one whole-state application of a kernel.
@@ -128,6 +131,14 @@ impl TrafficModel {
                 let per_amp = 8u64 << k;
                 (amps, amps, total_lines, amps * per_amp)
             }
+            KernelKind::Swap => {
+                // Only the (01, 10) pairs move: half the amplitudes are
+                // read and rewritten, zero flops. Whole lines are skipped
+                // only when both swap qubits sit above the line boundary.
+                let above = qubits.iter().filter(|&&q| q >= line_qubits).count();
+                let lines = if above == 2 { (total_lines / 2).max(1) } else { total_lines };
+                (amps / 2, amps / 2, lines, 0)
+            }
         };
 
         let line_bytes = self.chip.l2.line_bytes as u64;
@@ -166,15 +177,18 @@ impl TrafficModel {
     /// prefetcher's single-stream assumption; public A64FX measurements
     /// show roughly a 15–25% penalty for dual-stream strided access, which
     /// we model with `strided`.
-    pub fn effective_bandwidth(&self, n: u32, cores: usize, active_cmgs: usize, strided: bool) -> f64 {
+    pub fn effective_bandwidth(
+        &self,
+        n: u32,
+        cores: usize,
+        active_cmgs: usize,
+        strided: bool,
+    ) -> f64 {
         let level = self.residency(n);
         let raw = match level {
             0 => {
                 // L1-resident: each core streams from its own L1.
-                cores as f64
-                    * self.chip.l1_load_bytes_per_cycle
-                    * self.chip.freq_ghz
-                    * 1e9
+                cores as f64 * self.chip.l1_load_bytes_per_cycle * self.chip.freq_ghz * 1e9
             }
             1 => self.chip.peak_l2bw(active_cmgs),
             _ => self.chip.peak_membw(active_cmgs),
@@ -292,11 +306,9 @@ mod tests {
         // is peak_flops / peak_bw = 3.072e12/1.024e12 = 3 flop/byte, and
         // every unfused kernel must sit well below it.
         let m = model();
-        for kind in [
-            KernelKind::OneQubitDense,
-            KernelKind::OneQubitDiagonal,
-            KernelKind::TwoQubitDense,
-        ] {
+        for kind in
+            [KernelKind::OneQubitDense, KernelKind::OneQubitDiagonal, KernelKind::TwoQubitDense]
+        {
             let t = m.predict(kind, 24, &[5, 9]);
             assert!(t.arithmetic_intensity < 3.0, "{kind:?} AI = {}", t.arithmetic_intensity);
         }

@@ -38,31 +38,23 @@ fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpi_collectives");
     group.sample_size(10);
     for ranks in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("allreduce_1k", ranks),
-            &ranks,
-            |b, &ranks| {
-                b.iter(|| {
-                    World::run(ranks, |comm| {
-                        let data = vec![comm.rank() as f64; 1024];
-                        comm.allreduce(ReduceOp::Sum, &data)
-                    })
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("alltoall_4k", ranks),
-            &ranks,
-            |b, &ranks| {
-                b.iter(|| {
-                    World::run(ranks, |comm| {
-                        let chunks: Vec<Vec<u64>> =
-                            (0..comm.size()).map(|r| vec![r as u64; 4096]).collect();
-                        comm.alltoall(&chunks)
-                    })
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("allreduce_1k", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::run(ranks, |comm| {
+                    let data = vec![comm.rank() as f64; 1024];
+                    comm.allreduce(ReduceOp::Sum, &data)
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alltoall_4k", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::run(ranks, |comm| {
+                    let chunks: Vec<Vec<u64>> =
+                        (0..comm.size()).map(|r| vec![r as u64; 4096]).collect();
+                    comm.alltoall(&chunks)
+                })
+            });
+        });
     }
     group.finish();
 }
@@ -72,17 +64,13 @@ fn bench_pool_region_latency(c: &mut Criterion) {
     group.sample_size(30);
     for threads in [1usize, 2, 4, 8] {
         let pool = ThreadPool::new(threads);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    pool.run_region(|t| {
-                        std::hint::black_box(t);
-                    })
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.run_region(|t| {
+                    std::hint::black_box(t);
+                })
+            });
+        });
     }
     group.finish();
 }

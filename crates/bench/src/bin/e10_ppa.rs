@@ -17,7 +17,12 @@ use a64fx_model::timing::{predict, ExecConfig, KernelProfile};
 use a64fx_model::ChipParams;
 use qcs_bench::{fmt_secs, Table};
 
-fn profile(amps: u64, flops_per_amp: u64, instr_per_amp_vl512: u64, simd_bits: u16) -> KernelProfile {
+fn profile(
+    amps: u64,
+    flops_per_amp: u64,
+    instr_per_amp_vl512: u64,
+    simd_bits: u16,
+) -> KernelProfile {
     // Instruction counts scale inversely with VL (regular kernels).
     let scale = simd_bits as u64 / 64; // lanes
     KernelProfile {
@@ -32,13 +37,8 @@ fn profile(amps: u64, flops_per_amp: u64, instr_per_amp_vl512: u64, simd_bits: u
 fn sweep(name: &str, flops_per_amp: u64, instr_per_amp: u64) {
     println!();
     println!("E10: {name} (n = 28 state, full chip)");
-    let mut table = Table::new(&[
-        "SIMD width",
-        "peak TF/s",
-        "pred time",
-        "vs 512-bit",
-        "bottleneck",
-    ]);
+    let mut table =
+        Table::new(&["SIMD width", "peak TF/s", "pred time", "vs 512-bit", "bottleneck"]);
     let amps = 1u64 << 28;
     let t512 = {
         let p = profile(amps, flops_per_amp, instr_per_amp, 512);
@@ -71,7 +71,8 @@ fn core_count_sweep() {
     for cores in [12usize, 24, 48, 96, 192] {
         let mut c = chip.clone();
         c.cores_per_cmg = cores / 4;
-        let pred = predict(&c, &p, &ExecConfig { cores, active_cmgs: 4, ..ExecConfig::full_chip() });
+        let pred =
+            predict(&c, &p, &ExecConfig { cores, active_cmgs: 4, ..ExecConfig::full_chip() });
         table.row(&[
             cores.to_string(),
             fmt_secs(pred.seconds),
@@ -86,12 +87,7 @@ fn area_efficiency_sweep() {
     use a64fx_model::area::{estimate, AreaParams};
     println!();
     println!("E10c: workload performance per silicon area (7 nm), dense vs fused kernels");
-    let mut table = Table::new(&[
-        "SIMD width",
-        "chip mm²",
-        "dense GF/s/mm²",
-        "fused GF/s/mm²",
-    ]);
+    let mut table = Table::new(&["SIMD width", "chip mm²", "dense GF/s/mm²", "fused GF/s/mm²"]);
     let amps = 1u64 << 28;
     let params = AreaParams::tsmc7();
     for bits in [128u16, 256, 512, 1024, 2048] {

@@ -30,13 +30,8 @@ fn main() {
             "E1: dense 1q gate, n = {n} ({} MiB state, A64FX residency: {residency})",
             (1u64 << n) * 16 / (1 << 20)
         );
-        let mut table = Table::new(&[
-            "target t",
-            "host time",
-            "host BW",
-            "model BW (1 CMG)",
-            "model time",
-        ]);
+        let mut table =
+            Table::new(&["target t", "host time", "host BW", "model BW (1 CMG)", "model time"]);
         let mut state = bench_state(n, 7);
         for t in (0..n).step_by(2) {
             let secs = time_best(5, || {
@@ -69,7 +64,8 @@ fn main() {
     for c in [0u32, 2, 4, 8, 16] {
         let t = model.predict(KernelKind::ControlledDense, 20, &[5, c]);
         let frac = t.lines_touched as f64 / dense_lines as f64;
-        let note = if c < 4 { "control inside cache line: no skip" } else { "half the lines skipped" };
+        let note =
+            if c < 4 { "control inside cache line: no skip" } else { "half the lines skipped" };
         table.row(&[
             c.to_string(),
             t.lines_touched.to_string(),

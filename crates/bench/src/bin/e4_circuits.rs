@@ -25,12 +25,7 @@ fn measure(c: &Circuit, strat: Strategy) -> (f64, usize) {
 
 fn bench_circuit(name: &str, c: &Circuit) {
     println!();
-    println!(
-        "E4: {name} — n = {}, {} gates, depth {}",
-        c.n_qubits(),
-        c.len(),
-        c.depth()
-    );
+    println!("E4: {name} — n = {}, {} gates, depth {}", c.n_qubits(), c.len(), c.depth());
     let mut table = Table::new(&["strategy", "sweeps", "time", "vs naive"]);
     let (naive_secs, naive_sweeps) = measure(c, Strategy::Naive);
     table.row(&[
@@ -99,10 +94,7 @@ fn main() {
     bench_circuit("QFT", &library::qft(n));
     bench_circuit("random circuit (depth 20)", &library::random_circuit(n, 20, 42));
     bench_circuit("quantum volume", &library::quantum_volume(16, 7));
-    bench_circuit(
-        "rotation layers ×8 (fusion-friendly)",
-        &library::rotation_layers(n, 8, 0.37),
-    );
+    bench_circuit("rotation layers ×8 (fusion-friendly)", &library::rotation_layers(n, 8, 0.37));
     println!();
     println!("Host measurements above run at cache-resident sizes (this machine), where");
     println!("fusion's extra arithmetic dominates. At paper scale the state is HBM-bound:");

@@ -56,8 +56,8 @@ fn analyze(name: &str, circuit: &Circuit) {
         let comm = net.rank_time(&worst);
         // Compute time: each rank sweeps its slice; the model scales the
         // single-node prediction by the slice fraction (per-node chip).
-        let compute = predict_circuit(&chip, &ExecConfig::full_chip(), circuit).seconds
-            / ranks as f64;
+        let compute =
+            predict_circuit(&chip, &ExecConfig::full_chip(), circuit).seconds / ranks as f64;
         let total = comm.seconds + compute;
         table.row(&[
             ranks.to_string(),
@@ -98,11 +98,8 @@ fn remap_ablation(name: &str, circuit: &Circuit) {
         };
         let plain = algo(&|c, r| qcs_dist::run_distributed(c, r).1);
         let mapped = algo(&|c, r| run_distributed_mapped(c, r).1);
-        let mapped_stats = mpi_sim::CommStats {
-            bytes_sent: mapped,
-            messages_sent: 1,
-            ..Default::default()
-        };
+        let mapped_stats =
+            mpi_sim::CommStats { bytes_sent: mapped, messages_sent: 1, ..Default::default() };
         table.row(&[
             ranks.to_string(),
             format!("{:.2} MiB", plain as f64 / (1 << 20) as f64),

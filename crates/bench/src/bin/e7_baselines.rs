@@ -52,6 +52,10 @@ fn bench(name: &str, c: &Circuit) {
                 naive.seconds * sweeps as f64 / naive.sweeps.max(1) as f64
             }
             Strategy::Naive => predict_circuit(&chip, &cfg, c).seconds,
+            Strategy::Planned { block_qubits, max_k } => {
+                let plan = qcs_core::plan::plan_circuit(c, block_qubits, max_k);
+                qcs_core::perf::predict_planned(&chip, &cfg, &plan).seconds
+            }
         };
         table.row(&[label, fmt_secs(host), fmt_secs(model_secs), sweeps.to_string()]);
     }

@@ -14,14 +14,13 @@ fn analyze(name: &str, profile: &KernelProfile) {
     let chip = ChipParams::a64fx();
     println!();
     println!("E8: {name}");
-    let mut table = Table::new(&["mode", "time", "vs normal", "watts", "joules", "energy vs normal"]);
+    let mut table =
+        Table::new(&["mode", "time", "vs normal", "watts", "joules", "energy vs normal"]);
     let mut normal_time = 0.0;
     let mut normal_energy = 0.0;
-    for (label, mode) in [
-        ("normal", PowerMode::Normal),
-        ("eco", PowerMode::Eco),
-        ("boost", PowerMode::Boost),
-    ] {
+    for (label, mode) in
+        [("normal", PowerMode::Normal), ("eco", PowerMode::Eco), ("boost", PowerMode::Boost)]
+    {
         let cfg = ExecConfig { cores: 48, active_cmgs: 4, mode };
         let t = predict(&chip, profile, &cfg);
         let e = EnergyEstimate::estimate(&chip, mode, 48, t.seconds, Some(profile.flops));

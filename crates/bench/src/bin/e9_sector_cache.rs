@@ -41,8 +41,7 @@ fn main() {
         let matrix_bytes = 16u64 * (1u64 << (2 * k));
         let table_lines = matrix_bytes.div_ceil(l1.line_bytes as u64);
         for stream_lines in [256u64, 1024] {
-            let (plain, sectored) =
-                sector_protection_experiment(l1, table_lines, stream_lines, 16);
+            let (plain, sectored) = sector_protection_experiment(l1, table_lines, stream_lines, 16);
             table.row(&[
                 format!("k={k} ({} KiB)", matrix_bytes / 1024),
                 stream_lines.to_string(),

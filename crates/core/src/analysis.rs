@@ -84,10 +84,7 @@ pub fn entanglement_entropy(state: &StateVector, qs: &[u32]) -> f64 {
     let rho = reduced_density_matrix(state, qs);
     let dim = 1usize << qs.len();
     let evs = hermitian_eigenvalues(&rho, dim);
-    evs.into_iter()
-        .filter(|&l| l > 1e-14)
-        .map(|l| -l * l.ln())
-        .sum()
+    evs.into_iter().filter(|&l| l > 1e-14).map(|l| -l * l.ln()).sum()
 }
 
 /// Eigenvalues of a Hermitian matrix (row-major `dim × dim`) via the
@@ -274,12 +271,7 @@ mod tests {
     #[test]
     fn jacobi_eigenvalues_of_known_matrix() {
         // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
-        let m = vec![
-            C64::real(2.0),
-            C64::new(0.0, 1.0),
-            C64::new(0.0, -1.0),
-            C64::real(2.0),
-        ];
+        let m = vec![C64::real(2.0), C64::new(0.0, 1.0), C64::new(0.0, -1.0), C64::real(2.0)];
         let evs = hermitian_eigenvalues(&m, 2);
         assert_eq!(evs.len(), 2);
         assert!((evs[0] - 3.0).abs() < 1e-9, "{evs:?}");

@@ -298,7 +298,12 @@ impl Circuit {
     pub fn push(&mut self, gate: Gate) -> &mut Self {
         let qs = gate.qubits();
         for &q in &qs {
-            assert!(q < self.n_qubits, "gate {} on qubit {q} of a {}-qubit circuit", gate.name(), self.n_qubits);
+            assert!(
+                q < self.n_qubits,
+                "gate {} on qubit {q} of a {}-qubit circuit",
+                gate.name(),
+                self.n_qubits
+            );
         }
         for (i, &a) in qs.iter().enumerate() {
             for &b in &qs[i + 1..] {
@@ -494,12 +499,7 @@ mod tests {
 
     #[test]
     fn single_gate_matrices_are_unitary() {
-        let gates = [
-            Gate::H(0),
-            Gate::Sx(0),
-            Gate::U3(0, 0.3, 0.5, 0.7),
-            Gate::Rx(0, 1.0),
-        ];
+        let gates = [Gate::H(0), Gate::Sx(0), Gate::U3(0, 0.3, 0.5, 0.7), Gate::Rx(0, 1.0)];
         for g in gates {
             let (_, m) = g.as_single().unwrap();
             assert!(m.is_unitary(1e-12), "{}", g.name());

@@ -139,10 +139,7 @@ impl Mul for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, o: C64) -> C64 {
-        C64 {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -166,10 +163,7 @@ impl Div for C64 {
     #[inline]
     fn div(self, o: C64) -> C64 {
         let d = o.norm_sqr();
-        C64 {
-            re: (self.re * o.re + self.im * o.im) / d,
-            im: (self.im * o.re - self.re * o.im) / d,
-        }
+        C64 { re: (self.re * o.re + self.im * o.im) / d, im: (self.im * o.re - self.re * o.im) / d }
     }
 }
 
@@ -235,10 +229,13 @@ mod tests {
             let theta = k as f64 * 0.41;
             let z = C64::exp_i(theta);
             assert!((z.abs() - 1.0).abs() < EPS);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min((z.arg() + 2.0 * std::f64::consts::PI - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs())
-                < 1e-9);
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs().min(
+                    (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                ) < 1e-9
+            );
         }
     }
 

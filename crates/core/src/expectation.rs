@@ -92,9 +92,9 @@ impl PauliString {
             // i^{n_y} × (-1)^{# y-qubits set in j}.
             let mut i_pow = C64::real(1.0);
             for _ in 0..(n_y % 4) {
-                i_pow = i_pow * I;
+                i_pow *= I;
             }
-            phase = phase * i_pow;
+            phase *= i_pow;
             if y_ones_in_j & 1 == 1 {
                 phase = -phase;
             }
@@ -188,9 +188,9 @@ impl Hamiltonian {
                 let ny = ymask.count_ones();
                 let mut ipow = C64::real(1.0);
                 for _ in 0..(ny % 4) {
-                    ipow = ipow * crate::complex::I;
+                    ipow *= crate::complex::I;
                 }
-                phase = phase * ipow;
+                phase *= ipow;
                 if ((c & ymask).count_ones() & 1) == 1 {
                     phase = -phase;
                 }
@@ -237,6 +237,7 @@ mod tests {
     }
 
     /// Reference: build the dense Pauli operator and contract explicitly.
+    #[allow(clippy::needless_range_loop)]
     fn reference_expectation(p: &PauliString, state: &StateVector) -> f64 {
         let n = state.n_qubits();
         let dim = 1usize << n;

@@ -95,11 +95,7 @@ fn build_fused(gates: &[Gate], support: &[u32]) -> FusedOp {
             data[row * dim + col] = v;
         }
     }
-    FusedOp {
-        qubits,
-        matrix: DenseMatrix::from_data(dim, data),
-        n_gates: gates.len(),
-    }
+    FusedOp { qubits, matrix: DenseMatrix::from_data(dim, data), n_gates: gates.len() }
 }
 
 /// Total sweep count of a fused plan (for the analytical speedup model).

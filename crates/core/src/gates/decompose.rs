@@ -52,12 +52,7 @@ pub fn from_zyz(alpha: f64, beta: f64, gamma: f64, delta: f64) -> Mat2 {
     let rz_d = standard::rz(delta);
     let u = rz_b.mul(&ry_g).mul(&rz_d);
     let phase = C64::exp_i(alpha);
-    Mat2::new(
-        phase * u.m[0][0],
-        phase * u.m[0][1],
-        phase * u.m[1][0],
-        phase * u.m[1][1],
-    )
+    Mat2::new(phase * u.m[0][0], phase * u.m[0][1], phase * u.m[1][0], phase * u.m[1][1])
 }
 
 /// Decompose a single-qubit unitary on `q` into basis gates, including
@@ -210,10 +205,7 @@ mod tests {
         c.cx(2, 3);
         let d = decompose_circuit(&c);
         // Only basis gates remain.
-        assert!(d
-            .gates()
-            .iter()
-            .all(|g| !matches!(g, Gate::Unitary1(..) | Gate::Cy(..))));
+        assert!(d.gates().iter().all(|g| !matches!(g, Gate::Unitary1(..) | Gate::Cy(..))));
         let mut a = StateVector::zero(4);
         let mut b = StateVector::zero(4);
         crate::sim::Simulator::new().run(&c, &mut a).unwrap();

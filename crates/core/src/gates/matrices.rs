@@ -1,5 +1,8 @@
 //! Small dense complex matrices (2×2, 4×4, and general `2^k × 2^k`).
 
+// Index loops here mirror the textbook row/column formulas.
+#![allow(clippy::needless_range_loop)]
+
 use crate::complex::{C64, ONE, ZERO};
 
 /// A 2×2 complex matrix in row-major order.
@@ -309,11 +312,7 @@ impl DenseMatrix {
     /// Element-wise approximate equality.
     pub fn approx_eq(&self, other: &DenseMatrix, eps: f64) -> bool {
         self.dim == other.dim
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| a.approx_eq(*b, eps))
+            && self.data.iter().zip(&other.data).all(|(a, b)| a.approx_eq(*b, eps))
     }
 }
 
@@ -371,7 +370,9 @@ mod tests {
 
     #[test]
     fn mat4_unitarity_of_standard_two_qubit() {
-        for m in [standard::cnot_mat(), standard::cz_mat(), standard::swap_mat(), standard::iswap_mat()] {
+        for m in
+            [standard::cnot_mat(), standard::cz_mat(), standard::swap_mat(), standard::iswap_mat()]
+        {
             assert!(m.is_unitary(EPS));
         }
     }

@@ -7,9 +7,13 @@
 //! the cache-blocking optimization state-vector simulators use when the
 //! state exceeds L2.
 
+use omp_par::{Schedule, ThreadPool};
+
 use crate::complex::C64;
-use crate::gates::matrices::{Mat2, Mat4};
-use crate::kernels::scalar;
+use crate::fusion::FusedOp;
+use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
+use crate::kernels::index::{insert_zero_bits, spread_bits};
+use crate::kernels::{scalar, AmpPtr, KQ_STACK_DIM};
 
 /// A gate in a blocked run, restricted to the shapes that commute with
 /// block decomposition (all-qubit indices below the block width).
@@ -66,6 +70,142 @@ pub fn apply_blocked(amps: &mut [C64], gates: &[BlockGate], block_qubits: u32) {
             g.apply(chunk);
         }
     }
+}
+
+/// Apply a run of low-target gates block by block, worksharing the
+/// disjoint blocks across a thread pool.
+pub fn apply_blocked_parallel(
+    pool: &ThreadPool,
+    sched: Schedule,
+    amps: &mut [C64],
+    gates: &[BlockGate],
+    block_qubits: u32,
+) {
+    let block = 1usize << block_qubits;
+    assert!(block <= amps.len(), "block larger than the state");
+    for g in gates {
+        assert!(
+            g.max_qubit() < block_qubits,
+            "gate touches qubit {} outside a {}-qubit block",
+            g.max_qubit(),
+            block_qubits
+        );
+    }
+    let n_blocks = amps.len() / block;
+    let p = AmpPtr(amps.as_mut_ptr());
+    pool.parallel_for(0..n_blocks, sched, move |chunk| {
+        for bi in chunk {
+            // SAFETY: blocks are disjoint `2^block_qubits` slices; each
+            // block index lands in exactly one chunk.
+            let slice = unsafe { p.slice(bi * block, block) };
+            for g in gates {
+                g.apply(slice);
+            }
+        }
+    });
+}
+
+/// A fused op lowered for repeated per-block application: amplitude
+/// offsets precomputed once, re-walked for every block.
+struct PreparedFusedOp<'a> {
+    /// Ascending qubit indices (local basis order of the matrix).
+    qubits: &'a [u32],
+    /// `spread_bits` amplitude offset of each local basis index.
+    offsets: Vec<usize>,
+    matrix: &'a DenseMatrix,
+}
+
+impl PreparedFusedOp<'_> {
+    /// Gather → dense mat-vec → scatter over every group of the block.
+    fn apply(&self, block: &mut [C64], scratch: &mut [C64]) {
+        let dim = self.offsets.len();
+        let k = self.qubits.len() as u32;
+        let groups = block.len() >> k;
+        let scratch = &mut scratch[..dim];
+        for g in 0..groups {
+            let base = insert_zero_bits(g, self.qubits);
+            for (s, &off) in scratch.iter_mut().zip(&self.offsets) {
+                *s = block[base | off];
+            }
+            for (row, &off) in self.offsets.iter().enumerate() {
+                let mut acc = C64::default();
+                for (col, &s) in scratch.iter().enumerate() {
+                    acc = acc.fma(self.matrix.get(row, col), s);
+                }
+                block[base | off] = acc;
+            }
+        }
+    }
+}
+
+fn prepare_fused<'a>(ops: &'a [FusedOp], block_qubits: u32) -> (Vec<PreparedFusedOp<'a>>, usize) {
+    let mut max_dim = 1;
+    let prepared = ops
+        .iter()
+        .map(|op| {
+            assert!(
+                op.qubits.iter().all(|&q| q < block_qubits),
+                "fused op on qubits {:?} outside a {}-qubit block",
+                op.qubits,
+                block_qubits
+            );
+            let dim = op.matrix.dim();
+            max_dim = max_dim.max(dim);
+            PreparedFusedOp {
+                qubits: &op.qubits,
+                offsets: (0..dim).map(|local| spread_bits(local, &op.qubits)).collect(),
+                matrix: &op.matrix,
+            }
+        })
+        .collect();
+    (prepared, max_dim)
+}
+
+/// Apply a run of fused ops (all on qubits below `block_qubits`) block by
+/// block: one full-state sweep for the whole run.
+pub fn apply_blocked_fused(amps: &mut [C64], ops: &[FusedOp], block_qubits: u32) {
+    let block = 1usize << block_qubits;
+    assert!(block <= amps.len(), "block larger than the state");
+    let (prepared, max_dim) = prepare_fused(ops, block_qubits);
+    let mut stack = [C64::default(); KQ_STACK_DIM];
+    let mut heap = if max_dim > KQ_STACK_DIM { vec![C64::default(); max_dim] } else { Vec::new() };
+    let scratch: &mut [C64] = if max_dim <= KQ_STACK_DIM { &mut stack } else { &mut heap };
+    for chunk in amps.chunks_exact_mut(block) {
+        for op in &prepared {
+            op.apply(chunk, scratch);
+        }
+    }
+}
+
+/// Parallel twin of [`apply_blocked_fused`]: blocks are disjoint
+/// `2^block_qubits` slices, workshared across the pool.
+pub fn apply_blocked_fused_parallel(
+    pool: &ThreadPool,
+    sched: Schedule,
+    amps: &mut [C64],
+    ops: &[FusedOp],
+    block_qubits: u32,
+) {
+    let block = 1usize << block_qubits;
+    assert!(block <= amps.len(), "block larger than the state");
+    let (prepared, max_dim) = prepare_fused(ops, block_qubits);
+    let n_blocks = amps.len() / block;
+    let p = AmpPtr(amps.as_mut_ptr());
+    let prepared_ref = &prepared;
+    pool.parallel_for(0..n_blocks, sched, move |chunk| {
+        let mut stack = [C64::default(); KQ_STACK_DIM];
+        let mut heap =
+            if max_dim > KQ_STACK_DIM { vec![C64::default(); max_dim] } else { Vec::new() };
+        let scratch: &mut [C64] = if max_dim <= KQ_STACK_DIM { &mut stack } else { &mut heap };
+        for bi in chunk {
+            // SAFETY: blocks are disjoint `2^block_qubits` slices; each
+            // block index lands in exactly one chunk.
+            let slice = unsafe { p.slice(bi * block, block) };
+            for op in prepared_ref {
+                op.apply(slice, scratch);
+            }
+        }
+    });
 }
 
 /// Memory sweeps saved by blocking a run of `n_gates` gates into one
@@ -128,11 +268,7 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn gate_above_block_rejected() {
         let mut s = rand_state(6, 5);
-        apply_blocked(
-            s.amplitudes_mut(),
-            &[BlockGate::One(4, standard::h())],
-            3,
-        );
+        apply_blocked(s.amplitudes_mut(), &[BlockGate::One(4, standard::h())], 3);
     }
 
     #[test]
@@ -147,6 +283,67 @@ mod tests {
         assert_eq!(sweeps_saved(0), 0);
         assert_eq!(sweeps_saved(1), 0);
         assert_eq!(sweeps_saved(7), 6);
+    }
+
+    #[test]
+    fn blocked_fused_matches_direct_kq() {
+        use crate::fusion::fuse;
+        use crate::library;
+        for seed in 0..3u64 {
+            let c = library::random_circuit(4, 30, seed);
+            let ops = fuse(&c, 3);
+            for block_qubits in [4u32, 5, 7] {
+                let mut a = rand_state(9, seed + 20);
+                let mut b = a.clone();
+                for op in &ops {
+                    scalar::apply_kq(a.amplitudes_mut(), &op.qubits, &op.matrix);
+                }
+                apply_blocked_fused(b.amplitudes_mut(), &ops, block_qubits);
+                assert!(a.approx_eq(&b, EPS), "seed={seed} block={block_qubits}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_fused_parallel_matches_serial() {
+        use crate::fusion::fuse;
+        use crate::library;
+        let c = library::random_circuit(5, 40, 11);
+        let ops = fuse(&c, 3);
+        for threads in [1usize, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            for sched in [Schedule::default_static(), Schedule::Dynamic { chunk: 2 }] {
+                let mut a = rand_state(10, 31);
+                let mut b = a.clone();
+                apply_blocked_fused(a.amplitudes_mut(), &ops, 5);
+                apply_blocked_fused_parallel(&pool, sched, b.amplitudes_mut(), &ops, 5);
+                assert!(a.approx_eq(&b, EPS), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_parallel_matches_serial() {
+        let gates = vec![
+            BlockGate::One(0, standard::h()),
+            BlockGate::Controlled(1, 3, standard::x()),
+            BlockGate::Two(3, 0, standard::iswap_mat()),
+            BlockGate::Swap(2, 3),
+        ];
+        for threads in [1usize, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut a = rand_state(10, 13);
+            let mut b = a.clone();
+            apply_blocked(a.amplitudes_mut(), &gates, 4);
+            apply_blocked_parallel(
+                &pool,
+                Schedule::default_static(),
+                b.amplitudes_mut(),
+                &gates,
+                4,
+            );
+            assert!(a.approx_eq(&b, EPS), "threads={threads}");
+        }
     }
 
     #[test]

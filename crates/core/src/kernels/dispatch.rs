@@ -49,7 +49,7 @@ pub fn apply_gate(amps: &mut [C64], g: &Gate) {
 pub fn apply_gate_parallel(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], g: &Gate) {
     match g {
         Gate::X(q) => scalar::apply_x(amps, *q),
-        Gate::Swap(a, b) => scalar::apply_swap(amps, *a, *b),
+        Gate::Swap(a, b) => parallel::apply_swap(pool, sched, amps, *a, *b),
         Gate::Ccx(c1, c2, t) => scalar::apply_ccx(amps, *c1, *c2, *t),
         Gate::CSwap(c, a, b) => scalar::apply_cswap(amps, *c, *a, *b),
         _ => {

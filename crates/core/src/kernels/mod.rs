@@ -20,3 +20,41 @@ pub mod index;
 pub mod parallel;
 pub mod scalar;
 pub mod sve;
+
+use crate::complex::C64;
+
+/// Shared mutable amplitude base pointer for disjoint-write kernels.
+///
+/// Parallel kernels partition the amplitude index space across threads;
+/// this wrapper carries the disjointness proof obligation past the
+/// borrow checker so each chunk can write its own indices directly.
+#[derive(Clone, Copy)]
+pub(crate) struct AmpPtr(pub(crate) *mut C64);
+
+// SAFETY: kernels using AmpPtr write each amplitude index from exactly
+// one chunk of a partitioned iteration space, so there are no concurrent
+// accesses to the same element.
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+impl AmpPtr {
+    #[inline(always)]
+    pub(crate) unsafe fn at(self, i: usize) -> &'static mut C64 {
+        &mut *self.0.add(i)
+    }
+
+    /// Mutable view of `len` amplitudes starting at `start`.
+    ///
+    /// # Safety
+    /// The `[start, start + len)` ranges handed out to concurrently
+    /// running code must be disjoint.
+    #[inline(always)]
+    pub(crate) unsafe fn slice(self, start: usize, len: usize) -> &'static mut [C64] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// Largest gather/scatter scratch kept on the stack by the fused-gate
+/// kernels: `2^5` amplitudes, i.e. fused ops up to `k = 5` avoid heap
+/// allocation entirely.
+pub(crate) const KQ_STACK_DIM: usize = 32;

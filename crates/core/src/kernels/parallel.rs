@@ -11,23 +11,7 @@ use omp_par::{Schedule, ThreadPool};
 use crate::complex::C64;
 use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
 use crate::kernels::index::{insert_two_zero_bits, insert_zero_bit, insert_zero_bits, spread_bits};
-
-/// Shared mutable amplitude base pointer for disjoint-write kernels.
-#[derive(Clone, Copy)]
-struct AmpPtr(*mut C64);
-
-// SAFETY: kernels using AmpPtr write each amplitude index from exactly one
-// chunk of a partitioned iteration space, so there are no concurrent
-// accesses to the same element.
-unsafe impl Send for AmpPtr {}
-unsafe impl Sync for AmpPtr {}
-
-impl AmpPtr {
-    #[inline(always)]
-    unsafe fn at(self, i: usize) -> &'static mut C64 {
-        &mut *self.0.add(i)
-    }
-}
+use crate::kernels::{AmpPtr, KQ_STACK_DIM};
 
 /// Parallel dense 1-qubit kernel; see [`crate::kernels::scalar::apply_1q`].
 pub fn apply_1q(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], t: u32, m: &Mat2) {
@@ -51,7 +35,14 @@ pub fn apply_1q(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], t: u32, m:
 }
 
 /// Parallel diagonal 1-qubit kernel.
-pub fn apply_1q_diag(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], t: u32, d0: C64, d1: C64) {
+pub fn apply_1q_diag(
+    pool: &ThreadPool,
+    sched: Schedule,
+    amps: &mut [C64],
+    t: u32,
+    d0: C64,
+    d1: C64,
+) {
     let n = amps.len();
     let bit = 1usize << t;
     let p = AmpPtr(amps.as_mut_ptr());
@@ -60,7 +51,7 @@ pub fn apply_1q_diag(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], t: u3
             // SAFETY: each index visited by exactly one chunk.
             unsafe {
                 let a = p.at(i);
-                *a = *a * if i & bit == 0 { d0 } else { d1 };
+                *a *= if i & bit == 0 { d0 } else { d1 };
             }
         }
     });
@@ -121,6 +112,28 @@ pub fn apply_2q(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], h: u32, l:
     });
 }
 
+/// Parallel SWAP kernel; see [`crate::kernels::scalar::apply_swap`].
+///
+/// Also the execution kernel for the planner's axis-relabeling sweeps
+/// ([`crate::plan::PlanOp::SwapAxes`]): a pure permutation, no flops.
+pub fn apply_swap(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], a: u32, b: u32) {
+    debug_assert_ne!(a, b);
+    let quarter = amps.len() / 4;
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let abit = 1usize << a;
+    let bbit = 1usize << b;
+    let p = AmpPtr(amps.as_mut_ptr());
+    pool.parallel_for(0..quarter, sched, move |chunk| {
+        for i in chunk {
+            let base = insert_two_zero_bits(i, lo, hi);
+            // SAFETY: the (01, 10) index pairs partition over i.
+            unsafe {
+                std::mem::swap(p.at(base | abit), p.at(base | bbit));
+            }
+        }
+    });
+}
+
 /// Parallel fused k-qubit dense kernel; see
 /// [`crate::kernels::scalar::apply_kq`].
 pub fn apply_kq(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], ts: &[u32], m: &DenseMatrix) {
@@ -135,7 +148,11 @@ pub fn apply_kq(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], ts: &[u32]
     let sorted_ref = &sorted;
     let offsets_ref = &offsets;
     pool.parallel_for(0..groups, sched, move |chunk| {
-        let mut scratch = vec![C64::default(); dim];
+        // Reusable per-chunk scratch: stack for k ≤ 5, one heap buffer
+        // otherwise — never an allocation per group.
+        let mut stack = [C64::default(); KQ_STACK_DIM];
+        let mut heap = if dim > KQ_STACK_DIM { vec![C64::default(); dim] } else { Vec::new() };
+        let scratch: &mut [C64] = if dim <= KQ_STACK_DIM { &mut stack[..dim] } else { &mut heap };
         for g in chunk {
             let base = insert_zero_bits(g, sorted_ref);
             // SAFETY: 2^k groups partition the index space.
@@ -194,7 +211,11 @@ mod tests {
                     let m = standard::u3(0.3, -0.8, 1.1);
                     scalar::apply_1q(a.amplitudes_mut(), t, &m);
                     apply_1q(&pool, sched, b.amplitudes_mut(), t, &m);
-                    assert!(a.approx_eq(&b, EPS), "threads={} sched={sched:?} t={t}", pool.num_threads());
+                    assert!(
+                        a.approx_eq(&b, EPS),
+                        "threads={} sched={sched:?} t={t}",
+                        pool.num_threads()
+                    );
                 }
             }
         }
@@ -222,7 +243,14 @@ mod tests {
             let mut b = a.clone();
             let m = standard::ry(0.7);
             scalar::apply_controlled_1q(a.amplitudes_mut(), c, t, &m);
-            apply_controlled_1q(&pool, Schedule::Dynamic { chunk: 8 }, b.amplitudes_mut(), c, t, &m);
+            apply_controlled_1q(
+                &pool,
+                Schedule::Dynamic { chunk: 8 },
+                b.amplitudes_mut(),
+                c,
+                t,
+                &m,
+            );
             assert!(a.approx_eq(&b, EPS), "c={c} t={t}");
         }
     }

@@ -32,7 +32,7 @@ pub fn apply_1q_diag(amps: &mut [C64], t: u32, d0: C64, d1: C64) {
     let bit = 1usize << t;
     for (i, a) in amps.iter_mut().enumerate() {
         let d = if i & bit == 0 { d0 } else { d1 };
-        *a = *a * d;
+        *a *= d;
     }
 }
 
@@ -73,7 +73,7 @@ pub fn apply_2q_diag(amps: &mut [C64], h: u32, l: u32, d: [C64; 4]) {
     let lbit = 1usize << l;
     for (i, a) in amps.iter_mut().enumerate() {
         let idx = (((i & hbit != 0) as usize) << 1) | (i & lbit != 0) as usize;
-        *a = *a * d[idx];
+        *a *= d[idx];
     }
 }
 
@@ -162,7 +162,12 @@ pub fn apply_kq(amps: &mut [C64], ts: &[u32], m: &DenseMatrix) {
     let dim = m.dim();
     // Precompute each local index's amplitude offset.
     let offsets: Vec<usize> = (0..dim).map(|local| spread_bits(local, &sorted)).collect();
-    let mut scratch = vec![C64::default(); dim];
+    // Stack scratch for k ≤ 5; one heap buffer above that.
+    let mut stack = [C64::default(); crate::kernels::KQ_STACK_DIM];
+    let mut heap =
+        if dim > crate::kernels::KQ_STACK_DIM { vec![C64::default(); dim] } else { Vec::new() };
+    let scratch: &mut [C64] =
+        if dim <= crate::kernels::KQ_STACK_DIM { &mut stack[..dim] } else { &mut heap };
     for g in 0..groups {
         let base = insert_zero_bits(g, &sorted);
         for (s, &off) in scratch.iter_mut().zip(&offsets) {

@@ -146,7 +146,13 @@ pub fn apply_1q_sve_gather(ctx: &mut SveCtx, amps: &mut [C64], t: u32, m: &Mat2)
 /// streams (the general two-qubit kernel cannot keep all four streams
 /// contiguous for arbitrary qubit pairs, which is why real SVE codes
 /// gather here too).
-pub fn apply_2q_sve(ctx: &mut SveCtx, amps: &mut [C64], h: u32, l: u32, m: &crate::gates::matrices::Mat4) {
+pub fn apply_2q_sve(
+    ctx: &mut SveCtx,
+    amps: &mut [C64],
+    h: u32,
+    l: u32,
+    m: &crate::gates::matrices::Mat4,
+) {
     debug_assert_ne!(h, l);
     let n = amps.len();
     let quarter = n / 4;
@@ -170,8 +176,7 @@ pub fn apply_2q_sve(ctx: &mut SveCtx, amps: &mut [C64], h: u32, l: u32, m: &crat
         let mut lane_idx = [0i64; sve_sim::MAX_LANES_F64];
         for (k, slot) in lane_idx.iter_mut().enumerate().take(lanes) {
             if p.lane(k) {
-                *slot =
-                    crate::kernels::index::insert_two_zero_bits(g + k, lo_q, hi_q) as i64;
+                *slot = crate::kernels::index::insert_two_zero_bits(g + k, lo_q, hi_q) as i64;
             }
         }
         let base = sve_sim::VI64::from_lanes(&lane_idx);
@@ -359,7 +364,7 @@ mod tests {
             let mut p = KernelProfile::from_sve_counts(ctx.counts(), ctx.vl());
             p.mem_bytes = 0;
             p.l2_bytes = 0;
-            (predict(&chip, &p, &cfg), ctx.counts().clone())
+            (predict(&chip, &p, &cfg), *ctx.counts())
         };
         let (seg, seg_counts) = time_for(false);
         let (gat, gat_counts) = time_for(true);

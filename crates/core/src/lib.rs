@@ -56,6 +56,7 @@ pub mod measure;
 pub mod noise;
 pub mod optimize;
 pub mod perf;
+pub mod plan;
 pub mod qasm;
 pub mod sim;
 pub mod state;

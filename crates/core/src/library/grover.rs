@@ -96,7 +96,7 @@ fn multi_controlled_z(c: &mut Circuit, qs: &[u32]) {
     // the identity C^k Z = CP cascades. For clarity and exactness we use
     // the textbook subset-phase construction for k ≤ 6 and assert above.
     let k = qs.len();
-    assert!(k >= 2 && k <= 16, "multi-controlled Z on {k} qubits");
+    assert!((2..=16).contains(&k), "multi-controlled Z on {k} qubits");
     let base = PI / (1u64 << (k - 1)) as f64;
     // Iterate non-empty subsets; apply phase(±base·2^{|S|−1}… ) — the AND
     // phase polynomial: AND(x) = Σ_S (−1)^{|S|+1} Π x_S / 2^{k−1} in the

@@ -138,10 +138,7 @@ mod tests {
             }
         }
         let random_baseline = n as f64 / 2.0;
-        assert!(
-            best > random_baseline + 0.9,
-            "best QAOA cut {best} vs baseline {random_baseline}"
-        );
+        assert!(best > random_baseline + 0.9, "best QAOA cut {best} vs baseline {random_baseline}");
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn random_su4(rng: &mut StdRng) -> Mat4 {
                 dot = dot.fma(p.conj(), *x);
             }
             for (x, p) in v.iter_mut().zip(prev) {
-                *x = *x - *p * dot;
+                *x -= *p * dot;
             }
         }
         let norm: f64 = v.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt();
@@ -70,8 +70,8 @@ fn random_su4(rng: &mut StdRng) -> Mat4 {
     }
     let mut m = Mat4::identity();
     for (j, col) in cols.iter().enumerate() {
-        for i in 0..4 {
-            m.m[i][j] = col[i];
+        for (i, &x) in col.iter().enumerate() {
+            m.m[i][j] = x;
         }
     }
     m

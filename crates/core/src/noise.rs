@@ -242,7 +242,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut s = StateVector::basis(3, 0b111);
         for q in 0..3 {
-            let e = apply_channel(&mut s, q, NoiseChannel::AmplitudeDamping { gamma: 1.0 }, &mut rng);
+            let e =
+                apply_channel(&mut s, q, NoiseChannel::AmplitudeDamping { gamma: 1.0 }, &mut rng);
             assert_eq!(e, ErrorEvent::Decay);
         }
         assert!((s.probability(0) - 1.0).abs() < 1e-10);
@@ -263,11 +264,15 @@ mod tests {
         // under depolarizing noise.
         let n = 4u32;
         let circuit = library::ghz(n);
-        let all_x = PauliString::new(
-            (0..n).map(|q| (q, crate::expectation::Pauli::X)).collect(),
-        );
+        let all_x = PauliString::new((0..n).map(|q| (q, crate::expectation::Pauli::X)).collect());
         let mut rng = StdRng::seed_from_u64(7);
-        let clean = average_expectation(&circuit, &all_x, NoiseChannel::Depolarizing { p: 0.0 }, 1, &mut rng);
+        let clean = average_expectation(
+            &circuit,
+            &all_x,
+            NoiseChannel::Depolarizing { p: 0.0 },
+            1,
+            &mut rng,
+        );
         assert!((clean - 1.0).abs() < 1e-9);
         let noisy = average_expectation(
             &circuit,

@@ -65,9 +65,7 @@ fn cancel_pass(gates: &mut Vec<Gate>) -> bool {
 /// the pair is a same-axis rotation on identical qubits.
 fn merge_pair(a: &Gate, b: &Gate) -> Option<Gate> {
     use Gate::*;
-    let sym = |a1: u32, b1: u32, a2: u32, b2: u32| {
-        (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
-    };
+    let sym = |a1: u32, b1: u32, a2: u32, b2: u32| (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2);
     match (a, b) {
         (Rx(q1, x), Rx(q2, y)) if q1 == q2 => Some(Rx(*q1, x + y)),
         (Ry(q1, x), Ry(q2, y)) if q1 == q2 => Some(Ry(*q1, x + y)),
@@ -76,12 +74,8 @@ fn merge_pair(a: &Gate, b: &Gate) -> Option<Gate> {
         (CPhase(a1, b1, x), CPhase(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => {
             Some(CPhase(*a1, *b1, x + y))
         }
-        (Rzz(a1, b1, x), Rzz(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => {
-            Some(Rzz(*a1, *b1, x + y))
-        }
-        (Rxx(a1, b1, x), Rxx(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => {
-            Some(Rxx(*a1, *b1, x + y))
-        }
+        (Rzz(a1, b1, x), Rzz(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => Some(Rzz(*a1, *b1, x + y)),
+        (Rxx(a1, b1, x), Rxx(a2, b2, y)) if sym(*a1, *b1, *a2, *b2) => Some(Rxx(*a1, *b1, x + y)),
         _ => None,
     }
 }
@@ -284,12 +278,7 @@ mod tests {
             padded.rz(2, -0.1);
         }
         let o = optimize(&padded);
-        assert!(
-            o.len() <= base.len(),
-            "junk must vanish: {} vs base {}",
-            o.len(),
-            base.len()
-        );
+        assert!(o.len() <= base.len(), "junk must vanish: {} vs base {}", o.len(), base.len());
         assert!(same_action(&padded, &o));
     }
 

@@ -13,12 +13,14 @@ use a64fx_model::ChipParams;
 
 use crate::circuit::{Circuit, Gate};
 use crate::fusion::FusedOp;
+use crate::plan::{Plan, PlanOp};
 
 /// Map a gate to the kernel-kind taxonomy of the traffic model.
 pub fn classify(gate: &Gate) -> KernelKind {
     match gate {
         Gate::Cz(..) | Gate::CPhase(..) | Gate::Rzz(..) => KernelKind::TwoQubitDiagonal,
         Gate::Cx(..) | Gate::Cy(..) => KernelKind::ControlledDense,
+        Gate::Swap(..) => KernelKind::Swap,
         g if g.arity() == 1 && g.is_diagonal() => KernelKind::OneQubitDiagonal,
         g if g.arity() == 1 => KernelKind::OneQubitDense,
         g if g.arity() == 2 => KernelKind::TwoQubitDense,
@@ -46,6 +48,8 @@ pub fn estimate_instructions(kind: KernelKind, amps_touched: u64, simd_bits: u16
         KernelKind::OneQubitDense | KernelKind::ControlledDense => 22,
         KernelKind::TwoQubitDense => 40,
         KernelKind::FusedDense { k } => 12u64 << k,
+        // Pure data movement: paired ld/st plus index arithmetic.
+        KernelKind::Swap => 8,
     };
     amps_touched.div_ceil(lanes) * per_lane_iter / 2
 }
@@ -160,6 +164,60 @@ pub fn predict_fused(chip: &ChipParams, cfg: &ExecConfig, plan: &[FusedOp], n: u
     report
 }
 
+/// Predict a planned execution (see [`crate::plan`]).
+///
+/// Axis relabelings are flop-free half-state sweeps; each block pass is
+/// *one* full-state memory sweep carrying the summed arithmetic of every
+/// fused op it applies (the ops run out of cache-resident blocks);
+/// fallback gates predict as in [`predict_circuit`]. The reduced sweep
+/// count is what makes the planner win on low-qubit-dense circuits.
+pub fn predict_planned(chip: &ChipParams, cfg: &ExecConfig, plan: &Plan) -> ModelReport {
+    let model = TrafficModel::new(chip.clone());
+    let n = plan.n_qubits;
+    let amps = 1u64 << n;
+    let mut report = ModelReport {
+        seconds: 0.0,
+        mem_bytes: 0,
+        flops: 0,
+        sweeps: 0,
+        bottlenecks: BTreeMap::new(),
+    };
+    for op in &plan.ops {
+        match op {
+            PlanOp::SwapAxes(a, b) => {
+                let kind = KernelKind::Swap;
+                let traffic = model.predict(kind, n, &[*a, *b]);
+                accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
+            }
+            PlanOp::Gate(g) => {
+                let kind = classify(g);
+                let traffic = model.predict(kind, n, &g.qubits());
+                accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
+            }
+            PlanOp::Block(ops) => {
+                let Some(widest) = ops.iter().map(|o| o.qubits.len()).max() else {
+                    continue;
+                };
+                let kind = KernelKind::FusedDense { k: widest as u8 };
+                let mut traffic = model.predict(kind, n, &ops[0].qubits);
+                // One memory sweep, but the compute of every op in the
+                // run: sum flops, and scale the amplitude-visit count the
+                // instruction estimate uses by the op count.
+                traffic.flops = ops.iter().map(|o| amps * (8u64 << o.qubits.len())).sum();
+                traffic.amps_read = amps * ops.len() as u64;
+                traffic.amps_written = amps;
+                traffic.arithmetic_intensity = if traffic.mem_bytes == 0 {
+                    0.0
+                } else {
+                    traffic.flops as f64 / traffic.mem_bytes as f64
+                };
+                accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +236,7 @@ mod tests {
         assert_eq!(classify(&Gate::Cx(0, 1)), KernelKind::ControlledDense);
         assert_eq!(classify(&Gate::Cz(0, 1)), KernelKind::TwoQubitDiagonal);
         assert_eq!(classify(&Gate::Rzz(0, 1, 0.2)), KernelKind::TwoQubitDiagonal);
-        assert_eq!(classify(&Gate::Swap(0, 1)), KernelKind::TwoQubitDense);
+        assert_eq!(classify(&Gate::Swap(0, 1)), KernelKind::Swap);
         assert_eq!(classify(&Gate::Ccx(0, 1, 2)), KernelKind::FusedDense { k: 3 });
     }
 

@@ -10,9 +10,7 @@ use crate::state::StateVector;
 /// Strategy: an arbitrary valid gate on `n` qubits.
 fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
     let q = 0..n;
-    let q2 = move || {
-        (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b)
-    };
+    let q2 = move || (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
     let angle = -6.3f64..6.3;
     prop_oneof![
         q.clone().prop_map(Gate::H),
@@ -89,6 +87,46 @@ proptest! {
             Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
             prop_assert!(s.approx_eq(&reference, 1e-8), "{:?}", strat);
         }
+    }
+
+    /// The planner agrees with naive execution on arbitrary circuits,
+    /// across block widths and fusion caps.
+    #[test]
+    fn planned_equivalent_to_naive(
+        c in arb_circuit(6, 30),
+        seed in 0u64..1000,
+        block_qubits in 2u32..7,
+        max_k in 2u32..5,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = StateVector::random(6, &mut rng);
+        let mut reference = init.clone();
+        Simulator::new().run(&c, &mut reference).unwrap();
+        let mut s = init.clone();
+        Simulator::new()
+            .with_strategy(ExecStrategy::Planned { block_qubits, max_k })
+            .run(&c, &mut s)
+            .unwrap();
+        prop_assert!(s.approx_eq(&reference, 1e-10), "b={} k={}", block_qubits, max_k);
+    }
+
+    /// Threaded planned execution matches serial naive execution.
+    #[test]
+    fn planned_parallel_equivalent(
+        c in arb_circuit(6, 25),
+        threads in 2usize..6,
+        block_qubits in 3u32..6,
+    ) {
+        let mut reference = StateVector::plus(6);
+        Simulator::new().run(&c, &mut reference).unwrap();
+        let mut s = StateVector::plus(6);
+        Simulator::new()
+            .with_strategy(ExecStrategy::Planned { block_qubits, max_k: 3 })
+            .with_threads(threads)
+            .run(&c, &mut s)
+            .unwrap();
+        prop_assert!(s.approx_eq(&reference, 1e-10), "b={} t={}", block_qubits, threads);
     }
 
     /// Threaded execution is bit-compatible with serial up to rounding.
@@ -195,6 +233,6 @@ proptest! {
         prop_assert!((sa - sb).abs() < 1e-6, "pure-state symmetry: {sa} vs {sb}");
         // Purity consistent with entropy extremes.
         let purity = crate::analysis::purity(&s, &part);
-        prop_assert!(purity <= 1.0 + 1e-9 && purity >= 0.25 - 1e-9);
+        prop_assert!((0.25 - 1e-9..=1.0 + 1e-9).contains(&purity));
     }
 }

@@ -66,14 +66,14 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
                 circuit = Some(Circuit::new(size));
                 continue;
             }
-            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            if stmt.starts_with("creg")
+                || stmt.starts_with("barrier")
+                || stmt.starts_with("measure")
             {
                 continue;
             }
             // A gate statement: name[(params)] args.
-            let c = circuit
-                .as_mut()
-                .ok_or_else(|| err(line, "gate before qreg declaration"))?;
+            let c = circuit.as_mut().ok_or_else(|| err(line, "gate before qreg declaration"))?;
             let gate = parse_gate(stmt, &qreg_name, line)?;
             // Validate indices against the register width via push.
             let width = c.n_qubits();
@@ -106,16 +106,14 @@ fn parse_reg(text: &str, line: usize) -> Result<(String, u32), QasmError> {
 /// One qubit operand `q[3]` → 3.
 fn parse_qubit(text: &str, qreg: &str, line: usize) -> Result<u32, QasmError> {
     let text = text.trim();
-    let open = text.find('[').ok_or_else(|| err(line, format!("expected `{qreg}[i]`, got `{text}`")))?;
+    let open =
+        text.find('[').ok_or_else(|| err(line, format!("expected `{qreg}[i]`, got `{text}`")))?;
     let close = text.find(']').ok_or_else(|| err(line, "missing `]`"))?;
     let name = text[..open].trim();
     if name != qreg {
         return Err(err(line, format!("unknown register `{name}` (declared: `{qreg}`)")));
     }
-    text[open + 1..close]
-        .trim()
-        .parse()
-        .map_err(|_| err(line, "qubit index must be an integer"))
+    text[open + 1..close].trim().parse().map_err(|_| err(line, "qubit index must be an integer"))
 }
 
 fn parse_gate(stmt: &str, qreg: &str, line: usize) -> Result<Gate, QasmError> {
@@ -141,10 +139,8 @@ fn parse_gate(stmt: &str, qreg: &str, line: usize) -> Result<Gate, QasmError> {
         Some(open) => {
             let close = head.rfind(')').ok_or_else(|| err(line, "missing `)`"))?;
             let name = head[..open].trim();
-            let params: Result<Vec<f64>, QasmError> = head[open + 1..close]
-                .split(',')
-                .map(|e| eval_expr(e, line))
-                .collect();
+            let params: Result<Vec<f64>, QasmError> =
+                head[open + 1..close].split(',').map(|e| eval_expr(e, line)).collect();
             (name, params?)
         }
         None => (head.trim(), Vec::new()),
@@ -158,7 +154,10 @@ fn parse_gate(stmt: &str, qreg: &str, line: usize) -> Result<Gate, QasmError> {
             return Err(err(line, format!("`{name}` expects {n} qubit(s), got {}", q.len())));
         }
         if params.len() != p {
-            return Err(err(line, format!("`{name}` expects {p} parameter(s), got {}", params.len())));
+            return Err(err(
+                line,
+                format!("`{name}` expects {p} parameter(s), got {}", params.len()),
+            ));
         }
         Ok(())
     };
@@ -363,8 +362,7 @@ impl ExprParser<'_> {
                         num.push(self.chars.next().expect("peeked"));
                     }
                 }
-                num.parse()
-                    .map_err(|_| err(self.line, format!("bad number `{num}`")))
+                num.parse().map_err(|_| err(self.line, format!("bad number `{num}`")))
             }
             Some(c) if c.is_alphabetic() => {
                 let mut word = String::new();
@@ -390,8 +388,15 @@ pub fn emit(circuit: &Circuit) -> Result<String, String> {
     for g in circuit.gates() {
         let q = g.qubits();
         let stmt = match g {
-            Gate::H(_) | Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::S(_) | Gate::Sdg(_)
-            | Gate::T(_) | Gate::Tdg(_) | Gate::Sx(_) => {
+            Gate::H(_)
+            | Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::T(_)
+            | Gate::Tdg(_)
+            | Gate::Sx(_) => {
                 format!("{} q[{}];", g.name(), q[0])
             }
             Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) | Gate::Phase(_, a) => {

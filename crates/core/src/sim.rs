@@ -9,10 +9,14 @@ use omp_par::{Schedule, ThreadPool};
 
 use crate::circuit::{Circuit, Gate};
 use crate::fusion::{fuse, FusedOp};
-use crate::kernels::blocked::{apply_blocked, BlockGate};
+use crate::kernels::blocked::{
+    apply_blocked, apply_blocked_fused, apply_blocked_fused_parallel, apply_blocked_parallel,
+    BlockGate,
+};
 use crate::kernels::dispatch::{apply_gate, apply_gate_parallel};
 use crate::kernels::{parallel, scalar};
-use crate::perf::{predict_circuit, predict_fused, ModelReport};
+use crate::perf::{predict_circuit, predict_fused, predict_planned, ModelReport};
+use crate::plan::{plan_circuit, Plan, PlanOp};
 use crate::state::StateVector;
 
 /// How the engine maps a circuit onto kernels.
@@ -27,6 +31,11 @@ pub enum Strategy {
     /// Apply runs of gates whose qubits all lie below `block_qubits` one
     /// cache-resident block at a time; other gates fall back to naive.
     Blocked { block_qubits: u32 },
+    /// Plan first: remap runs of gates onto low physical qubits with
+    /// cheap axis-swap sweeps, then execute them as cache-resident
+    /// blocks with ≤ `max_k`-qubit fusion inside each block (the
+    /// mpiQulacs-style relabeling idea applied locally).
+    Planned { block_qubits: u32, max_k: u32 },
 }
 
 /// Simulation errors.
@@ -126,19 +135,34 @@ impl Simulator {
                 state: state.n_qubits(),
             });
         }
+        // Planning products are built once inside the timed region and
+        // shared with the model prediction afterwards — fusing or
+        // planning is never repeated for the report.
+        enum Prep {
+            Direct,
+            Fused(Vec<FusedOp>),
+            Planned(Plan),
+        }
         let start = Instant::now();
-        let sweeps = match self.strategy {
-            Strategy::Naive => self.run_naive(circuit, state),
-            Strategy::Fused { max_k } => self.run_fused(circuit, state, max_k),
-            Strategy::Blocked { block_qubits } => self.run_blocked(circuit, state, block_qubits),
+        let (sweeps, prep) = match self.strategy {
+            Strategy::Naive => (self.run_naive(circuit, state), Prep::Direct),
+            Strategy::Fused { max_k } => {
+                let ops = fuse(circuit, max_k);
+                (self.run_fused_ops(&ops, state), Prep::Fused(ops))
+            }
+            Strategy::Blocked { block_qubits } => {
+                (self.run_blocked(circuit, state, block_qubits), Prep::Direct)
+            }
+            Strategy::Planned { block_qubits, max_k } => {
+                let plan = plan_circuit(circuit, block_qubits, max_k);
+                (self.run_planned(&plan, state), Prep::Planned(plan))
+            }
         };
         let wall_seconds = start.elapsed().as_secs_f64();
-        let predicted = self.chip.as_ref().map(|(chip, cfg)| match self.strategy {
-            Strategy::Fused { max_k } => {
-                let plan = fuse(circuit, max_k);
-                predict_fused(chip, cfg, &plan, circuit.n_qubits())
-            }
-            _ => predict_circuit(chip, cfg, circuit),
+        let predicted = self.chip.as_ref().map(|(chip, cfg)| match &prep {
+            Prep::Direct => predict_circuit(chip, cfg, circuit),
+            Prep::Fused(ops) => predict_fused(chip, cfg, ops, circuit.n_qubits()),
+            Prep::Planned(plan) => predict_planned(chip, cfg, plan),
         });
         Ok(RunReport { wall_seconds, gates: circuit.len(), sweeps, predicted })
     }
@@ -160,22 +184,21 @@ impl Simulator {
         circuit.len()
     }
 
-    fn run_fused(&self, circuit: &Circuit, state: &mut StateVector, max_k: u32) -> usize {
-        let plan: Vec<FusedOp> = fuse(circuit, max_k);
+    fn run_fused_ops(&self, ops: &[FusedOp], state: &mut StateVector) -> usize {
         let amps = state.amplitudes_mut();
         match &self.pool {
             Some(pool) => {
-                for op in &plan {
+                for op in ops {
                     parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix);
                 }
             }
             None => {
-                for op in &plan {
+                for op in ops {
                     scalar::apply_kq(amps, &op.qubits, &op.matrix);
                 }
             }
         }
-        plan.len()
+        ops.len()
     }
 
     fn run_blocked(&self, circuit: &Circuit, state: &mut StateVector, block_qubits: u32) -> usize {
@@ -183,9 +206,14 @@ impl Simulator {
         let mut sweeps = 0usize;
         let mut run: Vec<BlockGate> = Vec::new();
         let amps = state.amplitudes_mut();
-        let flush = |run: &mut Vec<BlockGate>, amps: &mut [crate::complex::C64], sweeps: &mut usize| {
+        let flush = |run: &mut Vec<BlockGate>,
+                     amps: &mut [crate::complex::C64],
+                     sweeps: &mut usize| {
             if !run.is_empty() {
-                apply_blocked(amps, run, block_qubits);
+                match &self.pool {
+                    Some(pool) => apply_blocked_parallel(pool, self.sched, amps, run, block_qubits),
+                    None => apply_blocked(amps, run, block_qubits),
+                }
                 *sweeps += 1;
                 run.clear();
             }
@@ -195,13 +223,39 @@ impl Simulator {
                 Some(bg) => run.push(bg),
                 None => {
                     flush(&mut run, amps, &mut sweeps);
-                    apply_gate(amps, g);
+                    match &self.pool {
+                        Some(pool) => apply_gate_parallel(pool, self.sched, amps, g),
+                        None => apply_gate(amps, g),
+                    }
                     sweeps += 1;
                 }
             }
         }
         flush(&mut run, amps, &mut sweeps);
         sweeps
+    }
+
+    fn run_planned(&self, plan: &Plan, state: &mut StateVector) -> usize {
+        let amps = state.amplitudes_mut();
+        for op in &plan.ops {
+            match op {
+                PlanOp::SwapAxes(a, b) => match &self.pool {
+                    Some(pool) => parallel::apply_swap(pool, self.sched, amps, *a, *b),
+                    None => scalar::apply_swap(amps, *a, *b),
+                },
+                PlanOp::Block(ops) => match &self.pool {
+                    Some(pool) => {
+                        apply_blocked_fused_parallel(pool, self.sched, amps, ops, plan.block_qubits)
+                    }
+                    None => apply_blocked_fused(amps, ops, plan.block_qubits),
+                },
+                PlanOp::Gate(g) => match &self.pool {
+                    Some(pool) => apply_gate_parallel(pool, self.sched, amps, g),
+                    None => apply_gate(amps, g),
+                },
+            }
+        }
+        plan.sweeps
     }
 }
 
@@ -277,6 +331,8 @@ mod tests {
             Strategy::Fused { max_k: 3 },
             Strategy::Fused { max_k: 5 },
             Strategy::Blocked { block_qubits: 4 },
+            Strategy::Planned { block_qubits: 4, max_k: 3 },
+            Strategy::Planned { block_qubits: 6, max_k: 4 },
         ]
     }
 
@@ -348,10 +404,8 @@ mod tests {
         let mut s = StateVector::zero(8);
         let naive = Simulator::new().run(&c, &mut s).unwrap();
         let mut s = StateVector::zero(8);
-        let fused = Simulator::new()
-            .with_strategy(Strategy::Fused { max_k: 4 })
-            .run(&c, &mut s)
-            .unwrap();
+        let fused =
+            Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(&c, &mut s).unwrap();
         assert!(fused.sweeps < naive.sweeps, "{} !< {}", fused.sweeps, naive.sweeps);
         assert_eq!(fused.gates, naive.gates);
     }
@@ -366,6 +420,75 @@ mod tests {
             .run(&c, &mut s)
             .unwrap();
         assert_eq!(blocked.sweeps, 1);
+    }
+
+    #[test]
+    fn planned_strategy_beats_blocked_on_high_targets() {
+        // Every gate sits on qubits ≥ block width: Blocked falls back to
+        // one sweep per gate, Planned relocates once and blocks the run.
+        let mut c = Circuit::new(12);
+        for _ in 0..8 {
+            c.h(8).cx(8, 9).cx(9, 10);
+        }
+        let run = |strategy| {
+            let mut s = StateVector::zero(12);
+            let report = Simulator::new().with_strategy(strategy).run(&c, &mut s).unwrap();
+            (report.sweeps, s)
+        };
+        let (naive_sweeps, reference) = run(Strategy::Naive);
+        let (blocked_sweeps, _) = run(Strategy::Blocked { block_qubits: 4 });
+        let (planned_sweeps, planned_state) = run(Strategy::Planned { block_qubits: 4, max_k: 3 });
+        assert_eq!(blocked_sweeps, naive_sweeps);
+        assert!(
+            planned_sweeps < blocked_sweeps,
+            "planned {planned_sweeps} !< blocked {blocked_sweeps}"
+        );
+        assert!(planned_state.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn planned_threaded_matches_serial() {
+        let c = library::random_circuit(9, 60, 5);
+        let mut reference = StateVector::zero(9);
+        Simulator::new()
+            .with_strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+            .run(&c, &mut reference)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let mut s = StateVector::zero(9);
+            Simulator::new()
+                .with_strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+                .with_threads(threads)
+                .run(&c, &mut s)
+                .unwrap();
+            assert!(s.approx_eq(&reference, 1e-10), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn planned_sweeps_match_plan() {
+        let c = library::qft(8);
+        let plan = crate::plan::plan_circuit(&c, 5, 3);
+        let mut s = StateVector::zero(8);
+        let report = Simulator::new()
+            .with_strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+            .run(&c, &mut s)
+            .unwrap();
+        assert_eq!(report.sweeps, plan.sweeps);
+    }
+
+    #[test]
+    fn planned_model_report_attached() {
+        let c = library::qft(6);
+        let mut s = StateVector::zero(6);
+        let report = Simulator::new()
+            .with_strategy(Strategy::Planned { block_qubits: 4, max_k: 3 })
+            .with_model(ChipParams::a64fx(), ExecConfig::single_core())
+            .run(&c, &mut s)
+            .unwrap();
+        let predicted = report.predicted.expect("model attached");
+        assert_eq!(predicted.sweeps, report.sweeps);
+        assert!(predicted.seconds > 0.0);
     }
 
     #[test]
@@ -394,13 +517,9 @@ mod tests {
     fn grover_runs_through_engine() {
         let c = library::grover(4, 9);
         let mut s = StateVector::zero(4);
-        Simulator::new()
-            .with_strategy(Strategy::Fused { max_k: 4 })
-            .run(&c, &mut s)
-            .unwrap();
-        let argmax = (0..16)
-            .max_by(|&a, &b| s.probability(a).total_cmp(&s.probability(b)))
-            .unwrap();
+        Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(&c, &mut s).unwrap();
+        let argmax =
+            (0..16).max_by(|&a, &b| s.probability(a).total_cmp(&s.probability(b))).unwrap();
         assert_eq!(argmax, 9);
     }
 }

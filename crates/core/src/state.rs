@@ -23,7 +23,7 @@ pub struct StateVector {
 impl StateVector {
     /// The all-zeros computational basis state `|0…0⟩`.
     pub fn zero(n_qubits: u32) -> StateVector {
-        assert!(n_qubits >= 1 && n_qubits <= MAX_QUBITS, "qubit count {n_qubits} out of range");
+        assert!((1..=MAX_QUBITS).contains(&n_qubits), "qubit count {n_qubits} out of range");
         let mut amps = AlignedAmps::zeroed(1usize << n_qubits);
         amps[0] = C64::real(1.0);
         StateVector { n_qubits, amps }
@@ -149,22 +149,13 @@ impl StateVector {
     pub fn prob_qubit_one(&self, q: u32) -> f64 {
         assert!(q < self.n_qubits);
         let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| i & bit != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Largest absolute amplitude difference against another state.
     pub fn max_abs_diff(&self, other: &StateVector) -> f64 {
         assert_eq!(self.n_qubits, other.n_qubits);
-        self.amps
-            .iter()
-            .zip(other.amps.iter())
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max)
+        self.amps.iter().zip(other.amps.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max)
     }
 
     /// Are the two states element-wise equal within `eps`?
@@ -187,10 +178,7 @@ impl StateVector {
         // ⟨ψ|χ⟩ = e^{iθ} for χ = e^{iθ}ψ, so the aligning factor applied
         // to χ is e^{-iθ}.
         let phase = C64::exp_i(-ip.arg());
-        self.amps
-            .iter()
-            .zip(other.amps.iter())
-            .all(|(a, b)| (*a - phase * *b).abs() <= eps)
+        self.amps.iter().zip(other.amps.iter()).all(|(a, b)| (*a - phase * *b).abs() <= eps)
     }
 }
 
@@ -237,12 +225,7 @@ mod tests {
     #[test]
     fn from_amplitudes_roundtrip() {
         let r = 0.5f64;
-        let amps = vec![
-            C64::new(r, 0.0),
-            C64::new(0.0, r),
-            C64::new(-r, 0.0),
-            C64::new(0.0, -r),
-        ];
+        let amps = vec![C64::new(r, 0.0), C64::new(0.0, r), C64::new(-r, 0.0), C64::new(0.0, -r)];
         let s = StateVector::from_amplitudes(&amps);
         assert_eq!(s.amplitudes(), &amps[..]);
     }

@@ -165,7 +165,7 @@ impl DistState {
                 let (q, m) = gate.as_single().expect("1q diagonal");
                 let d = if self.global_bit_value(q) { m.m[1][1] } else { m.m[0][0] };
                 for a in &mut self.amps {
-                    *a = *a * d;
+                    *a *= d;
                 }
             }
             2 => {
@@ -178,7 +178,7 @@ impl DistState {
                         let idx = ((self.global_bit_value(h) as usize) << 1)
                             | self.global_bit_value(l) as usize;
                         for a in &mut self.amps {
-                            *a = *a * d[idx];
+                            *a *= d[idx];
                         }
                     }
                     (false, true) => {
@@ -186,7 +186,7 @@ impl DistState {
                         let lmask = 1usize << l;
                         for (x, a) in self.amps.iter_mut().enumerate() {
                             let idx = (hbit << 1) | usize::from(x & lmask != 0);
-                            *a = *a * d[idx];
+                            *a *= d[idx];
                         }
                     }
                     (true, false) => {
@@ -194,7 +194,7 @@ impl DistState {
                         let hmask = 1usize << h;
                         for (x, a) in self.amps.iter_mut().enumerate() {
                             let idx = ((usize::from(x & hmask != 0)) << 1) | lbit;
-                            *a = *a * d[idx];
+                            *a *= d[idx];
                         }
                     }
                     (true, true) => unreachable!("handled by all_local"),
@@ -232,10 +232,8 @@ impl DistState {
         let qs = gate.qubits();
         let globals: Vec<u32> = qs.iter().copied().filter(|&q| !self.part.is_local(q)).collect();
         // Free local qubits: lowest indices not used by the gate.
-        let mut free: Vec<u32> = (0..self.part.n_local())
-            .filter(|q| !qs.contains(q))
-            .take(globals.len())
-            .collect();
+        let mut free: Vec<u32> =
+            (0..self.part.n_local()).filter(|q| !qs.contains(q)).take(globals.len()).collect();
         assert_eq!(
             free.len(),
             globals.len(),
@@ -697,9 +695,8 @@ mod tests {
     fn grover_distributed() {
         let c = library::grover(6, 37);
         let (dist, _) = run_distributed(&c, 4);
-        let argmax = (0..64)
-            .max_by(|&a, &b| dist.probability(a).total_cmp(&dist.probability(b)))
-            .unwrap();
+        let argmax =
+            (0..64).max_by(|&a, &b| dist.probability(a).total_cmp(&dist.probability(b))).unwrap();
         assert_eq!(argmax, 37);
     }
 }

@@ -33,10 +33,7 @@ pub struct MappedDistState {
 impl MappedDistState {
     /// The |0…0⟩ state with the identity mapping.
     pub fn zero(n_qubits: u32, comm: &Comm) -> MappedDistState {
-        MappedDistState {
-            inner: DistState::zero(n_qubits, comm),
-            phys_of: (0..n_qubits).collect(),
-        }
+        MappedDistState { inner: DistState::zero(n_qubits, comm), phys_of: (0..n_qubits).collect() }
     }
 
     /// Current physical position of a logical qubit.
@@ -89,19 +86,15 @@ impl MappedDistState {
         debug_assert!(!part.is_local(g_phys));
         // Choose a local physical slot whose logical owner is not used by
         // this gate (so we don't evict a qubit the gate needs).
-        let gate_phys: Vec<u32> =
-            gate.qubits().iter().map(|&q| self.phys_of[q as usize]).collect();
+        let gate_phys: Vec<u32> = gate.qubits().iter().map(|&q| self.phys_of[q as usize]).collect();
         let victim_phys = (0..part.n_local())
             .find(|p| !gate_phys.contains(p))
             .expect("enough local slots for any 3-qubit gate");
         self.inner.swap_physical(comm, g_phys, victim_phys);
         // Update the permutation: the logical qubits at these two
         // physical slots trade places.
-        let victim_logical = self
-            .phys_of
-            .iter()
-            .position(|&p| p == victim_phys)
-            .expect("permutation is total") as usize;
+        let victim_logical =
+            self.phys_of.iter().position(|&p| p == victim_phys).expect("permutation is total");
         self.phys_of[lq as usize] = victim_phys;
         self.phys_of[victim_logical] = g_phys;
     }
@@ -121,8 +114,7 @@ impl MappedDistState {
             if current != logical {
                 // Swap physical axes `current` and `logical`.
                 self.inner.swap_physical_any(comm, current, logical);
-                let other =
-                    self.phys_of.iter().position(|&p| p == logical).expect("total") as usize;
+                let other = self.phys_of.iter().position(|&p| p == logical).expect("total");
                 self.phys_of[logical as usize] = logical;
                 self.phys_of[other] = current;
             }
@@ -204,10 +196,7 @@ mod tests {
     ) -> u64 {
         let (_, with) = run(circuit, ranks);
         let (_, base) = run(&Circuit::new(circuit.n_qubits()), ranks);
-        with.iter()
-            .zip(&base)
-            .map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent))
-            .sum()
+        with.iter().zip(&base).map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent)).sum()
     }
 
     #[test]

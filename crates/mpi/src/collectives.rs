@@ -169,7 +169,7 @@ impl Comm {
         let n = self.size();
         if self.rank() == root {
             let data = data.expect("root must provide the scatter data");
-            assert!(data.len() % n == 0, "scatter data must divide evenly across ranks");
+            assert!(data.len().is_multiple_of(n), "scatter data must divide evenly across ranks");
             let chunk = data.len() / n;
             for r in 0..n {
                 if r != root {
@@ -207,6 +207,7 @@ impl Comm {
 
     /// Personalized all-to-all: `chunks[r]` goes to rank `r`; returns the
     /// chunks received, indexed by source rank.
+    #[allow(clippy::needless_range_loop)] // peer is a rank id, not just an index
     pub fn alltoall<T: Pod>(&mut self, chunks: &[Vec<T>]) -> Vec<Vec<T>> {
         let n = self.size();
         assert_eq!(chunks.len(), n, "alltoall needs one chunk per rank");
@@ -253,11 +254,8 @@ mod tests {
         for n in [1usize, 2, 3, 4, 6, 8] {
             for root in 0..n {
                 let results = World::run(n, move |c| {
-                    let mut data = if c.rank() == root {
-                        vec![root as u64, 17, 23]
-                    } else {
-                        Vec::new()
-                    };
+                    let mut data =
+                        if c.rank() == root { vec![root as u64, 17, 23] } else { Vec::new() };
                     c.bcast(root, &mut data);
                     data
                 });
@@ -270,7 +268,8 @@ mod tests {
 
     #[test]
     fn gather_concatenates_in_rank_order() {
-        let results = World::run(4, |c| c.gather(2, &[c.rank() as u32 * 2, c.rank() as u32 * 2 + 1]));
+        let results =
+            World::run(4, |c| c.gather(2, &[c.rank() as u32 * 2, c.rank() as u32 * 2 + 1]));
         for (r, res) in results.iter().enumerate() {
             if r == 2 {
                 assert_eq!(res.as_deref(), Some(&[0u32, 1, 2, 3, 4, 5, 6, 7][..]));
@@ -375,8 +374,8 @@ mod tests {
     fn scatter_distributes_chunks() {
         let results = World::run(4, |c| {
             let data: Vec<u64> = (0..8).collect();
-            let mine = c.scatter(1, if c.rank() == 1 { Some(&data[..]) } else { None });
-            mine
+
+            c.scatter(1, if c.rank() == 1 { Some(&data[..]) } else { None })
         });
         for (r, chunk) in results.iter().enumerate() {
             assert_eq!(chunk, &vec![2 * r as u64, 2 * r as u64 + 1]);
@@ -412,7 +411,7 @@ mod tests {
         // substrate's recv timeout).
         World::run(2, |c| {
             if c.rank() == 0 {
-                let data = vec![1u8, 2, 3];
+                let data = [1u8, 2, 3];
                 let _ = c.scatter(0, Some(&data[..]));
             }
         });

@@ -56,23 +56,20 @@ impl World {
             let mut handles = Vec::with_capacity(n_ranks);
             for (rank, rx) in rxs.iter_mut().enumerate() {
                 let rx = rx.take().expect("each rank consumes its receiver once");
-                handles.push(
-                    scope
-                        .spawn(move || {
-                            let mut comm = Comm {
-                                rank,
-                                size: n_ranks,
-                                senders: txs_ref.clone(),
-                                inbox: rx,
-                                stash: VecDeque::new(),
-                                stats: CommStats::default(),
-                                world_stats: stats_ref.clone(),
-                            };
-                            let out = f_ref(&mut comm);
-                            comm.world_stats.absorb(comm.rank, &comm.stats);
-                            out
-                        }),
-                );
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm {
+                        rank,
+                        size: n_ranks,
+                        senders: txs_ref.clone(),
+                        inbox: rx,
+                        stash: VecDeque::new(),
+                        stats: CommStats::default(),
+                        world_stats: stats_ref.clone(),
+                    };
+                    let out = f_ref(&mut comm);
+                    comm.world_stats.absorb(comm.rank, &comm.stats);
+                    out
+                }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
@@ -150,10 +147,8 @@ impl Comm {
     pub fn recv_any<T: Pod>(&mut self, src: usize, tag: u32) -> (usize, Vec<T>) {
         // First scan the stash for an already-arrived match (FIFO per
         // (src, tag) pair preserves MPI ordering).
-        if let Some(pos) = self
-            .stash
-            .iter()
-            .position(|e| (src == ANY_SOURCE || e.src == src) && e.tag == tag)
+        if let Some(pos) =
+            self.stash.iter().position(|e| (src == ANY_SOURCE || e.src == src) && e.tag == tag)
         {
             let env = self.stash.remove(pos).expect("position is valid");
             self.stats.record_recv(env.src, env.payload.len());

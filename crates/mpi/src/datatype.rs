@@ -50,7 +50,7 @@ pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let sz = std::mem::size_of::<T>();
     assert!(sz > 0, "zero-sized Pod types are not meaningful payloads");
     assert!(
-        bytes.len() % sz == 0,
+        bytes.len().is_multiple_of(sz),
         "payload of {} bytes is not a whole number of {}-byte elements",
         bytes.len(),
         sz

@@ -32,9 +32,9 @@ pub mod nonblocking;
 pub mod stats;
 
 pub use comm::{Comm, World};
-pub use nonblocking::RecvRequest;
 pub use datatype::Pod;
 pub use network::{NetworkModel, TofuParams};
+pub use nonblocking::RecvRequest;
 pub use stats::CommStats;
 
 #[cfg(test)]

@@ -95,7 +95,11 @@ impl NetworkModel {
             .iter()
             .map(|s| self.rank_time(s))
             .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
-            .unwrap_or(CommTimePrediction { latency_seconds: 0.0, bandwidth_seconds: 0.0, seconds: 0.0 })
+            .unwrap_or(CommTimePrediction {
+                latency_seconds: 0.0,
+                bandwidth_seconds: 0.0,
+                seconds: 0.0,
+            })
     }
 }
 

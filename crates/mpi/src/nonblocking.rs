@@ -126,7 +126,7 @@ mod tests {
                 {
                     let _dropped = c.irecv(0, 9);
                 } // request cancelled without waiting
-                // A later blocking receive still gets the message.
+                  // A later blocking receive still gets the message.
                 assert_eq!(c.recv::<u32>(0, 9), vec![7]);
             }
         });

@@ -100,8 +100,7 @@ impl ThreadPool {
             std::mem::transmute::<*const RegionFn<'a>, *const RegionFn<'static>>(region_ref)
         };
         for (w, tx) in self.senders.iter().enumerate() {
-            tx.send(Msg::Run { region: region_ptr, thread_idx: w + 1 })
-                .expect("worker hung up");
+            tx.send(Msg::Run { region: region_ptr, thread_idx: w + 1 }).expect("worker hung up");
         }
         // The master participates as thread 0, and must not unwind past
         // the ack loop.

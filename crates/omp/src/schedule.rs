@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn dynamic_counter_partitions_exactly() {
         let wc = WorkCounter::new();
-        let mut covered = vec![0u8; 23];
+        let mut covered = [0u8; 23];
         while let Some(r) = wc.claim(23, 5) {
             for i in r {
                 covered[i] += 1;
@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn guided_respects_min_chunk() {
         let wc = WorkCounter::new();
-        let mut covered = vec![0u8; 37];
+        let mut covered = [0u8; 37];
         while let Some(r) = wc.claim_guided(37, 16, 4) {
             assert!(r.len() >= 4 || r.end == 37, "tail chunk may be short: {r:?}");
             for i in r {

@@ -195,7 +195,16 @@ mod tests {
 
     #[test]
     fn gather_scatter_complex_indices() {
-        let src = interleave(&[(0.0, 0.5), (1.0, 1.5), (2.0, 2.5), (3.0, 3.5), (4.0, 4.5), (5.0, 5.5), (6.0, 6.5), (7.0, 7.5)]);
+        let src = interleave(&[
+            (0.0, 0.5),
+            (1.0, 1.5),
+            (2.0, 2.5),
+            (3.0, 3.5),
+            (4.0, 4.5),
+            (5.0, 5.5),
+            (6.0, 6.5),
+            (7.0, 7.5),
+        ]);
         let mut ctx = SveCtx::new(Vl::new(256).unwrap());
         let p = ctx.ptrue();
         let idx = ctx.index(1, 2); // complex elements 1,3,5,7

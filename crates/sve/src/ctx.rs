@@ -220,6 +220,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn daxpy_correct_at_every_vl() {
         let n = 37;
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();

@@ -141,6 +141,7 @@ impl Pred {
     }
 
     /// Lane-wise NOT, restricted to lanes below the VL.
+    #[allow(clippy::should_implement_trait)] // named after the SVE `not` mnemonic
     pub fn not(self) -> Pred {
         let full = Pred::ptrue(self.vl).mask;
         Pred { mask: !self.mask & full, vl: self.vl }

@@ -5,6 +5,10 @@
 //! memory operations, mirroring real SVE where unpredicated arithmetic
 //! always acts on the whole register.
 
+// Method names (`add`, `mul`, `shl`, ...) mirror the SVE mnemonics, and
+// per-lane index loops mirror the predicated semantics being modeled.
+#![allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+
 use crate::predicate::Pred;
 use crate::vl::MAX_LANES_F64;
 
@@ -266,9 +270,8 @@ impl VI64 {
     /// Lane-wise compare-less-than against another vector, producing a
     /// predicate (`cmplt`).
     pub fn cmplt(self, p: Pred, o: VI64) -> Pred {
-        let bools: Vec<bool> = (0..p.vl().lanes_f64())
-            .map(|k| p.lane(k) && self.l[k] < o.l[k])
-            .collect();
+        let bools: Vec<bool> =
+            (0..p.vl().lanes_f64()).map(|k| p.lane(k) && self.l[k] < o.l[k]).collect();
         Pred::from_bools(p.vl(), &bools)
     }
 }

@@ -31,7 +31,7 @@ impl Vl {
     ///
     /// Returns `None` unless `bits` is a multiple of 128 in `128..=2048`.
     pub fn new(bits: u16) -> Option<Vl> {
-        if bits >= 128 && bits <= 2048 && bits % 128 == 0 {
+        if (128..=2048).contains(&bits) && bits.is_multiple_of(128) {
             Some(Vl { bits })
         } else {
             None
@@ -46,13 +46,7 @@ impl Vl {
     /// The common power-of-two sweep used in the authors' VL studies:
     /// 128, 256, 512, 1024, 2048 bits.
     pub fn pow2_sweep() -> [Vl; 5] {
-        [
-            Vl { bits: 128 },
-            Vl { bits: 256 },
-            Vl { bits: 512 },
-            Vl { bits: 1024 },
-            Vl { bits: 2048 },
-        ]
+        [Vl { bits: 128 }, Vl { bits: 256 }, Vl { bits: 512 }, Vl { bits: 1024 }, Vl { bits: 2048 }]
     }
 
     /// Length in bits.

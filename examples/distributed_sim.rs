@@ -20,7 +20,10 @@ fn main() {
     Simulator::new().run(&circuit, &mut reference).unwrap();
 
     let net = NetworkModel::new(TofuParams::tofu_d());
-    println!("\n{:>5}  {:>14}  {:>12}  {:>16}  {:>12}", "ranks", "bytes/rank", "messages", "Tofu-D comm time", "max |Δamp|");
+    println!(
+        "\n{:>5}  {:>14}  {:>12}  {:>16}  {:>12}",
+        "ranks", "bytes/rank", "messages", "Tofu-D comm time", "max |Δamp|"
+    );
     for ranks in [1usize, 2, 4, 8] {
         let (state, stats) = run_distributed(&circuit, ranks);
         let diff = state.max_abs_diff(&reference);

@@ -24,7 +24,11 @@ fn main() {
     Simulator::new().run(&circuit, &mut clean).unwrap();
     println!("noiseless GHZ({n}):");
     println!("  ⟨X⊗…⊗X⟩            = {:+.4}", all_x.expectation(&clean));
-    println!("  S(q0)               = {:.4} nats (ln 2 = {:.4})", entanglement_entropy(&clean, &[0]), std::f64::consts::LN_2);
+    println!(
+        "  S(q0)               = {:.4} nats (ln 2 = {:.4})",
+        entanglement_entropy(&clean, &[0]),
+        std::f64::consts::LN_2
+    );
     println!("  purity(q0)          = {:.4}", purity(&clean, &[0]));
 
     // Trajectory-averaged parity under increasing depolarizing strength.
@@ -32,13 +36,8 @@ fn main() {
     println!("{:>8}  {:>12}", "p", "⟨X⊗…⊗X⟩");
     let mut rng = StdRng::seed_from_u64(7);
     for p in [0.0, 0.01, 0.05, 0.1, 0.2, 0.4] {
-        let avg = average_expectation(
-            &circuit,
-            &all_x,
-            NoiseChannel::Depolarizing { p },
-            300,
-            &mut rng,
-        );
+        let avg =
+            average_expectation(&circuit, &all_x, NoiseChannel::Depolarizing { p }, 300, &mut rng);
         println!("{p:>8.2}  {avg:>+12.4}");
     }
 

@@ -23,10 +23,9 @@ fn main() {
 
     let sim = Simulator::new().with_model(ChipParams::a64fx(), ExecConfig::full_chip());
 
-    for (label, strategy) in [
-        ("naive", Strategy::Naive),
-        ("fused k=4", Strategy::Fused { max_k: 4 }),
-    ] {
+    for (label, strategy) in
+        [("naive", Strategy::Naive), ("fused k=4", Strategy::Fused { max_k: 4 })]
+    {
         let mut state = StateVector::zero(n);
         let report = sim.clone().with_strategy(strategy).run(&circuit, &mut state).unwrap();
         let model = report.predicted.expect("model attached");
@@ -42,9 +41,8 @@ fn main() {
 
         // Sanity: QFT of |0…0⟩ is the uniform superposition.
         let uniform = 1.0 / (1u64 << n) as f64;
-        let max_dev = (0..state.len())
-            .map(|i| (state.probability(i) - uniform).abs())
-            .fold(0.0, f64::max);
+        let max_dev =
+            (0..state.len()).map(|i| (state.probability(i) - uniform).abs()).fold(0.0, f64::max);
         println!("  max |P - uniform|   : {max_dev:.2e}");
     }
 }

@@ -19,7 +19,12 @@ use rand::SeedableRng;
 fn main() {
     let chip = ChipParams::a64fx();
     println!("A64FX (Fugaku node configuration)");
-    println!("  cores              : {} ({} CMGs × {})", chip.total_cores(), chip.n_cmgs, chip.cores_per_cmg);
+    println!(
+        "  cores              : {} ({} CMGs × {})",
+        chip.total_cores(),
+        chip.n_cmgs,
+        chip.cores_per_cmg
+    );
     println!("  clock              : {} GHz", chip.freq_ghz);
     println!("  SVE width          : {} bits", chip.simd_bits);
     println!("  peak DP            : {:.3} TF/s", chip.peak_flops_chip() / 1e12);

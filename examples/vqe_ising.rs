@@ -52,9 +52,8 @@ fn main() {
     // Coordinate descent (Rotosolve) from a symmetry-broken start — a
     // uniform initialization puts every qubit on the same trajectory and
     // coordinate descent stalls in the symmetric subspace.
-    let mut params: Vec<f64> = (0..LAYERS * PARAMS_PER_LAYER)
-        .map(|i| 0.4 * ((i as f64) * 1.7).sin() + 0.2)
-        .collect();
+    let mut params: Vec<f64> =
+        (0..LAYERS * PARAMS_PER_LAYER).map(|i| 0.4 * ((i as f64) * 1.7).sin() + 0.2).collect();
     let mut current = energy(&h, &params);
     println!("\n{:>5}  {:>12}  {:>10}", "sweep", "energy", "gap");
     for sweep in 0..100 {
@@ -84,10 +83,8 @@ fn main() {
                     energy(&h, &params)
                 }),
             ];
-            let (best_theta, best_e) = candidates
-                .into_iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty");
+            let (best_theta, best_e) =
+                candidates.into_iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
             params[i] = best_theta;
             current = best_e;
         }

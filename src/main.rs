@@ -8,7 +8,7 @@
 //! families: ghz qft random qv trotter qaoa grover shor
 //!
 //! options:
-//!   --strategy naive|fused:<k>|blocked:<b>   execution strategy [naive]
+//!   --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>   execution strategy [naive]
 //!   --threads <t>                            worksharing threads [1]
 //!   --ranks <r>                              distributed ranks (power of 2)
 //!   --shots <s>                              sample and print counts
@@ -68,8 +68,8 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "run" => {
             let (path, opts) = parse_run_args(rest)?;
-            let source = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let circuit = qasm::parse(&source).map_err(|e| e.to_string())?;
             execute(&circuit, &opts)
         }
@@ -96,7 +96,7 @@ fn run() -> Result<(), String> {
 fn usage() -> String {
     "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
      families: ghz qft random qv trotter qaoa grover shor\n\
-     opts: --strategy naive|fused:<k>|blocked:<b>  --threads <t>  --ranks <r>\n\
+     opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>  --threads <t>  --ranks <r>\n\
            --shots <s>  --probs <top>  --model  --seed <u64>"
         .to_string()
 }
@@ -113,10 +113,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = value("--strategy")?;
                 opts.strategy = parse_strategy(&v)?;
             }
-            "--threads" => opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
-            "--ranks" => opts.ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?,
-            "--shots" => opts.shots = value("--shots")?.parse().map_err(|e| format!("--shots: {e}"))?,
-            "--probs" => opts.probs = value("--probs")?.parse().map_err(|e| format!("--probs: {e}"))?,
+            "--threads" => {
+                opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--ranks" => {
+                opts.ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?
+            }
+            "--shots" => {
+                opts.shots = value("--shots")?.parse().map_err(|e| format!("--shots: {e}"))?
+            }
+            "--probs" => {
+                opts.probs = value("--probs")?.parse().map_err(|e| format!("--probs: {e}"))?
+            }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--model" => opts.model = true,
             other => return Err(format!("unknown option `{other}`")),
@@ -137,7 +145,15 @@ fn parse_strategy(text: &str) -> Result<Strategy, String> {
         let b: u32 = b.parse().map_err(|e| format!("blocked:<b>: {e}"))?;
         return Ok(Strategy::Blocked { block_qubits: b });
     }
-    Err(format!("unknown strategy `{text}` (naive | fused:<k> | blocked:<b>)"))
+    if let Some(rest) = text.strip_prefix("planned:") {
+        let (b, k) = rest
+            .split_once(':')
+            .ok_or_else(|| "planned takes two parameters: planned:<b>:<k>".to_string())?;
+        let b: u32 = b.parse().map_err(|e| format!("planned:<b>: {e}"))?;
+        let k: u32 = k.parse().map_err(|e| format!("planned:<k>: {e}"))?;
+        return Ok(Strategy::Planned { block_qubits: b, max_k: k });
+    }
+    Err(format!("unknown strategy `{text}` (naive | fused:<k> | blocked:<b> | planned:<b>:<k>)"))
 }
 
 fn parse_run_args(args: &[String]) -> Result<(String, Options), String> {
@@ -162,7 +178,10 @@ fn build_family(family: &str, n: u32, seed: u64) -> Result<Circuit, String> {
         "qaoa" => library::qaoa_maxcut_ring(n, 2, &[0.6, 0.4], &[0.3, 0.2]),
         "grover" => library::grover(n, (1usize << n) - 2),
         "shor" => {
-            let t = n.checked_sub(4).filter(|&t| t >= 2).ok_or("shor needs n ≥ 6 (4 work + ≥2 counting qubits)")?;
+            let t = n
+                .checked_sub(4)
+                .filter(|&t| t >= 2)
+                .ok_or("shor needs n ≥ 6 (4 work + ≥2 counting qubits)")?;
             library::shor15_order_finding(7, t)
         }
         other => return Err(format!("unknown family `{other}`")),
@@ -205,11 +224,7 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         }
         let mut state = StateVector::zero(circuit.n_qubits());
         let report = sim.run(circuit, &mut state).map_err(|e| e.to_string())?;
-        println!(
-            "executed {} sweeps in {:.3} ms (host)",
-            report.sweeps,
-            report.wall_seconds * 1e3
-        );
+        println!("executed {} sweeps in {:.3} ms (host)", report.sweeps, report.wall_seconds * 1e3);
         if let Some(model) = report.predicted {
             println!(
                 "A64FX model: {:.3} µs, {:.1} MiB HBM traffic, {:.1} GF/s effective, bottlenecks {:?}",
@@ -223,8 +238,7 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
     };
 
     if opts.probs > 0 {
-        let mut probs: Vec<(usize, f64)> =
-            state.probabilities().into_iter().enumerate().collect();
+        let mut probs: Vec<(usize, f64)> = state.probabilities().into_iter().enumerate().collect();
         probs.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("top {} probabilities:", opts.probs);
         let width = circuit.n_qubits() as usize;

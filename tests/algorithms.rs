@@ -116,9 +116,7 @@ fn qaoa_expected_cut_improves_with_layers() {
     let n = 8u32;
     let cut = |p: usize, gammas: &[f64], betas: &[f64]| -> f64 {
         let s = run(&library::qaoa_maxcut_ring(n, p, gammas, betas));
-        (0..n)
-            .map(|q| (1.0 - PauliString::zz(q, (q + 1) % n).expectation(&s)) / 2.0)
-            .sum()
+        (0..n).map(|q| (1.0 - PauliString::zz(q, (q + 1) % n).expectation(&s)) / 2.0).sum()
     };
     // Coarse grid search at p=1.
     let mut best1 = f64::MIN;
@@ -137,11 +135,7 @@ fn qaoa_expected_cut_improves_with_layers() {
     let mut best2 = f64::MIN;
     for gi in 1..5 {
         for bi in 1..5 {
-            let c = cut(
-                2,
-                &[best_pair.0, gi as f64 * 0.25],
-                &[best_pair.1, bi as f64 * 0.12],
-            );
+            let c = cut(2, &[best_pair.0, gi as f64 * 0.25], &[best_pair.1, bi as f64 * 0.12]);
             best2 = best2.max(c);
         }
     }

@@ -40,6 +40,22 @@ fn demo_with_fused_strategy_and_model() {
 }
 
 #[test]
+fn demo_with_planned_strategy() {
+    let out = run_ok(&[
+        "demo",
+        "qft",
+        "6",
+        "--strategy",
+        "planned:4:3",
+        "--threads",
+        "2",
+        "--probs",
+        "1",
+    ]);
+    assert!(out.contains("sweeps"), "{out}");
+}
+
+#[test]
 fn emit_then_run_roundtrip() {
     let qasm = run_ok(&["emit", "ghz", "3"]);
     assert!(qasm.contains("qreg q[3]"));

@@ -12,10 +12,7 @@ fn algorithm_bytes(circuit: &Circuit, ranks: usize) -> Vec<u64> {
     let (_, with) = run_distributed(circuit, ranks);
     let empty = Circuit::new(circuit.n_qubits());
     let (_, base) = run_distributed(&empty, ranks);
-    with.iter()
-        .zip(&base)
-        .map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent))
-        .collect()
+    with.iter().zip(&base).map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent)).collect()
 }
 
 #[test]
@@ -116,10 +113,7 @@ fn tofu_pricing_is_consistent_with_volume() {
         // from above for the observed message count.
         let bw_only = s.bytes_sent as f64 / net.params.injection_bw();
         assert!(t.seconds >= bw_only);
-        assert!(
-            t.seconds
-                <= bw_only + s.messages_sent as f64 * net.params.latency_s + 1e-12
-        );
+        assert!(t.seconds <= bw_only + s.messages_sent as f64 * net.params.latency_s + 1e-12);
     }
 }
 
@@ -135,11 +129,7 @@ fn ghz_exchange_volume_follows_control_bits() {
     let local_bytes = ((1u64 << n) / ranks as u64) * 16;
     let bytes = algorithm_bytes(&library::ghz(n), ranks);
     for (r, &b) in bytes.iter().enumerate() {
-        let expected_exchanges = 1 + ((r >> 0) & 1) as u64 + ((r >> 1) & 1) as u64;
-        assert_eq!(
-            b,
-            expected_exchanges * local_bytes,
-            "rank {r}: control-gated exchange count"
-        );
+        let expected_exchanges = 1 + (r & 1) as u64 + ((r >> 1) & 1) as u64;
+        assert_eq!(b, expected_exchanges * local_bytes, "rank {r}: control-gated exchange count");
     }
 }

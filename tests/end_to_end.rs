@@ -37,6 +37,8 @@ fn every_strategy_agrees_on_every_circuit_family() {
             Strategy::Fused { max_k: 3 },
             Strategy::Fused { max_k: 5 },
             Strategy::Blocked { block_qubits: 5 },
+            Strategy::Planned { block_qubits: 5, max_k: 3 },
+            Strategy::Planned { block_qubits: 3, max_k: 2 },
         ] {
             let mut s = StateVector::zero(m);
             Simulator::new().with_strategy(strategy).run(&circuit, &mut s).unwrap();

@@ -13,7 +13,7 @@ use a64fx_qcs::core::library;
 use a64fx_qcs::core::perf::predict_circuit;
 use a64fx_qcs::core::StateVector;
 use a64fx_qcs::sve::{SveCtx, Vl};
-use qcs_bench::{replay_1q_stream, sweep_bytes};
+use qcs_bench::replay_1q_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,9 +44,7 @@ fn sve_counted_flops_match_analytic_flops() {
     let mut state = StateVector::random(n, &mut rng);
     apply_1q_sve(&mut ctx, state.amplitudes_mut(), n - 1, &standard::h());
     let counted = ctx.flops();
-    let analytic = TrafficModel::a64fx()
-        .predict(KernelKind::OneQubitDense, n, &[n - 1])
-        .flops;
+    let analytic = TrafficModel::a64fx().predict(KernelKind::OneQubitDense, n, &[n - 1]).flops;
     // The split-complex kernel issues 4 fmul + 12 fma per amplitude pair;
     // counting fma as 2 flops that is 4 + 24 = 28 hardware flops/pair.
     // The model's *algorithmic* count is 16 flops/pair (8 per amplitude),

@@ -1,0 +1,20 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize` on report structs but never feeds
+//! them to a serializer (no `serde_json` in the tree), so marker traits
+//! with blanket impls are sufficient: every type "is" `Serialize`, and
+//! the stubbed derive macros (re-exported under the `derive` feature)
+//! expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for
+/// all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize` to mark report types as
+//! serializable; nothing actually serializes them (there is no
+//! `serde_json` in the tree). The stub `serde` crate provides blanket
+//! `impl<T> Serialize/Deserialize for T`, so these derives can expand to
+//! nothing and every `#[derive(Serialize)]` keeps compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
