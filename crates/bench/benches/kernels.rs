@@ -11,7 +11,7 @@ use qcs_core::complex::C64;
 use qcs_core::fusion::fuse;
 use qcs_core::gates::matrices::DenseMatrix;
 use qcs_core::gates::standard;
-use qcs_core::kernels::scalar;
+use qcs_core::kernels::{scalar, simd};
 use qcs_core::library;
 
 const N: u32 = 16;
@@ -87,5 +87,40 @@ fn bench_fused_widths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_1q_targets, bench_kernel_shapes, bench_fused_widths);
+fn bench_simd_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_backends");
+    group.throughput(Throughput::Bytes((1u64 << N) * 32));
+    group.sample_size(20);
+    let t = 8u32;
+    let u = standard::u3(0.3, 0.5, 0.7);
+    let rxx = standard::rxx_mat(0.6);
+
+    let mut backends = vec![simd::backend_for(simd::BackendChoice::Scalar)];
+    if let Some(native) = simd::native() {
+        backends.push(native);
+    }
+    for be in backends {
+        let mut state = bench_state(N, 7);
+        group.bench_with_input(BenchmarkId::new("dense_1q", be.name), &be, |b, be| {
+            b.iter(|| simd::apply_1q(be, state.amplitudes_mut(), t, &u));
+        });
+        let mut state = bench_state(N, 8);
+        group.bench_with_input(BenchmarkId::new("dense_2q", be.name), &be, |b, be| {
+            b.iter(|| simd::apply_2q(be, state.amplitudes_mut(), 3, t, &rxx));
+        });
+        let mut state = bench_state(N, 9);
+        group.bench_with_input(BenchmarkId::new("pauli_x", be.name), &be, |b, be| {
+            b.iter(|| simd::apply_x(be, state.amplitudes_mut(), t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_1q_targets,
+    bench_kernel_shapes,
+    bench_fused_widths,
+    bench_simd_backends
+);
 criterion_main!(benches);

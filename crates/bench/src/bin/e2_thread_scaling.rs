@@ -12,10 +12,12 @@ use omp_par::{CmgTopology, Placement, Schedule, ThreadPool};
 use qcs_bench::{bench_state, checksum, fmt_secs, sweep_bytes, time_best, Table};
 use qcs_core::gates::standard;
 use qcs_core::kernels::parallel::apply_1q;
+use qcs_core::kernels::simd;
 
 fn main() {
     let n = 22u32;
     let h = standard::h();
+    let be = simd::active();
     let host_cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
 
     println!("E2a: measured thread scaling on the host (n = {n}, dense 1q sweep ×{})", n);
@@ -31,12 +33,26 @@ fn main() {
         let mut state = bench_state(n, 3);
         let t_static = time_best(3, || {
             for t in 0..n {
-                apply_1q(&pool, Schedule::Static { chunk: None }, state.amplitudes_mut(), t, &h);
+                apply_1q(
+                    &pool,
+                    Schedule::Static { chunk: None },
+                    state.amplitudes_mut(),
+                    t,
+                    &h,
+                    be,
+                );
             }
         });
         let t_dyn = time_best(3, || {
             for t in 0..n {
-                apply_1q(&pool, Schedule::Dynamic { chunk: 4096 }, state.amplitudes_mut(), t, &h);
+                apply_1q(
+                    &pool,
+                    Schedule::Dynamic { chunk: 4096 },
+                    state.amplitudes_mut(),
+                    t,
+                    &h,
+                    be,
+                );
             }
         });
         std::hint::black_box(checksum(state.amplitudes()));

@@ -35,6 +35,13 @@ impl AlignedAmps {
         AlignedAmps { ptr, len }
     }
 
+    /// Allocate an aligned copy of `amps`.
+    pub fn from_slice(amps: &[C64]) -> AlignedAmps {
+        let mut buf = AlignedAmps::zeroed(amps.len());
+        buf.as_mut_slice().copy_from_slice(amps);
+        buf
+    }
+
     fn layout(len: usize) -> Layout {
         Layout::from_size_align(len * std::mem::size_of::<C64>(), AMP_ALIGN)
             .expect("valid amplitude layout")
@@ -97,6 +104,22 @@ impl std::ops::DerefMut for AlignedAmps {
     }
 }
 
+impl<'a> IntoIterator for &'a AlignedAmps {
+    type Item = &'a C64;
+    type IntoIter = std::slice::Iter<'a, C64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut AlignedAmps {
+    type Item = &'a mut C64;
+    type IntoIter = std::slice::IterMut<'a, C64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
 impl std::fmt::Debug for AlignedAmps {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "AlignedAmps(len={}, align={})", self.len, AMP_ALIGN)
@@ -140,5 +163,13 @@ mod tests {
     #[should_panic(expected = "not meaningful")]
     fn zero_length_rejected() {
         let _ = AlignedAmps::zeroed(0);
+    }
+
+    #[test]
+    fn from_slice_copies_and_aligns() {
+        let src = vec![C64::new(1.0, 2.0), C64::new(-3.0, 0.5), C64::new(0.0, -1.0)];
+        let a = AlignedAmps::from_slice(&src);
+        assert_eq!(a.as_slice(), src.as_slice());
+        assert_eq!(a.as_slice().as_ptr() as usize % AMP_ALIGN, 0);
     }
 }

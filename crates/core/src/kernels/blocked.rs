@@ -12,8 +12,9 @@ use omp_par::{Schedule, ThreadPool};
 use crate::complex::C64;
 use crate::fusion::FusedOp;
 use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
-use crate::kernels::index::{insert_zero_bits, spread_bits};
-use crate::kernels::{scalar, AmpPtr, KQ_STACK_DIM};
+use crate::kernels::index::spread_bits;
+use crate::kernels::simd::{self, KernelBackend};
+use crate::kernels::AmpPtr;
 
 /// A gate in a blocked run, restricted to the shapes that commute with
 /// block decomposition (all-qubit indices below the block width).
@@ -38,14 +39,14 @@ impl BlockGate {
     }
 
     /// Apply to a (sub-)state of any power-of-two length covering the
-    /// gate's qubits.
-    pub fn apply(&self, amps: &mut [C64]) {
+    /// gate's qubits, sweeping with the given backend's vector kernels.
+    pub fn apply(&self, be: &KernelBackend, amps: &mut [C64]) {
         match self {
-            BlockGate::One(q, m) => scalar::apply_1q(amps, *q, m),
-            BlockGate::Diag1(q, d0, d1) => scalar::apply_1q_diag(amps, *q, *d0, *d1),
-            BlockGate::Controlled(c, t, m) => scalar::apply_controlled_1q(amps, *c, *t, m),
-            BlockGate::Two(h, l, m) => scalar::apply_2q(amps, *h, *l, m),
-            BlockGate::Swap(a, b) => scalar::apply_swap(amps, *a, *b),
+            BlockGate::One(q, m) => simd::apply_1q(be, amps, *q, m),
+            BlockGate::Diag1(q, d0, d1) => simd::apply_1q_diag(be, amps, *q, *d0, *d1),
+            BlockGate::Controlled(c, t, m) => simd::apply_controlled_1q(be, amps, *c, *t, m),
+            BlockGate::Two(h, l, m) => simd::apply_2q(be, amps, *h, *l, m),
+            BlockGate::Swap(a, b) => simd::apply_swap(be, amps, *a, *b),
         }
     }
 }
@@ -54,7 +55,7 @@ impl BlockGate {
 ///
 /// Every gate's qubits must be `< block_qubits` and the state must have at
 /// least `block_qubits` qubits.
-pub fn apply_blocked(amps: &mut [C64], gates: &[BlockGate], block_qubits: u32) {
+pub fn apply_blocked(be: &KernelBackend, amps: &mut [C64], gates: &[BlockGate], block_qubits: u32) {
     let block = 1usize << block_qubits;
     assert!(block <= amps.len(), "block larger than the state");
     for g in gates {
@@ -67,7 +68,7 @@ pub fn apply_blocked(amps: &mut [C64], gates: &[BlockGate], block_qubits: u32) {
     }
     for chunk in amps.chunks_exact_mut(block) {
         for g in gates {
-            g.apply(chunk);
+            g.apply(be, chunk);
         }
     }
 }
@@ -75,6 +76,7 @@ pub fn apply_blocked(amps: &mut [C64], gates: &[BlockGate], block_qubits: u32) {
 /// Apply a run of low-target gates block by block, worksharing the
 /// disjoint blocks across a thread pool.
 pub fn apply_blocked_parallel(
+    be: &KernelBackend,
     pool: &ThreadPool,
     sched: Schedule,
     amps: &mut [C64],
@@ -99,7 +101,7 @@ pub fn apply_blocked_parallel(
             // block index lands in exactly one chunk.
             let slice = unsafe { p.slice(bi * block, block) };
             for g in gates {
-                g.apply(slice);
+                g.apply(be, slice);
             }
         }
     });
@@ -116,32 +118,16 @@ struct PreparedFusedOp<'a> {
 }
 
 impl PreparedFusedOp<'_> {
-    /// Gather → dense mat-vec → scatter over every group of the block.
-    fn apply(&self, block: &mut [C64], scratch: &mut [C64]) {
-        let dim = self.offsets.len();
-        let k = self.qubits.len() as u32;
-        let groups = block.len() >> k;
-        let scratch = &mut scratch[..dim];
-        for g in 0..groups {
-            let base = insert_zero_bits(g, self.qubits);
-            for (s, &off) in scratch.iter_mut().zip(&self.offsets) {
-                *s = block[base | off];
-            }
-            for (row, &off) in self.offsets.iter().enumerate() {
-                let mut acc = C64::default();
-                for (col, &s) in scratch.iter().enumerate() {
-                    acc = acc.fma(self.matrix.get(row, col), s);
-                }
-                block[base | off] = acc;
-            }
-        }
+    /// Gather → dense mat-vec → scatter over every group of the block,
+    /// via the backend's fused-gate kernel (which keeps its own
+    /// gather/scatter scratch on the stack for `k ≤ 5`).
+    fn apply(&self, be: &KernelBackend, block: &mut [C64]) {
+        simd::apply_kq_prepared(be, block, self.qubits, &self.offsets, self.matrix);
     }
 }
 
-fn prepare_fused<'a>(ops: &'a [FusedOp], block_qubits: u32) -> (Vec<PreparedFusedOp<'a>>, usize) {
-    let mut max_dim = 1;
-    let prepared = ops
-        .iter()
+fn prepare_fused(ops: &[FusedOp], block_qubits: u32) -> Vec<PreparedFusedOp<'_>> {
+    ops.iter()
         .map(|op| {
             assert!(
                 op.qubits.iter().all(|&q| q < block_qubits),
@@ -150,29 +136,29 @@ fn prepare_fused<'a>(ops: &'a [FusedOp], block_qubits: u32) -> (Vec<PreparedFuse
                 block_qubits
             );
             let dim = op.matrix.dim();
-            max_dim = max_dim.max(dim);
             PreparedFusedOp {
                 qubits: &op.qubits,
                 offsets: (0..dim).map(|local| spread_bits(local, &op.qubits)).collect(),
                 matrix: &op.matrix,
             }
         })
-        .collect();
-    (prepared, max_dim)
+        .collect()
 }
 
 /// Apply a run of fused ops (all on qubits below `block_qubits`) block by
 /// block: one full-state sweep for the whole run.
-pub fn apply_blocked_fused(amps: &mut [C64], ops: &[FusedOp], block_qubits: u32) {
+pub fn apply_blocked_fused(
+    be: &KernelBackend,
+    amps: &mut [C64],
+    ops: &[FusedOp],
+    block_qubits: u32,
+) {
     let block = 1usize << block_qubits;
     assert!(block <= amps.len(), "block larger than the state");
-    let (prepared, max_dim) = prepare_fused(ops, block_qubits);
-    let mut stack = [C64::default(); KQ_STACK_DIM];
-    let mut heap = if max_dim > KQ_STACK_DIM { vec![C64::default(); max_dim] } else { Vec::new() };
-    let scratch: &mut [C64] = if max_dim <= KQ_STACK_DIM { &mut stack } else { &mut heap };
+    let prepared = prepare_fused(ops, block_qubits);
     for chunk in amps.chunks_exact_mut(block) {
         for op in &prepared {
-            op.apply(chunk, scratch);
+            op.apply(be, chunk);
         }
     }
 }
@@ -180,6 +166,7 @@ pub fn apply_blocked_fused(amps: &mut [C64], ops: &[FusedOp], block_qubits: u32)
 /// Parallel twin of [`apply_blocked_fused`]: blocks are disjoint
 /// `2^block_qubits` slices, workshared across the pool.
 pub fn apply_blocked_fused_parallel(
+    be: &KernelBackend,
     pool: &ThreadPool,
     sched: Schedule,
     amps: &mut [C64],
@@ -188,21 +175,17 @@ pub fn apply_blocked_fused_parallel(
 ) {
     let block = 1usize << block_qubits;
     assert!(block <= amps.len(), "block larger than the state");
-    let (prepared, max_dim) = prepare_fused(ops, block_qubits);
+    let prepared = prepare_fused(ops, block_qubits);
     let n_blocks = amps.len() / block;
     let p = AmpPtr(amps.as_mut_ptr());
     let prepared_ref = &prepared;
     pool.parallel_for(0..n_blocks, sched, move |chunk| {
-        let mut stack = [C64::default(); KQ_STACK_DIM];
-        let mut heap =
-            if max_dim > KQ_STACK_DIM { vec![C64::default(); max_dim] } else { Vec::new() };
-        let scratch: &mut [C64] = if max_dim <= KQ_STACK_DIM { &mut stack } else { &mut heap };
         for bi in chunk {
             // SAFETY: blocks are disjoint `2^block_qubits` slices; each
             // block index lands in exactly one chunk.
             let slice = unsafe { p.slice(bi * block, block) };
             for op in prepared_ref {
-                op.apply(slice, scratch);
+                op.apply(be, slice);
             }
         }
     });
@@ -218,6 +201,7 @@ pub fn sweeps_saved(n_gates: usize) -> usize {
 mod tests {
     use super::*;
     use crate::gates::standard;
+    use crate::kernels::scalar;
     use crate::state::StateVector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -229,9 +213,19 @@ mod tests {
         StateVector::random(n, &mut rng)
     }
 
-    fn sequential(amps: &mut [C64], gates: &[BlockGate]) {
+    /// Both the portable backend and (when present) the native one.
+    fn backends() -> Vec<&'static KernelBackend> {
+        let mut v: Vec<&'static KernelBackend> =
+            vec![simd::backend_for(simd::BackendChoice::Scalar)];
+        if let Some(b) = simd::native() {
+            v.push(b);
+        }
+        v
+    }
+
+    fn sequential(be: &KernelBackend, amps: &mut [C64], gates: &[BlockGate]) {
         for g in gates {
-            g.apply(amps);
+            g.apply(be, amps);
         }
     }
 
@@ -245,22 +239,25 @@ mod tests {
             BlockGate::Diag1(1, crate::complex::ONE, C64::exp_i(0.4)),
             BlockGate::Swap(2, 3),
         ];
-        for block_qubits in [4u32, 5, 8] {
-            let mut a = rand_state(10, 3);
-            let mut b = a.clone();
-            sequential(a.amplitudes_mut(), &gates);
-            apply_blocked(b.amplitudes_mut(), &gates, block_qubits);
-            assert!(a.approx_eq(&b, EPS), "block_qubits={block_qubits}");
+        for be in backends() {
+            for block_qubits in [4u32, 5, 8] {
+                let mut a = rand_state(10, 3);
+                let mut b = a.clone();
+                sequential(be, a.amplitudes_mut(), &gates);
+                apply_blocked(be, b.amplitudes_mut(), &gates, block_qubits);
+                assert!(a.approx_eq(&b, EPS), "{} block_qubits={block_qubits}", be.name);
+            }
         }
     }
 
     #[test]
     fn block_equals_full_state_width() {
+        let be = simd::active();
         let gates = vec![BlockGate::One(1, standard::ry(0.3))];
         let mut a = rand_state(5, 4);
         let mut b = a.clone();
-        sequential(a.amplitudes_mut(), &gates);
-        apply_blocked(b.amplitudes_mut(), &gates, 5);
+        sequential(be, a.amplitudes_mut(), &gates);
+        apply_blocked(be, b.amplitudes_mut(), &gates, 5);
         assert!(a.approx_eq(&b, EPS));
     }
 
@@ -268,14 +265,14 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn gate_above_block_rejected() {
         let mut s = rand_state(6, 5);
-        apply_blocked(s.amplitudes_mut(), &[BlockGate::One(4, standard::h())], 3);
+        apply_blocked(simd::active(), s.amplitudes_mut(), &[BlockGate::One(4, standard::h())], 3);
     }
 
     #[test]
     #[should_panic(expected = "block larger")]
     fn oversize_block_rejected() {
         let mut s = rand_state(3, 6);
-        apply_blocked(s.amplitudes_mut(), &[], 5);
+        apply_blocked(simd::active(), s.amplitudes_mut(), &[], 5);
     }
 
     #[test]
@@ -289,17 +286,19 @@ mod tests {
     fn blocked_fused_matches_direct_kq() {
         use crate::fusion::fuse;
         use crate::library;
-        for seed in 0..3u64 {
-            let c = library::random_circuit(4, 30, seed);
-            let ops = fuse(&c, 3);
-            for block_qubits in [4u32, 5, 7] {
-                let mut a = rand_state(9, seed + 20);
-                let mut b = a.clone();
-                for op in &ops {
-                    scalar::apply_kq(a.amplitudes_mut(), &op.qubits, &op.matrix);
+        for be in backends() {
+            for seed in 0..3u64 {
+                let c = library::random_circuit(4, 30, seed);
+                let ops = fuse(&c, 3);
+                for block_qubits in [4u32, 5, 7] {
+                    let mut a = rand_state(9, seed + 20);
+                    let mut b = a.clone();
+                    for op in &ops {
+                        scalar::apply_kq(a.amplitudes_mut(), &op.qubits, &op.matrix);
+                    }
+                    apply_blocked_fused(be, b.amplitudes_mut(), &ops, block_qubits);
+                    assert!(a.approx_eq(&b, EPS), "{} seed={seed} block={block_qubits}", be.name);
                 }
-                apply_blocked_fused(b.amplitudes_mut(), &ops, block_qubits);
-                assert!(a.approx_eq(&b, EPS), "seed={seed} block={block_qubits}");
             }
         }
     }
@@ -308,6 +307,7 @@ mod tests {
     fn blocked_fused_parallel_matches_serial() {
         use crate::fusion::fuse;
         use crate::library;
+        let be = simd::active();
         let c = library::random_circuit(5, 40, 11);
         let ops = fuse(&c, 3);
         for threads in [1usize, 3, 8] {
@@ -315,8 +315,8 @@ mod tests {
             for sched in [Schedule::default_static(), Schedule::Dynamic { chunk: 2 }] {
                 let mut a = rand_state(10, 31);
                 let mut b = a.clone();
-                apply_blocked_fused(a.amplitudes_mut(), &ops, 5);
-                apply_blocked_fused_parallel(&pool, sched, b.amplitudes_mut(), &ops, 5);
+                apply_blocked_fused(be, a.amplitudes_mut(), &ops, 5);
+                apply_blocked_fused_parallel(be, &pool, sched, b.amplitudes_mut(), &ops, 5);
                 assert!(a.approx_eq(&b, EPS), "threads={threads}");
             }
         }
@@ -324,6 +324,7 @@ mod tests {
 
     #[test]
     fn blocked_parallel_matches_serial() {
+        let be = simd::active();
         let gates = vec![
             BlockGate::One(0, standard::h()),
             BlockGate::Controlled(1, 3, standard::x()),
@@ -334,8 +335,9 @@ mod tests {
             let pool = ThreadPool::new(threads);
             let mut a = rand_state(10, 13);
             let mut b = a.clone();
-            apply_blocked(a.amplitudes_mut(), &gates, 4);
+            apply_blocked(be, a.amplitudes_mut(), &gates, 4);
             apply_blocked_parallel(
+                be,
                 &pool,
                 Schedule::default_static(),
                 b.amplitudes_mut(),
@@ -354,7 +356,7 @@ mod tests {
             BlockGate::Two(1, 0, standard::rxx_mat(0.8)),
         ];
         let mut s = rand_state(8, 7);
-        apply_blocked(s.amplitudes_mut(), &gates, 4);
+        apply_blocked(simd::active(), s.amplitudes_mut(), &gates, 4);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
     }
 }

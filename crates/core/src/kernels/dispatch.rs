@@ -10,29 +10,47 @@ use omp_par::{Schedule, ThreadPool};
 
 use crate::circuit::Gate;
 use crate::complex::C64;
+use crate::kernels::simd::{self, KernelBackend};
 use crate::kernels::{parallel, scalar};
 
-/// Apply one gate to an amplitude array with the best scalar kernel.
+/// Apply one gate with the process-wide active SIMD backend (runtime
+/// feature detection, overridable via `QCS_BACKEND`).
 pub fn apply_gate(amps: &mut [C64], g: &Gate) {
+    apply_gate_with(simd::active(), amps, g);
+}
+
+/// Apply one gate through an explicit kernel backend.
+///
+/// The cold 3-qubit permutation gates (CCX/CSwap) stay on the scalar
+/// kernels; every hot shape routes through the backend's vector
+/// primitives (which themselves fall back to scalar below the vector
+/// window).
+pub fn apply_gate_with(be: &KernelBackend, amps: &mut [C64], g: &Gate) {
     match g {
-        Gate::X(q) => scalar::apply_x(amps, *q),
-        Gate::Swap(a, b) => scalar::apply_swap(amps, *a, *b),
+        Gate::X(q) => simd::apply_x(be, amps, *q),
+        Gate::Swap(a, b) => simd::apply_swap(be, amps, *a, *b),
         Gate::Ccx(c1, c2, t) => scalar::apply_ccx(amps, *c1, *c2, *t),
         Gate::CSwap(c, a, b) => scalar::apply_cswap(amps, *c, *a, *b),
         _ => {
             if let Some((q, m)) = g.as_single() {
                 if g.is_diagonal() {
-                    scalar::apply_1q_diag(amps, q, m.m[0][0], m.m[1][1]);
+                    simd::apply_1q_diag(be, amps, q, m.m[0][0], m.m[1][1]);
                 } else {
-                    scalar::apply_1q(amps, q, &m);
+                    simd::apply_1q(be, amps, q, &m);
                 }
             } else if let Some((h, l, m)) = g.as_two() {
                 if g.is_diagonal() {
-                    scalar::apply_2q_diag(amps, h, l, [m.m[0][0], m.m[1][1], m.m[2][2], m.m[3][3]]);
+                    simd::apply_2q_diag(
+                        be,
+                        amps,
+                        h,
+                        l,
+                        [m.m[0][0], m.m[1][1], m.m[2][2], m.m[3][3]],
+                    );
                 } else if let Some((c, t, m2)) = g.as_controlled() {
-                    scalar::apply_controlled_1q(amps, c, t, &m2);
+                    simd::apply_controlled_1q(be, amps, c, t, &m2);
                 } else {
-                    scalar::apply_2q(amps, h, l, &m);
+                    simd::apply_2q(be, amps, h, l, &m);
                 }
             } else {
                 unreachable!("gate {} has no kernel mapping", g.name());
@@ -41,28 +59,40 @@ pub fn apply_gate(amps: &mut [C64], g: &Gate) {
     }
 }
 
-/// Apply one gate using the parallel kernels where available.
+/// Apply one gate using the parallel kernels and the active backend.
+pub fn apply_gate_parallel(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], g: &Gate) {
+    apply_gate_parallel_with(simd::active(), pool, sched, amps, g);
+}
+
+/// Apply one gate using the parallel kernels where available, with each
+/// thread's chunk swept by the given backend's vector primitives.
 ///
 /// Permutation and 3-qubit gates currently run on the scalar kernels
 /// (their cost is a small fraction of circuit time); everything on the
 /// hot path — dense/diagonal 1q, controlled, dense 2q — workshares.
-pub fn apply_gate_parallel(pool: &ThreadPool, sched: Schedule, amps: &mut [C64], g: &Gate) {
+pub fn apply_gate_parallel_with(
+    be: &KernelBackend,
+    pool: &ThreadPool,
+    sched: Schedule,
+    amps: &mut [C64],
+    g: &Gate,
+) {
     match g {
-        Gate::X(q) => scalar::apply_x(amps, *q),
-        Gate::Swap(a, b) => parallel::apply_swap(pool, sched, amps, *a, *b),
+        Gate::X(q) => simd::apply_x(be, amps, *q),
+        Gate::Swap(a, b) => parallel::apply_swap(pool, sched, amps, *a, *b, be),
         Gate::Ccx(c1, c2, t) => scalar::apply_ccx(amps, *c1, *c2, *t),
         Gate::CSwap(c, a, b) => scalar::apply_cswap(amps, *c, *a, *b),
         _ => {
             if let Some((q, m)) = g.as_single() {
                 if g.is_diagonal() {
-                    parallel::apply_1q_diag(pool, sched, amps, q, m.m[0][0], m.m[1][1]);
+                    parallel::apply_1q_diag(pool, sched, amps, q, m.m[0][0], m.m[1][1], be);
                 } else {
-                    parallel::apply_1q(pool, sched, amps, q, &m);
+                    parallel::apply_1q(pool, sched, amps, q, &m, be);
                 }
             } else if let Some((c, t, m2)) = g.as_controlled() {
-                parallel::apply_controlled_1q(pool, sched, amps, c, t, &m2);
+                parallel::apply_controlled_1q(pool, sched, amps, c, t, &m2, be);
             } else if let Some((h, l, m)) = g.as_two() {
-                parallel::apply_2q(pool, sched, amps, h, l, &m);
+                parallel::apply_2q(pool, sched, amps, h, l, &m, be);
             } else {
                 unreachable!("gate {} has no kernel mapping", g.name());
             }

@@ -13,12 +13,16 @@
 //!   producing exact dynamic instruction counts for VL sweeps (E3).
 //! * [`blocked`] — cache-blocked multi-gate sweeps: applies a run of
 //!   low-target gates to one L2-resident block at a time (E7).
+//! * [`simd`] — native vector implementations of the hot kernels
+//!   (AVX2/NEON intrinsics with a portable fallback), selected once at
+//!   startup and consulted by [`dispatch`].
 
 pub mod blocked;
 pub mod dispatch;
 pub mod index;
 pub mod parallel;
 pub mod scalar;
+pub mod simd;
 pub mod sve;
 
 use crate::complex::C64;

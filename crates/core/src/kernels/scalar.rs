@@ -27,12 +27,19 @@ pub fn apply_1q(amps: &mut [C64], t: u32, m: &Mat2) {
 }
 
 /// Apply a diagonal 1-qubit gate `diag(d0, d1)` to target `t` — a single
-/// streaming multiply, no pairing.
+/// streaming multiply, no pairing. Bit `t` alternates in runs of `2^t`,
+/// so each segment splits into one `d0` run and one `d1` run: no
+/// per-element branch, and both inner loops autovectorize.
 pub fn apply_1q_diag(amps: &mut [C64], t: u32, d0: C64, d1: C64) {
-    let bit = 1usize << t;
-    for (i, a) in amps.iter_mut().enumerate() {
-        let d = if i & bit == 0 { d0 } else { d1 };
-        *a *= d;
+    let stride = 1usize << t;
+    for seg in amps.chunks_exact_mut(2 * stride) {
+        let (a0, a1) = seg.split_at_mut(stride);
+        for a in a0 {
+            *a *= d0;
+        }
+        for a in a1 {
+            *a *= d1;
+        }
     }
 }
 
@@ -67,13 +74,21 @@ pub fn apply_controlled_1q(amps: &mut [C64], c: u32, t: u32, m: &Mat2) {
 }
 
 /// Apply a diagonal 2-qubit gate `diag(e00,e01,e10,e11)` on (high `h`,
-/// low `l`) — streaming, no pairing.
+/// low `l`) — streaming, no pairing. Both target bits are constant over
+/// each `2^min(h,l)` run, so the diagonal entry is picked once per run
+/// from the run's base index and the inner loop is branch-free.
 pub fn apply_2q_diag(amps: &mut [C64], h: u32, l: u32, d: [C64; 4]) {
+    debug_assert_ne!(h, l);
     let hbit = 1usize << h;
     let lbit = 1usize << l;
-    for (i, a) in amps.iter_mut().enumerate() {
-        let idx = (((i & hbit != 0) as usize) << 1) | (i & lbit != 0) as usize;
-        *a *= d[idx];
+    let lo = h.min(l);
+    for (ri, run) in amps.chunks_exact_mut(1usize << lo).enumerate() {
+        let base = ri << lo;
+        let idx = (usize::from(base & hbit != 0) << 1) | usize::from(base & lbit != 0);
+        let e = d[idx];
+        for a in run {
+            *a *= e;
+        }
     }
 }
 

@@ -1,0 +1,296 @@
+//! AVX2+FMA backend: 4 complex lanes per step.
+//!
+//! Complex amplitudes are deinterleaved into separate re/im 256-bit
+//! planes (the shuffle analogue of SVE's `ld2`/`st2` in `kernels/sve.rs`),
+//! matrix entries are splatted once per run, and the complex multiply
+//! uses the same fused ordering as [`C64::fma`] — `fmadd` then `fnmadd`
+//! on the real plane — so the pair/quad kernels are bit-identical to the
+//! scalar sweeps.
+//!
+//! Every public entry point is a safe wrapper that jumps into a
+//! `#[target_feature(enable = "avx2,fma")]` body; the module is only
+//! reachable through [`super::native`], which checks
+//! `is_x86_feature_detected!` first.
+
+use std::arch::x86_64::*;
+
+use crate::complex::C64;
+use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
+use crate::kernels::index::insert_zero_bits;
+use crate::kernels::KQ_STACK_DIM;
+
+use super::{portable, KernelBackend};
+
+pub(super) static BACKEND: KernelBackend =
+    KernelBackend { name: "avx2", width: W, pairs_1q, scale_run, swap_runs, quads_2q, kq_range };
+
+/// Complex lanes per vector step (4 × f64 per plane).
+const W: usize = 4;
+
+/// Four complex numbers as separate real/imaginary planes.
+#[derive(Clone, Copy)]
+struct CVec {
+    re: __m256d,
+    im: __m256d,
+}
+
+#[inline(always)]
+unsafe fn zero() -> CVec {
+    CVec { re: _mm256_setzero_pd(), im: _mm256_setzero_pd() }
+}
+
+#[inline(always)]
+unsafe fn splat(c: C64) -> CVec {
+    CVec { re: _mm256_set1_pd(c.re), im: _mm256_set1_pd(c.im) }
+}
+
+/// Load 4 interleaved complexes and deinterleave into planes.
+#[inline(always)]
+unsafe fn load(p: *const C64) -> CVec {
+    let a = _mm256_loadu_pd(p as *const f64); // re0 im0 re1 im1
+    let b = _mm256_loadu_pd((p as *const f64).add(4)); // re2 im2 re3 im3
+    let t0 = _mm256_permute2f128_pd(a, b, 0x20); // re0 im0 re2 im2
+    let t1 = _mm256_permute2f128_pd(a, b, 0x31); // re1 im1 re3 im3
+    CVec { re: _mm256_unpacklo_pd(t0, t1), im: _mm256_unpackhi_pd(t0, t1) }
+}
+
+/// Re-interleave planes and store 4 complexes.
+#[inline(always)]
+unsafe fn store(v: CVec, p: *mut C64) {
+    let lo = _mm256_unpacklo_pd(v.re, v.im); // re0 im0 re2 im2
+    let hi = _mm256_unpackhi_pd(v.re, v.im); // re1 im1 re3 im3
+    _mm256_storeu_pd(p as *mut f64, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd((p as *mut f64).add(4), _mm256_permute2f128_pd(lo, hi, 0x31));
+}
+
+/// `acc + w·v` with the exact FMA ordering of [`C64::fma`].
+#[inline(always)]
+unsafe fn fma(acc: CVec, w: CVec, v: CVec) -> CVec {
+    CVec {
+        re: _mm256_fnmadd_pd(w.im, v.im, _mm256_fmadd_pd(w.re, v.re, acc.re)),
+        im: _mm256_fmadd_pd(w.im, v.re, _mm256_fmadd_pd(w.re, v.im, acc.im)),
+    }
+}
+
+/// `w·v` with plain mul/sub (matches the scalar `Mul` impl bit-for-bit).
+#[inline(always)]
+unsafe fn mul(w: CVec, v: CVec) -> CVec {
+    CVec {
+        re: _mm256_sub_pd(_mm256_mul_pd(w.re, v.re), _mm256_mul_pd(w.im, v.im)),
+        im: _mm256_add_pd(_mm256_mul_pd(w.re, v.im), _mm256_mul_pd(w.im, v.re)),
+    }
+}
+
+/// Horizontal sum of both planes into one complex.
+#[inline(always)]
+unsafe fn hsum(v: CVec) -> C64 {
+    #[inline(always)]
+    unsafe fn hadd4(x: __m256d) -> f64 {
+        let s = _mm_add_pd(_mm256_castpd256_pd128(x), _mm256_extractf128_pd(x, 1));
+        _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s))
+    }
+    C64::new(hadd4(v.re), hadd4(v.im))
+}
+
+fn pairs_1q(a0: &mut [C64], a1: &mut [C64], m: &Mat2) {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { pairs_1q_impl(a0, a1, m) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn pairs_1q_impl(a0: &mut [C64], a1: &mut [C64], m: &Mat2) {
+    debug_assert_eq!(a0.len(), a1.len());
+    let n = a0.len();
+    let (vm00, vm01) = (splat(m.m[0][0]), splat(m.m[0][1]));
+    let (vm10, vm11) = (splat(m.m[1][0]), splat(m.m[1][1]));
+    let p0 = a0.as_mut_ptr();
+    let p1 = a1.as_mut_ptr();
+    let mut i = 0;
+    while i + W <= n {
+        let x0 = load(p0.add(i));
+        let x1 = load(p1.add(i));
+        store(fma(fma(zero(), vm00, x0), vm01, x1), p0.add(i));
+        store(fma(fma(zero(), vm10, x0), vm11, x1), p1.add(i));
+        i += W;
+    }
+    while i < n {
+        let v0 = *p0.add(i);
+        let v1 = *p1.add(i);
+        *p0.add(i) = C64::default().fma(m.m[0][0], v0).fma(m.m[0][1], v1);
+        *p1.add(i) = C64::default().fma(m.m[1][0], v0).fma(m.m[1][1], v1);
+        i += 1;
+    }
+}
+
+fn scale_run(run: &mut [C64], d: C64) {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { scale_run_impl(run, d) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn scale_run_impl(run: &mut [C64], d: C64) {
+    let n = run.len();
+    let p = run.as_mut_ptr();
+    let vd = splat(d);
+    let mut i = 0;
+    while i + W <= n {
+        // amp·d, not d·amp: the products match the scalar `*=` exactly.
+        store(mul(load(p.add(i)), vd), p.add(i));
+        i += W;
+    }
+    while i < n {
+        *p.add(i) *= d;
+        i += 1;
+    }
+}
+
+fn swap_runs(a: &mut [C64], b: &mut [C64]) {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { swap_runs_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn swap_runs_impl(a: &mut [C64], b: &mut [C64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_mut_ptr() as *mut f64;
+    let pb = b.as_mut_ptr() as *mut f64;
+    let mut i = 0;
+    // 2 complexes (4 f64) per register; no deinterleave needed for a move.
+    while i + 2 <= n {
+        let va = _mm256_loadu_pd(pa.add(2 * i));
+        let vb = _mm256_loadu_pd(pb.add(2 * i));
+        _mm256_storeu_pd(pa.add(2 * i), vb);
+        _mm256_storeu_pd(pb.add(2 * i), va);
+        i += 2;
+    }
+    if i < n {
+        std::ptr::swap((pa as *mut C64).add(i), (pb as *mut C64).add(i));
+    }
+}
+
+fn quads_2q(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut [C64], m: &Mat4) {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { quads_2q_impl(a0, a1, a2, a3, m) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn quads_2q_impl(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut [C64], m: &Mat4) {
+    let n = a0.len();
+    let mut vm = [[zero(); 4]; 4];
+    for (r, row) in vm.iter_mut().enumerate() {
+        for (c, e) in row.iter_mut().enumerate() {
+            *e = splat(m.m[r][c]);
+        }
+    }
+    let ps = [a0.as_mut_ptr(), a1.as_mut_ptr(), a2.as_mut_ptr(), a3.as_mut_ptr()];
+    let mut i = 0;
+    while i + W <= n {
+        let v = [load(ps[0].add(i)), load(ps[1].add(i)), load(ps[2].add(i)), load(ps[3].add(i))];
+        for (row, vrow) in vm.iter().enumerate() {
+            let mut acc = zero();
+            for (col, &vc) in v.iter().enumerate() {
+                acc = fma(acc, vrow[col], vc);
+            }
+            store(acc, ps[row].add(i));
+        }
+        i += W;
+    }
+    while i < n {
+        let v = [*ps[0].add(i), *ps[1].add(i), *ps[2].add(i), *ps[3].add(i)];
+        let out = m.apply(v);
+        for (row, &o) in out.iter().enumerate() {
+            *ps[row].add(i) = o;
+        }
+        i += 1;
+    }
+}
+
+/// Fused k-qubit kernel over groups `g0..g1`; vectorizes across groups
+/// when the lowest target leaves a ≥ W contiguous run, or across the
+/// matrix row when the group itself is contiguous (targets `0..k`).
+///
+/// # Safety
+/// As [`portable::kq_range`].
+unsafe fn kq_range(
+    amps: *mut C64,
+    g0: usize,
+    g1: usize,
+    sorted: &[u32],
+    offsets: &[usize],
+    m: &DenseMatrix,
+) {
+    let dim = offsets.len();
+    if dim > KQ_STACK_DIM {
+        return portable::kq_range(amps, g0, g1, sorted, offsets, m);
+    }
+    if offsets.iter().enumerate().all(|(i, &o)| o == i) && dim >= W {
+        return kq_contiguous_impl(amps, g0, g1, dim, m);
+    }
+    if (1usize << sorted[0]) >= W {
+        return kq_strided_impl(amps, g0, g1, sorted, offsets, m);
+    }
+    portable::kq_range(amps, g0, g1, sorted, offsets, m)
+}
+
+/// Case A: all offsets sit above the vector window, so W *consecutive
+/// groups* occupy contiguous addresses at each local basis offset.
+/// Gather-all-then-scatter keeps the in-place update race-free.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kq_strided_impl(
+    amps: *mut C64,
+    g0: usize,
+    g1: usize,
+    sorted: &[u32],
+    offsets: &[usize],
+    m: &DenseMatrix,
+) {
+    let dim = offsets.len();
+    // Scalar head: group runs below sorted[0] stay contiguous across a
+    // W-group step only from a W-aligned group index.
+    let head = g1.min((g0 + W - 1) & !(W - 1));
+    portable::kq_range(amps, g0, head, sorted, offsets, m);
+    let mut scratch = [zero(); KQ_STACK_DIM];
+    let mut g = head;
+    while g + W <= g1 {
+        let base = insert_zero_bits(g, sorted);
+        for (s, &off) in scratch[..dim].iter_mut().zip(offsets) {
+            *s = load(amps.add(base + off));
+        }
+        for (row, &off) in offsets.iter().enumerate() {
+            let mut acc = zero();
+            for (col, s) in scratch[..dim].iter().enumerate() {
+                acc = fma(acc, splat(m.get(row, col)), *s);
+            }
+            store(acc, amps.add(base + off));
+        }
+        g += W;
+    }
+    portable::kq_range(amps, g, g1, sorted, offsets, m);
+}
+
+/// Case B: targets are exactly `0..k`, so each group is one contiguous
+/// `dim`-amplitude slice — vectorize the dense mat-vec along the
+/// (row-major, contiguous) matrix rows with a horizontal-sum reduction.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kq_contiguous_impl(amps: *mut C64, g0: usize, g1: usize, dim: usize, m: &DenseMatrix) {
+    let nv = dim / W; // dim is a power of two ≥ W
+    let mdata = m.data().as_ptr();
+    let mut vin = [zero(); KQ_STACK_DIM / W];
+    let mut out = [C64::default(); KQ_STACK_DIM];
+    for g in g0..g1 {
+        let base = amps.add(g * dim);
+        for (j, v) in vin[..nv].iter_mut().enumerate() {
+            *v = load(base.add(W * j));
+        }
+        for (row, o) in out[..dim].iter_mut().enumerate() {
+            let mrow = mdata.add(row * dim);
+            let mut acc = zero();
+            for (j, v) in vin[..nv].iter().enumerate() {
+                acc = fma(acc, load(mrow.add(W * j)), *v);
+            }
+            *o = hsum(acc);
+        }
+        std::ptr::copy_nonoverlapping(out.as_ptr(), base, dim);
+    }
+}

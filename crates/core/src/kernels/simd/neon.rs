@@ -1,0 +1,255 @@
+//! NEON backend: 2 complex lanes per step.
+//!
+//! The structure mirrors the AVX2 backend at half the width, but the
+//! deinterleave is free: `vld2q_f64`/`vst2q_f64` split interleaved
+//! complexes into re/im planes in one instruction — the ASIMD analogue
+//! of SVE's `ld2d`/`st2d` that the paper's kernels are built on. NEON is
+//! baseline on aarch64-linux, so no runtime detection is needed.
+
+use std::arch::aarch64::*;
+
+use crate::complex::C64;
+use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
+use crate::kernels::index::insert_zero_bits;
+use crate::kernels::KQ_STACK_DIM;
+
+use super::{portable, KernelBackend};
+
+pub(super) static BACKEND: KernelBackend =
+    KernelBackend { name: "neon", width: W, pairs_1q, scale_run, swap_runs, quads_2q, kq_range };
+
+/// Complex lanes per vector step (2 × f64 per plane).
+const W: usize = 2;
+
+/// Two complex numbers as separate real/imaginary planes.
+#[derive(Clone, Copy)]
+struct CVec {
+    re: float64x2_t,
+    im: float64x2_t,
+}
+
+#[inline(always)]
+unsafe fn zero() -> CVec {
+    CVec { re: vdupq_n_f64(0.0), im: vdupq_n_f64(0.0) }
+}
+
+#[inline(always)]
+unsafe fn splat(c: C64) -> CVec {
+    CVec { re: vdupq_n_f64(c.re), im: vdupq_n_f64(c.im) }
+}
+
+#[inline(always)]
+unsafe fn load(p: *const C64) -> CVec {
+    let v = vld2q_f64(p as *const f64);
+    CVec { re: v.0, im: v.1 }
+}
+
+#[inline(always)]
+unsafe fn store(v: CVec, p: *mut C64) {
+    vst2q_f64(p as *mut f64, float64x2x2_t(v.re, v.im));
+}
+
+/// `acc + w·v` with the exact FMA ordering of [`C64::fma`].
+#[inline(always)]
+unsafe fn fma(acc: CVec, w: CVec, v: CVec) -> CVec {
+    CVec {
+        re: vfmsq_f64(vfmaq_f64(acc.re, w.re, v.re), w.im, v.im),
+        im: vfmaq_f64(vfmaq_f64(acc.im, w.re, v.im), w.im, v.re),
+    }
+}
+
+/// `w·v` with plain mul/sub (matches the scalar `Mul` impl bit-for-bit).
+#[inline(always)]
+unsafe fn mul(w: CVec, v: CVec) -> CVec {
+    CVec {
+        re: vsubq_f64(vmulq_f64(w.re, v.re), vmulq_f64(w.im, v.im)),
+        im: vaddq_f64(vmulq_f64(w.re, v.im), vmulq_f64(w.im, v.re)),
+    }
+}
+
+/// Horizontal sum of both planes into one complex.
+#[inline(always)]
+unsafe fn hsum(v: CVec) -> C64 {
+    C64::new(vaddvq_f64(v.re), vaddvq_f64(v.im))
+}
+
+fn pairs_1q(a0: &mut [C64], a1: &mut [C64], m: &Mat2) {
+    debug_assert_eq!(a0.len(), a1.len());
+    let n = a0.len();
+    let p0 = a0.as_mut_ptr();
+    let p1 = a1.as_mut_ptr();
+    // SAFETY: NEON is baseline on aarch64; pointers stay in bounds.
+    unsafe {
+        let (vm00, vm01) = (splat(m.m[0][0]), splat(m.m[0][1]));
+        let (vm10, vm11) = (splat(m.m[1][0]), splat(m.m[1][1]));
+        let mut i = 0;
+        while i + W <= n {
+            let x0 = load(p0.add(i));
+            let x1 = load(p1.add(i));
+            store(fma(fma(zero(), vm00, x0), vm01, x1), p0.add(i));
+            store(fma(fma(zero(), vm10, x0), vm11, x1), p1.add(i));
+            i += W;
+        }
+        while i < n {
+            let v0 = *p0.add(i);
+            let v1 = *p1.add(i);
+            *p0.add(i) = C64::default().fma(m.m[0][0], v0).fma(m.m[0][1], v1);
+            *p1.add(i) = C64::default().fma(m.m[1][0], v0).fma(m.m[1][1], v1);
+            i += 1;
+        }
+    }
+}
+
+fn scale_run(run: &mut [C64], d: C64) {
+    let n = run.len();
+    let p = run.as_mut_ptr();
+    // SAFETY: as in `pairs_1q`.
+    unsafe {
+        let vd = splat(d);
+        let mut i = 0;
+        while i + W <= n {
+            // amp·d, not d·amp: products match the scalar `*=` exactly.
+            store(mul(load(p.add(i)), vd), p.add(i));
+            i += W;
+        }
+        while i < n {
+            *p.add(i) *= d;
+            i += 1;
+        }
+    }
+}
+
+fn swap_runs(a: &mut [C64], b: &mut [C64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_mut_ptr() as *mut f64;
+    let pb = b.as_mut_ptr() as *mut f64;
+    // SAFETY: as in `pairs_1q`; the slices are disjoint.
+    unsafe {
+        let mut i = 0;
+        while i + 1 <= n {
+            let va = vld1q_f64(pa.add(2 * i));
+            let vb = vld1q_f64(pb.add(2 * i));
+            vst1q_f64(pa.add(2 * i), vb);
+            vst1q_f64(pb.add(2 * i), va);
+            i += 1;
+        }
+    }
+}
+
+fn quads_2q(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut [C64], m: &Mat4) {
+    let n = a0.len();
+    let ps = [a0.as_mut_ptr(), a1.as_mut_ptr(), a2.as_mut_ptr(), a3.as_mut_ptr()];
+    // SAFETY: as in `pairs_1q`; the four runs are disjoint.
+    unsafe {
+        let mut vm = [[zero(); 4]; 4];
+        for (r, row) in vm.iter_mut().enumerate() {
+            for (c, e) in row.iter_mut().enumerate() {
+                *e = splat(m.m[r][c]);
+            }
+        }
+        let mut i = 0;
+        while i + W <= n {
+            let v =
+                [load(ps[0].add(i)), load(ps[1].add(i)), load(ps[2].add(i)), load(ps[3].add(i))];
+            for (row, vrow) in vm.iter().enumerate() {
+                let mut acc = zero();
+                for (col, &vc) in v.iter().enumerate() {
+                    acc = fma(acc, vrow[col], vc);
+                }
+                store(acc, ps[row].add(i));
+            }
+            i += W;
+        }
+        while i < n {
+            let v = [*ps[0].add(i), *ps[1].add(i), *ps[2].add(i), *ps[3].add(i)];
+            let out = m.apply(v);
+            for (row, &o) in out.iter().enumerate() {
+                *ps[row].add(i) = o;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Fused k-qubit kernel over groups `g0..g1`; same case split as the
+/// AVX2 backend at width 2.
+///
+/// # Safety
+/// As [`portable::kq_range`].
+unsafe fn kq_range(
+    amps: *mut C64,
+    g0: usize,
+    g1: usize,
+    sorted: &[u32],
+    offsets: &[usize],
+    m: &DenseMatrix,
+) {
+    let dim = offsets.len();
+    if dim > KQ_STACK_DIM {
+        return portable::kq_range(amps, g0, g1, sorted, offsets, m);
+    }
+    if offsets.iter().enumerate().all(|(i, &o)| o == i) && dim >= W {
+        return kq_contiguous(amps, g0, g1, dim, m);
+    }
+    if (1usize << sorted[0]) >= W {
+        return kq_strided(amps, g0, g1, sorted, offsets, m);
+    }
+    portable::kq_range(amps, g0, g1, sorted, offsets, m)
+}
+
+/// Case A: vectorize across W consecutive groups (contiguous below the
+/// lowest target). Gather-all-then-scatter keeps in-place safe.
+unsafe fn kq_strided(
+    amps: *mut C64,
+    g0: usize,
+    g1: usize,
+    sorted: &[u32],
+    offsets: &[usize],
+    m: &DenseMatrix,
+) {
+    let dim = offsets.len();
+    let head = g1.min((g0 + W - 1) & !(W - 1));
+    portable::kq_range(amps, g0, head, sorted, offsets, m);
+    let mut scratch = [zero(); KQ_STACK_DIM];
+    let mut g = head;
+    while g + W <= g1 {
+        let base = insert_zero_bits(g, sorted);
+        for (s, &off) in scratch[..dim].iter_mut().zip(offsets) {
+            *s = load(amps.add(base + off));
+        }
+        for (row, &off) in offsets.iter().enumerate() {
+            let mut acc = zero();
+            for (col, s) in scratch[..dim].iter().enumerate() {
+                acc = fma(acc, splat(m.get(row, col)), *s);
+            }
+            store(acc, amps.add(base + off));
+        }
+        g += W;
+    }
+    portable::kq_range(amps, g, g1, sorted, offsets, m);
+}
+
+/// Case B: targets `0..k` make each group one contiguous slice;
+/// vectorize along matrix rows with a horizontal-sum reduction.
+unsafe fn kq_contiguous(amps: *mut C64, g0: usize, g1: usize, dim: usize, m: &DenseMatrix) {
+    let nv = dim / W; // dim is a power of two ≥ W
+    let mdata = m.data().as_ptr();
+    let mut vin = [zero(); KQ_STACK_DIM / W];
+    let mut out = [C64::default(); KQ_STACK_DIM];
+    for g in g0..g1 {
+        let base = amps.add(g * dim);
+        for (j, v) in vin[..nv].iter_mut().enumerate() {
+            *v = load(base.add(W * j));
+        }
+        for (row, o) in out[..dim].iter_mut().enumerate() {
+            let mrow = mdata.add(row * dim);
+            let mut acc = zero();
+            for (j, v) in vin[..nv].iter().enumerate() {
+                acc = fma(acc, load(mrow.add(W * j)), *v);
+            }
+            *o = hsum(acc);
+        }
+        std::ptr::copy_nonoverlapping(out.as_ptr(), base, dim);
+    }
+}

@@ -1,0 +1,93 @@
+//! Portable fallback backend.
+//!
+//! Width-1 implementations of the [`KernelBackend`] primitive set, with
+//! arithmetic identical to the [`crate::kernels::scalar`] loops (same
+//! [`C64::fma`] ordering), so forcing this backend reproduces scalar
+//! results bit-for-bit. The run-oriented loops are also what the SIMD
+//! backends fall back to for remainders and narrow strides.
+
+use crate::complex::C64;
+use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
+use crate::kernels::index::insert_zero_bits;
+use crate::kernels::KQ_STACK_DIM;
+
+use super::KernelBackend;
+
+pub(super) static BACKEND: KernelBackend = KernelBackend {
+    name: "portable",
+    width: 1,
+    pairs_1q,
+    scale_run,
+    swap_runs,
+    quads_2q,
+    kq_range,
+};
+
+/// `out0 = m00·a0 + m01·a1`, `out1 = m10·a0 + m11·a1` over paired runs.
+fn pairs_1q(a0: &mut [C64], a1: &mut [C64], m: &Mat2) {
+    debug_assert_eq!(a0.len(), a1.len());
+    let (m00, m01, m10, m11) = (m.m[0][0], m.m[0][1], m.m[1][0], m.m[1][1]);
+    for (x0, x1) in a0.iter_mut().zip(a1.iter_mut()) {
+        let v0 = *x0;
+        let v1 = *x1;
+        *x0 = C64::default().fma(m00, v0).fma(m01, v1);
+        *x1 = C64::default().fma(m10, v0).fma(m11, v1);
+    }
+}
+
+/// Multiply a contiguous run by one diagonal entry.
+fn scale_run(run: &mut [C64], d: C64) {
+    for a in run {
+        *a *= d;
+    }
+}
+
+/// Exchange two equal-length runs (the X/SWAP permutation core).
+fn swap_runs(a: &mut [C64], b: &mut [C64]) {
+    a.swap_with_slice(b);
+}
+
+/// Dense 4×4 mat-vec across four runs in matrix basis order `v0..v3`.
+fn quads_2q(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut [C64], m: &Mat4) {
+    for i in 0..a0.len() {
+        let v = [a0[i], a1[i], a2[i], a3[i]];
+        let out = m.apply(v);
+        a0[i] = out[0];
+        a1[i] = out[1];
+        a2[i] = out[2];
+        a3[i] = out[3];
+    }
+}
+
+/// Fused k-qubit gather → mat-vec → scatter over groups `g0..g1`.
+///
+/// # Safety
+/// The caller must hold exclusive access to every amplitude reachable
+/// from groups `g0..g1` (base `insert_zero_bits(g, sorted)` plus each
+/// entry of `offsets`).
+pub(super) unsafe fn kq_range(
+    amps: *mut C64,
+    g0: usize,
+    g1: usize,
+    sorted: &[u32],
+    offsets: &[usize],
+    m: &DenseMatrix,
+) {
+    let dim = offsets.len();
+    let mut stack = [C64::default(); KQ_STACK_DIM];
+    let mut heap = if dim > KQ_STACK_DIM { vec![C64::default(); dim] } else { Vec::new() };
+    let scratch: &mut [C64] = if dim <= KQ_STACK_DIM { &mut stack[..dim] } else { &mut heap };
+    for g in g0..g1 {
+        let base = insert_zero_bits(g, sorted);
+        for (s, &off) in scratch.iter_mut().zip(offsets) {
+            *s = *amps.add(base | off);
+        }
+        for (row, &off) in offsets.iter().enumerate() {
+            let mut acc = C64::default();
+            for (col, &s) in scratch.iter().enumerate() {
+                acc = acc.fma(m.get(row, col), s);
+            }
+            *amps.add(base | off) = acc;
+        }
+    }
+}

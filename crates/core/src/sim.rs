@@ -13,8 +13,9 @@ use crate::kernels::blocked::{
     apply_blocked, apply_blocked_fused, apply_blocked_fused_parallel, apply_blocked_parallel,
     BlockGate,
 };
-use crate::kernels::dispatch::{apply_gate, apply_gate_parallel};
-use crate::kernels::{parallel, scalar};
+use crate::kernels::dispatch::{apply_gate_parallel_with, apply_gate_with};
+use crate::kernels::parallel;
+use crate::kernels::simd::{self, BackendChoice, KernelBackend};
 use crate::perf::{predict_circuit, predict_fused, predict_planned, ModelReport};
 use crate::plan::{plan_circuit, Plan, PlanOp};
 use crate::state::StateVector;
@@ -67,6 +68,9 @@ pub struct RunReport {
     /// State sweeps actually executed (= gates for naive, fewer for
     /// fused/blocked).
     pub sweeps: usize,
+    /// Name of the SIMD kernel backend that executed the sweeps
+    /// (`"avx2"`, `"neon"`, or `"portable"`).
+    pub backend: &'static str,
     /// A64FX-model prediction, when a chip model is attached.
     pub predicted: Option<ModelReport>,
 }
@@ -78,6 +82,7 @@ pub struct Simulator {
     pool: Option<Arc<ThreadPool>>,
     sched: Schedule,
     chip: Option<(ChipParams, ExecConfig)>,
+    backend: Option<BackendChoice>,
 }
 
 impl Simulator {
@@ -88,6 +93,7 @@ impl Simulator {
             pool: None,
             sched: Schedule::default_static(),
             chip: None,
+            backend: None,
         }
     }
 
@@ -122,9 +128,25 @@ impl Simulator {
         self
     }
 
+    /// Select the SIMD kernel backend explicitly. Without this the
+    /// process-wide default applies (runtime feature detection,
+    /// overridable via the `QCS_BACKEND` environment variable).
+    pub fn with_backend(mut self, choice: BackendChoice) -> Simulator {
+        self.backend = Some(choice);
+        self
+    }
+
     /// The configured strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The kernel backend this simulator will execute with.
+    pub fn backend(&self) -> &'static KernelBackend {
+        match self.backend {
+            Some(choice) => simd::backend_for(choice),
+            None => simd::active(),
+        }
     }
 
     /// Execute `circuit` on `state`.
@@ -143,19 +165,20 @@ impl Simulator {
             Fused(Vec<FusedOp>),
             Planned(Plan),
         }
+        let be = self.backend();
         let start = Instant::now();
         let (sweeps, prep) = match self.strategy {
-            Strategy::Naive => (self.run_naive(circuit, state), Prep::Direct),
+            Strategy::Naive => (self.run_naive(be, circuit, state), Prep::Direct),
             Strategy::Fused { max_k } => {
                 let ops = fuse(circuit, max_k);
-                (self.run_fused_ops(&ops, state), Prep::Fused(ops))
+                (self.run_fused_ops(be, &ops, state), Prep::Fused(ops))
             }
             Strategy::Blocked { block_qubits } => {
-                (self.run_blocked(circuit, state, block_qubits), Prep::Direct)
+                (self.run_blocked(be, circuit, state, block_qubits), Prep::Direct)
             }
             Strategy::Planned { block_qubits, max_k } => {
                 let plan = plan_circuit(circuit, block_qubits, max_k);
-                (self.run_planned(&plan, state), Prep::Planned(plan))
+                (self.run_planned(be, &plan, state), Prep::Planned(plan))
             }
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -164,68 +187,75 @@ impl Simulator {
             Prep::Fused(ops) => predict_fused(chip, cfg, ops, circuit.n_qubits()),
             Prep::Planned(plan) => predict_planned(chip, cfg, plan),
         });
-        Ok(RunReport { wall_seconds, gates: circuit.len(), sweeps, predicted })
+        Ok(RunReport { wall_seconds, gates: circuit.len(), sweeps, backend: be.name, predicted })
     }
 
-    fn run_naive(&self, circuit: &Circuit, state: &mut StateVector) -> usize {
+    fn run_naive(&self, be: &KernelBackend, circuit: &Circuit, state: &mut StateVector) -> usize {
         let amps = state.amplitudes_mut();
         match &self.pool {
             Some(pool) => {
                 for g in circuit.gates() {
-                    apply_gate_parallel(pool, self.sched, amps, g);
+                    apply_gate_parallel_with(be, pool, self.sched, amps, g);
                 }
             }
             None => {
                 for g in circuit.gates() {
-                    apply_gate(amps, g);
+                    apply_gate_with(be, amps, g);
                 }
             }
         }
         circuit.len()
     }
 
-    fn run_fused_ops(&self, ops: &[FusedOp], state: &mut StateVector) -> usize {
+    fn run_fused_ops(&self, be: &KernelBackend, ops: &[FusedOp], state: &mut StateVector) -> usize {
         let amps = state.amplitudes_mut();
         match &self.pool {
             Some(pool) => {
                 for op in ops {
-                    parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix);
+                    parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix, be);
                 }
             }
             None => {
                 for op in ops {
-                    scalar::apply_kq(amps, &op.qubits, &op.matrix);
+                    simd::apply_kq(be, amps, &op.qubits, &op.matrix);
                 }
             }
         }
         ops.len()
     }
 
-    fn run_blocked(&self, circuit: &Circuit, state: &mut StateVector, block_qubits: u32) -> usize {
+    fn run_blocked(
+        &self,
+        be: &KernelBackend,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        block_qubits: u32,
+    ) -> usize {
         let block_qubits = block_qubits.min(state.n_qubits());
         let mut sweeps = 0usize;
         let mut run: Vec<BlockGate> = Vec::new();
         let amps = state.amplitudes_mut();
-        let flush = |run: &mut Vec<BlockGate>,
-                     amps: &mut [crate::complex::C64],
-                     sweeps: &mut usize| {
-            if !run.is_empty() {
-                match &self.pool {
-                    Some(pool) => apply_blocked_parallel(pool, self.sched, amps, run, block_qubits),
-                    None => apply_blocked(amps, run, block_qubits),
+        let flush =
+            |run: &mut Vec<BlockGate>, amps: &mut [crate::complex::C64], sweeps: &mut usize| {
+                if !run.is_empty() {
+                    match &self.pool {
+                        Some(pool) => {
+                            apply_blocked_parallel(be, pool, self.sched, amps, run, block_qubits)
+                        }
+                        None => apply_blocked(be, amps, run, block_qubits),
+                    }
+                    *sweeps += 1;
+                    run.clear();
                 }
-                *sweeps += 1;
-                run.clear();
-            }
-        };
+            };
         for g in circuit.gates() {
             match to_block_gate(g, block_qubits) {
                 Some(bg) => run.push(bg),
                 None => {
                     flush(&mut run, amps, &mut sweeps);
                     match &self.pool {
-                        Some(pool) => apply_gate_parallel(pool, self.sched, amps, g),
-                        None => apply_gate(amps, g),
+                        Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
+                        None => apply_gate_with(be, amps, g),
                     }
                     sweeps += 1;
                 }
@@ -235,23 +265,28 @@ impl Simulator {
         sweeps
     }
 
-    fn run_planned(&self, plan: &Plan, state: &mut StateVector) -> usize {
+    fn run_planned(&self, be: &KernelBackend, plan: &Plan, state: &mut StateVector) -> usize {
         let amps = state.amplitudes_mut();
         for op in &plan.ops {
             match op {
                 PlanOp::SwapAxes(a, b) => match &self.pool {
-                    Some(pool) => parallel::apply_swap(pool, self.sched, amps, *a, *b),
-                    None => scalar::apply_swap(amps, *a, *b),
+                    Some(pool) => parallel::apply_swap(pool, self.sched, amps, *a, *b, be),
+                    None => simd::apply_swap(be, amps, *a, *b),
                 },
                 PlanOp::Block(ops) => match &self.pool {
-                    Some(pool) => {
-                        apply_blocked_fused_parallel(pool, self.sched, amps, ops, plan.block_qubits)
-                    }
-                    None => apply_blocked_fused(amps, ops, plan.block_qubits),
+                    Some(pool) => apply_blocked_fused_parallel(
+                        be,
+                        pool,
+                        self.sched,
+                        amps,
+                        ops,
+                        plan.block_qubits,
+                    ),
+                    None => apply_blocked_fused(be, amps, ops, plan.block_qubits),
                 },
                 PlanOp::Gate(g) => match &self.pool {
-                    Some(pool) => apply_gate_parallel(pool, self.sched, amps, g),
-                    None => apply_gate(amps, g),
+                    Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
+                    None => apply_gate_with(be, amps, g),
                 },
             }
         }

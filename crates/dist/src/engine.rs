@@ -13,6 +13,7 @@
 //!    buffer exchanged), apply locally, swap back.
 
 use mpi_sim::{Comm, World};
+use qcs_core::align::AlignedAmps;
 use qcs_core::circuit::{Circuit, Gate};
 use qcs_core::complex::{as_f64_slice, C64};
 use qcs_core::kernels::dispatch::apply_gate as apply_local;
@@ -25,11 +26,15 @@ const TAG_XCHG: u32 = 0xD157_0001;
 const TAG_SWAP: u32 = 0xD157_0002;
 
 /// One rank's slice of a distributed state vector.
+///
+/// The slice lives in [`AlignedAmps`] storage so the rank-local kernel
+/// sweeps run on the same cache-line-aligned buffers as the serial
+/// engine (the SIMD backends assert this in debug builds).
 #[derive(Debug, Clone)]
 pub struct DistState {
     part: Partition,
     rank: usize,
-    amps: Vec<C64>,
+    amps: AlignedAmps,
 }
 
 /// Send a complex slice as interleaved f64 (C64 is repr(C) f64-pairs).
@@ -42,7 +47,7 @@ impl DistState {
     /// The |0…0⟩ state distributed over the communicator's world.
     pub fn zero(n_qubits: u32, comm: &Comm) -> DistState {
         let part = Partition::new(n_qubits, comm.size());
-        let mut amps = vec![C64::default(); part.local_len()];
+        let mut amps = AlignedAmps::zeroed(part.local_len());
         if comm.rank() == 0 {
             amps[0] = C64::real(1.0);
         }
@@ -54,7 +59,7 @@ impl DistState {
         let part = Partition::new(full.n_qubits(), comm.size());
         let rank = comm.rank();
         let start = part.global_index(rank, 0);
-        let amps = full.amplitudes()[start..start + part.local_len()].to_vec();
+        let amps = AlignedAmps::from_slice(&full.amplitudes()[start..start + part.local_len()]);
         DistState { part, rank, amps }
     }
 

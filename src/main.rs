@@ -9,6 +9,7 @@
 //!
 //! options:
 //!   --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>   execution strategy [naive]
+//!   --backend auto|scalar|simd               kernel SIMD backend [auto]
 //!   --threads <t>                            worksharing threads [1]
 //!   --ranks <r>                              distributed ranks (power of 2)
 //!   --shots <s>                              sample and print counts
@@ -21,6 +22,7 @@ use std::process::ExitCode;
 
 use a64fx_qcs::a64fx::timing::ExecConfig;
 use a64fx_qcs::a64fx::ChipParams;
+use a64fx_qcs::core::kernels::simd::BackendChoice;
 use a64fx_qcs::core::measure::sample_counts;
 use a64fx_qcs::core::prelude::*;
 use a64fx_qcs::core::{library, qasm};
@@ -30,6 +32,7 @@ use rand::SeedableRng;
 
 struct Options {
     strategy: Strategy,
+    backend: BackendChoice,
     threads: usize,
     ranks: usize,
     shots: usize,
@@ -42,6 +45,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             strategy: Strategy::Naive,
+            backend: BackendChoice::Auto,
             threads: 1,
             ranks: 1,
             shots: 0,
@@ -97,7 +101,7 @@ fn usage() -> String {
     "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
      families: ghz qft random qv trotter qaoa grover shor\n\
      opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>  --threads <t>  --ranks <r>\n\
-           --shots <s>  --probs <top>  --model  --seed <u64>"
+           --backend auto|scalar|simd  --shots <s>  --probs <top>  --model  --seed <u64>"
         .to_string()
 }
 
@@ -112,6 +116,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--strategy" => {
                 let v = value("--strategy")?;
                 opts.strategy = parse_strategy(&v)?;
+            }
+            "--backend" => {
+                let v = value("--backend")?;
+                opts.backend = v.parse().map_err(|e| format!("--backend: {e}"))?;
             }
             "--threads" => {
                 opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
@@ -215,7 +223,7 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
         state
     } else {
-        let mut sim = Simulator::new().with_strategy(opts.strategy);
+        let mut sim = Simulator::new().with_strategy(opts.strategy).with_backend(opts.backend);
         if opts.threads > 1 {
             sim = sim.with_threads(opts.threads);
         }
@@ -224,7 +232,12 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         }
         let mut state = StateVector::zero(circuit.n_qubits());
         let report = sim.run(circuit, &mut state).map_err(|e| e.to_string())?;
-        println!("executed {} sweeps in {:.3} ms (host)", report.sweeps, report.wall_seconds * 1e3);
+        println!(
+            "executed {} sweeps in {:.3} ms (host, {} kernels)",
+            report.sweeps,
+            report.wall_seconds * 1e3,
+            report.backend
+        );
         if let Some(model) = report.predicted {
             println!(
                 "A64FX model: {:.3} µs, {:.1} MiB HBM traffic, {:.1} GF/s effective, bottlenecks {:?}",
