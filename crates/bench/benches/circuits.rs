@@ -4,15 +4,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use qcs_core::circuit::Circuit;
+use qcs_core::config::SimConfig;
 use qcs_core::library;
-use qcs_core::sim::{Simulator, Strategy};
+use qcs_core::sim::Strategy;
 use qcs_core::state::StateVector;
 
 const N: u32 = 14;
 
 fn run(c: &Circuit, strat: Strategy) -> StateVector {
     let mut s = StateVector::zero(c.n_qubits());
-    Simulator::new().with_strategy(strat).run(c, &mut s).unwrap();
+    SimConfig::new().strategy(strat).build().unwrap().run(c, &mut s).unwrap();
     s
 }
 

@@ -22,10 +22,11 @@ use a64fx_model::timing::ExecConfig;
 use a64fx_model::ChipParams;
 use qcs_bench::{checksum, fmt_secs, time_best, Table};
 use qcs_core::circuit::Circuit;
+use qcs_core::config::SimConfig;
 use qcs_core::library;
 use qcs_core::perf::{predict_circuit, predict_planned};
 use qcs_core::plan::plan_circuit;
-use qcs_core::sim::{Simulator, Strategy};
+use qcs_core::sim::Strategy;
 use qcs_core::state::StateVector;
 
 /// One measured cell of the sweep.
@@ -39,13 +40,10 @@ struct Sample {
 }
 
 fn measure(c: &Circuit, strategy: Strategy, threads: usize, reps: usize) -> (f64, usize) {
+    let sim = SimConfig::new().strategy(strategy).threads(threads).build().unwrap();
     let mut sweeps = 0;
     let secs = time_best(reps, || {
         let mut s = StateVector::zero(c.n_qubits());
-        let mut sim = Simulator::new().with_strategy(strategy);
-        if threads > 1 {
-            sim = sim.with_threads(threads);
-        }
         let r = sim.run(c, &mut s).unwrap();
         sweeps = r.sweeps;
         std::hint::black_box(checksum(s.amplitudes()));
@@ -54,12 +52,8 @@ fn measure(c: &Circuit, strategy: Strategy, threads: usize, reps: usize) -> (f64
 }
 
 fn strategy_label(s: Strategy) -> String {
-    match s {
-        Strategy::Naive => "naive".into(),
-        Strategy::Fused { max_k } => format!("fused:{max_k}"),
-        Strategy::Blocked { block_qubits } => format!("blocked:{block_qubits}"),
-        Strategy::Planned { block_qubits, max_k } => format!("planned:{block_qubits}:{max_k}"),
-    }
+    // CLI syntax, shared with `--strategy` parsing and trace headers.
+    s.to_string()
 }
 
 /// A circuit dense on the lowest `span` qubits of an `n`-qubit state —

@@ -18,7 +18,8 @@ use qcs_bench::{fmt_secs, Table};
 use qcs_core::circuit::Circuit;
 use qcs_core::library;
 use qcs_core::perf::predict_circuit;
-use qcs_dist::run_distributed;
+use qcs_core::telemetry::{ExchangePhase, SpanKind, TelemetryConfig};
+use qcs_dist::run_distributed_traced;
 
 fn analyze(name: &str, circuit: &Circuit) {
     println!();
@@ -36,20 +37,24 @@ fn analyze(name: &str, circuit: &Circuit) {
     ]);
 
     for ranks in [1usize, 2, 4, 8, 16] {
-        let (_, stats) = run_distributed(circuit, ranks);
-        // Exclude the final allgather (harness artifact, not algorithm):
-        // approximate by subtracting the allgather contribution measured
-        // on an empty circuit.
-        let empty = Circuit::new(circuit.n_qubits());
-        let (_, base_stats) = run_distributed(&empty, ranks);
-        let worst = stats
+        // The tracer tags every exchange with its algorithm phase, so
+        // the final allgather (a harness artifact, not algorithm) is
+        // excluded *exactly* rather than estimated by subtracting an
+        // empty-circuit run.
+        let (_, _, traces) = run_distributed_traced(circuit, ranks, &TelemetryConfig::on());
+        let worst = traces
             .iter()
-            .zip(&base_stats)
-            .map(|(s, b)| {
-                let mut s = s.clone();
-                s.bytes_sent = s.bytes_sent.saturating_sub(b.bytes_sent);
-                s.messages_sent = s.messages_sent.saturating_sub(b.messages_sent);
-                s
+            .map(|t| {
+                let algo: Vec<_> = t
+                    .spans
+                    .iter()
+                    .filter(|s| s.kind != SpanKind::Exchange(ExchangePhase::Collective))
+                    .collect();
+                mpi_sim::CommStats {
+                    bytes_sent: algo.iter().map(|s| s.bytes).sum(),
+                    messages_sent: algo.len() as u64,
+                    ..Default::default()
+                }
             })
             .max_by_key(|s| s.bytes_sent)
             .expect("at least one rank");

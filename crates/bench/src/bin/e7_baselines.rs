@@ -13,10 +13,11 @@ use a64fx_model::timing::ExecConfig;
 use a64fx_model::ChipParams;
 use qcs_bench::{checksum, fmt_secs, time_best, Table};
 use qcs_core::circuit::Circuit;
+use qcs_core::config::SimConfig;
 use qcs_core::fusion::fuse;
 use qcs_core::library;
 use qcs_core::perf::{predict_circuit, predict_fused};
-use qcs_core::sim::{Simulator, Strategy};
+use qcs_core::sim::Strategy;
 use qcs_core::state::StateVector;
 
 fn bench(name: &str, c: &Circuit) {
@@ -32,10 +33,11 @@ fn bench(name: &str, c: &Circuit) {
         ("blocked 2^13".into(), Strategy::Blocked { block_qubits: 13 }),
     ];
     for (label, strat) in strategies {
+        let sim = SimConfig::new().strategy(strat).build().unwrap();
         let mut sweeps = 0;
         let host = time_best(2, || {
             let mut s = StateVector::zero(c.n_qubits());
-            let r = Simulator::new().with_strategy(strat).run(c, &mut s).unwrap();
+            let r = sim.run(c, &mut s).unwrap();
             sweeps = r.sweeps;
             std::hint::black_box(checksum(s.amplitudes()));
         });

@@ -1,0 +1,269 @@
+//! [`SimConfig`]: the single front door for configuring a run.
+//!
+//! Strategy, kernel backend, threading, worksharing schedule, the A64FX
+//! model, and telemetry were historically six separate `with_*` knobs on
+//! [`Simulator`] plus two environment variables
+//! and four CLI flags. `SimConfig` collects them into one value that
+//! can be built fluently, validated as a whole, printed back to the user
+//! (`--verbose`), and stamped into every trace header — so a recorded
+//! run is reproducible from its own metadata.
+//!
+//! ```
+//! use qcs_core::prelude::*;
+//!
+//! let sim = SimConfig::new()
+//!     .strategy(Strategy::Fused { max_k: 4 })
+//!     .threads(2)
+//!     .schedule(Schedule::Dynamic { chunk: 64 })
+//!     .build()
+//!     .unwrap();
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let mut s = StateVector::zero(2);
+//! sim.run(&c, &mut s).unwrap();
+//! ```
+
+use std::sync::Arc;
+
+use a64fx_model::timing::ExecConfig;
+use a64fx_model::ChipParams;
+use omp_par::{Schedule, ThreadPool};
+
+use crate::kernels::simd::BackendChoice;
+use crate::sim::{SimError, Simulator, Strategy};
+use crate::telemetry::TelemetryConfig;
+
+/// How the engine obtains worker threads.
+#[derive(Clone, Default)]
+pub enum PoolSpec {
+    /// No worksharing: every sweep runs on the calling thread.
+    #[default]
+    Serial,
+    /// Own a fresh pool of this many threads (including the caller).
+    /// `1` is equivalent to [`PoolSpec::Serial`]; `0` is rejected by
+    /// [`SimConfig::validate`].
+    Threads(usize),
+    /// Share an existing pool (several simulators, one set of workers).
+    Shared(Arc<ThreadPool>),
+}
+
+impl PoolSpec {
+    /// The number of threads this spec resolves to.
+    pub fn threads(&self) -> usize {
+        match self {
+            PoolSpec::Serial => 1,
+            PoolSpec::Threads(n) => *n,
+            PoolSpec::Shared(pool) => pool.num_threads(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolSpec::Serial => write!(f, "Serial"),
+            PoolSpec::Threads(n) => write!(f, "Threads({n})"),
+            PoolSpec::Shared(pool) => write!(f, "Shared({} threads)", pool.num_threads()),
+        }
+    }
+}
+
+/// Complete configuration of a [`Simulator`].
+///
+/// All fields are public — construct literally or through the fluent
+/// builder methods; [`SimConfig::build`] (or
+/// [`Simulator::from_config`]) validates and instantiates the engine.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// How the circuit maps onto kernel sweeps.
+    pub strategy: Strategy,
+    /// SIMD kernel backend. [`BackendChoice::Auto`] defers to the
+    /// process default (runtime feature detection, `QCS_BACKEND`
+    /// override).
+    pub backend: BackendChoice,
+    /// Worker threads.
+    pub pool: PoolSpec,
+    /// Worksharing schedule for parallel sweeps.
+    pub schedule: Schedule,
+    /// Attach the A64FX analytical model: run reports gain a predicted
+    /// time/traffic/bottleneck decomposition, and traced spans price
+    /// against this chip instead of the defaults.
+    pub model: Option<(ChipParams, ExecConfig)>,
+    /// Telemetry behaviour (off by default).
+    pub telemetry: TelemetryConfig,
+}
+
+impl SimConfig {
+    /// The default configuration: naive strategy, auto backend, serial,
+    /// static schedule, no model — with telemetry resolved from the
+    /// environment (`QCS_TRACE`, `QCS_TRACE_OUT`; off when unset).
+    ///
+    /// Use `SimConfig::default()` for the environment-independent
+    /// configuration, or override with
+    /// [`telemetry`](SimConfig::telemetry) explicitly.
+    pub fn new() -> SimConfig {
+        SimConfig::default().telemetry(TelemetryConfig::default().from_env())
+    }
+
+    /// Select the execution strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> SimConfig {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select the kernel backend.
+    pub fn backend(mut self, backend: BackendChoice) -> SimConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Workshare across `n` threads (including the caller).
+    pub fn threads(mut self, n: usize) -> SimConfig {
+        self.pool = if n == 1 { PoolSpec::Serial } else { PoolSpec::Threads(n) };
+        self
+    }
+
+    /// Share an existing thread pool.
+    pub fn pool(mut self, pool: Arc<ThreadPool>) -> SimConfig {
+        self.pool = PoolSpec::Shared(pool);
+        self
+    }
+
+    /// Run serially (the default).
+    pub fn serial(mut self) -> SimConfig {
+        self.pool = PoolSpec::Serial;
+        self
+    }
+
+    /// Choose the worksharing schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> SimConfig {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Attach the A64FX model.
+    pub fn model(mut self, chip: ChipParams, cfg: ExecConfig) -> SimConfig {
+        self.model = Some((chip, cfg));
+        self
+    }
+
+    /// Configure telemetry.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> SimConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Shorthand: enable span recording with no file output.
+    pub fn traced(mut self) -> SimConfig {
+        self.telemetry.enabled = true;
+        self
+    }
+
+    /// Check the configuration without building an engine.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let PoolSpec::Threads(0) = self.pool {
+            return Err(SimError::InvalidConfig(
+                "thread count must be at least 1 (the calling thread counts)".to_string(),
+            ));
+        }
+        if let Strategy::Fused { max_k: 0 } | Strategy::Planned { max_k: 0, .. } = self.strategy {
+            return Err(SimError::InvalidConfig(
+                "fusion width max_k must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate and build the engine.
+    pub fn build(self) -> Result<Simulator, SimError> {
+        Simulator::from_config(self)
+    }
+
+    /// A human-readable one-line-per-field rendering; what the CLI
+    /// prints under `--verbose`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  strategy:  {}\n", self.strategy));
+        out.push_str(&format!("  backend:   {:?}\n", self.backend));
+        out.push_str(&format!("  threads:   {}\n", self.pool.threads()));
+        out.push_str(&format!("  schedule:  {}\n", self.schedule));
+        out.push_str(&format!(
+            "  model:     {}\n",
+            match &self.model {
+                Some((_, cfg)) => format!("a64fx ({} cores)", cfg.cores),
+                None => "off".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "  telemetry: {}{}\n",
+            if self.telemetry.enabled { "on" } else { "off" },
+            match &self.telemetry.trace_path {
+                Some(p) => format!(" -> {}", p.display()),
+                None => String::new(),
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = SimConfig::new()
+            .strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+            .backend(BackendChoice::Scalar)
+            .threads(4)
+            .schedule(Schedule::Dynamic { chunk: 16 })
+            .model(ChipParams::a64fx(), ExecConfig::single_core())
+            .telemetry(TelemetryConfig::on().with_label("t"));
+        assert_eq!(cfg.strategy, Strategy::Planned { block_qubits: 5, max_k: 3 });
+        assert_eq!(cfg.backend, BackendChoice::Scalar);
+        assert_eq!(cfg.pool.threads(), 4);
+        assert_eq!(cfg.schedule, Schedule::Dynamic { chunk: 16 });
+        assert!(cfg.model.is_some());
+        assert!(cfg.telemetry.enabled);
+        assert_eq!(cfg.telemetry.label, "t");
+    }
+
+    #[test]
+    fn zero_threads_is_a_clean_error() {
+        let err = SimConfig::new().pool_threads_zero().validate().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn zero_fusion_width_is_a_clean_error() {
+        let err = SimConfig::new().strategy(Strategy::Fused { max_k: 0 }).build().unwrap_err();
+        assert!(err.to_string().contains("max_k"));
+    }
+
+    #[test]
+    fn one_thread_collapses_to_serial() {
+        let cfg = SimConfig::new().threads(1);
+        assert!(matches!(cfg.pool, PoolSpec::Serial));
+    }
+
+    #[test]
+    fn describe_round_trips_the_interesting_fields() {
+        let cfg = SimConfig::new()
+            .strategy(Strategy::Fused { max_k: 4 })
+            .threads(2)
+            .telemetry(TelemetryConfig::off().with_output("/tmp/t.jsonl"));
+        let d = cfg.describe();
+        assert!(d.contains("fused:4"));
+        assert!(d.contains("threads:   2"));
+        assert!(d.contains("/tmp/t.jsonl"));
+    }
+
+    impl SimConfig {
+        /// Test helper: the invalid state `threads(0)` refuses to build.
+        fn pool_threads_zero(mut self) -> SimConfig {
+            self.pool = PoolSpec::Threads(0);
+            self
+        }
+    }
+}

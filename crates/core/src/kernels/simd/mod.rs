@@ -7,12 +7,12 @@
 //! mat-vec, run scaling, run exchange, quad-run mat-vec, group-range
 //! fused kernel) collected in a [`KernelBackend`] vtable:
 //!
-//! * [`avx2`] — x86-64 AVX2+FMA intrinsics, 4 complex lanes (runtime
+//! * `avx2` — x86-64 AVX2+FMA intrinsics, 4 complex lanes (runtime
 //!   detected via `is_x86_feature_detected!`);
-//! * [`neon`] — aarch64 NEON intrinsics, 2 complex lanes (baseline on
+//! * `neon` — aarch64 NEON intrinsics, 2 complex lanes (baseline on
 //!   aarch64-linux, selected at compile time);
 //! * [`portable`] — width-1 safe fallback, bit-identical to the
-//!   [`scalar`](crate::kernels::scalar) kernels.
+//!   scalar kernels in `crate::kernels::scalar`.
 //!
 //! The drivers below hold the stride logic: a 1q gate on target `t`
 //! splits the array into `2^t`-long paired runs, and whenever the run is

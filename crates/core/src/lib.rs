@@ -46,6 +46,7 @@ pub mod align;
 pub mod analysis;
 pub mod circuit;
 pub mod complex;
+pub mod config;
 pub mod expectation;
 pub mod fusion;
 pub mod gates;
@@ -60,16 +61,21 @@ pub mod plan;
 pub mod qasm;
 pub mod sim;
 pub mod state;
+pub mod telemetry;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::circuit::{Circuit, Gate};
     pub use crate::complex::C64;
+    pub use crate::config::{PoolSpec, SimConfig};
     pub use crate::expectation::{Hamiltonian, Pauli, PauliString};
     pub use crate::gates::{Mat2, Mat4};
+    pub use crate::kernels::simd::BackendChoice;
     pub use crate::measure::MeasurementResult;
-    pub use crate::sim::{RunReport, Simulator, Strategy};
+    pub use crate::sim::{RunReport, SimError, Simulator, Strategy};
     pub use crate::state::StateVector;
+    pub use crate::telemetry::TelemetryConfig;
+    pub use omp_par::Schedule;
 }
 
 pub use complex::C64;

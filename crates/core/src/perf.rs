@@ -97,17 +97,30 @@ fn bottleneck_name(b: Bottleneck) -> &'static str {
     }
 }
 
-fn accumulate(
-    report: &mut ModelReport,
+/// Prediction for a single kernel sweep: seconds plus the bottleneck that
+/// pins it. Shared by the whole-circuit predictors below and by the
+/// telemetry layer, which records one of these next to every measured
+/// span so the drift report joins on identical model numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPrediction {
+    /// Predicted wall seconds of this one sweep on the modelled chip.
+    pub seconds: f64,
+    /// Name of the limiting resource (`"fp"`, `"memory"`, `"issue"`).
+    pub bottleneck: &'static str,
+}
+
+/// Predict one kernel sweep from its traffic on an `n`-qubit state.
+///
+/// When the state fits in cache, the memory term uses the cache level's
+/// bandwidth instead of HBM2 (the residency rule every predictor shares).
+pub fn predict_sweep(
     chip: &ChipParams,
     cfg: &ExecConfig,
-    kind: KernelKind,
-    traffic: GateTraffic,
-    n: u32,
     model: &TrafficModel,
-) {
-    // When the state fits in cache, the memory term uses the cache level's
-    // bandwidth instead of HBM2.
+    kind: KernelKind,
+    traffic: &GateTraffic,
+    n: u32,
+) -> SweepPrediction {
     let resident = model.residency(n);
     let mem_bytes = if resident == 2 { traffic.mem_bytes } else { 0 };
     let l2_bytes = if resident >= 1 { traffic.mem_bytes } else { 0 };
@@ -119,11 +132,66 @@ fn accumulate(
         gather_scatter: 0,
     };
     let p = predict(chip, &profile, cfg);
+    SweepPrediction { seconds: p.seconds, bottleneck: bottleneck_name(p.bottleneck) }
+}
+
+/// Traffic of one cache-blocked pass: a single full-state memory sweep
+/// carrying the summed arithmetic of every fused op it applies (the ops
+/// run out of cache-resident blocks). Returns `None` for an empty run.
+/// Shared by [`predict_planned`] and the telemetry layer.
+pub fn block_pass_traffic(
+    model: &TrafficModel,
+    n: u32,
+    ops: &[FusedOp],
+) -> Option<(KernelKind, GateTraffic)> {
+    let widest = ops.iter().map(|o| o.qubits.len()).max()?;
+    let amps = 1u64 << n;
+    let kind = KernelKind::FusedDense { k: widest as u8 };
+    let mut traffic = model.predict(kind, n, &ops[0].qubits);
+    traffic.flops = ops.iter().map(|o| amps * (8u64 << o.qubits.len())).sum();
+    traffic.amps_read = amps * ops.len() as u64;
+    traffic.amps_written = amps;
+    traffic.arithmetic_intensity =
+        if traffic.mem_bytes == 0 { 0.0 } else { traffic.flops as f64 / traffic.mem_bytes as f64 };
+    Some((kind, traffic))
+}
+
+/// Traffic of one cache-blocked run of unfused gates: one full-state
+/// memory sweep, with each member gate contributing its own arithmetic.
+/// Returns `None` for an empty run.
+pub fn blocked_run_traffic(
+    model: &TrafficModel,
+    n: u32,
+    members: &[(KernelKind, Vec<u32>)],
+) -> Option<(KernelKind, GateTraffic)> {
+    let (first_kind, first_qubits) = members.first()?;
+    let amps = 1u64 << n;
+    // The sweep streams every line once regardless of which member gate
+    // is densest; borrow the dense 1q formula for the memory side.
+    let mut traffic = model.predict(KernelKind::OneQubitDense, n, &[first_qubits[0]]);
+    traffic.flops = members.iter().map(|(kind, qs)| model.predict(*kind, n, qs).flops).sum();
+    traffic.amps_read = amps * members.len() as u64;
+    traffic.amps_written = amps;
+    traffic.arithmetic_intensity =
+        if traffic.mem_bytes == 0 { 0.0 } else { traffic.flops as f64 / traffic.mem_bytes as f64 };
+    Some((*first_kind, traffic))
+}
+
+fn accumulate(
+    report: &mut ModelReport,
+    chip: &ChipParams,
+    cfg: &ExecConfig,
+    kind: KernelKind,
+    traffic: GateTraffic,
+    n: u32,
+    model: &TrafficModel,
+) {
+    let p = predict_sweep(chip, cfg, model, kind, &traffic, n);
     report.seconds += p.seconds;
     report.mem_bytes += traffic.mem_bytes;
     report.flops += traffic.flops;
     report.sweeps += 1;
-    *report.bottlenecks.entry(bottleneck_name(p.bottleneck)).or_insert(0) += 1;
+    *report.bottlenecks.entry(p.bottleneck).or_insert(0) += 1;
 }
 
 /// Predict a gate-by-gate (naive) execution of `circuit` on a state of
@@ -174,7 +242,6 @@ pub fn predict_fused(chip: &ChipParams, cfg: &ExecConfig, plan: &[FusedOp], n: u
 pub fn predict_planned(chip: &ChipParams, cfg: &ExecConfig, plan: &Plan) -> ModelReport {
     let model = TrafficModel::new(chip.clone());
     let n = plan.n_qubits;
-    let amps = 1u64 << n;
     let mut report = ModelReport {
         seconds: 0.0,
         mem_bytes: 0,
@@ -195,21 +262,8 @@ pub fn predict_planned(chip: &ChipParams, cfg: &ExecConfig, plan: &Plan) -> Mode
                 accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
             }
             PlanOp::Block(ops) => {
-                let Some(widest) = ops.iter().map(|o| o.qubits.len()).max() else {
+                let Some((kind, traffic)) = block_pass_traffic(&model, n, ops) else {
                     continue;
-                };
-                let kind = KernelKind::FusedDense { k: widest as u8 };
-                let mut traffic = model.predict(kind, n, &ops[0].qubits);
-                // One memory sweep, but the compute of every op in the
-                // run: sum flops, and scale the amplitude-visit count the
-                // instruction estimate uses by the op count.
-                traffic.flops = ops.iter().map(|o| amps * (8u64 << o.qubits.len())).sum();
-                traffic.amps_read = amps * ops.len() as u64;
-                traffic.amps_written = amps;
-                traffic.arithmetic_intensity = if traffic.mem_bytes == 0 {
-                    0.0
-                } else {
-                    traffic.flops as f64 / traffic.mem_bytes as f64
                 };
                 accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
             }

@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use crate::circuit::{Circuit, Gate};
+use crate::config::SimConfig;
 use crate::library;
 use crate::sim::{Simulator, Strategy as ExecStrategy};
 use crate::state::StateVector;
@@ -84,7 +85,7 @@ proptest! {
             ExecStrategy::Blocked { block_qubits: 3 },
         ] {
             let mut s = init.clone();
-            Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
+            SimConfig::new().strategy(strat).build().unwrap().run(&c, &mut s).unwrap();
             prop_assert!(s.approx_eq(&reference, 1e-8), "{:?}", strat);
         }
     }
@@ -104,8 +105,10 @@ proptest! {
         let mut reference = init.clone();
         Simulator::new().run(&c, &mut reference).unwrap();
         let mut s = init.clone();
-        Simulator::new()
-            .with_strategy(ExecStrategy::Planned { block_qubits, max_k })
+        SimConfig::new()
+            .strategy(ExecStrategy::Planned { block_qubits, max_k })
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         prop_assert!(s.approx_eq(&reference, 1e-10), "b={} k={}", block_qubits, max_k);
@@ -121,9 +124,11 @@ proptest! {
         let mut reference = StateVector::plus(6);
         Simulator::new().run(&c, &mut reference).unwrap();
         let mut s = StateVector::plus(6);
-        Simulator::new()
-            .with_strategy(ExecStrategy::Planned { block_qubits, max_k: 3 })
-            .with_threads(threads)
+        SimConfig::new()
+            .strategy(ExecStrategy::Planned { block_qubits, max_k: 3 })
+            .threads(threads)
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         prop_assert!(s.approx_eq(&reference, 1e-10), "b={} t={}", block_qubits, threads);
@@ -135,7 +140,7 @@ proptest! {
         let mut serial = StateVector::plus(6);
         Simulator::new().run(&c, &mut serial).unwrap();
         let mut par = StateVector::plus(6);
-        Simulator::new().with_threads(threads).run(&c, &mut par).unwrap();
+        SimConfig::new().threads(threads).build().unwrap().run(&c, &mut par).unwrap();
         prop_assert!(par.approx_eq(&serial, 1e-10));
     }
 
@@ -215,6 +220,37 @@ proptest! {
             let mut s = StateVector::zero(4);
             crate::noise::run_trajectory(&c, &mut s, channel, &mut rng);
             prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-8, "{:?}", channel);
+        }
+    }
+
+    /// Telemetry invariant: every traced naive-run span carries exactly
+    /// the byte/flop counts the traffic model predicts for its gate, and
+    /// tracing never perturbs the final state.
+    #[test]
+    fn traced_span_counters_match_gate_traffic(c in arb_circuit(5, 20), seed in 0u64..1000) {
+        use a64fx_model::traffic::TrafficModel;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = StateVector::random(5, &mut rng);
+        let mut plain = init.clone();
+        Simulator::new().run(&c, &mut plain).unwrap();
+        let mut s = init.clone();
+        let sim = SimConfig::new()
+            .telemetry(crate::telemetry::TelemetryConfig::on())
+            .build()
+            .unwrap();
+        let report = sim.run(&c, &mut s).unwrap();
+        prop_assert!(s.approx_eq(&plain, 1e-12), "tracing changed the state");
+        let trace = report.trace.expect("telemetry on");
+        prop_assert_eq!(trace.spans.len(), c.len());
+        let model = TrafficModel::a64fx();
+        for (span, gate) in trace.spans.iter().zip(c.gates()) {
+            let predicted = crate::perf::gate_traffic(&model, gate, 5);
+            prop_assert_eq!(span.bytes, predicted.mem_bytes, "{:?}", gate);
+            prop_assert_eq!(span.flops, predicted.flops, "{:?}", gate);
+            prop_assert_eq!(span.amps, predicted.amps_read, "{:?}", gate);
+            prop_assert_eq!(&span.qubits, &gate.qubits(), "{:?}", gate);
+            prop_assert!(span.model_ns > 0.0, "{:?}", gate);
         }
     }
 

@@ -4,10 +4,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use a64fx_model::timing::ExecConfig;
+use a64fx_model::traffic::KernelKind;
 use a64fx_model::ChipParams;
-use omp_par::{Schedule, ThreadPool};
+use omp_par::{RegionObserver, Schedule, ThreadPool};
 
 use crate::circuit::{Circuit, Gate};
+use crate::config::{PoolSpec, SimConfig};
 use crate::fusion::{fuse, FusedOp};
 use crate::kernels::blocked::{
     apply_blocked, apply_blocked_fused, apply_blocked_fused_parallel, apply_blocked_parallel,
@@ -19,12 +21,14 @@ use crate::kernels::simd::{self, BackendChoice, KernelBackend};
 use crate::perf::{predict_circuit, predict_fused, predict_planned, ModelReport};
 use crate::plan::{plan_circuit, Plan, PlanOp};
 use crate::state::StateVector;
+use crate::telemetry::{self, RunMeta, TelemetryConfig, Trace, Tracer};
 
 /// How the engine maps a circuit onto kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// One sweep per gate with specialized kernels (the QuEST-style
     /// baseline).
+    #[default]
     Naive,
     /// Fuse adjacent gates into ≤ `max_k`-qubit dense unitaries first
     /// (the Qiskit-Aer-style optimization).
@@ -39,11 +43,62 @@ pub enum Strategy {
     Planned { block_qubits: u32, max_k: u32 },
 }
 
+/// Renders in the CLI's `name[:param…]` syntax, the exact inverse of
+/// the `FromStr` parse — trace headers and `--verbose` output are
+/// paste-able back into a command line.
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Naive => write!(f, "naive"),
+            Strategy::Fused { max_k } => write!(f, "fused:{max_k}"),
+            Strategy::Blocked { block_qubits } => write!(f, "blocked:{block_qubits}"),
+            Strategy::Planned { block_qubits, max_k } => {
+                write!(f, "planned:{block_qubits}:{max_k}")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parse `naive | fused:<k> | blocked:<b> | planned:<b>:<k>`.
+    /// Errors name the valid variants.
+    fn from_str(text: &str) -> Result<Strategy, String> {
+        if text == "naive" {
+            return Ok(Strategy::Naive);
+        }
+        if let Some(k) = text.strip_prefix("fused:") {
+            let k: u32 = k.parse().map_err(|e| format!("fused:<k>: {e}"))?;
+            return Ok(Strategy::Fused { max_k: k });
+        }
+        if let Some(b) = text.strip_prefix("blocked:") {
+            let b: u32 = b.parse().map_err(|e| format!("blocked:<b>: {e}"))?;
+            return Ok(Strategy::Blocked { block_qubits: b });
+        }
+        if let Some(rest) = text.strip_prefix("planned:") {
+            let (b, k) = rest
+                .split_once(':')
+                .ok_or_else(|| "planned takes two parameters: planned:<b>:<k>".to_string())?;
+            let b: u32 = b.parse().map_err(|e| format!("planned:<b>: {e}"))?;
+            let k: u32 = k.parse().map_err(|e| format!("planned:<k>: {e}"))?;
+            return Ok(Strategy::Planned { block_qubits: b, max_k: k });
+        }
+        Err(format!(
+            "unknown strategy `{text}` (valid: naive | fused:<k> | blocked:<b> | planned:<b>:<k>)"
+        ))
+    }
+}
+
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Circuit and state widths differ.
     QubitMismatch { circuit: u32, state: u32 },
+    /// A [`SimConfig`] that cannot be built (e.g. zero threads).
+    InvalidConfig(String),
+    /// Writing the configured trace output failed.
+    TraceIo(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -52,6 +107,8 @@ impl std::fmt::Display for SimError {
             SimError::QubitMismatch { circuit, state } => {
                 write!(f, "circuit has {circuit} qubits but the state has {state}")
             }
+            SimError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SimError::TraceIo(why) => write!(f, "cannot write trace: {why}"),
         }
     }
 }
@@ -73,6 +130,8 @@ pub struct RunReport {
     pub backend: &'static str,
     /// A64FX-model prediction, when a chip model is attached.
     pub predicted: Option<ModelReport>,
+    /// The full telemetry trace, when telemetry is enabled.
+    pub trace: Option<Trace>,
 }
 
 /// The simulator engine.
@@ -83,10 +142,11 @@ pub struct Simulator {
     sched: Schedule,
     chip: Option<(ChipParams, ExecConfig)>,
     backend: Option<BackendChoice>,
+    telemetry: TelemetryConfig,
 }
 
 impl Simulator {
-    /// Single-threaded, gate-by-gate, no model.
+    /// Single-threaded, gate-by-gate, no model, telemetry off.
     pub fn new() -> Simulator {
         Simulator {
             strategy: Strategy::Naive,
@@ -94,28 +154,61 @@ impl Simulator {
             sched: Schedule::default_static(),
             chip: None,
             backend: None,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
+    /// Build an engine from a validated [`SimConfig`] — the primary
+    /// construction path. Returns [`SimError::InvalidConfig`] rather
+    /// than panicking on impossible configurations (zero threads, zero
+    /// fusion width).
+    pub fn from_config(config: SimConfig) -> Result<Simulator, SimError> {
+        config.validate()?;
+        let SimConfig { strategy, backend, pool, schedule, model, telemetry } = config;
+        let pool = match pool {
+            // One thread is the calling thread: skip the pool entirely.
+            PoolSpec::Serial | PoolSpec::Threads(1) => None,
+            PoolSpec::Threads(n) => Some(Arc::new(ThreadPool::new(n))),
+            PoolSpec::Shared(p) => Some(p),
+        };
+        Ok(Simulator {
+            strategy,
+            pool,
+            sched: schedule,
+            chip: model,
+            // `Auto` defers to the process-wide default so `QCS_BACKEND`
+            // keeps working; explicit choices pin the backend.
+            backend: match backend {
+                BackendChoice::Auto => None,
+                explicit => Some(explicit),
+            },
+            telemetry,
+        })
+    }
+
     /// Select an execution strategy.
+    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.strategy(..)`)")]
     pub fn with_strategy(mut self, strategy: Strategy) -> Simulator {
         self.strategy = strategy;
         self
     }
 
     /// Workshare sweeps across `n_threads` (including the caller).
+    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.threads(..)`)")]
     pub fn with_threads(mut self, n_threads: usize) -> Simulator {
-        self.pool = Some(Arc::new(ThreadPool::new(n_threads)));
+        self.pool = Some(Arc::new(ThreadPool::new(n_threads.max(1))));
         self
     }
 
     /// Share an existing pool.
+    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.pool(..)`)")]
     pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Simulator {
         self.pool = Some(pool);
         self
     }
 
     /// Choose the worksharing schedule (default: `static`).
+    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.schedule(..)`)")]
     pub fn with_schedule(mut self, sched: Schedule) -> Simulator {
         self.sched = sched;
         self
@@ -123,6 +216,7 @@ impl Simulator {
 
     /// Attach an A64FX model: run reports will include predicted time,
     /// traffic, and bottleneck decomposition for `cfg`.
+    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.model(..)`)")]
     pub fn with_model(mut self, chip: ChipParams, cfg: ExecConfig) -> Simulator {
         self.chip = Some((chip, cfg));
         self
@@ -131,6 +225,7 @@ impl Simulator {
     /// Select the SIMD kernel backend explicitly. Without this the
     /// process-wide default applies (runtime feature detection,
     /// overridable via the `QCS_BACKEND` environment variable).
+    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.backend(..)`)")]
     pub fn with_backend(mut self, choice: BackendChoice) -> Simulator {
         self.backend = Some(choice);
         self
@@ -139,6 +234,11 @@ impl Simulator {
     /// The configured strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The worksharing threads this engine runs with (1 when serial).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.num_threads())
     }
 
     /// The kernel backend this simulator will execute with.
@@ -166,19 +266,41 @@ impl Simulator {
             Planned(Plan),
         }
         let be = self.backend();
+        // Telemetry setup stays outside the timed region; when disabled
+        // the run pays exactly one `Option` branch per sweep.
+        let tracer = if self.telemetry.enabled {
+            let (chip, cfg) = self
+                .chip
+                .clone()
+                .unwrap_or_else(|| (ChipParams::a64fx(), ExecConfig::single_core()));
+            let t = Arc::new(Tracer::new(
+                circuit.n_qubits(),
+                self.threads(),
+                chip,
+                cfg,
+                self.telemetry.capacity,
+            ));
+            if let Some(pool) = &self.pool {
+                pool.set_observer(Some(t.clone() as Arc<dyn RegionObserver>));
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let tr = tracer.as_deref();
         let start = Instant::now();
         let (sweeps, prep) = match self.strategy {
-            Strategy::Naive => (self.run_naive(be, circuit, state), Prep::Direct),
+            Strategy::Naive => (self.run_naive(be, circuit, state, tr), Prep::Direct),
             Strategy::Fused { max_k } => {
                 let ops = fuse(circuit, max_k);
-                (self.run_fused_ops(be, &ops, state), Prep::Fused(ops))
+                (self.run_fused_ops(be, &ops, state, tr), Prep::Fused(ops))
             }
             Strategy::Blocked { block_qubits } => {
-                (self.run_blocked(be, circuit, state, block_qubits), Prep::Direct)
+                (self.run_blocked(be, circuit, state, block_qubits, tr), Prep::Direct)
             }
             Strategy::Planned { block_qubits, max_k } => {
                 let plan = plan_circuit(circuit, block_qubits, max_k);
-                (self.run_planned(be, &plan, state), Prep::Planned(plan))
+                (self.run_planned(be, &plan, state, tr), Prep::Planned(plan))
             }
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -187,38 +309,83 @@ impl Simulator {
             Prep::Fused(ops) => predict_fused(chip, cfg, ops, circuit.n_qubits()),
             Prep::Planned(plan) => predict_planned(chip, cfg, plan),
         });
-        Ok(RunReport { wall_seconds, gates: circuit.len(), sweeps, backend: be.name, predicted })
+        let trace = match tracer {
+            Some(t) => {
+                if let Some(pool) = &self.pool {
+                    pool.set_observer(None);
+                }
+                // Detaching the observer dropped the pool's clone; the
+                // tracer is exclusively ours again.
+                let t = Arc::try_unwrap(t)
+                    .unwrap_or_else(|_| unreachable!("tracer still shared after detach"));
+                let meta = RunMeta {
+                    strategy: self.strategy.to_string(),
+                    backend: be.name.to_string(),
+                    threads: self.threads() as u32,
+                    schedule: self.sched.to_string(),
+                    n_qubits: circuit.n_qubits(),
+                    label: self.telemetry.label.clone(),
+                };
+                let trace = t.finish(meta);
+                telemetry::write_configured(&self.telemetry, &trace).map_err(|e| {
+                    SimError::TraceIo(match &self.telemetry.trace_path {
+                        Some(p) => format!("{}: {e}", p.display()),
+                        None => e.to_string(),
+                    })
+                })?;
+                Some(trace)
+            }
+            None => None,
+        };
+        Ok(RunReport {
+            wall_seconds,
+            gates: circuit.len(),
+            sweeps,
+            backend: be.name,
+            predicted,
+            trace,
+        })
     }
 
-    fn run_naive(&self, be: &KernelBackend, circuit: &Circuit, state: &mut StateVector) -> usize {
+    fn run_naive(
+        &self,
+        be: &KernelBackend,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        tr: Option<&Tracer>,
+    ) -> usize {
         let amps = state.amplitudes_mut();
-        match &self.pool {
-            Some(pool) => {
-                for g in circuit.gates() {
-                    apply_gate_parallel_with(be, pool, self.sched, amps, g);
-                }
+        for g in circuit.gates() {
+            let t0 = tr.map(|_| Instant::now());
+            match &self.pool {
+                Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
+                None => apply_gate_with(be, amps, g),
             }
-            None => {
-                for g in circuit.gates() {
-                    apply_gate_with(be, amps, g);
-                }
+            if let (Some(t), Some(t0)) = (tr, t0) {
+                t.record_gate(0, g, t0.elapsed().as_nanos() as u64);
             }
         }
         circuit.len()
     }
 
-    fn run_fused_ops(&self, be: &KernelBackend, ops: &[FusedOp], state: &mut StateVector) -> usize {
+    fn run_fused_ops(
+        &self,
+        be: &KernelBackend,
+        ops: &[FusedOp],
+        state: &mut StateVector,
+        tr: Option<&Tracer>,
+    ) -> usize {
         let amps = state.amplitudes_mut();
-        match &self.pool {
-            Some(pool) => {
-                for op in ops {
-                    parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix, be);
+        for op in ops {
+            let t0 = tr.map(|_| Instant::now());
+            match &self.pool {
+                Some(pool) => {
+                    parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix, be)
                 }
+                None => simd::apply_kq(be, amps, &op.qubits, &op.matrix),
             }
-            None => {
-                for op in ops {
-                    simd::apply_kq(be, amps, &op.qubits, &op.matrix);
-                }
+            if let (Some(t), Some(t0)) = (tr, t0) {
+                t.record_fused(0, op, t0.elapsed().as_nanos() as u64);
             }
         }
         ops.len()
@@ -230,44 +397,71 @@ impl Simulator {
         circuit: &Circuit,
         state: &mut StateVector,
         block_qubits: u32,
+        tr: Option<&Tracer>,
     ) -> usize {
         let block_qubits = block_qubits.min(state.n_qubits());
         let mut sweeps = 0usize;
         let mut run: Vec<BlockGate> = Vec::new();
+        // Kernel-kind/qubit shadow of `run`, maintained only while
+        // tracing — the untraced path never allocates it.
+        let mut members: Vec<(KernelKind, Vec<u32>)> = Vec::new();
         let amps = state.amplitudes_mut();
-        let flush =
-            |run: &mut Vec<BlockGate>, amps: &mut [crate::complex::C64], sweeps: &mut usize| {
-                if !run.is_empty() {
-                    match &self.pool {
-                        Some(pool) => {
-                            apply_blocked_parallel(be, pool, self.sched, amps, run, block_qubits)
-                        }
-                        None => apply_blocked(be, amps, run, block_qubits),
+        let flush = |run: &mut Vec<BlockGate>,
+                     members: &mut Vec<(KernelKind, Vec<u32>)>,
+                     amps: &mut [crate::complex::C64],
+                     sweeps: &mut usize| {
+            if !run.is_empty() {
+                let t0 = tr.map(|_| Instant::now());
+                match &self.pool {
+                    Some(pool) => {
+                        apply_blocked_parallel(be, pool, self.sched, amps, run, block_qubits)
                     }
-                    *sweeps += 1;
-                    run.clear();
+                    None => apply_blocked(be, amps, run, block_qubits),
                 }
-            };
+                if let (Some(t), Some(t0)) = (tr, t0) {
+                    t.record_block_run(0, members, t0.elapsed().as_nanos() as u64);
+                }
+                *sweeps += 1;
+                run.clear();
+                members.clear();
+            }
+        };
         for g in circuit.gates() {
             match to_block_gate(g, block_qubits) {
-                Some(bg) => run.push(bg),
+                Some(bg) => {
+                    run.push(bg);
+                    if tr.is_some() {
+                        members.push((crate::perf::classify(g), g.qubits()));
+                    }
+                }
                 None => {
-                    flush(&mut run, amps, &mut sweeps);
+                    flush(&mut run, &mut members, amps, &mut sweeps);
+                    let t0 = tr.map(|_| Instant::now());
                     match &self.pool {
                         Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
                         None => apply_gate_with(be, amps, g),
+                    }
+                    if let (Some(t), Some(t0)) = (tr, t0) {
+                        t.record_gate(0, g, t0.elapsed().as_nanos() as u64);
                     }
                     sweeps += 1;
                 }
             }
         }
-        flush(&mut run, amps, &mut sweeps);
+        flush(&mut run, &mut members, amps, &mut sweeps);
         sweeps
     }
 
-    fn run_planned(&self, be: &KernelBackend, plan: &Plan, state: &mut StateVector) -> usize {
+    fn run_planned(
+        &self,
+        be: &KernelBackend,
+        plan: &Plan,
+        state: &mut StateVector,
+        tr: Option<&Tracer>,
+    ) -> usize {
         let amps = state.amplitudes_mut();
         for op in &plan.ops {
+            let t0 = tr.map(|_| Instant::now());
             match op {
                 PlanOp::SwapAxes(a, b) => match &self.pool {
                     Some(pool) => parallel::apply_swap(pool, self.sched, amps, *a, *b, be),
@@ -289,6 +483,14 @@ impl Simulator {
                     None => apply_gate_with(be, amps, g),
                 },
             }
+            if let (Some(t), Some(t0)) = (tr, t0) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                match op {
+                    PlanOp::SwapAxes(a, b) => t.record_kernel(0, KernelKind::Swap, &[*a, *b], ns),
+                    PlanOp::Block(ops) => t.record_block_pass(0, ops, ns),
+                    PlanOp::Gate(g) => t.record_gate(0, g, ns),
+                }
+            }
         }
         plan.sweeps
     }
@@ -297,6 +499,19 @@ impl Simulator {
 impl Default for Simulator {
     fn default() -> Self {
         Simulator::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("strategy", &self.strategy)
+            .field("threads", &self.threads())
+            .field("schedule", &self.sched)
+            .field("model", &self.chip.as_ref().map(|(_, cfg)| cfg))
+            .field("backend", &self.backend)
+            .field("telemetry", &self.telemetry)
+            .finish()
     }
 }
 
@@ -380,7 +595,7 @@ mod tests {
             Simulator::new().run(&c, &mut reference).unwrap();
             for strat in all_strategies() {
                 let mut s = init.clone();
-                Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
+                SimConfig::new().strategy(strat).build().unwrap().run(&c, &mut s).unwrap();
                 assert!(s.approx_eq(&reference, EPS), "{strat:?} seed={seed}");
             }
         }
@@ -394,7 +609,7 @@ mod tests {
         Simulator::new().run(&c, &mut reference).unwrap();
         for strat in all_strategies() {
             let mut s = init.clone();
-            Simulator::new().with_strategy(strat).run(&c, &mut s).unwrap();
+            SimConfig::new().strategy(strat).build().unwrap().run(&c, &mut s).unwrap();
             assert!(s.approx_eq(&reference, EPS), "{strat:?}");
         }
     }
@@ -408,9 +623,11 @@ mod tests {
         for threads in [2usize, 4, 8] {
             for sched in [Schedule::Static { chunk: None }, Schedule::Dynamic { chunk: 32 }] {
                 let mut s = init.clone();
-                Simulator::new()
-                    .with_threads(threads)
-                    .with_schedule(sched)
+                SimConfig::new()
+                    .threads(threads)
+                    .schedule(sched)
+                    .build()
+                    .unwrap()
                     .run(&c, &mut s)
                     .unwrap();
                 assert!(s.approx_eq(&serial, EPS), "threads={threads} sched={sched:?}");
@@ -425,9 +642,11 @@ mod tests {
         let mut serial = init.clone();
         Simulator::new().run(&c, &mut serial).unwrap();
         let mut s = init.clone();
-        Simulator::new()
-            .with_strategy(Strategy::Fused { max_k: 4 })
-            .with_threads(4)
+        SimConfig::new()
+            .strategy(Strategy::Fused { max_k: 4 })
+            .threads(4)
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         assert!(s.approx_eq(&serial, EPS));
@@ -439,8 +658,12 @@ mod tests {
         let mut s = StateVector::zero(8);
         let naive = Simulator::new().run(&c, &mut s).unwrap();
         let mut s = StateVector::zero(8);
-        let fused =
-            Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(&c, &mut s).unwrap();
+        let fused = SimConfig::new()
+            .strategy(Strategy::Fused { max_k: 4 })
+            .build()
+            .unwrap()
+            .run(&c, &mut s)
+            .unwrap();
         assert!(fused.sweeps < naive.sweeps, "{} !< {}", fused.sweeps, naive.sweeps);
         assert_eq!(fused.gates, naive.gates);
     }
@@ -450,8 +673,10 @@ mod tests {
         // All gates below the block width: everything lands in one run.
         let c = library::rotation_layers(10, 3, 0.2); // targets 0..9
         let mut s = StateVector::zero(10);
-        let blocked = Simulator::new()
-            .with_strategy(Strategy::Blocked { block_qubits: 10 })
+        let blocked = SimConfig::new()
+            .strategy(Strategy::Blocked { block_qubits: 10 })
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         assert_eq!(blocked.sweeps, 1);
@@ -467,7 +692,8 @@ mod tests {
         }
         let run = |strategy| {
             let mut s = StateVector::zero(12);
-            let report = Simulator::new().with_strategy(strategy).run(&c, &mut s).unwrap();
+            let report =
+                SimConfig::new().strategy(strategy).build().unwrap().run(&c, &mut s).unwrap();
             (report.sweeps, s)
         };
         let (naive_sweeps, reference) = run(Strategy::Naive);
@@ -485,15 +711,19 @@ mod tests {
     fn planned_threaded_matches_serial() {
         let c = library::random_circuit(9, 60, 5);
         let mut reference = StateVector::zero(9);
-        Simulator::new()
-            .with_strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+        SimConfig::new()
+            .strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+            .build()
+            .unwrap()
             .run(&c, &mut reference)
             .unwrap();
         for threads in [2usize, 4, 8] {
             let mut s = StateVector::zero(9);
-            Simulator::new()
-                .with_strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
-                .with_threads(threads)
+            SimConfig::new()
+                .strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+                .threads(threads)
+                .build()
+                .unwrap()
                 .run(&c, &mut s)
                 .unwrap();
             assert!(s.approx_eq(&reference, 1e-10), "threads={threads}");
@@ -505,8 +735,10 @@ mod tests {
         let c = library::qft(8);
         let plan = crate::plan::plan_circuit(&c, 5, 3);
         let mut s = StateVector::zero(8);
-        let report = Simulator::new()
-            .with_strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+        let report = SimConfig::new()
+            .strategy(Strategy::Planned { block_qubits: 5, max_k: 3 })
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         assert_eq!(report.sweeps, plan.sweeps);
@@ -516,9 +748,11 @@ mod tests {
     fn planned_model_report_attached() {
         let c = library::qft(6);
         let mut s = StateVector::zero(6);
-        let report = Simulator::new()
-            .with_strategy(Strategy::Planned { block_qubits: 4, max_k: 3 })
-            .with_model(ChipParams::a64fx(), ExecConfig::single_core())
+        let report = SimConfig::new()
+            .strategy(Strategy::Planned { block_qubits: 4, max_k: 3 })
+            .model(ChipParams::a64fx(), ExecConfig::single_core())
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         let predicted = report.predicted.expect("model attached");
@@ -530,8 +764,10 @@ mod tests {
     fn model_report_attached_when_requested() {
         let c = library::qft(6);
         let mut s = StateVector::zero(6);
-        let report = Simulator::new()
-            .with_model(ChipParams::a64fx(), ExecConfig::full_chip())
+        let report = SimConfig::new()
+            .model(ChipParams::a64fx(), ExecConfig::full_chip())
+            .build()
+            .unwrap()
             .run(&c, &mut s)
             .unwrap();
         let model = report.predicted.expect("model attached");
@@ -549,10 +785,120 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_builders_still_work() {
+        // The `with_*` forwarders stay behaviour-compatible until they
+        // are removed; this is the one place that exercises them.
+        #[allow(deprecated)]
+        let sim = Simulator::new()
+            .with_strategy(Strategy::Fused { max_k: 3 })
+            .with_threads(2)
+            .with_schedule(Schedule::Dynamic { chunk: 32 })
+            .with_backend(BackendChoice::Scalar)
+            .with_model(ChipParams::a64fx(), ExecConfig::single_core());
+        let c = library::ghz(4);
+        let mut s = StateVector::zero(4);
+        let report = sim.run(&c, &mut s).unwrap();
+        assert_eq!(sim.strategy(), Strategy::Fused { max_k: 3 });
+        assert_eq!(sim.threads(), 2);
+        assert!(report.predicted.is_some());
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_state() {
+        for strat in all_strategies() {
+            let c = library::random_circuit(7, 20, 11);
+            let init = random_init(7, 80);
+            let mut plain = init.clone();
+            let untraced = SimConfig::new().strategy(strat).build().unwrap();
+            untraced.run(&c, &mut plain).unwrap();
+            let mut traced_state = init.clone();
+            let traced =
+                SimConfig::new().strategy(strat).telemetry(TelemetryConfig::on()).build().unwrap();
+            let report = traced.run(&c, &mut traced_state).unwrap();
+            assert!(traced_state.approx_eq(&plain, EPS), "{strat:?}");
+            let trace = report.trace.expect("telemetry enabled");
+            assert_eq!(trace.spans.len(), report.sweeps, "{strat:?}");
+            assert_eq!(trace.summary.spans, report.sweeps, "{strat:?}");
+            assert!(trace.spans.iter().all(|sp| sp.bytes > 0), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_run_has_no_trace() {
+        let c = library::ghz(4);
+        let mut s = StateVector::zero(4);
+        let report = Simulator::new().run(&c, &mut s).unwrap();
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn traced_threaded_run_collects_busy_clocks() {
+        let c = library::random_circuit(8, 10, 3);
+        let mut s = StateVector::zero(8);
+        let sim = SimConfig::new()
+            .threads(4)
+            .telemetry(TelemetryConfig::on().with_label("clocks"))
+            .build()
+            .unwrap();
+        let report = sim.run(&c, &mut s).unwrap();
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.meta.threads, 4);
+        assert_eq!(trace.meta.label, "clocks");
+        assert_eq!(trace.meta.strategy, "naive");
+        assert_eq!(trace.summary.busy_ns_per_thread.len(), 4);
+        // Every worksharing region ran: at least the master accumulated
+        // busy time and chunks.
+        assert!(trace.summary.busy_ns_per_thread.iter().sum::<u64>() > 0);
+        assert!(trace.summary.chunks_per_thread.iter().sum::<u64>() > 0);
+        assert!(trace.summary.busy_imbalance() >= 1.0);
+        // The observer was uninstalled at run end.
+        let mut s2 = StateVector::zero(8);
+        SimConfig::new().threads(2).build().unwrap().run(&c, &mut s2).unwrap();
+    }
+
+    #[test]
+    fn trace_jsonl_written_and_parseable() {
+        let path = std::env::temp_dir().join("qcs_sim_trace_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let c = library::qft(6);
+        let mut s = StateVector::zero(6);
+        let sim = SimConfig::new()
+            .strategy(Strategy::Fused { max_k: 3 })
+            .telemetry(TelemetryConfig::off().with_output(&path).with_label("qft6"))
+            .build()
+            .unwrap();
+        let report = sim.run(&c, &mut s).unwrap();
+        let runs = crate::telemetry::sink::read_jsonl(&path).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].meta.label, "qft6");
+        assert_eq!(runs[0].meta.strategy, "fused:3");
+        assert_eq!(runs[0].spans.len(), report.sweeps);
+        assert_eq!(runs[0].spans, report.trace.unwrap().spans);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn strategy_display_parse_round_trips() {
+        for strat in all_strategies() {
+            let text = strat.to_string();
+            assert_eq!(text.parse::<Strategy>().unwrap(), strat, "{text}");
+        }
+        let err = "warp".parse::<Strategy>().unwrap_err();
+        assert!(err.contains("unknown strategy"));
+        assert!(err.contains("planned:<b>:<k>"), "{err}");
+    }
+
+    #[test]
     fn grover_runs_through_engine() {
         let c = library::grover(4, 9);
         let mut s = StateVector::zero(4);
-        Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(&c, &mut s).unwrap();
+        SimConfig::new()
+            .strategy(Strategy::Fused { max_k: 4 })
+            .build()
+            .unwrap()
+            .run(&c, &mut s)
+            .unwrap();
         let argmax =
             (0..16).max_by(|&a, &b| s.probability(a).total_cmp(&s.probability(b))).unwrap();
         assert_eq!(argmax, 9);

@@ -1,0 +1,223 @@
+//! Model-drift analysis: measured spans joined against the analytical
+//! model's predictions.
+//!
+//! The paper's methodology is to compare measured sweep times against a
+//! roofline-style prediction and reason about *why* they differ (cache
+//! residency, issue limits, fusion arithmetic intensity). A
+//! [`DriftReport`] makes that comparison mechanical: every traced span
+//! already carries `model_ns` computed under the run's chip/config, so
+//! drift is a pure aggregation over the trace — no re-prediction, no
+//! out-of-band bookkeeping. Experiment binaries (e.g. the fusion-width
+//! sweep) derive their claims from this report alone.
+
+use std::collections::BTreeMap;
+
+use super::{Span, SpanKind, Trace};
+
+/// Measured-vs-model aggregate for one span kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftRow {
+    /// Spans of this kind.
+    pub count: usize,
+    /// Total measured wall nanoseconds.
+    pub measured_ns: u64,
+    /// Total model-predicted nanoseconds.
+    pub model_ns: f64,
+    /// Total bytes touched (model traffic / wire volume).
+    pub bytes: u64,
+    /// Total DP FLOPs.
+    pub flops: u64,
+    /// Bottleneck label histogram for this kind.
+    pub bottlenecks: BTreeMap<&'static str, usize>,
+}
+
+impl DriftRow {
+    /// measured / model time ratio (> 1: slower than the model; `None`
+    /// when the model predicted nothing, e.g. exchange spans).
+    pub fn ratio(&self) -> Option<f64> {
+        if self.model_ns > 0.0 {
+            Some(self.measured_ns as f64 / self.model_ns)
+        } else {
+            None
+        }
+    }
+
+    /// Achieved memory bandwidth in bytes/s over this kind's spans.
+    pub fn achieved_bw(&self) -> f64 {
+        if self.measured_ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / (self.measured_ns as f64 * 1e-9)
+        }
+    }
+
+    fn absorb(&mut self, span: &Span) {
+        self.count += 1;
+        self.measured_ns += span.wall_ns;
+        self.model_ns += span.model_ns;
+        self.bytes += span.bytes;
+        self.flops += span.flops;
+        *self.bottlenecks.entry(span.bottleneck).or_default() += 1;
+    }
+}
+
+/// The joined measured-vs-model view of one run (or one span subset).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    /// Per-kind rows keyed by [`SpanKind::label`].
+    pub rows: BTreeMap<String, DriftRow>,
+    /// All compute spans folded together (exchange spans excluded, since
+    /// the chip model does not price the wire).
+    pub compute: DriftRow,
+    /// All exchange spans folded together.
+    pub exchange: DriftRow,
+}
+
+impl DriftReport {
+    /// Aggregate a span list into a drift report.
+    pub fn from_spans<'a>(spans: impl IntoIterator<Item = &'a Span>) -> DriftReport {
+        let mut report = DriftReport::default();
+        for span in spans {
+            report.rows.entry(span.kind.label()).or_default().absorb(span);
+            match span.kind {
+                SpanKind::Exchange(_) => report.exchange.absorb(span),
+                _ => report.compute.absorb(span),
+            }
+        }
+        report
+    }
+
+    /// Aggregate a whole trace.
+    pub fn from_trace(trace: &Trace) -> DriftReport {
+        DriftReport::from_spans(&trace.spans)
+    }
+
+    /// Overall measured/model ratio for compute spans.
+    pub fn compute_ratio(&self) -> Option<f64> {
+        self.compute.ratio()
+    }
+
+    /// Render a fixed-width text table (one row per kind plus totals),
+    /// the form the CLI and experiment binaries print.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>12} {:>12} {:>8} {:>10}\n",
+            "kind", "count", "measured", "model", "ratio", "GB/s"
+        ));
+        for (label, row) in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>7} {:>12} {:>12} {:>8} {:>10.2}\n",
+                label,
+                row.count,
+                fmt_ns(row.measured_ns as f64),
+                fmt_ns(row.model_ns),
+                row.ratio().map_or("-".to_string(), |r| format!("{r:.2}x")),
+                row.achieved_bw() / 1e9,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>12} {:>12} {:>8} {:>10.2}\n",
+            "total:compute",
+            self.compute.count,
+            fmt_ns(self.compute.measured_ns as f64),
+            fmt_ns(self.compute.model_ns),
+            self.compute.ratio().map_or("-".to_string(), |r| format!("{r:.2}x")),
+            self.compute.achieved_bw() / 1e9,
+        ));
+        if self.exchange.count > 0 {
+            out.push_str(&format!(
+                "{:<18} {:>7} {:>12} {:>12} {:>8} {:>10.2}\n",
+                "total:exchange",
+                self.exchange.count,
+                fmt_ns(self.exchange.measured_ns as f64),
+                "-",
+                "-",
+                self.exchange.achieved_bw() / 1e9,
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ExchangePhase, SpanKind};
+    use super::*;
+    use a64fx_model::traffic::KernelKind;
+
+    fn span(kind: SpanKind, wall_ns: u64, model_ns: f64, bytes: u64) -> Span {
+        Span {
+            seq: 0,
+            kind,
+            qubits: vec![0],
+            wall_ns,
+            amps: 0,
+            bytes,
+            flops: 10,
+            model_ns,
+            bottleneck: if matches!(kind, SpanKind::Exchange(_)) { "network" } else { "memory" },
+            thread: 0,
+            rank: -1,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_kind_and_splits_compute_exchange() {
+        let dense = SpanKind::Kernel(KernelKind::OneQubitDense);
+        let spans = vec![
+            span(dense, 200, 100.0, 1000),
+            span(dense, 100, 100.0, 1000),
+            span(SpanKind::Exchange(ExchangePhase::PairExchange), 500, 0.0, 4096),
+        ];
+        let report = DriftReport::from_spans(&spans);
+        assert_eq!(report.rows.len(), 2);
+        let row = &report.rows["kernel:1q-dense"];
+        assert_eq!(row.count, 2);
+        assert_eq!(row.measured_ns, 300);
+        assert_eq!(row.ratio(), Some(1.5));
+        assert_eq!(report.compute.count, 2);
+        assert_eq!(report.exchange.count, 1);
+        assert_eq!(report.exchange.bytes, 4096);
+        assert_eq!(report.exchange.ratio(), None);
+    }
+
+    #[test]
+    fn achieved_bandwidth_is_bytes_over_seconds() {
+        let row =
+            DriftRow { measured_ns: 1_000_000_000, bytes: 2_000_000_000, ..Default::default() };
+        assert!((row.achieved_bw() - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn table_renders_every_kind() {
+        let spans = vec![
+            span(SpanKind::Kernel(KernelKind::OneQubitDiagonal), 50, 40.0, 640),
+            span(SpanKind::Exchange(ExchangePhase::GlobalSwap), 20, 0.0, 128),
+        ];
+        let table = DriftReport::from_spans(&spans).to_table();
+        assert!(table.contains("kernel:1q-diag"));
+        assert!(table.contains("total:compute"));
+        assert!(table.contains("total:exchange"));
+        assert!(table.contains("1.25x"));
+    }
+
+    #[test]
+    fn empty_report_has_no_ratio() {
+        let report = DriftReport::from_spans(&[]);
+        assert_eq!(report.compute_ratio(), None);
+        assert!(report.to_table().contains("total:compute"));
+    }
+}

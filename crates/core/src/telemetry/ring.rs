@@ -1,0 +1,148 @@
+//! Lock-free single-producer span ring.
+//!
+//! Each worker (and the serial gate loop) owns one ring; only the owning
+//! thread pushes, so pushes need no atomics beyond a release publish of
+//! the count. The merge at run end happens after the engine has detached
+//! the tracer from every producer (the pool observer slot is cleared and
+//! `Arc::try_unwrap` proves exclusivity), so draining sees a quiescent
+//! ring.
+//!
+//! Overflow policy: the ring overwrites oldest-first and counts what it
+//! lost, so a long run degrades to "most recent window + drop count"
+//! instead of unbounded memory growth or a blocking producer.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::Span;
+
+/// Fixed-capacity overwrite-oldest ring for one producer thread.
+pub struct SpanRing {
+    slots: UnsafeCell<Vec<Option<Span>>>,
+    /// Total spans ever pushed (monotonic; `pushed - capacity` of them
+    /// have been overwritten once this exceeds capacity).
+    pushed: AtomicU64,
+}
+
+// SAFETY: `push` is restricted to the owning thread (its contract below);
+// all cross-thread access is the read-only `drain` after producers have
+// quiesced, ordered by the release/acquire pair on `pushed`.
+unsafe impl Sync for SpanRing {}
+unsafe impl Send for SpanRing {}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> SpanRing {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        SpanRing { slots: UnsafeCell::new(slots), pushed: AtomicU64::new(0) }
+    }
+
+    pub fn capacity(&self) -> usize {
+        // SAFETY: length is immutable after construction.
+        unsafe { (*self.slots.get()).len() }
+    }
+
+    /// Push a span, overwriting the oldest if full.
+    ///
+    /// # Safety
+    /// Must only be called from the single thread that owns this ring,
+    /// and never concurrently with [`SpanRing::drain`].
+    pub unsafe fn push(&self, span: Span) {
+        let pushed = self.pushed.load(Ordering::Relaxed);
+        let slots = &mut *self.slots.get();
+        let idx = (pushed % slots.len() as u64) as usize;
+        slots[idx] = Some(span);
+        // Publish the write: a drain that acquires `pushed` sees the slot.
+        self.pushed.store(pushed + 1, Ordering::Release);
+    }
+
+    /// Copy out the retained spans oldest-first, plus the overwritten
+    /// count. Callers must ensure the producer has quiesced (the tracer's
+    /// `finish` consumes `self`, which guarantees it).
+    pub fn drain(&self) -> (Vec<Span>, u64) {
+        let pushed = self.pushed.load(Ordering::Acquire);
+        // SAFETY: producer quiesced per the method contract.
+        let slots = unsafe { &*self.slots.get() };
+        let cap = slots.len() as u64;
+        let kept = pushed.min(cap);
+        let dropped = pushed - kept;
+        let mut out = Vec::with_capacity(kept as usize);
+        let start = if pushed > cap { pushed % cap } else { 0 };
+        for i in 0..kept {
+            let idx = ((start + i) % cap) as usize;
+            if let Some(span) = &slots[idx] {
+                out.push(span.clone());
+            }
+        }
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Span, SpanKind};
+    use super::*;
+    use a64fx_model::traffic::KernelKind;
+
+    fn span(seq: u64) -> Span {
+        Span {
+            seq,
+            kind: SpanKind::Kernel(KernelKind::OneQubitDense),
+            qubits: vec![0],
+            wall_ns: seq,
+            amps: 0,
+            bytes: 0,
+            flops: 0,
+            model_ns: 0.0,
+            bottleneck: "memory",
+            thread: 0,
+            rank: -1,
+        }
+    }
+
+    #[test]
+    fn fills_and_drains_in_order() {
+        let ring = SpanRing::new(8);
+        for i in 0..5 {
+            unsafe { ring.push(span(i)) };
+        }
+        let (spans, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(spans.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = SpanRing::new(4);
+        for i in 0..11 {
+            unsafe { ring.push(span(i)) };
+        }
+        let (spans, dropped) = ring.drain();
+        assert_eq!(dropped, 7);
+        assert_eq!(spans.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = SpanRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        unsafe {
+            ring.push(span(1));
+            ring.push(span(2));
+        }
+        let (spans, dropped) = ring.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].seq, 2);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn empty_ring_drains_empty() {
+        let ring = SpanRing::new(16);
+        let (spans, dropped) = ring.drain();
+        assert!(spans.is_empty());
+        assert_eq!(dropped, 0);
+    }
+}

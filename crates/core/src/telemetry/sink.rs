@@ -1,0 +1,473 @@
+//! Trace sinks: where a finished [`Trace`] goes.
+//!
+//! The on-disk format is JSON lines — one `{"type":"run",...}` header
+//! per run followed by one `{"type":"span",...}` line per span — chosen
+//! so multi-run files (e.g. a fusion-width sweep appending one run per
+//! `k`) concatenate trivially and stream-parse without a DOM. The
+//! vendored `serde` is a no-op API stub, so serialization here is
+//! hand-rolled against the small, flat schema of [`Span`] and
+//! [`RunMeta`]; [`read_jsonl`] is its exact inverse and the round-trip
+//! is pinned by tests.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use super::{RunMeta, Span, SpanKind, Trace};
+
+/// A destination for completed traces.
+pub trait TraceSink {
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()>;
+}
+
+/// Discards traces; the zero-cost default when no output path is set.
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn consume(&mut self, _trace: &Trace) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects traces in memory; the test sink.
+#[derive(Default)]
+pub struct MemorySink {
+    pub traces: Vec<Trace>,
+}
+
+impl TraceSink for MemorySink {
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()> {
+        self.traces.push(trace.clone());
+        Ok(())
+    }
+}
+
+/// Writes traces as JSON lines to a file.
+pub struct JsonlSink {
+    path: PathBuf,
+    append: bool,
+}
+
+impl JsonlSink {
+    pub fn new(path: impl Into<PathBuf>, append: bool) -> JsonlSink {
+        JsonlSink { path: path.into(), append }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn consume(&mut self, trace: &Trace) -> std::io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = if self.append {
+            OpenOptions::new().create(true).append(true).open(&self.path)?
+        } else {
+            File::create(&self.path)?
+        };
+        let mut w = BufWriter::new(file);
+        writeln!(w, "{}", run_to_json(&trace.meta))?;
+        for span in &trace.spans {
+            writeln!(w, "{}", span_to_json(span))?;
+        }
+        w.flush()?;
+        // Subsequent runs through the same sink extend the file.
+        self.append = true;
+        Ok(())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape(val, out);
+    out.push_str("\",");
+}
+
+fn push_num_field(out: &mut String, key: &str, val: impl std::fmt::Display) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&val.to_string());
+    out.push(',');
+}
+
+/// Serialize a run header line.
+pub fn run_to_json(meta: &RunMeta) -> String {
+    let mut s = String::from("{");
+    push_str_field(&mut s, "type", "run");
+    push_str_field(&mut s, "strategy", &meta.strategy);
+    push_str_field(&mut s, "backend", &meta.backend);
+    push_num_field(&mut s, "threads", meta.threads);
+    push_str_field(&mut s, "schedule", &meta.schedule);
+    push_num_field(&mut s, "n_qubits", meta.n_qubits);
+    push_str_field(&mut s, "label", &meta.label);
+    s.pop();
+    s.push('}');
+    s
+}
+
+/// Serialize one span line.
+pub fn span_to_json(span: &Span) -> String {
+    let mut s = String::from("{");
+    push_str_field(&mut s, "type", "span");
+    push_num_field(&mut s, "seq", span.seq);
+    push_str_field(&mut s, "kind", &span.kind.label());
+    s.push_str("\"qubits\":[");
+    for (i, q) in span.qubits.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&q.to_string());
+    }
+    s.push_str("],");
+    push_num_field(&mut s, "wall_ns", span.wall_ns);
+    push_num_field(&mut s, "amps", span.amps);
+    push_num_field(&mut s, "bytes", span.bytes);
+    push_num_field(&mut s, "flops", span.flops);
+    push_num_field(&mut s, "model_ns", span.model_ns);
+    push_str_field(&mut s, "bottleneck", span.bottleneck);
+    push_num_field(&mut s, "thread", span.thread);
+    push_num_field(&mut s, "rank", span.rank);
+    s.pop();
+    s.push('}');
+    s
+}
+
+/// A parsed flat-JSON value; the trace schema only uses these three.
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Str(String),
+    Num(f64),
+    Arr(Vec<u64>),
+}
+
+impl JVal {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object line (string / number / integer-array
+/// values only — exactly the trace schema). Returns `None` on malformed
+/// input rather than panicking: trace files may be truncated by a
+/// killed run.
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JVal>> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    if !s.starts_with('{') || !s.ends_with('}') {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    chars.next(); // consume '{'
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some((_, '}')) => break,
+            Some((_, ',')) => {
+                chars.next();
+                continue;
+            }
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        let key = parse_string(s, &mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next().map(|(_, c)| c) != Some(':') {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek() {
+            Some((_, '"')) => JVal::Str(parse_string(s, &mut chars)?),
+            Some((_, '[')) => {
+                chars.next();
+                let mut arr = Vec::new();
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.peek() {
+                        Some((_, ']')) => {
+                            chars.next();
+                            break;
+                        }
+                        Some((_, ',')) => {
+                            chars.next();
+                        }
+                        _ => {
+                            let n = parse_number(s, &mut chars)?;
+                            arr.push(n as u64);
+                        }
+                    }
+                }
+                JVal::Arr(arr)
+            }
+            Some(_) => JVal::Num(parse_number(s, &mut chars)?),
+            None => return None,
+        };
+        map.insert(key, val);
+    }
+    Some(map)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(
+    _src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Option<String> {
+    if chars.next().map(|(_, c)| c) != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()?.1 {
+            '"' => return Some(out),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_number(
+    src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Option<f64> {
+    let start = chars.peek()?.0;
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            end = i + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    src[start..end].parse().ok()
+}
+
+/// Map a parsed bottleneck name back onto the `&'static str` vocabulary
+/// the predictors use.
+fn static_bottleneck(s: &str) -> &'static str {
+    match s {
+        "fp" => "fp",
+        "memory" => "memory",
+        "issue" => "issue",
+        "network" => "network",
+        _ => "other",
+    }
+}
+
+fn meta_from_map(map: &BTreeMap<String, JVal>) -> RunMeta {
+    let get_s = |k: &str| map.get(k).and_then(JVal::as_str).unwrap_or("").to_string();
+    let get_n = |k: &str| map.get(k).and_then(JVal::as_f64).unwrap_or(0.0);
+    RunMeta {
+        strategy: get_s("strategy"),
+        backend: get_s("backend"),
+        threads: get_n("threads") as u32,
+        schedule: get_s("schedule"),
+        n_qubits: get_n("n_qubits") as u32,
+        label: get_s("label"),
+    }
+}
+
+fn span_from_map(map: &BTreeMap<String, JVal>) -> Option<Span> {
+    let get_n = |k: &str| map.get(k).and_then(JVal::as_f64);
+    Some(Span {
+        seq: get_n("seq")? as u64,
+        kind: SpanKind::from_label(map.get("kind")?.as_str()?)?,
+        qubits: match map.get("qubits") {
+            Some(JVal::Arr(a)) => a.iter().map(|&q| q as u32).collect(),
+            _ => Vec::new(),
+        },
+        wall_ns: get_n("wall_ns")? as u64,
+        amps: get_n("amps").unwrap_or(0.0) as u64,
+        bytes: get_n("bytes").unwrap_or(0.0) as u64,
+        flops: get_n("flops").unwrap_or(0.0) as u64,
+        model_ns: get_n("model_ns").unwrap_or(0.0),
+        bottleneck: static_bottleneck(
+            map.get("bottleneck").and_then(JVal::as_str).unwrap_or("other"),
+        ),
+        thread: get_n("thread").unwrap_or(0.0) as u32,
+        rank: get_n("rank").unwrap_or(-1.0) as i32,
+    })
+}
+
+/// Parse a trace file back into runs. Each `{"type":"run"}` line starts
+/// a new [`Trace`]; span lines attach to the most recent run. Malformed
+/// lines are skipped (truncated files parse to their valid prefix).
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Trace>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut runs: Vec<(RunMeta, Vec<Span>)> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(map) = parse_flat_object(&line) else { continue };
+        match map.get("type").and_then(JVal::as_str) {
+            Some("run") => runs.push((meta_from_map(&map), Vec::new())),
+            Some("span") => {
+                if let (Some(span), Some(run)) = (span_from_map(&map), runs.last_mut()) {
+                    run.1.push(span);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(runs.into_iter().map(|(meta, spans)| Trace::from_parts(meta, spans)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ExchangePhase, RunMeta, Span, SpanKind, Trace};
+    use super::*;
+    use a64fx_model::traffic::KernelKind;
+
+    fn sample_trace() -> Trace {
+        let meta = RunMeta {
+            strategy: "fused:4".to_string(),
+            backend: "portable".to_string(),
+            threads: 4,
+            schedule: "dynamic:32".to_string(),
+            n_qubits: 18,
+            label: "k=4 \"sweep\"".to_string(),
+        };
+        let spans = vec![
+            Span {
+                seq: 0,
+                kind: SpanKind::Kernel(KernelKind::FusedDense { k: 4 }),
+                qubits: vec![0, 3, 5, 9],
+                wall_ns: 120_456,
+                amps: 262_144,
+                bytes: 8_388_608,
+                flops: 33_554_432,
+                model_ns: 98_304.5,
+                bottleneck: "memory",
+                thread: 0,
+                rank: -1,
+            },
+            Span {
+                seq: 1,
+                kind: SpanKind::Exchange(ExchangePhase::GlobalSwap),
+                qubits: vec![17],
+                wall_ns: 55,
+                amps: 128,
+                bytes: 2048,
+                flops: 0,
+                model_ns: 0.0,
+                bottleneck: "network",
+                thread: 0,
+                rank: 2,
+            },
+        ];
+        Trace::from_parts(meta, spans)
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        let trace = sample_trace();
+        for span in &trace.spans {
+            let line = span_to_json(span);
+            let map = parse_flat_object(&line).expect("parse");
+            let back = span_from_map(&map).expect("span");
+            assert_eq!(&back, span);
+        }
+    }
+
+    #[test]
+    fn run_header_round_trips_with_escapes() {
+        let trace = sample_trace();
+        let line = run_to_json(&trace.meta);
+        let map = parse_flat_object(&line).expect("parse");
+        assert_eq!(meta_from_map(&map), trace.meta);
+    }
+
+    #[test]
+    fn jsonl_file_round_trips_multiple_runs() {
+        let dir = std::env::temp_dir().join("qcs_telemetry_sink_test");
+        let path = dir.join("trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let trace = sample_trace();
+        let mut second = sample_trace();
+        second.meta.label = "second".to_string();
+        let mut sink = JsonlSink::new(&path, false);
+        sink.consume(&trace).unwrap();
+        sink.consume(&second).unwrap();
+        let runs = read_jsonl(&path).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], trace);
+        assert_eq!(runs[1].meta.label, "second");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_parses_valid_prefix() {
+        let dir = std::env::temp_dir().join("qcs_telemetry_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.jsonl");
+        let trace = sample_trace();
+        let mut content = run_to_json(&trace.meta);
+        content.push('\n');
+        content.push_str(&span_to_json(&trace.spans[0]));
+        content.push('\n');
+        // A line chopped mid-write by a killed run.
+        content.push_str("{\"type\":\"span\",\"seq\":9,\"ki");
+        std::fs::write(&path, content).unwrap();
+        let runs = read_jsonl(&path).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].spans.len(), 1);
+        assert_eq!(runs[0].spans[0], trace.spans[0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut sink = MemorySink::default();
+        sink.consume(&sample_trace()).unwrap();
+        assert_eq!(sink.traces.len(), 1);
+    }
+}

@@ -12,6 +12,9 @@
 //!    global qubits): swap the global qubit with a free local one (half a
 //!    buffer exchanged), apply locally, swap back.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use mpi_sim::{Comm, World};
 use qcs_core::align::AlignedAmps;
 use qcs_core::circuit::{Circuit, Gate};
@@ -19,22 +22,34 @@ use qcs_core::complex::{as_f64_slice, C64};
 use qcs_core::kernels::dispatch::apply_gate as apply_local;
 use qcs_core::kernels::index::insert_zero_bit;
 use qcs_core::state::StateVector;
+use qcs_core::telemetry::{ExchangePhase, RunMeta, TelemetryConfig, Trace, Tracer};
 
 use crate::partition::Partition;
 
 const TAG_XCHG: u32 = 0xD157_0001;
 const TAG_SWAP: u32 = 0xD157_0002;
 
+/// Bytes on the wire for a C64 buffer (interleaved f64 pairs).
+const C64_BYTES: u64 = 16;
+
 /// One rank's slice of a distributed state vector.
 ///
 /// The slice lives in [`AlignedAmps`] storage so the rank-local kernel
 /// sweeps run on the same cache-line-aligned buffers as the serial
 /// engine (the SIMD backends assert this in debug builds).
+///
+/// An attached [`Tracer`] (see [`DistState::set_tracer`]) records every
+/// communication phase — pair exchanges, controlled exchanges,
+/// global–local swaps, and collectives — as exchange spans carrying the
+/// wire volume and the global qubit involved, so E5's communication
+/// accounting comes straight out of the trace instead of
+/// subtract-the-empty-circuit arithmetic.
 #[derive(Debug, Clone)]
 pub struct DistState {
     part: Partition,
     rank: usize,
     amps: AlignedAmps,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Send a complex slice as interleaved f64 (C64 is repr(C) f64-pairs).
@@ -51,7 +66,7 @@ impl DistState {
         if comm.rank() == 0 {
             amps[0] = C64::real(1.0);
         }
-        DistState { part, rank: comm.rank(), amps }
+        DistState { part, rank: comm.rank(), amps, tracer: None }
     }
 
     /// Slice a full state vector (every rank passes the same `full`).
@@ -60,7 +75,32 @@ impl DistState {
         let rank = comm.rank();
         let start = part.global_index(rank, 0);
         let amps = AlignedAmps::from_slice(&full.amplitudes()[start..start + part.local_len()]);
-        DistState { part, rank, amps }
+        DistState { part, rank, amps, tracer: None }
+    }
+
+    /// Attach (or detach) a tracer; subsequent communication phases are
+    /// recorded as exchange spans stamped with this rank.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    fn record_exchange(
+        &self,
+        phase: ExchangePhase,
+        qubits: &[u32],
+        amps_moved: u64,
+        started: Option<Instant>,
+    ) {
+        if let (Some(t), Some(t0)) = (&self.tracer, started) {
+            t.record_exchange(
+                0,
+                phase,
+                qubits,
+                amps_moved,
+                amps_moved * C64_BYTES,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// The partition geometry.
@@ -138,6 +178,7 @@ impl DistState {
 
     /// Dense 1q gate on global qubit `q` by whole-buffer pair exchange.
     fn pair_exchange_1q(&mut self, comm: &mut Comm, q: u32, m: &[[C64; 2]; 2]) {
+        let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let partner = self.part.partner(self.rank, q);
         let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps);
         let b = usize::from(self.global_bit_value(q));
@@ -145,10 +186,12 @@ impl DistState {
         for (mine, other) in self.amps.iter_mut().zip(&theirs) {
             *mine = C64::default().fma(diag, *mine).fma(off, *other);
         }
+        self.record_exchange(ExchangePhase::PairExchange, &[q], self.amps.len() as u64, t0);
     }
 
     /// Controlled dense gate: local control `c`, global target `t`.
     fn pair_exchange_controlled(&mut self, comm: &mut Comm, c: u32, t: u32, m: &[[C64; 2]; 2]) {
+        let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let partner = self.part.partner(self.rank, t);
         let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps);
         let b = usize::from(self.global_bit_value(t));
@@ -159,6 +202,7 @@ impl DistState {
                 *mine = C64::default().fma(diag, *mine).fma(off, *other);
             }
         }
+        self.record_exchange(ExchangePhase::CtrlExchange, &[c, t], self.amps.len() as u64, t0);
     }
 
     /// Diagonal gate with ≥1 global qubit: every factor involving a
@@ -214,6 +258,7 @@ impl DistState {
     /// *labels* are restored by the caller swapping back after use.
     fn swap_global_local(&mut self, comm: &mut Comm, gq: u32, lq: u32) {
         debug_assert!(!self.part.is_local(gq) && self.part.is_local(lq));
+        let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let r = usize::from(self.global_bit_value(gq));
         let half = self.amps.len() / 2;
         // Ship amplitudes whose lq bit ≠ my global bit.
@@ -229,6 +274,7 @@ impl DistState {
             let x = insert_zero_bit(j, lq) | (want_bit << lq);
             self.amps[x] = v;
         }
+        self.record_exchange(ExchangePhase::GlobalSwap, &[gq, lq], half as u64, t0);
     }
 
     /// Apply a gate with global qubits by temporarily relocating each
@@ -412,8 +458,10 @@ impl DistState {
 
     /// Reassemble the full state on every rank (allgather).
     pub fn allgather_full(&self, comm: &mut Comm) -> StateVector {
+        let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let all_f64 = comm.allgather(as_f64_slice(&self.amps));
         let amps: Vec<C64> = all_f64.chunks_exact(2).map(|p| C64::new(p[0], p[1])).collect();
+        self.record_exchange(ExchangePhase::Collective, &[], self.amps.len() as u64, t0);
         StateVector::from_amplitudes(&amps)
     }
 }
@@ -432,11 +480,63 @@ pub fn run_distributed(
     (states.remove(0), stats)
 }
 
+/// Like [`run_distributed`], but every rank records an exchange span per
+/// communication phase (phase kind, partner qubits, amplitudes moved,
+/// bytes on the wire, wall time). Returns one [`Trace`] per rank; when
+/// `telemetry.trace_path` is set the traces are also written there as
+/// JSONL, one run block per rank.
+pub fn run_distributed_traced(
+    circuit: &Circuit,
+    n_ranks: usize,
+    telemetry: &TelemetryConfig,
+) -> (StateVector, Vec<mpi_sim::CommStats>, Vec<Trace>) {
+    let n = circuit.n_qubits();
+    let (results, stats) = World::run_with_stats(n_ranks, |comm| {
+        let mut tracer = Tracer::with_defaults(n, 1, telemetry.capacity);
+        tracer.set_rank(comm.rank() as i32);
+        let tracer = Arc::new(tracer);
+        let mut st = DistState::zero(n, comm);
+        st.set_tracer(Some(Arc::clone(&tracer)));
+        st.apply_circuit(comm, circuit);
+        let state = st.allgather_full(comm);
+        st.set_tracer(None);
+        let tracer = Arc::try_unwrap(tracer)
+            .unwrap_or_else(|_| unreachable!("tracer detached from the rank state above"));
+        let meta = RunMeta {
+            strategy: format!("dist:{n_ranks}"),
+            backend: "exchange".to_string(),
+            threads: 1,
+            schedule: "static".to_string(),
+            n_qubits: n,
+            label: telemetry.label.clone(),
+        };
+        (state, tracer.finish(meta))
+    });
+    let mut state = None;
+    let mut traces = Vec::with_capacity(n_ranks);
+    for (s, t) in results {
+        if state.is_none() {
+            state = Some(s);
+        }
+        traces.push(t);
+    }
+    if telemetry.trace_path.is_some() {
+        let mut cfg = telemetry.clone();
+        for trace in &traces {
+            // One JSONL run block per rank; ranks after the first append.
+            let _ = qcs_core::telemetry::write_configured(&cfg, trace);
+            cfg.append = true;
+        }
+    }
+    (state.expect("world has at least one rank"), stats, traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use qcs_core::library;
     use qcs_core::sim::Simulator;
+    use qcs_core::telemetry::SpanKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -549,6 +649,86 @@ mod tests {
             assert_eq!(x.bytes_sent, y.bytes_sent);
         }
         check_distributed(&c, 4);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_accounts_exchange_volume() {
+        // One H on a global qubit over 4 ranks: each rank exchanges its
+        // whole local buffer once (pair exchange) and once more for the
+        // final allgather. The tracer must see exactly those spans with
+        // the right amplitude counts — this is the volume accounting the
+        // communication experiments read off the trace.
+        let mut c = Circuit::new(8);
+        c.h(7);
+        let reference = serial_reference(&c);
+        let cfg = TelemetryConfig::on();
+        let (state, _, traces) = run_distributed_traced(&c, 4, &cfg);
+        assert!(state.approx_eq(&reference, EPS));
+        assert_eq!(traces.len(), 4);
+        let local_amps = 1u64 << 6;
+        for (rank, trace) in traces.iter().enumerate() {
+            assert_eq!(trace.meta.strategy, "dist:4");
+            let pair: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Exchange(ExchangePhase::PairExchange))
+                .collect();
+            let coll: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Exchange(ExchangePhase::Collective))
+                .collect();
+            assert_eq!(pair.len(), 1, "rank {rank}: one pair exchange for the global H");
+            assert_eq!(coll.len(), 1, "rank {rank}: one final allgather");
+            assert_eq!(pair[0].amps, local_amps);
+            assert_eq!(pair[0].bytes, local_amps * C64_BYTES);
+            assert_eq!(pair[0].qubits, vec![7]);
+            assert_eq!(pair[0].rank, rank as i32);
+            assert_eq!(pair[0].bottleneck, "network");
+        }
+    }
+
+    #[test]
+    fn traced_remap_records_global_swaps() {
+        // A dense 2q gate on two global qubits forces remapping: the
+        // engine swaps each global qubit with a local one (half-buffer
+        // exchanges), applies locally, then swaps back.
+        let mut c = Circuit::new(8);
+        c.h(6).h(7).iswap(6, 7);
+        let (state, _, traces) = run_distributed_traced(&c, 4, &TelemetryConfig::on());
+        assert!(state.approx_eq(&serial_reference(&c), EPS));
+        let swaps: usize = traces
+            .iter()
+            .flat_map(|t| &t.spans)
+            .filter(|s| s.kind == SpanKind::Exchange(ExchangePhase::GlobalSwap))
+            .count();
+        assert!(swaps > 0, "remapped dense gate must record global-swap spans");
+        for t in &traces {
+            for s in &t.spans {
+                if s.kind == SpanKind::Exchange(ExchangePhase::GlobalSwap) {
+                    assert_eq!(s.amps, 1u64 << 5, "half the local buffer moves per swap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_runs_write_one_jsonl_block_per_rank() {
+        let dir = std::env::temp_dir().join("qcs_dist_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Circuit::new(6);
+        c.h(5).cx(5, 0);
+        let cfg = TelemetryConfig::on().with_output(&path);
+        let (_, _, traces) = run_distributed_traced(&c, 2, &cfg);
+        let read = qcs_core::telemetry::sink::read_jsonl(&path).unwrap();
+        assert_eq!(read.len(), 2, "one run block per rank");
+        for (mem, disk) in traces.iter().zip(&read) {
+            assert_eq!(mem.meta, disk.meta);
+            assert_eq!(mem.spans.len(), disk.spans.len());
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

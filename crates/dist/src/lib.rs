@@ -10,7 +10,7 @@
 //! paper's multi-node analysis studies (experiment E5).
 //!
 //! * [`partition`] — the index split and ownership arithmetic.
-//! * [`engine`] — [`DistState`](engine::DistState): gate application with
+//! * [`engine`] — [`DistState`]: gate application with
 //!   the three communication regimes (none / pair exchange / global–local
 //!   qubit swap), measurement, and gathering.
 
@@ -18,6 +18,6 @@ pub mod engine;
 pub mod partition;
 pub mod remap;
 
-pub use engine::{run_distributed, DistState};
+pub use engine::{run_distributed, run_distributed_traced, DistState};
 pub use partition::Partition;
 pub use remap::{run_distributed_mapped, MappedDistState};

@@ -32,7 +32,7 @@ impl Comm {
     }
 
     /// Post a receive for `(src, tag)`; completion is deferred to
-    /// [`Comm::wait`]. Use [`ANY_SOURCE`] to match any sender.
+    /// [`Comm::wait`]. Use [`crate::comm::ANY_SOURCE`] to match any sender.
     pub fn irecv(&mut self, src: usize, tag: u32) -> RecvRequest {
         RecvRequest { src, tag }
     }

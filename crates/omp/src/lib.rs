@@ -22,5 +22,5 @@ pub mod pool;
 pub mod schedule;
 
 pub use affinity::{CmgTopology, Placement};
-pub use pool::{ScheduleStats, ThreadPool};
+pub use pool::{RegionObserver, ScheduleStats, ThreadPool};
 pub use schedule::Schedule;

@@ -16,11 +16,30 @@
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::schedule::{static_block, static_cyclic, Schedule, WorkCounter};
+
+/// Per-thread observation hook for worksharing regions.
+///
+/// When installed on a pool ([`ThreadPool::set_observer`]), every
+/// [`ThreadPool::parallel_for`] / [`ThreadPool::parallel_for_indexed`]
+/// region reports, once per participating thread, how long that thread
+/// was busy inside its share and how many chunks/iterations it executed.
+/// This is the per-thread clock the telemetry layer aggregates into
+/// busy-time and load-balance statistics without touching kernel code.
+///
+/// Implementations must be cheap and wait-free (typically a handful of
+/// relaxed atomic adds): the callback runs on the worker threads
+/// immediately after their share completes, before the region barrier
+/// releases the master.
+pub trait RegionObserver: Send + Sync {
+    /// One thread finished its share of a worksharing region.
+    fn worksharing(&self, thread: usize, busy_nanos: u64, chunks: usize, iters: usize);
+}
 
 /// A region closure: called with the thread index.
 type RegionFn<'a> = dyn Fn(usize) + Sync + 'a;
@@ -51,6 +70,7 @@ pub struct ThreadPool {
     senders: Vec<Sender<Msg>>,
     ack_rx: Receiver<Ack>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    observer: Mutex<Option<Arc<dyn RegionObserver>>>,
 }
 
 impl ThreadPool {
@@ -71,12 +91,24 @@ impl ThreadPool {
             senders.push(tx);
             handles.push(handle);
         }
-        ThreadPool { n_threads, senders, ack_rx, handles }
+        ThreadPool { n_threads, senders, ack_rx, handles, observer: Mutex::new(None) }
     }
 
     /// Total threads in the pool (master + workers).
     pub fn num_threads(&self) -> usize {
         self.n_threads
+    }
+
+    /// Install (or with `None`, remove) the worksharing observer. The
+    /// cost when no observer is installed is one uncontended read lock
+    /// per region — nothing on the per-iteration path.
+    pub fn set_observer(&self, observer: Option<Arc<dyn RegionObserver>>) {
+        *self.observer.lock() = observer;
+    }
+
+    /// The currently installed observer, if any.
+    pub fn observer(&self) -> Option<Arc<dyn RegionObserver>> {
+        self.observer.lock().clone()
     }
 
     /// Run `region(thread_idx)` once on every thread, blocking until all
@@ -135,8 +167,20 @@ impl ThreadPool {
         let range_ref = &range;
         let body_ref = &body;
         let counter_ref = &counter;
-        self.run_region(move |t| {
-            run_share_fn(range_ref.clone(), sched, t, n, counter_ref, body_ref)
+        let obs = self.observer();
+        self.run_region(move |t| match &obs {
+            None => run_share_fn(range_ref.clone(), sched, t, n, counter_ref, body_ref),
+            Some(o) => {
+                let t0 = Instant::now();
+                let (mut chunks, mut iters) = (0usize, 0usize);
+                let mut adapter = |r: Range<usize>| {
+                    chunks += 1;
+                    iters += r.len();
+                    body_ref(r);
+                };
+                run_share(range_ref.clone(), sched, t, n, counter_ref, &mut adapter);
+                o.worksharing(t, t0.elapsed().as_nanos() as u64, chunks, iters);
+            }
         });
     }
 
@@ -152,9 +196,19 @@ impl ThreadPool {
         let range_ref = &range;
         let body_ref = &body;
         let counter_ref = &counter;
+        let obs = self.observer();
         self.run_region(move |t| {
-            let mut adapter = |r: Range<usize>| body_ref(t, r);
+            let t0 = Instant::now();
+            let (mut chunks, mut iters) = (0usize, 0usize);
+            let mut adapter = |r: Range<usize>| {
+                chunks += 1;
+                iters += r.len();
+                body_ref(t, r);
+            };
             run_share(range_ref.clone(), sched, t, n, counter_ref, &mut adapter);
+            if let Some(o) = &obs {
+                o.worksharing(t, t0.elapsed().as_nanos() as u64, chunks, iters);
+            }
         });
     }
 
@@ -546,6 +600,41 @@ mod tests {
         assert!(stats.imbalance() <= 250.0 / 250.0 + 0.01, "{stats:?}");
         // One chunk per thread.
         assert!(stats.chunks_per_thread.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn observer_reports_every_thread_and_full_range() {
+        struct Acc {
+            busy: Vec<AtomicU64>,
+            chunks: AtomicUsize,
+            iters: AtomicUsize,
+        }
+        impl RegionObserver for Acc {
+            fn worksharing(&self, thread: usize, busy_nanos: u64, chunks: usize, iters: usize) {
+                self.busy[thread].fetch_add(busy_nanos.max(1), Ordering::Relaxed);
+                self.chunks.fetch_add(chunks, Ordering::Relaxed);
+                self.iters.fetch_add(iters, Ordering::Relaxed);
+            }
+        }
+        let pool = ThreadPool::new(4);
+        let acc = Arc::new(Acc {
+            busy: (0..4).map(|_| AtomicU64::new(0)).collect(),
+            chunks: AtomicUsize::new(0),
+            iters: AtomicUsize::new(0),
+        });
+        pool.set_observer(Some(acc.clone()));
+        pool.parallel_for(0..1000, Schedule::Static { chunk: None }, |r| {
+            std::hint::black_box(r.len());
+        });
+        assert_eq!(acc.iters.load(Ordering::Relaxed), 1000);
+        assert_eq!(acc.chunks.load(Ordering::Relaxed), 4);
+        for b in &acc.busy {
+            assert!(b.load(Ordering::Relaxed) > 0, "every thread reports busy time");
+        }
+        // Removing the observer stops the reports.
+        pool.set_observer(None);
+        pool.parallel_for(0..100, Schedule::Dynamic { chunk: 8 }, |_| {});
+        assert_eq!(acc.iters.load(Ordering::Relaxed), 1000);
     }
 
     #[test]

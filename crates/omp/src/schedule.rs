@@ -41,6 +41,47 @@ impl Default for Schedule {
     }
 }
 
+/// Renders in the same `kind[:chunk]` syntax the `FromStr` impl
+/// accepts, so configs are round-trippable and self-describing.
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Static { chunk: None } => write!(f, "static"),
+            Schedule::Static { chunk: Some(c) } => write!(f, "static:{c}"),
+            Schedule::Dynamic { chunk } => write!(f, "dynamic:{chunk}"),
+            Schedule::Guided { min_chunk } => write!(f, "guided:{min_chunk}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    /// Parse the OpenMP-style `kind[:chunk]` syntax used by the CLI:
+    /// `static`, `static:<chunk>`, `dynamic[:<chunk>]`, `guided[:<min>]`.
+    fn from_str(s: &str) -> Result<Schedule, String> {
+        let (kind, chunk) = match s.split_once(':') {
+            Some((k, c)) => {
+                let c: usize = c.parse().map_err(|e| format!("schedule chunk `{c}`: {e}"))?;
+                if c == 0 {
+                    return Err("schedule chunk must be at least 1".to_string());
+                }
+                (k, Some(c))
+            }
+            None => (s, None),
+        };
+        match kind {
+            "static" => Ok(Schedule::Static { chunk }),
+            "dynamic" => Ok(Schedule::Dynamic { chunk: chunk.unwrap_or(64) }),
+            "guided" => Ok(Schedule::Guided { min_chunk: chunk.unwrap_or(1) }),
+            other => Err(format!(
+                "unknown schedule `{other}` (valid: static | static:<chunk> | \
+                 dynamic[:<chunk>] | guided[:<min_chunk>])"
+            )),
+        }
+    }
+}
+
 /// Shared per-region state for dynamic/guided scheduling.
 #[derive(Debug)]
 pub struct WorkCounter {
@@ -241,6 +282,18 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn schedule_parse_round_trips() {
+        for s in ["static", "static:7", "dynamic:32", "guided:4"] {
+            let sched: Schedule = s.parse().unwrap();
+            assert_eq!(sched.to_string(), s);
+        }
+        assert_eq!("dynamic".parse::<Schedule>().unwrap(), Schedule::Dynamic { chunk: 64 });
+        assert_eq!("guided".parse::<Schedule>().unwrap(), Schedule::Guided { min_chunk: 1 });
+        assert!("wavefront".parse::<Schedule>().unwrap_err().contains("valid:"));
+        assert!("static:0".parse::<Schedule>().unwrap_err().contains("at least 1"));
     }
 
     #[test]

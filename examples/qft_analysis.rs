@@ -21,13 +21,14 @@ fn main() {
         circuit.depth()
     );
 
-    let sim = Simulator::new().with_model(ChipParams::a64fx(), ExecConfig::full_chip());
+    let base = SimConfig::new().model(ChipParams::a64fx(), ExecConfig::full_chip());
 
     for (label, strategy) in
         [("naive", Strategy::Naive), ("fused k=4", Strategy::Fused { max_k: 4 })]
     {
+        let sim = base.clone().strategy(strategy).build().unwrap();
         let mut state = StateVector::zero(n);
-        let report = sim.clone().with_strategy(strategy).run(&circuit, &mut state).unwrap();
+        let report = sim.run(&circuit, &mut state).unwrap();
         let model = report.predicted.expect("model attached");
         println!("\n[{label}]");
         println!("  host wall time      : {:.3} ms", report.wall_seconds * 1e3);

@@ -37,7 +37,8 @@ fn main() {
     }
 
     // The same circuit under gate fusion produces the same state.
+    let fused_sim = SimConfig::new().strategy(Strategy::Fused { max_k: 3 }).build().unwrap();
     let mut fused = StateVector::zero(n);
-    Simulator::new().with_strategy(Strategy::Fused { max_k: 3 }).run(&circuit, &mut fused).unwrap();
+    fused_sim.run(&circuit, &mut fused).unwrap();
     println!("\nfused run max |Δamp| = {:.2e}", state.max_abs_diff(&fused));
 }

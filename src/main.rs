@@ -11,46 +11,52 @@
 //!   --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>   execution strategy [naive]
 //!   --backend auto|scalar|simd               kernel SIMD backend [auto]
 //!   --threads <t>                            worksharing threads [1]
+//!   --schedule static[:c]|dynamic[:c]|guided[:c]   worksharing schedule [static]
 //!   --ranks <r>                              distributed ranks (power of 2)
 //!   --shots <s>                              sample and print counts
 //!   --probs <top>                            print the top-N probabilities
 //!   --model                                  attach the A64FX model report
+//!   --trace                                  record per-sweep telemetry spans
+//!   --trace-out <file.jsonl>                 write the trace as JSONL (implies --trace)
+//!   --verbose                                print the resolved configuration
 //!   --seed <u64>                             RNG seed [1]
 //! ```
+//!
+//! All execution flags funnel into a single [`SimConfig`]; `--verbose`
+//! prints it back, and the same value stamps every trace header. The
+//! `QCS_TRACE` / `QCS_TRACE_OUT` environment variables enable telemetry
+//! without touching the command line.
 
 use std::process::ExitCode;
 
 use a64fx_qcs::a64fx::timing::ExecConfig;
 use a64fx_qcs::a64fx::ChipParams;
-use a64fx_qcs::core::kernels::simd::BackendChoice;
 use a64fx_qcs::core::measure::sample_counts;
 use a64fx_qcs::core::prelude::*;
+use a64fx_qcs::core::telemetry::drift::DriftReport;
 use a64fx_qcs::core::{library, qasm};
-use a64fx_qcs::dist::run_distributed;
+use a64fx_qcs::dist::{run_distributed, run_distributed_traced};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 struct Options {
-    strategy: Strategy,
-    backend: BackendChoice,
-    threads: usize,
+    config: SimConfig,
     ranks: usize,
     shots: usize,
     probs: usize,
-    model: bool,
+    verbose: bool,
     seed: u64,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Options {
-            strategy: Strategy::Naive,
-            backend: BackendChoice::Auto,
-            threads: 1,
+            // `SimConfig::new()` already resolves QCS_TRACE / QCS_TRACE_OUT.
+            config: SimConfig::new(),
             ranks: 1,
             shots: 0,
             probs: 0,
-            model: false,
+            verbose: false,
             seed: 1,
         }
     }
@@ -101,10 +107,14 @@ fn usage() -> String {
     "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
      families: ghz qft random qv trotter qaoa grover shor\n\
      opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>  --threads <t>  --ranks <r>\n\
-           --backend auto|scalar|simd  --shots <s>  --probs <top>  --model  --seed <u64>"
+           --backend auto|scalar|simd  --schedule static[:c]|dynamic[:c]|guided[:c]\n\
+           --shots <s>  --probs <top>  --model  --trace  --trace-out <file>  --verbose\n\
+           --seed <u64>"
         .to_string()
 }
 
+/// One parsing pass builds the complete [`SimConfig`] plus the
+/// run-level knobs that live outside it (ranks, shots, output).
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
@@ -114,16 +124,32 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         };
         match a.as_str() {
             "--strategy" => {
-                let v = value("--strategy")?;
-                opts.strategy = parse_strategy(&v)?;
+                opts.config.strategy = value("--strategy")?.parse()?;
             }
             "--backend" => {
                 let v = value("--backend")?;
-                opts.backend = v.parse().map_err(|e| format!("--backend: {e}"))?;
+                opts.config.backend = v.parse().map_err(|e| format!("--backend: {e}"))?;
             }
             "--threads" => {
-                opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                let t: usize =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                // Set the pool spec verbatim: `SimConfig::validate` turns
+                // `--threads 0` into a clean error instead of a clamp.
+                opts.config.pool = if t == 1 { PoolSpec::Serial } else { PoolSpec::Threads(t) };
             }
+            "--schedule" => {
+                opts.config.schedule =
+                    value("--schedule")?.parse().map_err(|e| format!("--schedule: {e}"))?;
+            }
+            "--model" => {
+                opts.config.model = Some((ChipParams::a64fx(), ExecConfig::full_chip()));
+            }
+            "--trace" => opts.config.telemetry.enabled = true,
+            "--trace-out" => {
+                let path = value("--trace-out")?;
+                opts.config.telemetry = opts.config.telemetry.clone().with_output(path);
+            }
+            "--verbose" => opts.verbose = true,
             "--ranks" => {
                 opts.ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?
             }
@@ -134,34 +160,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.probs = value("--probs")?.parse().map_err(|e| format!("--probs: {e}"))?
             }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--model" => opts.model = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
-}
-
-fn parse_strategy(text: &str) -> Result<Strategy, String> {
-    if text == "naive" {
-        return Ok(Strategy::Naive);
-    }
-    if let Some(k) = text.strip_prefix("fused:") {
-        let k: u32 = k.parse().map_err(|e| format!("fused:<k>: {e}"))?;
-        return Ok(Strategy::Fused { max_k: k });
-    }
-    if let Some(b) = text.strip_prefix("blocked:") {
-        let b: u32 = b.parse().map_err(|e| format!("blocked:<b>: {e}"))?;
-        return Ok(Strategy::Blocked { block_qubits: b });
-    }
-    if let Some(rest) = text.strip_prefix("planned:") {
-        let (b, k) = rest
-            .split_once(':')
-            .ok_or_else(|| "planned takes two parameters: planned:<b>:<k>".to_string())?;
-        let b: u32 = b.parse().map_err(|e| format!("planned:<b>: {e}"))?;
-        let k: u32 = k.parse().map_err(|e| format!("planned:<k>: {e}"))?;
-        return Ok(Strategy::Planned { block_qubits: b, max_k: k });
-    }
-    Err(format!("unknown strategy `{text}` (naive | fused:<k> | blocked:<b> | planned:<b>:<k>)"))
 }
 
 fn parse_run_args(args: &[String]) -> Result<(String, Options), String> {
@@ -203,33 +205,14 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         circuit.len(),
         circuit.depth()
     );
+    if opts.verbose {
+        print!("configuration:\n{}", opts.config.describe());
+    }
 
     let state = if opts.ranks > 1 {
-        if !opts.ranks.is_power_of_two() {
-            return Err(format!("--ranks must be a power of two, got {}", opts.ranks));
-        }
-        let g = opts.ranks.trailing_zeros();
-        if g + 3 > circuit.n_qubits() {
-            return Err(format!(
-                "{} ranks on {} qubits leaves fewer than 3 local qubits; \
-                 use a wider circuit or fewer ranks",
-                opts.ranks,
-                circuit.n_qubits()
-            ));
-        }
-        println!("running on {} in-process ranks…", opts.ranks);
-        let (state, stats) = run_distributed(circuit, opts.ranks);
-        let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
-        println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
-        state
+        execute_distributed(circuit, opts)?
     } else {
-        let mut sim = Simulator::new().with_strategy(opts.strategy).with_backend(opts.backend);
-        if opts.threads > 1 {
-            sim = sim.with_threads(opts.threads);
-        }
-        if opts.model {
-            sim = sim.with_model(ChipParams::a64fx(), ExecConfig::full_chip());
-        }
+        let sim = opts.config.clone().build().map_err(|e| e.to_string())?;
         let mut state = StateVector::zero(circuit.n_qubits());
         let report = sim.run(circuit, &mut state).map_err(|e| e.to_string())?;
         println!(
@@ -238,7 +221,7 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
             report.wall_seconds * 1e3,
             report.backend
         );
-        if let Some(model) = report.predicted {
+        if let Some(model) = &report.predicted {
             println!(
                 "A64FX model: {:.3} µs, {:.1} MiB HBM traffic, {:.1} GF/s effective, bottlenecks {:?}",
                 model.seconds * 1e6,
@@ -246,6 +229,20 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
                 model.gflops(),
                 model.bottlenecks
             );
+        }
+        if let Some(trace) = &report.trace {
+            println!(
+                "trace: {} spans ({} dropped), {:.1} MiB touched",
+                trace.summary.spans,
+                trace.summary.dropped,
+                trace.summary.bytes as f64 / (1 << 20) as f64
+            );
+            if opts.verbose {
+                print!("{}", DriftReport::from_trace(trace).to_table());
+            }
+            if let Some(path) = &opts.config.telemetry.trace_path {
+                println!("trace written to {}", path.display());
+            }
         }
         state
     };
@@ -269,4 +266,45 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector, String> {
+    if !opts.ranks.is_power_of_two() {
+        return Err(format!("--ranks must be a power of two, got {}", opts.ranks));
+    }
+    let g = opts.ranks.trailing_zeros();
+    if g + 3 > circuit.n_qubits() {
+        return Err(format!(
+            "{} ranks on {} qubits leaves fewer than 3 local qubits; \
+             use a wider circuit or fewer ranks",
+            opts.ranks,
+            circuit.n_qubits()
+        ));
+    }
+    println!("running on {} in-process ranks…", opts.ranks);
+    let telemetry = &opts.config.telemetry;
+    let state = if telemetry.enabled {
+        let (state, stats, traces) = run_distributed_traced(circuit, opts.ranks, telemetry);
+        let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+        println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
+        for trace in &traces {
+            let rank = trace.spans.first().map_or(0, |s| s.rank);
+            println!(
+                "rank {rank}: {} exchange spans, {:.2} MiB on the wire, {:.3} ms in exchanges",
+                trace.summary.spans,
+                trace.summary.bytes as f64 / (1 << 20) as f64,
+                trace.summary.wall_ns as f64 / 1e6
+            );
+        }
+        if let Some(path) = &telemetry.trace_path {
+            println!("trace written to {}", path.display());
+        }
+        state
+    } else {
+        let (state, stats) = run_distributed(circuit, opts.ranks);
+        let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+        println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
+        state
+    };
+    Ok(state)
 }

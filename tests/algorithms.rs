@@ -10,7 +10,12 @@ use rand::SeedableRng;
 
 fn run(circuit: &Circuit) -> StateVector {
     let mut s = StateVector::zero(circuit.n_qubits());
-    Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(circuit, &mut s).unwrap();
+    SimConfig::new()
+        .strategy(Strategy::Fused { max_k: 4 })
+        .build()
+        .unwrap()
+        .run(circuit, &mut s)
+        .unwrap();
     s
 }
 

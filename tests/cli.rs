@@ -115,4 +115,60 @@ fn help_prints_usage() {
     let out = run_ok(&["--help"]);
     assert!(out.contains("usage:"));
     assert!(out.contains("families:"));
+    assert!(out.contains("--trace"));
+}
+
+#[test]
+fn verbose_prints_the_resolved_configuration() {
+    let out = run_ok(&[
+        "demo",
+        "qft",
+        "5",
+        "--strategy",
+        "fused:3",
+        "--threads",
+        "2",
+        "--schedule",
+        "dynamic:32",
+        "--verbose",
+    ]);
+    assert!(out.contains("configuration:"), "{out}");
+    assert!(out.contains("strategy:  fused:3"));
+    assert!(out.contains("threads:   2"));
+    assert!(out.contains("schedule:  dynamic:32"));
+}
+
+#[test]
+fn trace_out_writes_jsonl_and_reports_span_counts() {
+    let dir = std::env::temp_dir().join("a64fx_qcs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace_cli.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let out = run_ok(&["demo", "qft", "5", "--trace-out", path.to_str().unwrap()]);
+    assert!(out.contains("trace:"), "{out}");
+    assert!(out.contains("trace written to"), "{out}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    assert!(lines.next().unwrap().contains("\"type\":\"run\""));
+    assert!(lines.next().unwrap().contains("\"type\":\"span\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn traced_distributed_run_reports_per_rank_exchanges() {
+    let out = run_ok(&["demo", "qft", "7", "--ranks", "2", "--trace"]);
+    assert!(out.contains("rank 0:"), "{out}");
+    assert!(out.contains("exchange spans"), "{out}");
+}
+
+#[test]
+fn bad_schedule_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--schedule", "sometimes"]);
+    assert!(err.contains("--schedule"), "{err}");
+}
+
+#[test]
+fn zero_threads_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--threads", "0"]);
+    assert!(err.contains("at least 1"), "{err}");
 }

@@ -41,7 +41,7 @@ fn every_strategy_agrees_on_every_circuit_family() {
             Strategy::Planned { block_qubits: 3, max_k: 2 },
         ] {
             let mut s = StateVector::zero(m);
-            Simulator::new().with_strategy(strategy).run(&circuit, &mut s).unwrap();
+            SimConfig::new().strategy(strategy).build().unwrap().run(&circuit, &mut s).unwrap();
             assert!(
                 s.approx_eq(&reference, EPS),
                 "{name} under {strategy:?}: max diff {}",
@@ -63,9 +63,11 @@ fn threaded_and_scheduled_runs_agree() {
             Schedule::Guided { min_chunk: 32 },
         ] {
             let mut s = StateVector::zero(10);
-            Simulator::new()
-                .with_threads(threads)
-                .with_schedule(sched)
+            SimConfig::new()
+                .threads(threads)
+                .schedule(sched)
+                .build()
+                .unwrap()
                 .run(&circuit, &mut s)
                 .unwrap();
             assert!(s.approx_eq(&reference, EPS), "threads={threads} {sched:?}");
@@ -95,9 +97,11 @@ fn fused_threaded_distributed_triangle() {
     let serial = reference(&circuit);
 
     let mut fused_threaded = StateVector::zero(10);
-    Simulator::new()
-        .with_strategy(Strategy::Fused { max_k: 4 })
-        .with_threads(3)
+    SimConfig::new()
+        .strategy(Strategy::Fused { max_k: 4 })
+        .threads(3)
+        .build()
+        .unwrap()
         .run(&circuit, &mut fused_threaded)
         .unwrap();
 
@@ -117,7 +121,7 @@ fn inverse_circuit_roundtrip_through_all_paths() {
 
     for strategy in [Strategy::Naive, Strategy::Fused { max_k: 4 }] {
         let mut s = init.clone();
-        let sim = Simulator::new().with_strategy(strategy);
+        let sim = SimConfig::new().strategy(strategy).build().unwrap();
         sim.run(&circuit, &mut s).unwrap();
         assert!(!s.approx_eq(&init, 1e-3), "circuit must actually change the state");
         sim.run(&inv, &mut s).unwrap();
@@ -132,6 +136,11 @@ fn norm_preserved_through_long_pipelines() {
     big.append(&library::random_circuit(10, 10, 3));
     big.append(&library::trotter_ising(10, 3, 0.7, 1.1, 0.05));
     let mut s = StateVector::zero(10);
-    Simulator::new().with_strategy(Strategy::Fused { max_k: 4 }).run(&big, &mut s).unwrap();
+    SimConfig::new()
+        .strategy(Strategy::Fused { max_k: 4 })
+        .build()
+        .unwrap()
+        .run(&big, &mut s)
+        .unwrap();
     assert!((s.norm_sqr() - 1.0).abs() < 1e-8);
 }

@@ -77,7 +77,7 @@ fn threaded_simulation_inside_mpi_ranks() {
     let results = World::run(3, |_comm| {
         let c = library::qft(8);
         let mut s = StateVector::zero(8);
-        Simulator::new().with_threads(2).run(&c, &mut s).unwrap();
+        SimConfig::new().threads(2).build().unwrap().run(&c, &mut s).unwrap();
         s.probabilities()
     });
     for r in &results[1..] {

@@ -263,7 +263,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Acceptable size arguments for [`vec`]: a fixed length or a range.
+    /// Acceptable size arguments for [`vec()`]: a fixed length or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
