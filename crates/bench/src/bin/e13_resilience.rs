@@ -1,0 +1,292 @@
+//! E13 — Resilience: survival and overhead under injected transport faults.
+//!
+//! Three questions, three tables:
+//!
+//! 1. **Fault sweep** — as the per-message fault probability rises
+//!    (drops, duplications, bit-flips, delays all at intensity `p`),
+//!    does the reliable transport still deliver a bit-identical state,
+//!    and what does the recovery work (retries, timeouts, discarded
+//!    frames) cost in wall time?
+//! 2. **Checkpoint cadence** — when gate-level failures force rollback,
+//!    how does the checkpoint interval trade checkpoint count against
+//!    gates replayed?
+//! 3. **Disabled overhead** — with every resilience feature off, the
+//!    resilient wrapper must price within ~1% of the plain engine at
+//!    n = 18 (the zero-overhead guarantee).
+//!
+//! Expected shape: survival stays 100% across the sweep (stop-and-wait
+//! ARQ with bounded retry heals every transient), wall time grows with
+//! intensity because each drop costs at least one ACK timeout, and the
+//! logical byte counts never move — retries are physical, not logical.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use mpi_sim::FaultPlan;
+use qcs_bench::{fmt_secs, time_best, Table};
+use qcs_core::circuit::Circuit;
+use qcs_core::library;
+use qcs_dist::{run_distributed, run_resilient, ResilienceConfig};
+
+const RANKS: usize = 4;
+const SEEDS: [u64; 5] = [11, 42, 101, 2024, 7777];
+
+/// A sweep plan: every fault class at intensity `p`, short delays and an
+/// aggressive ACK timeout so the bench finishes quickly.
+fn plan(p: f64, seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_p: p,
+        dup_p: p,
+        flip_p: p,
+        delay_p: p,
+        delay: Duration::from_micros(200),
+        ack_timeout: Duration::from_millis(2),
+        max_retries: 8,
+        ..FaultPlan::default()
+    }
+}
+
+struct SweepRow {
+    intensity: f64,
+    survived: usize,
+    runs: usize,
+    faults: u64,
+    retries: u64,
+    timeouts: u64,
+    corrupt: u64,
+    duplicates: u64,
+    mean_secs: f64,
+}
+
+fn fault_sweep(circuit: &Circuit, rows: &mut Vec<SweepRow>) {
+    println!(
+        "E13: fault-intensity sweep — QFT n = {}, {} ranks, {} seeds per point",
+        circuit.n_qubits(),
+        RANKS,
+        SEEDS.len()
+    );
+    let (clean, _) = run_distributed(circuit, RANKS).expect("clean distributed run");
+
+    let mut table = Table::new(&[
+        "intensity",
+        "survived",
+        "faults injected",
+        "retries",
+        "timeouts",
+        "corrupt dropped",
+        "mean time",
+        "overhead",
+    ]);
+    let mut base_secs = 0.0;
+    for &p in &[0.0, 0.01, 0.02, 0.05, 0.10] {
+        let mut row = SweepRow {
+            intensity: p,
+            survived: 0,
+            runs: SEEDS.len(),
+            faults: 0,
+            retries: 0,
+            timeouts: 0,
+            corrupt: 0,
+            duplicates: 0,
+            mean_secs: 0.0,
+        };
+        for &seed in &SEEDS {
+            let cfg =
+                ResilienceConfig { fault_plan: Some(plan(p, seed)), ..ResilienceConfig::default() };
+            let t0 = Instant::now();
+            let run = run_resilient(circuit, RANKS, &cfg);
+            row.mean_secs += t0.elapsed().as_secs_f64();
+            if let Ok(run) = run {
+                if clean.approx_eq(&run.state, 0.0) {
+                    row.survived += 1;
+                }
+                for s in &run.stats {
+                    row.faults += s.faults_injected;
+                    row.retries += s.retries;
+                    row.timeouts += s.ack_timeouts;
+                    row.corrupt += s.corrupt_dropped;
+                    row.duplicates += s.duplicates_dropped;
+                }
+            }
+        }
+        row.mean_secs /= SEEDS.len() as f64;
+        if p == 0.0 {
+            base_secs = row.mean_secs;
+        }
+        table.row(&[
+            format!("{:.0}%", 100.0 * p),
+            format!("{}/{}", row.survived, row.runs),
+            row.faults.to_string(),
+            row.retries.to_string(),
+            row.timeouts.to_string(),
+            row.corrupt.to_string(),
+            fmt_secs(row.mean_secs),
+            if base_secs > 0.0 { format!("{:.2}x", row.mean_secs / base_secs) } else { "-".into() },
+        ]);
+        rows.push(row);
+    }
+    table.print();
+}
+
+struct CadenceRow {
+    every: usize,
+    checkpoints: u64,
+    recoveries: u64,
+    gates_replayed: u64,
+    secs: f64,
+}
+
+fn checkpoint_cadence(rows: &mut Vec<CadenceRow>) {
+    let circuit = library::random_circuit(10, 12, 5);
+    // Two forced gate-level failures, deterministic and symmetric across
+    // ranks, placed deep enough that the checkpoint interval matters.
+    let failures = vec![circuit.len() / 3, 2 * circuit.len() / 3];
+    println!();
+    println!(
+        "E13b: checkpoint cadence under forced rollback — random circuit n = 10, {} gates,",
+        circuit.len()
+    );
+    println!("      failures injected before gates {failures:?}, {RANKS} ranks");
+    let (clean, _) = run_distributed(&circuit, RANKS).expect("clean distributed run");
+
+    let mut table = Table::new(&[
+        "checkpoint every",
+        "checkpoints/rank",
+        "rollbacks",
+        "gates replayed",
+        "time",
+    ]);
+    for &every in &[0usize, 2, 4, 8, 16] {
+        let cfg = ResilienceConfig {
+            checkpoint_every: every,
+            inject_failures: failures.clone(),
+            ..ResilienceConfig::default()
+        };
+        let t0 = Instant::now();
+        let run = run_resilient(&circuit, RANKS, &cfg).expect("resilient run");
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(clean.approx_eq(&run.state, 0.0), "rolled-back run must be bit-identical");
+        let checkpoints: u64 = run.recovery.iter().map(|r| r.checkpoints).sum();
+        let recoveries: u64 = run.recovery.iter().map(|r| r.recoveries).sum();
+        let replayed: u64 = run.recovery.iter().map(|r| r.gates_replayed).sum();
+        table.row(&[
+            if every == 0 { "initial only".into() } else { every.to_string() },
+            format!("{}", checkpoints / RANKS as u64),
+            recoveries.to_string(),
+            replayed.to_string(),
+            fmt_secs(secs),
+        ]);
+        rows.push(CadenceRow {
+            every,
+            checkpoints: checkpoints / RANKS as u64,
+            recoveries,
+            gates_replayed: replayed,
+            secs,
+        });
+    }
+    table.print();
+}
+
+/// The zero-overhead guarantee: resilience features off, the wrapper
+/// must cost the same as the plain engine. Returns (plain, resilient,
+/// overhead fraction).
+fn disabled_overhead() -> (f64, f64, f64) {
+    let n = 18u32;
+    let circuit = library::qft(n);
+    println!();
+    println!("E13c: disabled-feature overhead — QFT n = {n}, {RANKS} ranks, best of 5");
+    let plain = time_best(5, || {
+        let _ = run_distributed(&circuit, RANKS).expect("plain run");
+    });
+    let cfg = ResilienceConfig::default();
+    let resilient = time_best(5, || {
+        let _ = run_resilient(&circuit, RANKS, &cfg).expect("resilient run");
+    });
+    let overhead = resilient / plain - 1.0;
+    let mut table = Table::new(&["engine", "time", "overhead"]);
+    table.row(&["plain run_distributed".into(), fmt_secs(plain), "-".into()]);
+    table.row(&[
+        "run_resilient (all features off)".into(),
+        fmt_secs(resilient),
+        format!("{:+.2}%", 100.0 * overhead),
+    ]);
+    table.print();
+    (plain, resilient, overhead)
+}
+
+fn write_json(
+    sweep: &[SweepRow],
+    cadence: &[CadenceRow],
+    plain: f64,
+    resilient: f64,
+    overhead: f64,
+) {
+    let mut rows = String::new();
+    for (i, r) in sweep.iter().enumerate() {
+        let _ = write!(
+            rows,
+            "    {{\"intensity\": {:.2}, \"survived\": {}, \"runs\": {}, \
+             \"faults_injected\": {}, \"retries\": {}, \"ack_timeouts\": {}, \
+             \"corrupt_dropped\": {}, \"duplicates_dropped\": {}, \"mean_secs\": {:.6}}}{}",
+            r.intensity,
+            r.survived,
+            r.runs,
+            r.faults,
+            r.retries,
+            r.timeouts,
+            r.corrupt,
+            r.duplicates,
+            r.mean_secs,
+            if i + 1 < sweep.len() { ",\n" } else { "" },
+        );
+    }
+    let mut crows = String::new();
+    for (i, r) in cadence.iter().enumerate() {
+        let _ = write!(
+            crows,
+            "    {{\"checkpoint_every\": {}, \"checkpoints_per_rank\": {}, \
+             \"rollbacks\": {}, \"gates_replayed\": {}, \"secs\": {:.6}}}{}",
+            r.every,
+            r.checkpoints,
+            r.recoveries,
+            r.gates_replayed,
+            r.secs,
+            if i + 1 < cadence.len() { ",\n" } else { "" },
+        );
+    }
+    let survival_ok = sweep.iter().all(|r| r.survived == r.runs);
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_resilience\",\n  \"headline\": {{\n\
+         \x20   \"all_faulted_runs_bit_identical\": {survival_ok},\n\
+         \x20   \"disabled_plain_secs\": {plain:.6},\n\
+         \x20   \"disabled_resilient_secs\": {resilient:.6},\n\
+         \x20   \"disabled_overhead_fraction\": {overhead:.4}\n  }},\n\
+         \x20 \"fault_sweep\": [\n{rows}\n  ],\n\
+         \x20 \"checkpoint_cadence\": [\n{crows}\n  ]\n}}\n"
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/BENCH_resilience.json", &json) {
+        Ok(()) => println!("\nwrote results/BENCH_resilience.json"),
+        Err(e) => eprintln!("\ncould not write results/BENCH_resilience.json: {e}"),
+    }
+}
+
+fn main() {
+    let mut sweep = Vec::new();
+    fault_sweep(&library::qft(10), &mut sweep);
+    let mut cadence = Vec::new();
+    checkpoint_cadence(&mut cadence);
+    let (plain, resilient, overhead) = disabled_overhead();
+
+    println!();
+    println!("Expected shape: survival stays at 100% across the sweep — every transient is");
+    println!("healed by the stop-and-wait ARQ before it can reach the algorithm — while wall");
+    println!("time rises with intensity (each dropped frame costs at least one 2 ms ACK");
+    println!("timeout). Denser checkpoints bound the replay work: at `every = 2` a rollback");
+    println!("replays at most 2 gates, at `initial only` it replays everything since gate 0.");
+    println!("With every feature disabled the wrapper adds ~0% overhead: the fault plan is");
+    println!("None, so the transport takes the identical code path as the plain engine.");
+
+    write_json(&sweep, &cadence, plain, resilient, overhead);
+}

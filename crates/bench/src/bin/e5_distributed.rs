@@ -41,7 +41,8 @@ fn analyze(name: &str, circuit: &Circuit) {
         // the final allgather (a harness artifact, not algorithm) is
         // excluded *exactly* rather than estimated by subtracting an
         // empty-circuit run.
-        let (_, _, traces) = run_distributed_traced(circuit, ranks, &TelemetryConfig::on());
+        let (_, _, traces) = run_distributed_traced(circuit, ranks, &TelemetryConfig::on())
+            .expect("distributed run");
         let worst = traces
             .iter()
             .map(|t| {
@@ -101,8 +102,8 @@ fn remap_ablation(name: &str, circuit: &Circuit) {
                 .max()
                 .unwrap_or(0)
         };
-        let plain = algo(&|c, r| qcs_dist::run_distributed(c, r).1);
-        let mapped = algo(&|c, r| run_distributed_mapped(c, r).1);
+        let plain = algo(&|c, r| qcs_dist::run_distributed(c, r).expect("distributed run").1);
+        let mapped = algo(&|c, r| run_distributed_mapped(c, r).expect("mapped run").1);
         let mapped_stats =
             mpi_sim::CommStats { bytes_sent: mapped, messages_sent: 1, ..Default::default() };
         table.row(&[

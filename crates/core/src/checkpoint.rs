@@ -1,0 +1,333 @@
+//! Checksummed, versioned checkpointing of amplitude shards.
+//!
+//! The restart files of [`crate::io`] store a *complete* unit-norm state
+//! vector. Resilient execution needs something more general: each rank
+//! of a distributed run periodically snapshots its local **shard** —
+//! which has norm² well below 1 — tagged with the gate index it was
+//! taken at, so that after a fault every rank can roll back to the same
+//! step and replay. The `QSH2` shard format:
+//!
+//! ```text
+//! magic  "QSH2"          4 bytes
+//! n_amps                 u64 little-endian
+//! n_qubits               u32 LE (width of the full circuit)
+//! rank                   u32 LE (whose shard; 0 for single-process)
+//! step                   u64 LE (gates applied when snapshotted)
+//! amplitudes             n_amps × (re f64 LE, im f64 LE)
+//! checksum               u64 LE: FNV-1a 64 of all preceding bytes
+//! ```
+//!
+//! [`Checkpointer`] manages a directory of these files: atomic writes
+//! (temp file + rename, so a crash mid-write never corrupts the latest
+//! good checkpoint), discovery of the newest valid step, and pruning.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::complex::C64;
+use crate::io::{fnv1a, fnv1a_update, read_field, HashingWriter, IoError};
+
+const MAGIC: &[u8; 4] = b"QSH2";
+
+/// Extension used for shard files.
+const EXT: &str = "qsh";
+
+/// Who took a snapshot and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Width of the full circuit this shard belongs to.
+    pub n_qubits: u32,
+    /// Owning rank (0 in single-process runs).
+    pub rank: u32,
+    /// Number of gates applied when the snapshot was taken.
+    pub step: u64,
+}
+
+/// Serialize an amplitude shard (no unit-norm requirement).
+pub fn write_amps<W: Write>(amps: &[C64], meta: &ShardMeta, w: W) -> Result<(), IoError> {
+    let mut hw = HashingWriter::new(w);
+    hw.write_all(MAGIC)?;
+    hw.write_all(&(amps.len() as u64).to_le_bytes())?;
+    hw.write_all(&meta.n_qubits.to_le_bytes())?;
+    hw.write_all(&meta.rank.to_le_bytes())?;
+    hw.write_all(&meta.step.to_le_bytes())?;
+    for a in amps {
+        hw.write_all(&a.re.to_le_bytes())?;
+        hw.write_all(&a.im.to_le_bytes())?;
+    }
+    let digest = hw.hash;
+    hw.inner.write_all(&digest.to_le_bytes())?;
+    hw.inner.flush()?;
+    Ok(())
+}
+
+/// Deserialize a shard, verifying magic, finiteness, and the byte
+/// checksum.
+pub fn read_amps<R: Read>(mut r: R) -> Result<(Vec<C64>, ShardMeta), IoError> {
+    let mut magic = [0u8; 4];
+    read_field(&mut r, &mut magic, "magic")?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let mut hash = fnv1a(&magic);
+
+    let mut u64b = [0u8; 8];
+    let mut u32b = [0u8; 4];
+    read_field(&mut r, &mut u64b, "amplitude count")?;
+    hash = fnv1a_update(hash, &u64b);
+    let n_amps = u64::from_le_bytes(u64b);
+    read_field(&mut r, &mut u32b, "qubit count")?;
+    hash = fnv1a_update(hash, &u32b);
+    let n_qubits = u32::from_le_bytes(u32b);
+    read_field(&mut r, &mut u32b, "rank")?;
+    hash = fnv1a_update(hash, &u32b);
+    let rank = u32::from_le_bytes(u32b);
+    read_field(&mut r, &mut u64b, "step")?;
+    hash = fnv1a_update(hash, &u64b);
+    let step = u64::from_le_bytes(u64b);
+
+    if n_qubits == 0 || n_qubits > crate::state::MAX_QUBITS {
+        return Err(IoError::Corrupt(format!("qubit count {n_qubits} out of range")));
+    }
+    if n_amps == 0 || n_amps > (1u64 << n_qubits) {
+        return Err(IoError::Corrupt(format!(
+            "shard of {n_amps} amplitudes impossible for {n_qubits} qubits"
+        )));
+    }
+
+    let mut amps = Vec::with_capacity(n_amps as usize);
+    let mut buf = [0u8; 16];
+    for i in 0..n_amps {
+        read_field(&mut r, &mut buf, "amplitudes")?;
+        hash = fnv1a_update(hash, &buf);
+        let re = f64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+        let im = f64::from_le_bytes(buf[8..].try_into().expect("8 bytes"));
+        if !re.is_finite() || !im.is_finite() {
+            return Err(IoError::NonFinite { index: i as usize });
+        }
+        amps.push(C64::new(re, im));
+    }
+    read_field(&mut r, &mut u64b, "checksum trailer")?;
+    let stored = u64::from_le_bytes(u64b);
+    if stored != hash {
+        return Err(IoError::ChecksumMismatch { stored, computed: hash });
+    }
+    Ok((amps, ShardMeta { n_qubits, rank, step }))
+}
+
+/// A directory of periodic shard snapshots with atomic writes, latest-
+/// step discovery, and pruning of stale files.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    dir: PathBuf,
+    prefix: String,
+    /// How many most-recent checkpoints to retain (minimum 1).
+    keep: usize,
+}
+
+impl Checkpointer {
+    /// Create (or reuse) the checkpoint directory. `prefix`
+    /// distinguishes independent streams — e.g. one per rank.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        prefix: impl Into<String>,
+        keep: usize,
+    ) -> Result<Checkpointer, IoError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Checkpointer { dir, prefix: prefix.into(), keep: keep.max(1) })
+    }
+
+    fn path_for(&self, step: u64) -> PathBuf {
+        // Zero-padded so lexical order is numeric order.
+        self.dir.join(format!("{}-{step:012}.{EXT}", self.prefix))
+    }
+
+    /// Snapshot `amps` at `meta.step`. The write is atomic (temp file +
+    /// rename), and checkpoints beyond the retention window are pruned.
+    pub fn save(&self, amps: &[C64], meta: &ShardMeta) -> Result<PathBuf, IoError> {
+        let path = self.path_for(meta.step);
+        let tmp = path.with_extension("tmp");
+        {
+            let f = std::fs::File::create(&tmp)?;
+            write_amps(amps, meta, std::io::BufWriter::new(f))?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// All checkpoint files of this stream, oldest first.
+    fn files(&self) -> Result<Vec<(u64, PathBuf)>, IoError> {
+        let mut out = Vec::new();
+        let want_prefix = format!("{}-", self.prefix);
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(stem) = name.strip_suffix(&format!(".{EXT}")) else { continue };
+            let Some(digits) = stem.strip_prefix(&want_prefix) else { continue };
+            if let Ok(step) = digits.parse::<u64>() {
+                out.push((step, path));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Path and step of the newest checkpoint, if any exists.
+    pub fn latest(&self) -> Result<Option<(PathBuf, u64)>, IoError> {
+        Ok(self.files()?.pop().map(|(step, path)| (path, step)))
+    }
+
+    /// Load the newest checkpoint that passes verification, deleting
+    /// any newer ones that fail it (a torn or corrupted file must not
+    /// wedge recovery behind an unreadable "latest").
+    pub fn load_latest(&self) -> Result<Option<(Vec<C64>, ShardMeta)>, IoError> {
+        let mut files = self.files()?;
+        while let Some((_, path)) = files.pop() {
+            match load(&path) {
+                Ok(ok) => return Ok(Some(ok)),
+                Err(IoError::Io(e)) => return Err(IoError::Io(e)),
+                Err(_) => {
+                    // Format-level damage: discard and fall back.
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Delete all but the `keep` newest checkpoints.
+    fn prune(&self) -> Result<(), IoError> {
+        let files = self.files()?;
+        if files.len() > self.keep {
+            for (_, path) in &files[..files.len() - self.keep] {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Load one shard file.
+pub fn load(path: impl AsRef<Path>) -> Result<(Vec<C64>, ShardMeta), IoError> {
+    let f = std::fs::File::open(path)?;
+    read_amps(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("qcs_ckpt_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn shard(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| C64::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5))).collect()
+    }
+
+    #[test]
+    fn shard_roundtrip_is_bit_exact() {
+        let amps = shard(64, 1);
+        let meta = ShardMeta { n_qubits: 10, rank: 3, step: 42 };
+        let mut buf = Vec::new();
+        write_amps(&amps, &meta, &mut buf).unwrap();
+        let (back, back_meta) = read_amps(&buf[..]).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(amps.len(), back.len());
+        for (a, b) in amps.iter().zip(&back) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupted_shard_rejected() {
+        let amps = shard(32, 2);
+        let meta = ShardMeta { n_qubits: 8, rank: 0, step: 7 };
+        let mut buf = Vec::new();
+        write_amps(&amps, &meta, &mut buf).unwrap();
+        for at in [5, 30, 200, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x10;
+            assert!(read_amps(&bad[..]).is_err(), "flip at byte {at} accepted");
+        }
+    }
+
+    #[test]
+    fn truncated_shard_rejected() {
+        let amps = shard(16, 3);
+        let meta = ShardMeta { n_qubits: 6, rank: 1, step: 1 };
+        let mut buf = Vec::new();
+        write_amps(&amps, &meta, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(read_amps(&buf[..]), Err(IoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn checkpointer_tracks_latest_and_prunes() {
+        let ckpt = Checkpointer::new(tmpdir("latest"), "rank0", 2).unwrap();
+        let amps = shard(8, 4);
+        for step in [10u64, 20, 30] {
+            ckpt.save(&amps, &ShardMeta { n_qubits: 4, rank: 0, step }).unwrap();
+        }
+        let (_, step) = ckpt.latest().unwrap().unwrap();
+        assert_eq!(step, 30);
+        // keep=2: step 10 was pruned.
+        assert_eq!(ckpt.files().unwrap().len(), 2);
+        let (_, meta) = ckpt.load_latest().unwrap().unwrap();
+        assert_eq!(meta.step, 30);
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_corruption() {
+        let dir = tmpdir("fallback");
+        let ckpt = Checkpointer::new(&dir, "rank0", 4).unwrap();
+        let amps = shard(8, 5);
+        let p20 = ckpt.save(&amps, &ShardMeta { n_qubits: 4, rank: 0, step: 20 }).unwrap();
+        ckpt.save(&amps, &ShardMeta { n_qubits: 4, rank: 0, step: 10 }).unwrap();
+        // Corrupt the newest file in place.
+        let mut bytes = std::fs::read(&p20).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&p20, &bytes).unwrap();
+        let (_, meta) = ckpt.load_latest().unwrap().unwrap();
+        assert_eq!(meta.step, 10, "recovery must fall back to the older good checkpoint");
+        assert!(!p20.exists(), "the corrupt file is discarded");
+    }
+
+    #[test]
+    fn independent_prefixes_do_not_collide() {
+        let dir = tmpdir("prefixes");
+        let a = Checkpointer::new(&dir, "rank0", 3).unwrap();
+        let b = Checkpointer::new(&dir, "rank1", 3).unwrap();
+        let amps = shard(8, 6);
+        a.save(&amps, &ShardMeta { n_qubits: 4, rank: 0, step: 5 }).unwrap();
+        b.save(&amps, &ShardMeta { n_qubits: 4, rank: 1, step: 9 }).unwrap();
+        assert_eq!(a.latest().unwrap().unwrap().1, 5);
+        assert_eq!(b.latest().unwrap().unwrap().1, 9);
+    }
+
+    #[test]
+    fn empty_directory_has_no_latest() {
+        let ckpt = Checkpointer::new(tmpdir("empty"), "rank0", 1).unwrap();
+        assert!(ckpt.latest().unwrap().is_none());
+        assert!(ckpt.load_latest().unwrap().is_none());
+    }
+
+    #[test]
+    fn nan_shard_rejected_on_read() {
+        let mut amps = shard(8, 7);
+        amps[2] = C64::new(f64::NAN, 0.0);
+        let meta = ShardMeta { n_qubits: 4, rank: 0, step: 0 };
+        let mut buf = Vec::new();
+        write_amps(&amps, &meta, &mut buf).unwrap();
+        assert!(matches!(read_amps(&buf[..]), Err(IoError::NonFinite { index: 2 })));
+    }
+}

@@ -23,12 +23,14 @@
 //! sim.run(&c, &mut s).unwrap();
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use a64fx_model::timing::ExecConfig;
 use a64fx_model::ChipParams;
 use omp_par::{Schedule, ThreadPool};
 
+use crate::integrity::{IntegrityMode, IntegrityPolicy};
 use crate::kernels::simd::BackendChoice;
 use crate::sim::{SimError, Simulator, Strategy};
 use crate::telemetry::TelemetryConfig;
@@ -68,6 +70,28 @@ impl std::fmt::Debug for PoolSpec {
     }
 }
 
+/// Periodic checkpointing of the evolving state during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Snapshot after every `every` executed items (gates/sweeps).
+    pub every: usize,
+    /// Directory the snapshot files live in (created if missing).
+    pub dir: PathBuf,
+    /// How many most-recent snapshots to retain.
+    pub keep: usize,
+    /// How many restore-and-replay attempts an
+    /// [`IntegrityMode::Restore`] run may make before giving up.
+    pub max_replays: u32,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint every `every` items into `dir`, keeping the 2 newest
+    /// snapshots and allowing 3 replays.
+    pub fn new(every: usize, dir: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig { every, dir: dir.into(), keep: 2, max_replays: 3 }
+    }
+}
+
 /// Complete configuration of a [`Simulator`].
 ///
 /// All fields are public — construct literally or through the fluent
@@ -91,6 +115,10 @@ pub struct SimConfig {
     pub model: Option<(ChipParams, ExecConfig)>,
     /// Telemetry behaviour (off by default).
     pub telemetry: TelemetryConfig,
+    /// Numerical integrity sweeps (off by default — zero overhead).
+    pub integrity: IntegrityPolicy,
+    /// Periodic state checkpointing (off by default).
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl SimConfig {
@@ -159,6 +187,31 @@ impl SimConfig {
         self
     }
 
+    /// Configure integrity sweeps in full.
+    pub fn integrity(mut self, policy: IntegrityPolicy) -> SimConfig {
+        self.integrity = policy;
+        self
+    }
+
+    /// Shorthand: pick an integrity mode with the default tolerance and
+    /// every-gate cadence.
+    pub fn integrity_mode(mut self, mode: IntegrityMode) -> SimConfig {
+        self.integrity.mode = mode;
+        self
+    }
+
+    /// Configure periodic checkpointing in full.
+    pub fn checkpoint(mut self, checkpoint: CheckpointConfig) -> SimConfig {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Shorthand: snapshot into `dir` every `every` executed items.
+    pub fn checkpoint_every(mut self, every: usize, dir: impl Into<PathBuf>) -> SimConfig {
+        self.checkpoint = Some(CheckpointConfig::new(every, dir));
+        self
+    }
+
     /// Check the configuration without building an engine.
     pub fn validate(&self) -> Result<(), SimError> {
         if let PoolSpec::Threads(0) = self.pool {
@@ -169,6 +222,23 @@ impl SimConfig {
         if let Strategy::Fused { max_k: 0 } | Strategy::Planned { max_k: 0, .. } = self.strategy {
             return Err(SimError::InvalidConfig(
                 "fusion width max_k must be at least 1".to_string(),
+            ));
+        }
+        if let Some(ck) = &self.checkpoint {
+            if ck.every == 0 {
+                return Err(SimError::InvalidConfig(
+                    "checkpoint interval must be at least 1 gate".to_string(),
+                ));
+            }
+        }
+        if self.integrity.enabled() && self.integrity.every == 0 {
+            return Err(SimError::InvalidConfig(
+                "integrity sweep cadence must be at least 1 gate".to_string(),
+            ));
+        }
+        if self.integrity.mode == IntegrityMode::Restore && self.checkpoint.is_none() {
+            return Err(SimError::InvalidConfig(
+                "integrity mode `restore` needs checkpointing (set --checkpoint-every)".to_string(),
             ));
         }
         Ok(())
@@ -200,6 +270,25 @@ impl SimConfig {
             match &self.telemetry.trace_path {
                 Some(p) => format!(" -> {}", p.display()),
                 None => String::new(),
+            }
+        ));
+        out.push_str(&format!(
+            "  integrity: {}{}\n",
+            self.integrity.mode.name(),
+            if self.integrity.enabled() {
+                format!(
+                    " (every {} gates, tol {:.0e})",
+                    self.integrity.every, self.integrity.norm_tol
+                )
+            } else {
+                String::new()
+            }
+        ));
+        out.push_str(&format!(
+            "  checkpoint: {}\n",
+            match &self.checkpoint {
+                Some(ck) => format!("every {} gates -> {}", ck.every, ck.dir.display()),
+                None => "off".to_string(),
             }
         ));
         out
@@ -239,6 +328,24 @@ mod tests {
     fn zero_fusion_width_is_a_clean_error() {
         let err = SimConfig::new().strategy(Strategy::Fused { max_k: 0 }).build().unwrap_err();
         assert!(err.to_string().contains("max_k"));
+    }
+
+    #[test]
+    fn restore_without_checkpoint_is_a_clean_error() {
+        let err = SimConfig::new().integrity_mode(IntegrityMode::Restore).validate().unwrap_err();
+        assert!(err.to_string().contains("restore"));
+        // With a checkpoint directory configured it validates.
+        SimConfig::new()
+            .integrity_mode(IntegrityMode::Restore)
+            .checkpoint_every(8, std::env::temp_dir().join("qcs_cfg_test"))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_rejected() {
+        let err = SimConfig::new().checkpoint_every(0, "/tmp/x").validate().unwrap_err();
+        assert!(err.to_string().contains("checkpoint interval"));
     }
 
     #[test]

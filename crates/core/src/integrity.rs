@@ -1,0 +1,336 @@
+//! Numerical integrity guards for state vectors.
+//!
+//! Long-running simulations accumulate two classes of silent damage: a
+//! drifting norm (round-off over millions of gate applications, or a
+//! corrupted exchange) and non-finite amplitudes (NaN/Inf from a bad
+//! payload or a kernel bug). This module provides a single-pass sweep
+//! that detects both, and a configurable [`IntegrityPolicy`] deciding
+//! what to do about it:
+//!
+//! * [`IntegrityMode::Check`] — fail fast with a typed violation.
+//! * [`IntegrityMode::Repair`] — renormalize drifted states in place
+//!   (non-finite amplitudes are never repairable and still fail).
+//! * [`IntegrityMode::Restore`] — fail *recoverably*: the caller
+//!   (simulator run-guard or distributed engine) rolls back to its last
+//!   checkpoint and replays instead of aborting.
+//!
+//! Sweeps are pure reads plus at most one scale pass, so `Off` costs
+//! exactly nothing — the executors skip the call entirely.
+
+use std::str::FromStr;
+
+use crate::complex::C64;
+
+/// What to do when an integrity sweep finds damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// No sweeps at all (zero overhead).
+    #[default]
+    Off,
+    /// Sweep and abort with [`IntegrityViolation`] on damage.
+    Check,
+    /// Sweep and renormalize drifted norms in place; abort only on
+    /// non-finite amplitudes (those are unrecoverable by scaling).
+    Repair,
+    /// Sweep and report damage as *recoverable*: callers with a
+    /// checkpoint roll back and replay instead of aborting.
+    Restore,
+}
+
+impl IntegrityMode {
+    /// Canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Check => "check",
+            IntegrityMode::Repair => "repair",
+            IntegrityMode::Restore => "restore",
+        }
+    }
+}
+
+impl FromStr for IntegrityMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "off" => Ok(IntegrityMode::Off),
+            "check" => Ok(IntegrityMode::Check),
+            "repair" => Ok(IntegrityMode::Repair),
+            "restore" => Ok(IntegrityMode::Restore),
+            other => Err(format!("unknown integrity mode `{other}` (off|check|repair|restore)")),
+        }
+    }
+}
+
+/// When and how strictly to sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityPolicy {
+    pub mode: IntegrityMode,
+    /// Allowed |norm² − 1| before a drift violation fires.
+    pub norm_tol: f64,
+    /// Sweep after every `every` gates (1 = every gate).
+    pub every: usize,
+}
+
+impl Default for IntegrityPolicy {
+    fn default() -> IntegrityPolicy {
+        IntegrityPolicy { mode: IntegrityMode::Off, norm_tol: 1e-6, every: 1 }
+    }
+}
+
+impl IntegrityPolicy {
+    /// Whether sweeps run at all.
+    pub fn enabled(&self) -> bool {
+        self.mode != IntegrityMode::Off
+    }
+
+    /// Whether the sweep scheduled for gate index `step` is due.
+    pub fn due(&self, step: usize) -> bool {
+        self.enabled() && self.every != 0 && (step + 1).is_multiple_of(self.every)
+    }
+}
+
+/// What one sweep saw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityReport {
+    /// Number of NaN/Inf amplitudes.
+    pub non_finite: usize,
+    /// Index of the first non-finite amplitude.
+    pub first_bad: Option<usize>,
+    /// Σ|amp|² over the swept slice.
+    pub norm_sqr: f64,
+}
+
+/// The class of damage a sweep found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// `count` amplitudes are NaN/Inf, the first at `index`.
+    NonFinite { index: usize, count: usize },
+    /// |norm² − 1| exceeded the policy tolerance.
+    NormDrift { norm_sqr: f64, tol: f64 },
+}
+
+/// A failed integrity sweep, tagged with the gate index it followed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityViolation {
+    /// Gate index after which the sweep ran.
+    pub step: usize,
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ViolationKind::NonFinite { index, count } => write!(
+                f,
+                "integrity violation after gate {}: {count} non-finite amplitude(s), first at index {index}",
+                self.step
+            ),
+            ViolationKind::NormDrift { norm_sqr, tol } => write!(
+                f,
+                "integrity violation after gate {}: norm² = {norm_sqr} drifted beyond ±{tol}",
+                self.step
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityViolation {}
+
+/// What an enforcement pass did to the state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The sweep found nothing.
+    Clean,
+    /// Repair mode rescaled the state back to unit norm.
+    Renormalized {
+        /// The drifted norm² before the rescale.
+        from_norm_sqr: f64,
+    },
+}
+
+/// Single pass over the amplitudes: count non-finite entries and
+/// accumulate the norm.
+pub fn sweep(amps: &[C64]) -> IntegrityReport {
+    let mut non_finite = 0usize;
+    let mut first_bad = None;
+    let mut norm_sqr = 0.0f64;
+    for (i, a) in amps.iter().enumerate() {
+        if !a.re.is_finite() || !a.im.is_finite() {
+            non_finite += 1;
+            if first_bad.is_none() {
+                first_bad = Some(i);
+            }
+        }
+        norm_sqr += a.norm_sqr();
+    }
+    IntegrityReport { non_finite, first_bad, norm_sqr }
+}
+
+/// Sweep `amps` and apply the policy. `step` tags any violation with
+/// the gate index it followed.
+pub fn enforce(
+    policy: &IntegrityPolicy,
+    amps: &mut [C64],
+    step: usize,
+) -> Result<Outcome, IntegrityViolation> {
+    if !policy.enabled() {
+        return Ok(Outcome::Clean);
+    }
+    let report = sweep(amps);
+    enforce_report(policy, amps, &report, report.norm_sqr, step)
+}
+
+/// Like [`enforce`], but with the norm² supplied externally — the
+/// distributed engine sweeps its local shard and allreduces the global
+/// norm, which is what the unit-norm invariant is actually about.
+pub fn enforce_with_norm(
+    policy: &IntegrityPolicy,
+    amps: &mut [C64],
+    global_norm_sqr: f64,
+    step: usize,
+) -> Result<Outcome, IntegrityViolation> {
+    if !policy.enabled() {
+        return Ok(Outcome::Clean);
+    }
+    let report = sweep(amps);
+    enforce_report(policy, amps, &report, global_norm_sqr, step)
+}
+
+fn enforce_report(
+    policy: &IntegrityPolicy,
+    amps: &mut [C64],
+    report: &IntegrityReport,
+    norm_sqr: f64,
+    step: usize,
+) -> Result<Outcome, IntegrityViolation> {
+    if report.non_finite > 0 {
+        // Never repairable: scaling NaN stays NaN.
+        return Err(IntegrityViolation {
+            step,
+            kind: ViolationKind::NonFinite {
+                index: report.first_bad.expect("non_finite > 0 has a first index"),
+                count: report.non_finite,
+            },
+        });
+    }
+    if (norm_sqr - 1.0).abs() <= policy.norm_tol {
+        return Ok(Outcome::Clean);
+    }
+    match policy.mode {
+        IntegrityMode::Off => Ok(Outcome::Clean),
+        IntegrityMode::Repair if norm_sqr > 0.0 => {
+            let scale = 1.0 / norm_sqr.sqrt();
+            for a in amps.iter_mut() {
+                a.re *= scale;
+                a.im *= scale;
+            }
+            Ok(Outcome::Renormalized { from_norm_sqr: norm_sqr })
+        }
+        _ => Err(IntegrityViolation {
+            step,
+            kind: ViolationKind::NormDrift { norm_sqr, tol: policy.norm_tol },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_state(n: usize) -> Vec<C64> {
+        let mut v = vec![C64::new(0.0, 0.0); n];
+        v[0] = C64::new(1.0, 0.0);
+        v
+    }
+
+    fn policy(mode: IntegrityMode) -> IntegrityPolicy {
+        IntegrityPolicy { mode, ..IntegrityPolicy::default() }
+    }
+
+    #[test]
+    fn clean_state_passes_all_modes() {
+        for mode in [IntegrityMode::Check, IntegrityMode::Repair, IntegrityMode::Restore] {
+            let mut amps = unit_state(8);
+            assert_eq!(enforce(&policy(mode), &mut amps, 0), Ok(Outcome::Clean));
+        }
+    }
+
+    #[test]
+    fn off_mode_ignores_damage() {
+        let mut amps = vec![C64::new(f64::NAN, 0.0); 4];
+        assert_eq!(enforce(&policy(IntegrityMode::Off), &mut amps, 0), Ok(Outcome::Clean));
+    }
+
+    #[test]
+    fn check_mode_reports_nan() {
+        let mut amps = unit_state(8);
+        amps[3] = C64::new(f64::NAN, 0.0);
+        amps[5] = C64::new(0.0, f64::INFINITY);
+        let err = enforce(&policy(IntegrityMode::Check), &mut amps, 17).unwrap_err();
+        assert_eq!(err.step, 17);
+        assert_eq!(err.kind, ViolationKind::NonFinite { index: 3, count: 2 });
+    }
+
+    #[test]
+    fn check_mode_reports_drift() {
+        let mut amps = unit_state(8);
+        amps[0] = C64::new(1.5, 0.0);
+        let err = enforce(&policy(IntegrityMode::Check), &mut amps, 2).unwrap_err();
+        assert!(matches!(err.kind, ViolationKind::NormDrift { .. }));
+    }
+
+    #[test]
+    fn repair_mode_renormalizes_drift() {
+        let mut amps = unit_state(4);
+        amps[0] = C64::new(2.0, 0.0);
+        let out = enforce(&policy(IntegrityMode::Repair), &mut amps, 0).unwrap();
+        assert_eq!(out, Outcome::Renormalized { from_norm_sqr: 4.0 });
+        assert!((sweep(&amps).norm_sqr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_mode_cannot_fix_nan() {
+        let mut amps = unit_state(4);
+        amps[1] = C64::new(f64::NAN, 0.0);
+        assert!(enforce(&policy(IntegrityMode::Repair), &mut amps, 0).is_err());
+    }
+
+    #[test]
+    fn sweep_reports_exact_counts() {
+        let mut amps = unit_state(8);
+        amps[6] = C64::new(0.0, f64::NEG_INFINITY);
+        let r = sweep(&amps);
+        assert_eq!(r.non_finite, 1);
+        assert_eq!(r.first_bad, Some(6));
+    }
+
+    #[test]
+    fn external_norm_overrides_local() {
+        // A locally tiny shard is fine if the global norm is 1.
+        let mut amps = vec![C64::new(0.1, 0.0); 4];
+        let out = enforce_with_norm(&policy(IntegrityMode::Check), &mut amps, 1.0, 0);
+        assert_eq!(out, Ok(Outcome::Clean));
+        // And a locally unit shard fails if the global norm drifted.
+        let mut amps = unit_state(4);
+        assert!(enforce_with_norm(&policy(IntegrityMode::Check), &mut amps, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn mode_parses_from_cli_spellings() {
+        assert_eq!("off".parse::<IntegrityMode>(), Ok(IntegrityMode::Off));
+        assert_eq!("check".parse::<IntegrityMode>(), Ok(IntegrityMode::Check));
+        assert_eq!("repair".parse::<IntegrityMode>(), Ok(IntegrityMode::Repair));
+        assert_eq!("restore".parse::<IntegrityMode>(), Ok(IntegrityMode::Restore));
+        assert!("mend".parse::<IntegrityMode>().is_err());
+    }
+
+    #[test]
+    fn cadence_respects_every() {
+        let p = IntegrityPolicy { mode: IntegrityMode::Check, every: 4, ..Default::default() };
+        let due: Vec<usize> = (0..12).filter(|&s| p.due(s)).collect();
+        assert_eq!(due, vec![3, 7, 11]);
+        assert!(!IntegrityPolicy::default().due(3), "Off is never due");
+    }
+}

@@ -4,11 +4,18 @@
 //! states (the restart-file role that HPC simulators need):
 //!
 //! ```text
-//! magic  "QSV1"          4 bytes
+//! magic  "QSV2"          4 bytes
 //! n_qubits               u32 little-endian
 //! amplitudes             2^n × (re f64 LE, im f64 LE)
-//! checksum               f64 LE: Σ|amp|² (norm², for corruption checks)
+//! norm²                  f64 LE: Σ|amp|² (fast corruption check)
+//! checksum               u64 LE: FNV-1a 64 of all preceding bytes
 //! ```
+//!
+//! The byte-exact FNV-1a trailer closes the holes the float-only check
+//! of the legacy `QSV1` format left open: a NaN amplitude made the
+//! stored and computed norms both NaN, every comparison between them
+//! false, and the corrupt file was accepted silently. `QSV1` files
+//! (no trailer) are still read, now with an explicit NaN/Inf sweep.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -16,7 +23,8 @@ use std::path::Path;
 use crate::complex::C64;
 use crate::state::StateVector;
 
-const MAGIC: &[u8; 4] = b"QSV1";
+const MAGIC_V2: &[u8; 4] = b"QSV2";
+const MAGIC_V1: &[u8; 4] = b"QSV1";
 
 /// I/O and format errors.
 #[derive(Debug)]
@@ -24,6 +32,21 @@ pub enum IoError {
     Io(std::io::Error),
     /// Not a QSV file or unsupported version.
     BadMagic,
+    /// The stream ended mid-field.
+    Truncated {
+        /// Which field was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// An amplitude is NaN or infinite.
+    NonFinite {
+        /// Index of the first non-finite amplitude.
+        index: usize,
+    },
+    /// The FNV-1a byte checksum does not match the content.
+    ChecksumMismatch {
+        stored: u64,
+        computed: u64,
+    },
     /// Header fields inconsistent with the payload.
     Corrupt(String),
 }
@@ -32,7 +55,15 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::BadMagic => write!(f, "not a QSV1 state-vector file"),
+            IoError::BadMagic => write!(f, "not a QSV state-vector file"),
+            IoError::Truncated { what } => write!(f, "file truncated while reading {what}"),
+            IoError::NonFinite { index } => {
+                write!(f, "amplitude {index} is NaN or infinite")
+            }
+            IoError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "byte checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
             IoError::Corrupt(m) => write!(f, "corrupt state file: {m}"),
         }
     }
@@ -46,54 +77,134 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Serialize a state to any writer.
-pub fn write_state<W: Write>(state: &StateVector, mut w: W) -> Result<(), IoError> {
-    w.write_all(MAGIC)?;
-    w.write_all(&state.n_qubits().to_le_bytes())?;
-    let mut checksum = 0.0f64;
-    for a in state.amplitudes() {
-        w.write_all(&a.re.to_le_bytes())?;
-        w.write_all(&a.im.to_le_bytes())?;
-        checksum += a.norm_sqr();
+/// FNV-1a 64-bit over a byte slice — the whole-file integrity checksum.
+/// (Same function the message-passing layer uses per payload; duplicated
+/// because `qcs-core` and `mpi-sim` are independent crates.)
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(0xCBF2_9CE4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a 64 hash over more bytes (for incremental hashing).
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    w.write_all(&checksum.to_le_bytes())?;
+    h
+}
+
+/// A writer that FNV-hashes every byte passing through it.
+pub(crate) struct HashingWriter<W> {
+    pub(crate) inner: W,
+    pub(crate) hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    pub(crate) fn new(inner: W) -> Self {
+        HashingWriter { inner, hash: fnv1a(&[]) }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a_update(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// `read_exact` with truncation mapped to a precise error.
+pub(crate) fn read_field<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), IoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            IoError::Truncated { what }
+        } else {
+            IoError::Io(e)
+        }
+    })
+}
+
+/// Serialize a state to any writer (current `QSV2` format).
+pub fn write_state<W: Write>(state: &StateVector, w: W) -> Result<(), IoError> {
+    let mut hw = HashingWriter::new(w);
+    hw.write_all(MAGIC_V2)?;
+    hw.write_all(&state.n_qubits().to_le_bytes())?;
+    let mut norm_sqr = 0.0f64;
+    for a in state.amplitudes() {
+        hw.write_all(&a.re.to_le_bytes())?;
+        hw.write_all(&a.im.to_le_bytes())?;
+        norm_sqr += a.norm_sqr();
+    }
+    hw.write_all(&norm_sqr.to_le_bytes())?;
+    let digest = hw.hash;
+    hw.inner.write_all(&digest.to_le_bytes())?;
+    hw.inner.flush()?;
     Ok(())
 }
 
-/// Deserialize a state from any reader, verifying magic and checksum.
+/// Deserialize a state from any reader, verifying magic, finiteness,
+/// norm, and (for `QSV2`) the byte checksum. Accepts legacy `QSV1`.
 pub fn read_state<R: Read>(mut r: R) -> Result<StateVector, IoError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    read_field(&mut r, &mut magic, "magic")?;
+    let versioned = if &magic == MAGIC_V2 {
+        true
+    } else if &magic == MAGIC_V1 {
+        false
+    } else {
         return Err(IoError::BadMagic);
-    }
+    };
+    let mut hash = fnv1a(&magic);
+
     let mut n_bytes = [0u8; 4];
-    r.read_exact(&mut n_bytes)?;
+    read_field(&mut r, &mut n_bytes, "qubit count")?;
+    hash = fnv1a_update(hash, &n_bytes);
     let n = u32::from_le_bytes(n_bytes);
     if n == 0 || n > crate::state::MAX_QUBITS {
         return Err(IoError::Corrupt(format!("qubit count {n} out of range")));
     }
     let len = 1usize << n;
     let mut amps = Vec::with_capacity(len);
-    let mut checksum = 0.0f64;
+    let mut norm_sqr = 0.0f64;
     let mut buf = [0u8; 16];
-    for _ in 0..len {
-        r.read_exact(&mut buf)?;
+    for i in 0..len {
+        read_field(&mut r, &mut buf, "amplitudes")?;
+        hash = fnv1a_update(hash, &buf);
         let re = f64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
         let im = f64::from_le_bytes(buf[8..].try_into().expect("8 bytes"));
-        checksum += re * re + im * im;
+        if !re.is_finite() || !im.is_finite() {
+            return Err(IoError::NonFinite { index: i });
+        }
+        norm_sqr += re * re + im * im;
         amps.push(C64::new(re, im));
     }
-    let mut cs_bytes = [0u8; 8];
-    r.read_exact(&mut cs_bytes)?;
-    let stored = f64::from_le_bytes(cs_bytes);
-    if (stored - checksum).abs() > 1e-9 {
+    let mut ns_bytes = [0u8; 8];
+    read_field(&mut r, &mut ns_bytes, "norm trailer")?;
+    hash = fnv1a_update(hash, &ns_bytes);
+    let stored = f64::from_le_bytes(ns_bytes);
+    if !stored.is_finite() || (stored - norm_sqr).abs() > 1e-9 {
         return Err(IoError::Corrupt(format!(
-            "checksum mismatch: stored {stored}, computed {checksum}"
+            "norm mismatch: stored {stored}, computed {norm_sqr}"
         )));
     }
-    if (checksum - 1.0).abs() > 1e-6 {
-        return Err(IoError::Corrupt(format!("state norm² = {checksum}, expected 1")));
+    if (norm_sqr - 1.0).abs() > 1e-6 {
+        return Err(IoError::Corrupt(format!("state norm² = {norm_sqr}, expected 1")));
+    }
+    if versioned {
+        let mut cs_bytes = [0u8; 8];
+        read_field(&mut r, &mut cs_bytes, "checksum trailer")?;
+        let stored_cs = u64::from_le_bytes(cs_bytes);
+        if stored_cs != hash {
+            return Err(IoError::ChecksumMismatch { stored: stored_cs, computed: hash });
+        }
     }
     Ok(StateVector::from_amplitudes(&amps))
 }
@@ -128,8 +239,8 @@ mod tests {
         let s = StateVector::random(8, &mut rng);
         let mut buf = Vec::new();
         write_state(&s, &mut buf).unwrap();
-        // 4 + 4 + 256·16 + 8 bytes.
-        assert_eq!(buf.len(), 8 + 256 * 16 + 8);
+        // 4 + 4 + 256·16 + 8 (norm²) + 8 (fnv) bytes.
+        assert_eq!(buf.len(), 8 + 256 * 16 + 8 + 8);
         let back = read_state(&buf[..]).unwrap();
         assert!(back.approx_eq(&s, 0.0), "bit-exact roundtrip");
     }
@@ -156,7 +267,28 @@ mod tests {
         let mut buf = Vec::new();
         write_state(&s, &mut buf).unwrap();
         buf.truncate(buf.len() - 20);
-        assert!(matches!(read_state(&buf[..]), Err(IoError::Io(_))));
+        assert!(matches!(read_state(&buf[..]), Err(IoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn truncation_names_the_missing_field() {
+        let s = StateVector::zero(4);
+        let mut full = Vec::new();
+        write_state(&s, &mut full).unwrap();
+        let cases = [
+            (2, "magic"),
+            (6, "qubit count"),
+            (8 + 7, "amplitudes"),
+            (full.len() - 12, "norm trailer"),
+            (full.len() - 3, "checksum trailer"),
+        ];
+        for (keep, what) in cases {
+            let buf = &full[..keep];
+            match read_state(buf) {
+                Err(IoError::Truncated { what: w }) => assert_eq!(w, what),
+                other => panic!("truncation at {keep} bytes gave {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -167,15 +299,83 @@ mod tests {
         write_state(&s, &mut buf).unwrap();
         // Flip a byte in the middle of the amplitude block.
         buf[8 + 100] ^= 0xFF;
-        assert!(matches!(read_state(&buf[..]), Err(IoError::Corrupt(_))));
+        assert!(matches!(
+            read_state(&buf[..]),
+            Err(IoError::Corrupt(_)) | Err(IoError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_trailer_detected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = StateVector::random(5, &mut rng);
+        let mut buf = Vec::new();
+        write_state(&s, &mut buf).unwrap();
+        // Amplitudes and norm intact — only the byte digest is wrong.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(read_state(&buf[..]), Err(IoError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn nan_amplitude_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = StateVector::random(4, &mut rng);
+        let mut buf = Vec::new();
+        write_state(&s, &mut buf).unwrap();
+        // Overwrite the real part of amplitude 3 with NaN.
+        buf[8 + 3 * 16..8 + 3 * 16 + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(read_state(&buf[..]), Err(IoError::NonFinite { index: 3 })));
+    }
+
+    /// Serialize in the legacy QSV1 layout (no byte-checksum trailer).
+    fn write_v1(s: &StateVector) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QSV1");
+        buf.extend_from_slice(&s.n_qubits().to_le_bytes());
+        let mut norm = 0.0f64;
+        for a in s.amplitudes() {
+            buf.extend_from_slice(&a.re.to_le_bytes());
+            buf.extend_from_slice(&a.im.to_le_bytes());
+            norm += a.norm_sqr();
+        }
+        buf.extend_from_slice(&norm.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = StateVector::random(6, &mut rng);
+        let back = read_state(&write_v1(&s)[..]).unwrap();
+        assert!(back.approx_eq(&s, 0.0));
+    }
+
+    #[test]
+    fn legacy_v1_nan_no_longer_accepted() {
+        // The QSV1 design flaw: a NaN amplitude made stored and computed
+        // norms both NaN, every comparison false, and the file loaded
+        // "successfully". The explicit finiteness sweep closes this.
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = StateVector::random(4, &mut rng);
+        let mut buf = write_v1(&s);
+        buf[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(read_state(&buf[..]), Err(IoError::NonFinite { index: 0 })));
     }
 
     #[test]
     fn absurd_qubit_count_rejected() {
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V2);
         buf.extend_from_slice(&200u32.to_le_bytes());
         assert!(matches!(read_state(&buf[..]), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
     }
 
     #[test]

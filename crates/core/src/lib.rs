@@ -44,12 +44,14 @@
 
 pub mod align;
 pub mod analysis;
+pub mod checkpoint;
 pub mod circuit;
 pub mod complex;
 pub mod config;
 pub mod expectation;
 pub mod fusion;
 pub mod gates;
+pub mod integrity;
 pub mod io;
 pub mod kernels;
 pub mod library;
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use crate::config::{PoolSpec, SimConfig};
     pub use crate::expectation::{Hamiltonian, Pauli, PauliString};
     pub use crate::gates::{Mat2, Mat4};
+    pub use crate::integrity::{IntegrityMode, IntegrityPolicy};
     pub use crate::kernels::simd::BackendChoice;
     pub use crate::measure::MeasurementResult;
     pub use crate::sim::{RunReport, SimError, Simulator, Strategy};

@@ -8,9 +8,12 @@ use a64fx_model::traffic::KernelKind;
 use a64fx_model::ChipParams;
 use omp_par::{RegionObserver, Schedule, ThreadPool};
 
+use crate::checkpoint::{Checkpointer, ShardMeta};
 use crate::circuit::{Circuit, Gate};
-use crate::config::{PoolSpec, SimConfig};
+use crate::complex::C64;
+use crate::config::{CheckpointConfig, PoolSpec, SimConfig};
 use crate::fusion::{fuse, FusedOp};
+use crate::integrity::{self, IntegrityMode, IntegrityPolicy, IntegrityViolation, Outcome};
 use crate::kernels::blocked::{
     apply_blocked, apply_blocked_fused, apply_blocked_fused_parallel, apply_blocked_parallel,
     BlockGate,
@@ -91,7 +94,7 @@ impl std::str::FromStr for Strategy {
 }
 
 /// Simulation errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// Circuit and state widths differ.
     QubitMismatch { circuit: u32, state: u32 },
@@ -99,6 +102,10 @@ pub enum SimError {
     InvalidConfig(String),
     /// Writing the configured trace output failed.
     TraceIo(String),
+    /// An integrity sweep found unrecoverable damage.
+    Integrity(IntegrityViolation),
+    /// Saving or restoring a checkpoint failed.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -109,11 +116,127 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             SimError::TraceIo(why) => write!(f, "cannot write trace: {why}"),
+            SimError::Integrity(v) => write!(f, "{v}"),
+            SimError::Checkpoint(why) => write!(f, "checkpoint failure: {why}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<IntegrityViolation> for SimError {
+    fn from(v: IntegrityViolation) -> SimError {
+        SimError::Integrity(v)
+    }
+}
+
+/// What the resilience guard did during one run (absent when both
+/// integrity sweeps and checkpointing are disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardReport {
+    /// Integrity sweeps executed.
+    pub sweeps_checked: u64,
+    /// Drifted norms renormalized in place (`repair` mode).
+    pub repairs: u64,
+    /// Snapshots written.
+    pub checkpoints: u64,
+    /// Rollback-and-replay recoveries (`restore` mode).
+    pub restores: u64,
+}
+
+/// What the executor loop should do after a guard sweep.
+#[derive(Debug)]
+enum GuardAction {
+    /// Keep going with the next item.
+    Continue,
+    /// The state was rolled back to a snapshot taken after this many
+    /// items; resume execution from there.
+    Restored(usize),
+}
+
+/// Per-run resilience machinery: integrity sweeps on a cadence, periodic
+/// snapshots, and rollback-and-replay recovery. Built only when the
+/// configuration asks for it — a disabled guard is `None` all the way
+/// down and the executors pay a single `Option` branch per item.
+struct RunGuard {
+    policy: IntegrityPolicy,
+    ckpt: Option<(Checkpointer, usize)>,
+    n_qubits: u32,
+    replays_left: u32,
+    report: GuardReport,
+}
+
+impl RunGuard {
+    /// `Ok(None)` when neither integrity nor checkpointing is on.
+    fn new(
+        policy: &IntegrityPolicy,
+        checkpoint: Option<&CheckpointConfig>,
+        n_qubits: u32,
+    ) -> Result<Option<RunGuard>, SimError> {
+        if !policy.enabled() && checkpoint.is_none() {
+            return Ok(None);
+        }
+        let ckpt = match checkpoint {
+            Some(cfg) => {
+                let ck = Checkpointer::new(&cfg.dir, "state", cfg.keep)
+                    .map_err(|e| SimError::Checkpoint(e.to_string()))?;
+                Some((ck, cfg.every))
+            }
+            None => None,
+        };
+        Ok(Some(RunGuard {
+            policy: policy.clone(),
+            ckpt,
+            n_qubits,
+            replays_left: checkpoint.map_or(0, |c| c.max_replays),
+            report: GuardReport::default(),
+        }))
+    }
+
+    /// Run the guard work due after executing item `i`: integrity sweep
+    /// (with repair or rollback according to the policy), then a
+    /// snapshot if the checkpoint cadence hits.
+    fn after_item(&mut self, amps: &mut [C64], i: usize) -> Result<GuardAction, SimError> {
+        if self.policy.due(i) {
+            self.report.sweeps_checked += 1;
+            match integrity::enforce(&self.policy, amps, i) {
+                Ok(Outcome::Clean) => {}
+                Ok(Outcome::Renormalized { .. }) => self.report.repairs += 1,
+                Err(violation) => return self.try_restore(amps, violation),
+            }
+        }
+        if let Some((ckpt, every)) = &self.ckpt {
+            if (i + 1).is_multiple_of(*every) {
+                let meta = ShardMeta { n_qubits: self.n_qubits, rank: 0, step: (i + 1) as u64 };
+                ckpt.save(amps, &meta).map_err(|e| SimError::Checkpoint(e.to_string()))?;
+                self.report.checkpoints += 1;
+            }
+        }
+        Ok(GuardAction::Continue)
+    }
+
+    /// Roll back to the newest good snapshot (restore mode), or fail
+    /// with the violation.
+    fn try_restore(
+        &mut self,
+        amps: &mut [C64],
+        violation: IntegrityViolation,
+    ) -> Result<GuardAction, SimError> {
+        if self.policy.mode != IntegrityMode::Restore || self.replays_left == 0 {
+            return Err(violation.into());
+        }
+        let Some((ckpt, _)) = &self.ckpt else { return Err(violation.into()) };
+        match ckpt.load_latest().map_err(|e| SimError::Checkpoint(e.to_string()))? {
+            Some((saved, meta)) if saved.len() == amps.len() => {
+                amps.copy_from_slice(&saved);
+                self.replays_left -= 1;
+                self.report.restores += 1;
+                Ok(GuardAction::Restored(meta.step as usize))
+            }
+            _ => Err(violation.into()),
+        }
+    }
+}
 
 /// Execution report of one run.
 #[derive(Debug, Clone)]
@@ -132,6 +255,9 @@ pub struct RunReport {
     pub predicted: Option<ModelReport>,
     /// The full telemetry trace, when telemetry is enabled.
     pub trace: Option<Trace>,
+    /// Resilience-guard activity, when integrity sweeps or
+    /// checkpointing were enabled.
+    pub guard: Option<GuardReport>,
 }
 
 /// The simulator engine.
@@ -143,6 +269,8 @@ pub struct Simulator {
     chip: Option<(ChipParams, ExecConfig)>,
     backend: Option<BackendChoice>,
     telemetry: TelemetryConfig,
+    integrity: IntegrityPolicy,
+    checkpoint: Option<CheckpointConfig>,
 }
 
 impl Simulator {
@@ -155,6 +283,8 @@ impl Simulator {
             chip: None,
             backend: None,
             telemetry: TelemetryConfig::off(),
+            integrity: IntegrityPolicy::default(),
+            checkpoint: None,
         }
     }
 
@@ -164,7 +294,16 @@ impl Simulator {
     /// fusion width).
     pub fn from_config(config: SimConfig) -> Result<Simulator, SimError> {
         config.validate()?;
-        let SimConfig { strategy, backend, pool, schedule, model, telemetry } = config;
+        let SimConfig {
+            strategy,
+            backend,
+            pool,
+            schedule,
+            model,
+            telemetry,
+            integrity,
+            checkpoint,
+        } = config;
         let pool = match pool {
             // One thread is the calling thread: skip the pool entirely.
             PoolSpec::Serial | PoolSpec::Threads(1) => None,
@@ -183,6 +322,8 @@ impl Simulator {
                 explicit => Some(explicit),
             },
             telemetry,
+            integrity,
+            checkpoint,
         })
     }
 
@@ -288,19 +429,21 @@ impl Simulator {
             None
         };
         let tr = tracer.as_deref();
+        let mut guard =
+            RunGuard::new(&self.integrity, self.checkpoint.as_ref(), circuit.n_qubits())?;
         let start = Instant::now();
         let (sweeps, prep) = match self.strategy {
-            Strategy::Naive => (self.run_naive(be, circuit, state, tr), Prep::Direct),
+            Strategy::Naive => (self.run_naive(be, circuit, state, tr, &mut guard)?, Prep::Direct),
             Strategy::Fused { max_k } => {
                 let ops = fuse(circuit, max_k);
-                (self.run_fused_ops(be, &ops, state, tr), Prep::Fused(ops))
+                (self.run_fused_ops(be, &ops, state, tr, &mut guard)?, Prep::Fused(ops))
             }
             Strategy::Blocked { block_qubits } => {
-                (self.run_blocked(be, circuit, state, block_qubits, tr), Prep::Direct)
+                (self.run_blocked(be, circuit, state, block_qubits, tr, &mut guard)?, Prep::Direct)
             }
             Strategy::Planned { block_qubits, max_k } => {
                 let plan = plan_circuit(circuit, block_qubits, max_k);
-                (self.run_planned(be, &plan, state, tr), Prep::Planned(plan))
+                (self.run_planned(be, &plan, state, tr, &mut guard)?, Prep::Planned(plan))
             }
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -344,6 +487,7 @@ impl Simulator {
             backend: be.name,
             predicted,
             trace,
+            guard: guard.map(|g| g.report),
         })
     }
 
@@ -353,9 +497,14 @@ impl Simulator {
         circuit: &Circuit,
         state: &mut StateVector,
         tr: Option<&Tracer>,
-    ) -> usize {
+        guard: &mut Option<RunGuard>,
+    ) -> Result<usize, SimError> {
         let amps = state.amplitudes_mut();
-        for g in circuit.gates() {
+        let gates = circuit.gates();
+        // Index-based so a guard rollback can rewind and replay.
+        let mut i = 0;
+        while i < gates.len() {
+            let g = &gates[i];
             let t0 = tr.map(|_| Instant::now());
             match &self.pool {
                 Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
@@ -364,8 +513,9 @@ impl Simulator {
             if let (Some(t), Some(t0)) = (tr, t0) {
                 t.record_gate(0, g, t0.elapsed().as_nanos() as u64);
             }
+            i = advance(guard, amps, i)?;
         }
-        circuit.len()
+        Ok(gates.len())
     }
 
     fn run_fused_ops(
@@ -374,9 +524,12 @@ impl Simulator {
         ops: &[FusedOp],
         state: &mut StateVector,
         tr: Option<&Tracer>,
-    ) -> usize {
+        guard: &mut Option<RunGuard>,
+    ) -> Result<usize, SimError> {
         let amps = state.amplitudes_mut();
-        for op in ops {
+        let mut i = 0;
+        while i < ops.len() {
+            let op = &ops[i];
             let t0 = tr.map(|_| Instant::now());
             match &self.pool {
                 Some(pool) => {
@@ -387,8 +540,9 @@ impl Simulator {
             if let (Some(t), Some(t0)) = (tr, t0) {
                 t.record_fused(0, op, t0.elapsed().as_nanos() as u64);
             }
+            i = advance(guard, amps, i)?;
         }
-        ops.len()
+        Ok(ops.len())
     }
 
     fn run_blocked(
@@ -398,35 +552,22 @@ impl Simulator {
         state: &mut StateVector,
         block_qubits: u32,
         tr: Option<&Tracer>,
-    ) -> usize {
+        guard: &mut Option<RunGuard>,
+    ) -> Result<usize, SimError> {
         let block_qubits = block_qubits.min(state.n_qubits());
-        let mut sweeps = 0usize;
+        // One item = one sweep: either a cache-resident run of block
+        // gates or a single fallback gate. Materialized up front so a
+        // guard rollback can rewind to any sweep boundary.
+        enum Item {
+            // The second vec is the kernel-kind/qubit shadow of the run,
+            // maintained only while tracing.
+            Run(Vec<BlockGate>, Vec<(KernelKind, Vec<u32>)>),
+            Single(usize),
+        }
+        let mut items: Vec<Item> = Vec::new();
         let mut run: Vec<BlockGate> = Vec::new();
-        // Kernel-kind/qubit shadow of `run`, maintained only while
-        // tracing — the untraced path never allocates it.
         let mut members: Vec<(KernelKind, Vec<u32>)> = Vec::new();
-        let amps = state.amplitudes_mut();
-        let flush = |run: &mut Vec<BlockGate>,
-                     members: &mut Vec<(KernelKind, Vec<u32>)>,
-                     amps: &mut [crate::complex::C64],
-                     sweeps: &mut usize| {
-            if !run.is_empty() {
-                let t0 = tr.map(|_| Instant::now());
-                match &self.pool {
-                    Some(pool) => {
-                        apply_blocked_parallel(be, pool, self.sched, amps, run, block_qubits)
-                    }
-                    None => apply_blocked(be, amps, run, block_qubits),
-                }
-                if let (Some(t), Some(t0)) = (tr, t0) {
-                    t.record_block_run(0, members, t0.elapsed().as_nanos() as u64);
-                }
-                *sweeps += 1;
-                run.clear();
-                members.clear();
-            }
-        };
-        for g in circuit.gates() {
+        for (gi, g) in circuit.gates().iter().enumerate() {
             match to_block_gate(g, block_qubits) {
                 Some(bg) => {
                     run.push(bg);
@@ -435,8 +576,38 @@ impl Simulator {
                     }
                 }
                 None => {
-                    flush(&mut run, &mut members, amps, &mut sweeps);
-                    let t0 = tr.map(|_| Instant::now());
+                    if !run.is_empty() {
+                        items.push(Item::Run(
+                            std::mem::take(&mut run),
+                            std::mem::take(&mut members),
+                        ));
+                    }
+                    items.push(Item::Single(gi));
+                }
+            }
+        }
+        if !run.is_empty() {
+            items.push(Item::Run(run, members));
+        }
+
+        let amps = state.amplitudes_mut();
+        let mut i = 0;
+        while i < items.len() {
+            let t0 = tr.map(|_| Instant::now());
+            match &items[i] {
+                Item::Run(bgs, mem) => {
+                    match &self.pool {
+                        Some(pool) => {
+                            apply_blocked_parallel(be, pool, self.sched, amps, bgs, block_qubits)
+                        }
+                        None => apply_blocked(be, amps, bgs, block_qubits),
+                    }
+                    if let (Some(t), Some(t0)) = (tr, t0) {
+                        t.record_block_run(0, mem, t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                Item::Single(gi) => {
+                    let g = &circuit.gates()[*gi];
                     match &self.pool {
                         Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
                         None => apply_gate_with(be, amps, g),
@@ -444,12 +615,11 @@ impl Simulator {
                     if let (Some(t), Some(t0)) = (tr, t0) {
                         t.record_gate(0, g, t0.elapsed().as_nanos() as u64);
                     }
-                    sweeps += 1;
                 }
             }
+            i = advance(guard, amps, i)?;
         }
-        flush(&mut run, &mut members, amps, &mut sweeps);
-        sweeps
+        Ok(items.len())
     }
 
     fn run_planned(
@@ -458,9 +628,12 @@ impl Simulator {
         plan: &Plan,
         state: &mut StateVector,
         tr: Option<&Tracer>,
-    ) -> usize {
+        guard: &mut Option<RunGuard>,
+    ) -> Result<usize, SimError> {
         let amps = state.amplitudes_mut();
-        for op in &plan.ops {
+        let mut i = 0;
+        while i < plan.ops.len() {
+            let op = &plan.ops[i];
             let t0 = tr.map(|_| Instant::now());
             match op {
                 PlanOp::SwapAxes(a, b) => match &self.pool {
@@ -491,8 +664,22 @@ impl Simulator {
                     PlanOp::Gate(g) => t.record_gate(0, g, ns),
                 }
             }
+            i = advance(guard, amps, i)?;
         }
-        plan.sweeps
+        Ok(plan.sweeps)
+    }
+}
+
+/// Advance the executor index past item `i`, running any guard work
+/// that is due; a guard rollback rewinds the index instead.
+#[inline]
+fn advance(guard: &mut Option<RunGuard>, amps: &mut [C64], i: usize) -> Result<usize, SimError> {
+    match guard {
+        None => Ok(i + 1),
+        Some(g) => match g.after_item(amps, i)? {
+            GuardAction::Continue => Ok(i + 1),
+            GuardAction::Restored(step) => Ok(step),
+        },
     }
 }
 
@@ -887,6 +1074,105 @@ mod tests {
         let err = "warp".parse::<Strategy>().unwrap_err();
         assert!(err.contains("unknown strategy"));
         assert!(err.contains("planned:<b>:<k>"), "{err}");
+    }
+
+    fn guard_tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qcs_sim_guard_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn integrity_check_run_matches_plain_run() {
+        let c = library::random_circuit(7, 20, 21);
+        let init = random_init(7, 90);
+        let mut plain = init.clone();
+        Simulator::new().run(&c, &mut plain).unwrap();
+        for strat in all_strategies() {
+            let mut s = init.clone();
+            let report = SimConfig::new()
+                .strategy(strat)
+                .integrity_mode(crate::integrity::IntegrityMode::Check)
+                .build()
+                .unwrap()
+                .run(&c, &mut s)
+                .unwrap();
+            assert!(s.approx_eq(&plain, EPS), "{strat:?}");
+            let guard = report.guard.expect("integrity on");
+            assert_eq!(guard.sweeps_checked as usize, report.sweeps, "{strat:?}");
+            assert_eq!(guard.repairs, 0);
+        }
+    }
+
+    #[test]
+    fn guard_absent_when_disabled() {
+        let c = library::ghz(4);
+        let mut s = StateVector::zero(4);
+        let report = Simulator::new().run(&c, &mut s).unwrap();
+        assert!(report.guard.is_none());
+    }
+
+    #[test]
+    fn checkpointed_run_writes_snapshots_and_matches() {
+        let dir = guard_tmpdir("periodic");
+        let c = library::qft(6);
+        let mut plain = StateVector::zero(6);
+        Simulator::new().run(&c, &mut plain).unwrap();
+        let mut s = StateVector::zero(6);
+        let report =
+            SimConfig::new().checkpoint_every(5, &dir).build().unwrap().run(&c, &mut s).unwrap();
+        assert!(s.approx_eq(&plain, EPS));
+        let guard = report.guard.unwrap();
+        assert_eq!(guard.checkpoints as usize, c.len() / 5);
+        // The newest snapshot is a loadable shard at the right step.
+        let ckpt = crate::checkpoint::Checkpointer::new(&dir, "state", 2).unwrap();
+        let (amps, meta) = ckpt.load_latest().unwrap().expect("snapshots written");
+        assert_eq!(meta.step as usize, (c.len() / 5) * 5);
+        assert_eq!(amps.len(), 1 << 6);
+    }
+
+    #[test]
+    fn restore_guard_rolls_back_corruption() {
+        use crate::integrity::{IntegrityMode, IntegrityPolicy};
+        let dir = guard_tmpdir("restore");
+        let policy = IntegrityPolicy { mode: IntegrityMode::Restore, ..IntegrityPolicy::default() };
+        let ck = CheckpointConfig::new(1, &dir);
+        let mut guard = RunGuard::new(&policy, Some(&ck), 3).unwrap().unwrap();
+        let mut amps = vec![C64::new(0.0, 0.0); 8];
+        amps[0] = C64::new(1.0, 0.0);
+        let good = amps.clone();
+        // Item 0 executes cleanly: sweep passes, snapshot taken.
+        assert!(matches!(guard.after_item(&mut amps, 0), Ok(GuardAction::Continue)));
+        // Item 1 corrupts the state: the guard restores the snapshot and
+        // rewinds to step 1.
+        amps[2] = C64::new(f64::NAN, 0.0);
+        match guard.after_item(&mut amps, 1) {
+            Ok(GuardAction::Restored(step)) => assert_eq!(step, 1),
+            other => panic!("expected a restore, got {other:?}"),
+        }
+        for (a, b) in amps.iter().zip(&good) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+        }
+        assert_eq!(guard.report.restores, 1);
+        // Replay budget is finite: exhaust it and the violation surfaces.
+        for _ in 0..ck.max_replays {
+            amps[2] = C64::new(f64::NAN, 0.0);
+            let _ = guard.after_item(&mut amps, 1);
+        }
+        amps[2] = C64::new(f64::NAN, 0.0);
+        assert!(matches!(guard.after_item(&mut amps, 1), Err(SimError::Integrity(_))));
+    }
+
+    #[test]
+    fn repair_guard_renormalizes_in_place() {
+        use crate::integrity::{IntegrityMode, IntegrityPolicy};
+        let policy = IntegrityPolicy { mode: IntegrityMode::Repair, ..IntegrityPolicy::default() };
+        let mut guard = RunGuard::new(&policy, None, 3).unwrap().unwrap();
+        let mut amps = vec![C64::new(0.0, 0.0); 8];
+        amps[0] = C64::new(2.0, 0.0); // norm² = 4
+        assert!(matches!(guard.after_item(&mut amps, 0), Ok(GuardAction::Continue)));
+        assert_eq!(guard.report.repairs, 1);
+        assert!((amps[0].re - 1.0).abs() < 1e-12);
     }
 
     #[test]

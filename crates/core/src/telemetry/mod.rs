@@ -63,6 +63,8 @@ pub enum ExchangePhase {
     GlobalSwap,
     /// Collective (allgather/allreduce) traffic.
     Collective,
+    /// Fault recovery: rollback to a checkpoint and replay.
+    Recovery,
 }
 
 impl ExchangePhase {
@@ -72,6 +74,7 @@ impl ExchangePhase {
             ExchangePhase::CtrlExchange => "ctrl-exchange",
             ExchangePhase::GlobalSwap => "global-swap",
             ExchangePhase::Collective => "collective",
+            ExchangePhase::Recovery => "recovery",
         }
     }
 
@@ -81,6 +84,7 @@ impl ExchangePhase {
             "ctrl-exchange" => ExchangePhase::CtrlExchange,
             "global-swap" => ExchangePhase::GlobalSwap,
             "collective" => ExchangePhase::Collective,
+            "recovery" => ExchangePhase::Recovery,
             _ => return None,
         })
     }

@@ -24,6 +24,7 @@ use qcs_core::kernels::index::insert_zero_bit;
 use qcs_core::state::StateVector;
 use qcs_core::telemetry::{ExchangePhase, RunMeta, TelemetryConfig, Trace, Tracer};
 
+use crate::error::DistError;
 use crate::partition::Partition;
 
 const TAG_XCHG: u32 = 0xD157_0001;
@@ -53,9 +54,16 @@ pub struct DistState {
 }
 
 /// Send a complex slice as interleaved f64 (C64 is repr(C) f64-pairs).
-fn sendrecv_c64(comm: &mut Comm, peer: usize, tag: u32, data: &[C64]) -> Vec<C64> {
-    let raw = comm.sendrecv(peer, tag, as_f64_slice(data));
-    raw.chunks_exact(2).map(|p| C64::new(p[0], p[1])).collect()
+/// Transport failures surface as [`DistError::Exchange`] so the caller
+/// can roll back instead of tearing the world down.
+fn sendrecv_c64(
+    comm: &mut Comm,
+    peer: usize,
+    tag: u32,
+    data: &[C64],
+) -> Result<Vec<C64>, DistError> {
+    let raw = comm.try_sendrecv(peer, tag, as_f64_slice(data))?;
+    Ok(raw.chunks_exact(2).map(|p| C64::new(p[0], p[1])).collect())
 }
 
 impl DistState {
@@ -84,7 +92,7 @@ impl DistState {
         self.tracer = tracer;
     }
 
-    fn record_exchange(
+    pub(crate) fn record_exchange(
         &self,
         phase: ExchangePhase,
         qubits: &[u32],
@@ -113,62 +121,72 @@ impl DistState {
         &self.amps
     }
 
+    /// Crate-internal mutable view for the resilient executor's
+    /// rollback (restore a checkpointed shard in place).
+    pub(crate) fn local_amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
     /// Apply one gate, communicating as needed.
-    pub fn apply_gate(&mut self, comm: &mut Comm, gate: &Gate) {
+    pub fn apply_gate(&mut self, comm: &mut Comm, gate: &Gate) -> Result<(), DistError> {
         let qs = gate.qubits();
         let all_local = qs.iter().all(|&q| self.part.is_local(q));
         if all_local {
             apply_local(&mut self.amps, gate);
-            return;
+            return Ok(());
         }
         if gate.is_diagonal() {
-            self.apply_diagonal_with_globals(gate);
-            return;
+            return self.apply_diagonal_with_globals(gate);
         }
         // Dense 1q on a global qubit: direct pair exchange.
         if let Some((q, m)) = gate.as_single() {
-            self.pair_exchange_1q(comm, q, &m.m);
-            return;
+            return self.pair_exchange_1q(comm, q, &m.m);
         }
         // Controlled dense gates get the cheap special cases.
         if let Some((c, t, m)) = gate.as_controlled() {
             let c_local = self.part.is_local(c);
             let t_local = self.part.is_local(t);
-            match (c_local, t_local) {
+            return match (c_local, t_local) {
                 (false, true) => {
                     // Global control: rank-constant predicate.
                     if self.global_bit_value(c) {
                         apply_local(&mut self.amps, &Gate::Unitary1(t, m));
                     }
-                    return;
+                    Ok(())
                 }
-                (true, false) => {
-                    self.pair_exchange_controlled(comm, c, t, &m.m);
-                    return;
-                }
+                (true, false) => self.pair_exchange_controlled(comm, c, t, &m.m),
                 (false, false) => {
                     if self.global_bit_value(c) {
-                        self.pair_exchange_1q(comm, t, &m.m);
+                        self.pair_exchange_1q(comm, t, &m.m)
                     } else {
                         // Partner has the same (clear) control bit and
                         // also skips; no exchange needed.
+                        Ok(())
                     }
-                    return;
                 }
-                (true, true) => unreachable!("handled by all_local"),
-            }
+                (true, true) => Err(DistError::internal(format!(
+                    "controlled gate `{}` with two local qubits reached the exchange path",
+                    gate.name()
+                ))),
+            };
         }
         // General fallback: relocate each global qubit to a free local
         // position, apply, relocate back.
-        self.apply_via_remap(comm, gate);
+        self.apply_via_remap(comm, gate)
     }
 
     /// Run a whole circuit.
-    pub fn apply_circuit(&mut self, comm: &mut Comm, circuit: &Circuit) {
-        assert_eq!(circuit.n_qubits(), self.part.n_qubits(), "width mismatch");
-        for g in circuit.gates() {
-            self.apply_gate(comm, g);
+    pub fn apply_circuit(&mut self, comm: &mut Comm, circuit: &Circuit) -> Result<(), DistError> {
+        if circuit.n_qubits() != self.part.n_qubits() {
+            return Err(DistError::WidthMismatch {
+                circuit: circuit.n_qubits(),
+                state: self.part.n_qubits(),
+            });
         }
+        for g in circuit.gates() {
+            self.apply_gate(comm, g)?;
+        }
+        Ok(())
     }
 
     /// The value of global qubit `q`'s bit on this rank.
@@ -177,23 +195,35 @@ impl DistState {
     }
 
     /// Dense 1q gate on global qubit `q` by whole-buffer pair exchange.
-    fn pair_exchange_1q(&mut self, comm: &mut Comm, q: u32, m: &[[C64; 2]; 2]) {
+    fn pair_exchange_1q(
+        &mut self,
+        comm: &mut Comm,
+        q: u32,
+        m: &[[C64; 2]; 2],
+    ) -> Result<(), DistError> {
         let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let partner = self.part.partner(self.rank, q);
-        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps);
+        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps)?;
         let b = usize::from(self.global_bit_value(q));
         let (diag, off) = (m[b][b], m[b][1 - b]);
         for (mine, other) in self.amps.iter_mut().zip(&theirs) {
             *mine = C64::default().fma(diag, *mine).fma(off, *other);
         }
         self.record_exchange(ExchangePhase::PairExchange, &[q], self.amps.len() as u64, t0);
+        Ok(())
     }
 
     /// Controlled dense gate: local control `c`, global target `t`.
-    fn pair_exchange_controlled(&mut self, comm: &mut Comm, c: u32, t: u32, m: &[[C64; 2]; 2]) {
+    fn pair_exchange_controlled(
+        &mut self,
+        comm: &mut Comm,
+        c: u32,
+        t: u32,
+        m: &[[C64; 2]; 2],
+    ) -> Result<(), DistError> {
         let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let partner = self.part.partner(self.rank, t);
-        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps);
+        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps)?;
         let b = usize::from(self.global_bit_value(t));
         let (diag, off) = (m[b][b], m[b][1 - b]);
         let cbit = 1usize << c;
@@ -203,22 +233,33 @@ impl DistState {
             }
         }
         self.record_exchange(ExchangePhase::CtrlExchange, &[c, t], self.amps.len() as u64, t0);
+        Ok(())
     }
 
     /// Diagonal gate with ≥1 global qubit: every factor involving a
     /// global bit is a rank-wide constant.
-    fn apply_diagonal_with_globals(&mut self, gate: &Gate) {
+    fn apply_diagonal_with_globals(&mut self, gate: &Gate) -> Result<(), DistError> {
         // Obtain the diagonal entries from the dense forms.
         match gate.arity() {
             1 => {
-                let (q, m) = gate.as_single().expect("1q diagonal");
+                let (q, m) = gate.as_single().ok_or_else(|| {
+                    DistError::internal(format!(
+                        "1-qubit diagonal gate `{}` has no dense 1q form",
+                        gate.name()
+                    ))
+                })?;
                 let d = if self.global_bit_value(q) { m.m[1][1] } else { m.m[0][0] };
                 for a in &mut self.amps {
                     *a *= d;
                 }
             }
             2 => {
-                let (h, l, m) = gate.as_two().expect("2q diagonal");
+                let (h, l, m) = gate.as_two().ok_or_else(|| {
+                    DistError::internal(format!(
+                        "2-qubit diagonal gate `{}` has no dense 2q form",
+                        gate.name()
+                    ))
+                })?;
                 let d = [m.m[0][0], m.m[1][1], m.m[2][2], m.m[3][3]];
                 let h_local = self.part.is_local(h);
                 let l_local = self.part.is_local(l);
@@ -246,17 +287,30 @@ impl DistState {
                             *a *= d[idx];
                         }
                     }
-                    (true, true) => unreachable!("handled by all_local"),
+                    (true, true) => {
+                        return Err(DistError::internal(format!(
+                            "diagonal gate `{}` with two local qubits reached the global path",
+                            gate.name()
+                        )))
+                    }
                 }
             }
-            _ => unreachable!("no ≥3-qubit diagonal gates in the set"),
+            arity => {
+                return Err(DistError::UnsupportedGate {
+                    gate: gate.name().to_string(),
+                    reason: format!(
+                        "diagonal gates of arity {arity} are not in the distributed gate set"
+                    ),
+                })
+            }
         }
+        Ok(())
     }
 
     /// Swap global qubit `gq` with local qubit `lq` (a physical data
     /// exchange of half the local buffer), returning nothing; qubit
     /// *labels* are restored by the caller swapping back after use.
-    fn swap_global_local(&mut self, comm: &mut Comm, gq: u32, lq: u32) {
+    fn swap_global_local(&mut self, comm: &mut Comm, gq: u32, lq: u32) -> Result<(), DistError> {
         debug_assert!(!self.part.is_local(gq) && self.part.is_local(lq));
         let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let r = usize::from(self.global_bit_value(gq));
@@ -269,30 +323,36 @@ impl DistState {
             outbox.push(self.amps[x]);
         }
         let partner = self.part.partner(self.rank, gq);
-        let inbox = sendrecv_c64(comm, partner, TAG_SWAP, &outbox);
+        let inbox = sendrecv_c64(comm, partner, TAG_SWAP, &outbox)?;
         for (j, v) in inbox.into_iter().enumerate() {
             let x = insert_zero_bit(j, lq) | (want_bit << lq);
             self.amps[x] = v;
         }
         self.record_exchange(ExchangePhase::GlobalSwap, &[gq, lq], half as u64, t0);
+        Ok(())
     }
 
     /// Apply a gate with global qubits by temporarily relocating each
     /// global qubit onto a free local qubit.
-    fn apply_via_remap(&mut self, comm: &mut Comm, gate: &Gate) {
+    fn apply_via_remap(&mut self, comm: &mut Comm, gate: &Gate) -> Result<(), DistError> {
         let qs = gate.qubits();
         let globals: Vec<u32> = qs.iter().copied().filter(|&q| !self.part.is_local(q)).collect();
         // Free local qubits: lowest indices not used by the gate.
         let mut free: Vec<u32> =
             (0..self.part.n_local()).filter(|q| !qs.contains(q)).take(globals.len()).collect();
-        assert_eq!(
-            free.len(),
-            globals.len(),
-            "not enough free local qubits to relocate {} globals",
-            globals.len()
-        );
+        if free.len() != globals.len() {
+            return Err(DistError::UnsupportedGate {
+                gate: gate.name().to_string(),
+                reason: format!(
+                    "not enough free local qubits to relocate {} global qubits \
+                     ({} local qubits per rank)",
+                    globals.len(),
+                    self.part.n_local()
+                ),
+            });
+        }
         for (&g, &l) in globals.iter().zip(&free) {
-            self.swap_global_local(comm, g, l);
+            self.swap_global_local(comm, g, l)?;
         }
         let remapped = gate.remap(|q| {
             if let Some(pos) = globals.iter().position(|&g| g == q) {
@@ -307,35 +367,47 @@ impl DistState {
         let mut globals_rev = globals.clone();
         globals_rev.reverse();
         for (&g, &l) in globals_rev.iter().zip(&free) {
-            self.swap_global_local(comm, g, l);
+            self.swap_global_local(comm, g, l)?;
         }
+        Ok(())
     }
 
     /// Crate-internal: swap a global physical axis with a local one (the
     /// remapping engine drives this directly).
-    pub(crate) fn swap_physical(&mut self, comm: &mut Comm, gq: u32, lq: u32) {
-        self.swap_global_local(comm, gq, lq);
+    pub(crate) fn swap_physical(
+        &mut self,
+        comm: &mut Comm,
+        gq: u32,
+        lq: u32,
+    ) -> Result<(), DistError> {
+        self.swap_global_local(comm, gq, lq)
     }
 
     /// Crate-internal: swap any two physical axes. Local–local is a
     /// rank-local permutation; global–local is one half-buffer exchange;
     /// global–global decomposes into three global–local swaps through a
     /// temporary local axis ((a t)(b t)(a t) = (a b)).
-    pub(crate) fn swap_physical_any(&mut self, comm: &mut Comm, a: u32, b: u32) {
+    pub(crate) fn swap_physical_any(
+        &mut self,
+        comm: &mut Comm,
+        a: u32,
+        b: u32,
+    ) -> Result<(), DistError> {
         if a == b {
-            return;
+            return Ok(());
         }
         match (self.part.is_local(a), self.part.is_local(b)) {
             (true, true) => {
                 qcs_core::kernels::scalar::apply_swap(&mut self.amps, a, b);
+                Ok(())
             }
             (false, true) => self.swap_global_local(comm, a, b),
             (true, false) => self.swap_global_local(comm, b, a),
             (false, false) => {
                 let t = 0u32; // any local axis works as scratch
-                self.swap_global_local(comm, a, t);
-                self.swap_global_local(comm, b, t);
-                self.swap_global_local(comm, a, t);
+                self.swap_global_local(comm, a, t)?;
+                self.swap_global_local(comm, b, t)?;
+                self.swap_global_local(comm, a, t)
             }
         }
     }
@@ -468,16 +540,29 @@ impl DistState {
 
 /// Convenience harness: run `circuit` from |0…0⟩ on `n_ranks` ranks and
 /// return the reassembled state plus per-rank communication statistics.
+///
+/// Engine errors are deterministic and symmetric across ranks (they
+/// depend only on the circuit and the partition geometry), so every
+/// rank returns the same `Err` and the world tears down cleanly.
 pub fn run_distributed(
     circuit: &Circuit,
     n_ranks: usize,
-) -> (StateVector, Vec<mpi_sim::CommStats>) {
-    let (mut states, stats) = World::run_with_stats(n_ranks, |comm| {
-        let mut st = DistState::zero(circuit.n_qubits(), comm);
-        st.apply_circuit(comm, circuit);
-        st.allgather_full(comm)
-    });
-    (states.remove(0), stats)
+) -> Result<(StateVector, Vec<mpi_sim::CommStats>), DistError> {
+    let (states, stats) =
+        World::run_with_stats(n_ranks, |comm| -> Result<StateVector, DistError> {
+            let mut st = DistState::zero(circuit.n_qubits(), comm);
+            st.apply_circuit(comm, circuit)?;
+            Ok(st.allgather_full(comm))
+        });
+    let mut first = None;
+    for s in states {
+        let s: StateVector = s?;
+        if first.is_none() {
+            first = Some(s);
+        }
+    }
+    let state = first.ok_or_else(|| DistError::internal("world produced no ranks"))?;
+    Ok((state, stats))
 }
 
 /// Like [`run_distributed`], but every rank records an exchange span per
@@ -489,32 +574,35 @@ pub fn run_distributed_traced(
     circuit: &Circuit,
     n_ranks: usize,
     telemetry: &TelemetryConfig,
-) -> (StateVector, Vec<mpi_sim::CommStats>, Vec<Trace>) {
+) -> Result<(StateVector, Vec<mpi_sim::CommStats>, Vec<Trace>), DistError> {
     let n = circuit.n_qubits();
-    let (results, stats) = World::run_with_stats(n_ranks, |comm| {
-        let mut tracer = Tracer::with_defaults(n, 1, telemetry.capacity);
-        tracer.set_rank(comm.rank() as i32);
-        let tracer = Arc::new(tracer);
-        let mut st = DistState::zero(n, comm);
-        st.set_tracer(Some(Arc::clone(&tracer)));
-        st.apply_circuit(comm, circuit);
-        let state = st.allgather_full(comm);
-        st.set_tracer(None);
-        let tracer = Arc::try_unwrap(tracer)
-            .unwrap_or_else(|_| unreachable!("tracer detached from the rank state above"));
-        let meta = RunMeta {
-            strategy: format!("dist:{n_ranks}"),
-            backend: "exchange".to_string(),
-            threads: 1,
-            schedule: "static".to_string(),
-            n_qubits: n,
-            label: telemetry.label.clone(),
-        };
-        (state, tracer.finish(meta))
-    });
+    let (results, stats) =
+        World::run_with_stats(n_ranks, |comm| -> Result<(StateVector, Trace), DistError> {
+            let mut tracer = Tracer::with_defaults(n, 1, telemetry.capacity);
+            tracer.set_rank(comm.rank() as i32);
+            let tracer = Arc::new(tracer);
+            let mut st = DistState::zero(n, comm);
+            st.set_tracer(Some(Arc::clone(&tracer)));
+            st.apply_circuit(comm, circuit)?;
+            let state = st.allgather_full(comm);
+            st.set_tracer(None);
+            let tracer = Arc::try_unwrap(tracer).map_err(|_| {
+                DistError::internal("tracer still shared after detaching from state")
+            })?;
+            let meta = RunMeta {
+                strategy: format!("dist:{n_ranks}"),
+                backend: "exchange".to_string(),
+                threads: 1,
+                schedule: "static".to_string(),
+                n_qubits: n,
+                label: telemetry.label.clone(),
+            };
+            Ok((state, tracer.finish(meta)))
+        });
     let mut state = None;
     let mut traces = Vec::with_capacity(n_ranks);
-    for (s, t) in results {
+    for r in results {
+        let (s, t): (StateVector, Trace) = r?;
         if state.is_none() {
             state = Some(s);
         }
@@ -528,7 +616,8 @@ pub fn run_distributed_traced(
             cfg.append = true;
         }
     }
-    (state.expect("world has at least one rank"), stats, traces)
+    let state = state.ok_or_else(|| DistError::internal("world produced no ranks"))?;
+    Ok((state, stats, traces))
 }
 
 #[cfg(test)]
@@ -550,7 +639,7 @@ mod tests {
 
     fn check_distributed(circuit: &Circuit, n_ranks: usize) {
         let reference = serial_reference(circuit);
-        let (dist, _) = run_distributed(circuit, n_ranks);
+        let (dist, _) = run_distributed(circuit, n_ranks).unwrap();
         assert!(
             dist.approx_eq(&reference, EPS),
             "ranks={n_ranks}: max diff {}",
@@ -597,7 +686,7 @@ mod tests {
         // exchange exactly one local buffer per rank.
         let mut c = Circuit::new(8);
         c.h(7); // global for 4 ranks (local = 6 qubits)
-        let (_, stats) = run_distributed(&c, 4);
+        let (_, stats) = run_distributed(&c, 4).unwrap();
         let local_bytes = (1u64 << 6) * 16;
         for s in &stats {
             // allgather at the end also communicates; subtract by checking
@@ -616,8 +705,8 @@ mod tests {
         let mut with_gates = Circuit::new(8);
         with_gates.h(0).h(1).cx(0, 1).rz(2, 0.3);
         let empty = Circuit::new(8);
-        let (_, stats_gates) = run_distributed(&with_gates, 4);
-        let (_, stats_empty) = run_distributed(&empty, 4);
+        let (_, stats_gates) = run_distributed(&with_gates, 4).unwrap();
+        let (_, stats_empty) = run_distributed(&empty, 4).unwrap();
         for (a, b) in stats_gates.iter().zip(&stats_empty) {
             assert_eq!(a.bytes_sent, b.bytes_sent, "local gates must add zero communication");
         }
@@ -628,8 +717,8 @@ mod tests {
         let mut diag = Circuit::new(8);
         diag.rz(7, 0.9).cz(6, 7).cp(7, 0, 0.4).rzz(6, 7, 0.2).t(7);
         let empty = Circuit::new(8);
-        let (_, a) = run_distributed(&diag, 4);
-        let (_, b) = run_distributed(&empty, 4);
+        let (_, a) = run_distributed(&diag, 4).unwrap();
+        let (_, b) = run_distributed(&empty, 4).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.bytes_sent, y.bytes_sent, "diagonal gates are communication-free");
         }
@@ -643,8 +732,8 @@ mod tests {
         c.h(0).cx(7, 0); // control global, target local
         let mut h_only = Circuit::new(8);
         h_only.h(0);
-        let (_, a) = run_distributed(&c, 4);
-        let (_, b) = run_distributed(&h_only, 4);
+        let (_, a) = run_distributed(&c, 4).unwrap();
+        let (_, b) = run_distributed(&h_only, 4).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.bytes_sent, y.bytes_sent);
         }
@@ -662,7 +751,7 @@ mod tests {
         c.h(7);
         let reference = serial_reference(&c);
         let cfg = TelemetryConfig::on();
-        let (state, _, traces) = run_distributed_traced(&c, 4, &cfg);
+        let (state, _, traces) = run_distributed_traced(&c, 4, &cfg).unwrap();
         assert!(state.approx_eq(&reference, EPS));
         assert_eq!(traces.len(), 4);
         let local_amps = 1u64 << 6;
@@ -695,7 +784,7 @@ mod tests {
         // exchanges), applies locally, then swaps back.
         let mut c = Circuit::new(8);
         c.h(6).h(7).iswap(6, 7);
-        let (state, _, traces) = run_distributed_traced(&c, 4, &TelemetryConfig::on());
+        let (state, _, traces) = run_distributed_traced(&c, 4, &TelemetryConfig::on()).unwrap();
         assert!(state.approx_eq(&serial_reference(&c), EPS));
         let swaps: usize = traces
             .iter()
@@ -721,7 +810,7 @@ mod tests {
         let mut c = Circuit::new(6);
         c.h(5).cx(5, 0);
         let cfg = TelemetryConfig::on().with_output(&path);
-        let (_, _, traces) = run_distributed_traced(&c, 2, &cfg);
+        let (_, _, traces) = run_distributed_traced(&c, 2, &cfg).unwrap();
         let read = qcs_core::telemetry::sink::read_jsonl(&path).unwrap();
         assert_eq!(read.len(), 2, "one run block per rank");
         for (mem, disk) in traces.iter().zip(&read) {
@@ -767,7 +856,7 @@ mod tests {
         let p1_ref: Vec<f64> = (0..8).map(|q| reference.prob_qubit_one(q)).collect();
         let results = World::run(4, |comm| {
             let mut st = DistState::zero(8, comm);
-            st.apply_circuit(comm, &library::ghz(8));
+            st.apply_circuit(comm, &library::ghz(8)).unwrap();
             let norm = st.norm_sqr(comm);
             let p1: Vec<f64> = (0..8).map(|q| st.prob_qubit_one(comm, q)).collect();
             (norm, p1)
@@ -788,7 +877,7 @@ mod tests {
             for forced in [0.0, 0.999_999] {
                 let results = World::run(4, move |comm| {
                     let mut st = DistState::zero(8, comm);
-                    st.apply_circuit(comm, &library::ghz(8));
+                    st.apply_circuit(comm, &library::ghz(8)).unwrap();
                     let outcome = st.measure_qubit(comm, q, forced);
                     let norm = st.norm_sqr(comm);
                     let p_other = st.prob_qubit_one(comm, (q + 3) % 8);
@@ -813,7 +902,7 @@ mod tests {
         let c2 = c.clone();
         let results = World::run(4, move |comm| {
             let mut st = DistState::zero(8, comm);
-            st.apply_circuit(comm, &c2);
+            st.apply_circuit(comm, &c2).unwrap();
             st.collapse(comm, 5, 1);
             st.allgather_full(comm)
         });
@@ -851,7 +940,7 @@ mod tests {
             let us2 = us.clone();
             let results = World::run(ranks, move |comm| {
                 let mut st = DistState::zero(8, comm);
-                st.apply_circuit(comm, &c2);
+                st.apply_circuit(comm, &c2).unwrap();
                 st.sample_counts(comm, &us2)
             });
             for r in results {
@@ -868,7 +957,8 @@ mod tests {
                 let mut c = Circuit::new(8);
                 c.x(2).x(7);
                 c
-            });
+            })
+            .unwrap();
             st.sample_counts(comm, &[0.1, 0.5, 0.9])
         });
         for r in results {
@@ -879,7 +969,7 @@ mod tests {
     #[test]
     fn grover_distributed() {
         let c = library::grover(6, 37);
-        let (dist, _) = run_distributed(&c, 4);
+        let (dist, _) = run_distributed(&c, 4).unwrap();
         let argmax =
             (0..64).max_by(|&a, &b| dist.probability(a).total_cmp(&dist.probability(b))).unwrap();
         assert_eq!(argmax, 37);

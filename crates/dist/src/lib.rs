@@ -13,11 +13,19 @@
 //! * [`engine`] — [`DistState`]: gate application with
 //!   the three communication regimes (none / pair exchange / global–local
 //!   qubit swap), measurement, and gathering.
+//! * [`error`] — [`DistError`]: typed failures replacing the engine's
+//!   former panics, split into recoverable transients and hard errors.
+//! * [`resilience`] — [`run_resilient`]: coordinated checkpoints,
+//!   rollback-and-replay, and integrity guards over the engine.
 
 pub mod engine;
+pub mod error;
 pub mod partition;
 pub mod remap;
+pub mod resilience;
 
 pub use engine::{run_distributed, run_distributed_traced, DistState};
+pub use error::DistError;
 pub use partition::Partition;
 pub use remap::{run_distributed_mapped, MappedDistState};
+pub use resilience::{run_resilient, RecoveryReport, ResilienceConfig, ResilientRun};

@@ -22,6 +22,7 @@ use qcs_core::circuit::{Circuit, Gate};
 use qcs_core::state::StateVector;
 
 use crate::engine::DistState;
+use crate::error::DistError;
 
 /// A distributed state plus a logical→physical qubit permutation.
 pub struct MappedDistState {
@@ -42,7 +43,7 @@ impl MappedDistState {
     }
 
     /// Apply one gate, relocating global qubits lazily.
-    pub fn apply_gate(&mut self, comm: &mut Comm, gate: &Gate) {
+    pub fn apply_gate(&mut self, comm: &mut Comm, gate: &Gate) -> Result<(), DistError> {
         let part = self.inner.partition();
         let phys_gate = gate.remap(|q| self.phys_of[q as usize]);
 
@@ -67,64 +68,80 @@ impl MappedDistState {
                 .filter(|&lq| !part.is_local(self.phys_of[lq as usize]))
                 .collect();
             for lq in globals {
-                self.pull_local(comm, lq, gate);
+                self.pull_local(comm, lq, gate)?;
             }
             let phys_gate = gate.remap(|q| self.phys_of[q as usize]);
             debug_assert!(phys_gate.qubits().iter().all(|&q| part.is_local(q)));
-            self.inner.apply_gate(comm, &phys_gate);
+            self.inner.apply_gate(comm, &phys_gate)
         } else {
-            self.inner.apply_gate(comm, &phys_gate);
+            self.inner.apply_gate(comm, &phys_gate)
         }
     }
 
     /// Bring logical qubit `lq`'s amplitude axis into a local physical
     /// slot by swapping with the least-recently-useful local slot, and
     /// record the move in the map.
-    fn pull_local(&mut self, comm: &mut Comm, lq: u32, gate: &Gate) {
+    fn pull_local(&mut self, comm: &mut Comm, lq: u32, gate: &Gate) -> Result<(), DistError> {
         let part = self.inner.partition();
         let g_phys = self.phys_of[lq as usize];
         debug_assert!(!part.is_local(g_phys));
         // Choose a local physical slot whose logical owner is not used by
         // this gate (so we don't evict a qubit the gate needs).
         let gate_phys: Vec<u32> = gate.qubits().iter().map(|&q| self.phys_of[q as usize]).collect();
-        let victim_phys = (0..part.n_local())
-            .find(|p| !gate_phys.contains(p))
-            .expect("enough local slots for any 3-qubit gate");
-        self.inner.swap_physical(comm, g_phys, victim_phys);
+        let victim_phys =
+            (0..part.n_local()).find(|p| !gate_phys.contains(p)).ok_or_else(|| {
+                DistError::UnsupportedGate {
+                    gate: gate.name().to_string(),
+                    reason: format!(
+                        "no free local slot to relocate onto ({} local qubits per rank)",
+                        part.n_local()
+                    ),
+                }
+            })?;
+        self.inner.swap_physical(comm, g_phys, victim_phys)?;
         // Update the permutation: the logical qubits at these two
         // physical slots trade places.
-        let victim_logical =
-            self.phys_of.iter().position(|&p| p == victim_phys).expect("permutation is total");
+        let victim_logical = self
+            .phys_of
+            .iter()
+            .position(|&p| p == victim_phys)
+            .ok_or_else(|| DistError::internal("qubit permutation lost a physical slot"))?;
         self.phys_of[lq as usize] = victim_phys;
         self.phys_of[victim_logical] = g_phys;
+        Ok(())
     }
 
     /// Run a circuit.
-    pub fn apply_circuit(&mut self, comm: &mut Comm, circuit: &Circuit) {
+    pub fn apply_circuit(&mut self, comm: &mut Comm, circuit: &Circuit) -> Result<(), DistError> {
         for g in circuit.gates() {
-            self.apply_gate(comm, g);
+            self.apply_gate(comm, g)?;
         }
+        Ok(())
     }
 
     /// Restore the identity layout (logical qubit `q` at physical `q`)
     /// with explicit swaps, then return the inner state.
-    pub fn normalize_layout(&mut self, comm: &mut Comm) {
+    pub fn normalize_layout(&mut self, comm: &mut Comm) -> Result<(), DistError> {
         for logical in 0..self.phys_of.len() as u32 {
             let current = self.phys_of[logical as usize];
             if current != logical {
                 // Swap physical axes `current` and `logical`.
-                self.inner.swap_physical_any(comm, current, logical);
-                let other = self.phys_of.iter().position(|&p| p == logical).expect("total");
+                self.inner.swap_physical_any(comm, current, logical)?;
+                let other =
+                    self.phys_of.iter().position(|&p| p == logical).ok_or_else(|| {
+                        DistError::internal("qubit permutation lost a logical slot")
+                    })?;
                 self.phys_of[logical as usize] = logical;
                 self.phys_of[other] = current;
             }
         }
+        Ok(())
     }
 
     /// Normalize and reassemble the full state on every rank.
-    pub fn allgather_full(&mut self, comm: &mut Comm) -> StateVector {
-        self.normalize_layout(comm);
-        self.inner.allgather_full(comm)
+    pub fn allgather_full(&mut self, comm: &mut Comm) -> Result<StateVector, DistError> {
+        self.normalize_layout(comm)?;
+        Ok(self.inner.allgather_full(comm))
     }
 }
 
@@ -133,13 +150,21 @@ impl MappedDistState {
 pub fn run_distributed_mapped(
     circuit: &Circuit,
     n_ranks: usize,
-) -> (StateVector, Vec<mpi_sim::CommStats>) {
-    let (mut states, stats) = mpi_sim::World::run_with_stats(n_ranks, |comm| {
+) -> Result<(StateVector, Vec<mpi_sim::CommStats>), DistError> {
+    let (states, stats) = mpi_sim::World::run_with_stats(n_ranks, |comm| {
         let mut st = MappedDistState::zero(circuit.n_qubits(), comm);
-        st.apply_circuit(comm, circuit);
+        st.apply_circuit(comm, circuit)?;
         st.allgather_full(comm)
     });
-    (states.remove(0), stats)
+    let mut first = None;
+    for s in states {
+        let s: StateVector = s?;
+        if first.is_none() {
+            first = Some(s);
+        }
+    }
+    let state = first.ok_or_else(|| DistError::internal("world produced no ranks"))?;
+    Ok((state, stats))
 }
 
 #[cfg(test)]
@@ -159,7 +184,7 @@ mod tests {
 
     fn check(circuit: &Circuit, ranks: usize) {
         let reference = serial(circuit);
-        let (mapped, _) = run_distributed_mapped(circuit, ranks);
+        let (mapped, _) = run_distributed_mapped(circuit, ranks).unwrap();
         assert!(
             mapped.approx_eq(&reference, EPS),
             "ranks={ranks}: max diff {}",
@@ -190,12 +215,12 @@ mod tests {
     /// Algorithm-only bytes: subtract the final-allgather baseline that
     /// both harnesses pay.
     fn algorithm_bytes(
-        run: impl Fn(&Circuit, usize) -> (StateVector, Vec<mpi_sim::CommStats>),
+        run: impl Fn(&Circuit, usize) -> Result<(StateVector, Vec<mpi_sim::CommStats>), DistError>,
         circuit: &Circuit,
         ranks: usize,
     ) -> u64 {
-        let (_, with) = run(circuit, ranks);
-        let (_, base) = run(&Circuit::new(circuit.n_qubits()), ranks);
+        let (_, with) = run(circuit, ranks).unwrap();
+        let (_, base) = run(&Circuit::new(circuit.n_qubits()), ranks).unwrap();
         with.iter().zip(&base).map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent)).sum()
     }
 
@@ -244,10 +269,10 @@ mod tests {
         let c = library::random_circuit(8, 6, 4);
         let results = mpi_sim::World::run(4, |comm| {
             let mut st = MappedDistState::zero(8, comm);
-            st.apply_circuit(comm, &c);
-            st.normalize_layout(comm);
+            st.apply_circuit(comm, &c).unwrap();
+            st.normalize_layout(comm).unwrap();
             let a = st.inner.allgather_full(comm);
-            st.normalize_layout(comm); // second normalize: no-op
+            st.normalize_layout(comm).unwrap(); // second normalize: no-op
             let b = st.inner.allgather_full(comm);
             (a, b)
         });

@@ -27,12 +27,14 @@
 pub mod collectives;
 pub mod comm;
 pub mod datatype;
+pub mod fault;
 pub mod network;
 pub mod nonblocking;
 pub mod stats;
 
-pub use comm::{Comm, World};
+pub use comm::{Comm, CommError, World, ANY_SOURCE};
 pub use datatype::Pod;
+pub use fault::{FaultDraw, FaultPlan, FaultSpecError};
 pub use network::{NetworkModel, TofuParams};
 pub use nonblocking::RecvRequest;
 pub use stats::CommStats;

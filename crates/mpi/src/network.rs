@@ -114,6 +114,7 @@ mod tests {
             messages_received: msgs,
             bytes_received: bytes,
             sends_by_dest: vec![],
+            ..CommStats::default()
         }
     }
 

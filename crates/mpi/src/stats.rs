@@ -8,6 +8,12 @@
 use parking_lot::Mutex;
 
 /// Per-rank communication counters.
+///
+/// `messages_*` and `bytes_*` count *logical* traffic — one unit per
+/// `send`/`recv` pair regardless of how many physical transmissions the
+/// reliable transport needed — so volume accounting is identical between
+/// fault-free and fault-injected runs. The resilience counters below
+/// record what the transport did to survive injected faults.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommStats {
     pub messages_sent: u64,
@@ -16,6 +22,17 @@ pub struct CommStats {
     pub bytes_received: u64,
     /// Histogram of destination ranks (index = dest).
     pub sends_by_dest: Vec<u64>,
+    /// Retransmissions after a missed acknowledgement.
+    pub retries: u64,
+    /// Acknowledgement deadlines that expired (each triggers a retry or,
+    /// on the final attempt, a transport failure).
+    pub ack_timeouts: u64,
+    /// Received envelopes discarded for a payload checksum mismatch.
+    pub corrupt_dropped: u64,
+    /// Received envelopes discarded as duplicates (already-seen seq).
+    pub duplicates_dropped: u64,
+    /// Faults the plan injected on this rank's outgoing transmissions.
+    pub faults_injected: u64,
 }
 
 impl CommStats {
@@ -39,6 +56,11 @@ impl CommStats {
         self.messages_received += other.messages_received;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;
+        self.retries += other.retries;
+        self.ack_timeouts += other.ack_timeouts;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.faults_injected += other.faults_injected;
         if self.sends_by_dest.len() < other.sends_by_dest.len() {
             self.sends_by_dest.resize(other.sends_by_dest.len(), 0);
         }

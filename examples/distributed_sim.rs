@@ -25,7 +25,7 @@ fn main() {
         "ranks", "bytes/rank", "messages", "Tofu-D comm time", "max |Δamp|"
     );
     for ranks in [1usize, 2, 4, 8] {
-        let (state, stats) = run_distributed(&circuit, ranks);
+        let (state, stats) = run_distributed(&circuit, ranks).expect("distributed run");
         let diff = state.max_abs_diff(&reference);
         let worst = stats.iter().max_by_key(|s| s.bytes_sent).expect("ranks ≥ 1");
         let comm = net.rank_time(worst);

@@ -18,6 +18,11 @@
 //!   --model                                  attach the A64FX model report
 //!   --trace                                  record per-sweep telemetry spans
 //!   --trace-out <file.jsonl>                 write the trace as JSONL (implies --trace)
+//!   --faults <spec>                          inject transport faults (needs --ranks > 1);
+//!                                            spec: drop=p,dup=p,flip=p,delay=p:dur,… or "default"
+//!   --checkpoint-every <n>                   snapshot the state every n gates
+//!   --checkpoint-dir <path>                  where checkpoints live [qcs-checkpoints]
+//!   --integrity off|check|repair|restore     amplitude integrity guard [off]
 //!   --verbose                                print the resolved configuration
 //!   --seed <u64>                             RNG seed [1]
 //! ```
@@ -27,15 +32,18 @@
 //! `QCS_TRACE` / `QCS_TRACE_OUT` environment variables enable telemetry
 //! without touching the command line.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use a64fx_qcs::a64fx::timing::ExecConfig;
 use a64fx_qcs::a64fx::ChipParams;
+use a64fx_qcs::core::config::CheckpointConfig;
 use a64fx_qcs::core::measure::sample_counts;
 use a64fx_qcs::core::prelude::*;
 use a64fx_qcs::core::telemetry::drift::DriftReport;
 use a64fx_qcs::core::{library, qasm};
-use a64fx_qcs::dist::{run_distributed, run_distributed_traced};
+use a64fx_qcs::dist::{run_distributed, run_distributed_traced, run_resilient, ResilienceConfig};
+use a64fx_qcs::mpi::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,6 +54,9 @@ struct Options {
     probs: usize,
     verbose: bool,
     seed: u64,
+    faults: Option<String>,
+    checkpoint_every: usize,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -58,6 +69,9 @@ impl Default for Options {
             probs: 0,
             verbose: false,
             seed: 1,
+            faults: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -109,7 +123,8 @@ fn usage() -> String {
      opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>  --threads <t>  --ranks <r>\n\
            --backend auto|scalar|simd  --schedule static[:c]|dynamic[:c]|guided[:c]\n\
            --shots <s>  --probs <top>  --model  --trace  --trace-out <file>  --verbose\n\
-           --seed <u64>"
+           --faults <spec|default>  --checkpoint-every <n>  --checkpoint-dir <path>\n\
+           --integrity off|check|repair|restore  --seed <u64>"
         .to_string()
 }
 
@@ -160,10 +175,47 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.probs = value("--probs")?.parse().map_err(|e| format!("--probs: {e}"))?
             }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faults" => opts.faults = Some(value("--faults")?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?));
+            }
+            "--integrity" => {
+                let mode: IntegrityMode =
+                    value("--integrity")?.parse().map_err(|e| format!("--integrity: {e}"))?;
+                opts.config.integrity = IntegrityPolicy { mode, ..IntegrityPolicy::default() };
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    // The checkpoint knobs fold into the SimConfig so the single-process
+    // engine validates and uses them; the distributed path reads the
+    // same fields back out of the config.
+    if opts.checkpoint_every > 0 {
+        let dir = opts.checkpoint_dir.clone().unwrap_or_else(|| PathBuf::from("qcs-checkpoints"));
+        opts.config.checkpoint = Some(CheckpointConfig::new(opts.checkpoint_every, dir));
+    } else if opts.checkpoint_dir.is_some() {
+        return Err("--checkpoint-dir needs --checkpoint-every".to_string());
+    }
+    if opts.faults.is_some() && opts.ranks <= 1 {
+        return Err("--faults injects transport faults and needs --ranks > 1".to_string());
+    }
     Ok(opts)
+}
+
+/// Resolve `--faults` into a plan: `default` scales to the paper's
+/// default intensity, anything else is a `drop=…,dup=…` spec. The seed
+/// comes from `QCS_FAULT_SEED` when set, else `--seed`.
+fn parse_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+    let seed = std::env::var("QCS_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(seed);
+    if spec == "default" {
+        return Ok(FaultPlan::default_intensity(seed));
+    }
+    FaultPlan::parse(spec, seed).map_err(|e| format!("--faults: {e}"))
 }
 
 fn parse_run_args(args: &[String]) -> Result<(String, Options), String> {
@@ -283,8 +335,15 @@ fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector,
     }
     println!("running on {} in-process ranks…", opts.ranks);
     let telemetry = &opts.config.telemetry;
+    let resilient = opts.faults.is_some()
+        || opts.config.checkpoint.is_some()
+        || opts.config.integrity.enabled();
+    if resilient {
+        return execute_resilient(circuit, opts);
+    }
     let state = if telemetry.enabled {
-        let (state, stats, traces) = run_distributed_traced(circuit, opts.ranks, telemetry);
+        let (state, stats, traces) =
+            run_distributed_traced(circuit, opts.ranks, telemetry).map_err(|e| e.to_string())?;
         let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
         println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
         for trace in &traces {
@@ -301,10 +360,53 @@ fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector,
         }
         state
     } else {
-        let (state, stats) = run_distributed(circuit, opts.ranks);
+        let (state, stats) = run_distributed(circuit, opts.ranks).map_err(|e| e.to_string())?;
         let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
         println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
         state
     };
     Ok(state)
+}
+
+/// Distributed execution through the recovery envelope: fault plan on
+/// the transport, coordinated checkpoints, integrity guards.
+fn execute_resilient(circuit: &Circuit, opts: &Options) -> Result<StateVector, String> {
+    let fault_plan =
+        opts.faults.as_deref().map(|spec| parse_fault_plan(spec, opts.seed)).transpose()?;
+    let cfg = ResilienceConfig {
+        fault_plan,
+        checkpoint_every: opts.config.checkpoint.as_ref().map_or(0, |c| c.every),
+        checkpoint_dir: opts.config.checkpoint.as_ref().map(|c| c.dir.clone()),
+        max_replays: opts.config.checkpoint.as_ref().map_or(3, |c| c.max_replays),
+        integrity: opts.config.integrity.clone(),
+        telemetry: opts.config.telemetry.clone(),
+        ..ResilienceConfig::default()
+    };
+    let run = run_resilient(circuit, opts.ranks, &cfg).map_err(|e| e.to_string())?;
+    let total: u64 = run.stats.iter().map(|s| s.bytes_sent).sum();
+    let retries: u64 = run.stats.iter().map(|s| s.retries).sum();
+    let corrupt: u64 = run.stats.iter().map(|s| s.corrupt_dropped).sum();
+    let injected: u64 = run.stats.iter().map(|s| s.faults_injected).sum();
+    println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
+    println!(
+        "resilience: {} faults injected, {} retries, {} corrupt frames dropped, \
+         {} rollbacks, {} checkpoints",
+        injected,
+        retries,
+        corrupt,
+        run.total_recoveries(),
+        run.recovery.iter().map(|r| r.checkpoints).sum::<u64>()
+    );
+    for (rank, trace) in run.traces.iter().enumerate() {
+        println!(
+            "rank {rank}: {} exchange spans, {:.2} MiB on the wire, {:.3} ms in exchanges",
+            trace.summary.spans,
+            trace.summary.bytes as f64 / (1 << 20) as f64,
+            trace.summary.wall_ns as f64 / 1e6
+        );
+    }
+    if let Some(path) = &opts.config.telemetry.trace_path {
+        println!("trace written to {}", path.display());
+    }
+    Ok(run.state)
 }

@@ -9,9 +9,9 @@ use a64fx_qcs::mpi::{NetworkModel, TofuParams};
 
 /// Communication of the circuit minus the harness's final allgather.
 fn algorithm_bytes(circuit: &Circuit, ranks: usize) -> Vec<u64> {
-    let (_, with) = run_distributed(circuit, ranks);
+    let (_, with) = run_distributed(circuit, ranks).unwrap();
     let empty = Circuit::new(circuit.n_qubits());
-    let (_, base) = run_distributed(&empty, ranks);
+    let (_, base) = run_distributed(&empty, ranks).unwrap();
     with.iter().zip(&base).map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent)).collect()
 }
 
@@ -106,7 +106,7 @@ fn tofu_pricing_is_consistent_with_volume() {
     let n = 12u32;
     let c = library::qft(n);
     let net = NetworkModel::new(TofuParams::tofu_d());
-    let (_, stats) = run_distributed(&c, 4);
+    let (_, stats) = run_distributed(&c, 4).unwrap();
     for s in &stats {
         let t = net.rank_time(s);
         // Bandwidth term alone bounds from below; plus latency bounds

@@ -80,7 +80,7 @@ fn distributed_agrees_with_serial_across_families() {
     for (name, circuit) in circuits_under_test(9) {
         let reference = reference(&circuit);
         for ranks in [2usize, 4] {
-            let (dist, _) = run_distributed(&circuit, ranks);
+            let (dist, _) = run_distributed(&circuit, ranks).unwrap();
             assert!(
                 dist.approx_eq(&reference, EPS),
                 "{name} on {ranks} ranks: max diff {}",
@@ -105,7 +105,7 @@ fn fused_threaded_distributed_triangle() {
         .run(&circuit, &mut fused_threaded)
         .unwrap();
 
-    let (distributed, _) = run_distributed(&circuit, 8);
+    let (distributed, _) = run_distributed(&circuit, 8).unwrap();
 
     assert!(fused_threaded.approx_eq(&serial, EPS));
     assert!(distributed.approx_eq(&serial, EPS));
