@@ -1,0 +1,847 @@
+//! Batched multi-circuit execution.
+//!
+//! A [`BatchSimulator`] owns nothing between calls; [`BatchSimulator::run`]
+//! applies one circuit to a batch of independent state vectors in
+//! *gate-major* order: the fuse/plan products are built once, then each
+//! sweep is applied to every member before the next sweep starts. The
+//! gate stream (matrices, block items, plan ops) stays hot across
+//! members — the locality argument of the paper's cache-blocking
+//! analysis applied along the batch axis — while the amplitude work per
+//! member is exactly what a lone run performs.
+//!
+//! Every (member, block) cell executes the *serial* kernel path a
+//! single-threaded [`Simulator`](crate::sim::Simulator) run uses (the
+//! shared executors in `sim.rs`), and worksharing only decides which
+//! thread owns which disjoint cell. Batched results are therefore
+//! bit-identical to running the members sequentially, for every
+//! strategy × backend × schedule combination — the property the
+//! differential-conformance suite pins down.
+//!
+//! Trajectory sampling rides the same machinery:
+//! [`BatchSimulator::run_trajectories`] runs one noisy trajectory per
+//! member, each with its own seeded RNG, in a single batched call.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use a64fx_model::timing::ExecConfig;
+use a64fx_model::traffic::KernelKind;
+use a64fx_model::ChipParams;
+use omp_par::{for_each_cell, CellGrid, Schedule, ThreadPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::circuit::Circuit;
+use crate::complex::C64;
+use crate::config::{PoolSpec, SimConfig};
+use crate::fusion::{fuse, FusedOp};
+use crate::kernels::blocked::{apply_block_chunk, BlockGate, PreparedRun};
+use crate::kernels::simd::{self, BackendChoice, KernelBackend};
+use crate::kernels::AmpPtr;
+use crate::noise::{run_trajectory, NoiseChannel};
+use crate::perf::{predict_batched, BatchPrediction};
+use crate::plan::{plan_circuit, Plan, PlanOp};
+use crate::sim::{
+    build_block_items, exec_block_run, exec_fused, exec_gate, exec_plan_op, BlockItem, SimError,
+    Strategy,
+};
+use crate::state::StateVector;
+use crate::telemetry::{self, RunMeta, TelemetryConfig, Trace, Tracer};
+
+/// Most members one batched call accepts. Far above any host memory
+/// budget for interesting widths; the cap exists so configuration
+/// errors (e.g. passing an amplitude count as a batch size) fail with a
+/// message instead of an allocation storm.
+pub const MAX_BATCH: usize = 4096;
+
+/// Process-wide batch identity; tags every per-member trace so one
+/// JSONL sink can hold many batched runs.
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_batch_id() -> u64 {
+    NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A raw pointer to row `i` of a batch-owned table (states, RNGs,
+/// error counters), `Copy` so worksharing closures can capture it.
+///
+/// Same disjointness contract as [`AmpPtr`]: each row index is touched
+/// by exactly one (member, block) cell, and the region barrier in
+/// [`for_each_cell`] orders all cell writes before the caller reads the
+/// tables again.
+struct RowPtr<T>(*mut T);
+
+impl<T> Clone for RowPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RowPtr<T> {}
+
+// SAFETY: rows are handed to exactly one cell each (per-member grids),
+// so no two threads alias the same element.
+unsafe impl<T> Send for RowPtr<T> {}
+unsafe impl<T> Sync for RowPtr<T> {}
+
+impl<T> RowPtr<T> {
+    /// # Safety
+    /// `i` must be in bounds and exclusively owned by the calling cell.
+    #[inline(always)]
+    unsafe fn at(self, i: usize) -> &'static mut T {
+        &mut *self.0.add(i)
+    }
+}
+
+/// Report of one batched execution.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Process-unique id of this batched call (also tagged into every
+    /// member's trace label).
+    pub batch_id: u64,
+    /// Wall time of the whole batch, planning included.
+    pub wall_seconds: f64,
+    /// Member states executed.
+    pub members: usize,
+    /// Gates in the source circuit.
+    pub gates: usize,
+    /// Sweeps executed *per member* (= the single-run sweep count).
+    pub sweeps: usize,
+    /// Kernel backend name.
+    pub backend: &'static str,
+    /// Measured throughput: `members / wall_seconds`.
+    pub circuits_per_sec: f64,
+    /// A64FX-model batched-vs-sequential prediction, when a chip model
+    /// is attached.
+    pub predicted: Option<BatchPrediction>,
+    /// One telemetry trace per member, when telemetry is enabled.
+    pub traces: Vec<Trace>,
+}
+
+/// Result of one batched trajectory-sampling call.
+#[derive(Debug, Clone)]
+pub struct TrajectoryBatch {
+    /// Process-unique id of this batched call.
+    pub batch_id: u64,
+    /// Wall time of the whole batch.
+    pub wall_seconds: f64,
+    /// Final state of each trajectory, member-major.
+    pub states: Vec<StateVector>,
+    /// Stochastic error events injected into each trajectory.
+    pub errors: Vec<usize>,
+}
+
+/// The batched execution engine.
+///
+/// Configured through [`SimConfig`] like the single-run engine; the
+/// extra knob is [`SimConfig::batch`](SimConfig::batch), which sizes
+/// [`run_fresh`](BatchSimulator::run_fresh). Per-run resilience state
+/// (integrity sweeps, checkpointing) is rejected at construction —
+/// those are single-trajectory features.
+#[derive(Clone)]
+pub struct BatchSimulator {
+    strategy: Strategy,
+    pool: Option<Arc<ThreadPool>>,
+    sched: Schedule,
+    chip: Option<(ChipParams, ExecConfig)>,
+    backend: Option<BackendChoice>,
+    telemetry: TelemetryConfig,
+    default_batch: usize,
+}
+
+impl BatchSimulator {
+    /// Single-threaded, gate-by-gate, batch size 1, telemetry off.
+    pub fn new() -> BatchSimulator {
+        BatchSimulator {
+            strategy: Strategy::Naive,
+            pool: None,
+            sched: Schedule::default_static(),
+            chip: None,
+            backend: None,
+            telemetry: TelemetryConfig::off(),
+            default_batch: 1,
+        }
+    }
+
+    /// Build a batched engine from a validated [`SimConfig`].
+    ///
+    /// Integrity sweeps and checkpointing are per-run rollback state and
+    /// do not compose with gate-major interleaving; configs enabling
+    /// them are rejected with [`SimError::InvalidConfig`].
+    pub fn from_config(config: SimConfig) -> Result<BatchSimulator, SimError> {
+        config.validate()?;
+        if config.integrity.enabled() {
+            return Err(SimError::InvalidConfig(
+                "integrity sweeps are per-run rollback state and do not compose with \
+                 batched execution; run members through `Simulator` individually"
+                    .to_string(),
+            ));
+        }
+        if config.checkpoint.is_some() {
+            return Err(SimError::InvalidConfig(
+                "checkpointing is per-run rollback state and does not compose with \
+                 batched execution; run members through `Simulator` individually"
+                    .to_string(),
+            ));
+        }
+        let SimConfig {
+            strategy,
+            backend,
+            pool,
+            schedule,
+            model,
+            telemetry,
+            integrity: _,
+            checkpoint: _,
+            batch,
+        } = config;
+        let pool = match pool {
+            PoolSpec::Serial | PoolSpec::Threads(1) => None,
+            PoolSpec::Threads(n) => Some(Arc::new(ThreadPool::new(n))),
+            PoolSpec::Shared(p) => Some(p),
+        };
+        Ok(BatchSimulator {
+            strategy,
+            pool,
+            sched: schedule,
+            chip: model,
+            backend: match backend {
+                BackendChoice::Auto => None,
+                explicit => Some(explicit),
+            },
+            telemetry,
+            default_batch: batch,
+        })
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Worksharing threads (1 when serial).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.num_threads())
+    }
+
+    /// The batch size [`run_fresh`](BatchSimulator::run_fresh) uses.
+    pub fn batch_size(&self) -> usize {
+        self.default_batch
+    }
+
+    /// The kernel backend this engine executes with.
+    pub fn backend(&self) -> &'static KernelBackend {
+        match self.backend {
+            Some(choice) => simd::backend_for(choice),
+            None => simd::active(),
+        }
+    }
+
+    /// Execute `circuit` on every member of `states`, gate-major.
+    ///
+    /// Results are bit-identical to running each member through a
+    /// *serial* single-run [`Simulator`](crate::sim::Simulator) with
+    /// the same strategy and backend — regardless of this engine's
+    /// thread count, because work is sharded at (member × block)
+    /// granularity and every cell executes the serial kernel sequence.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        states: &mut [StateVector],
+    ) -> Result<BatchReport, SimError> {
+        let members = states.len();
+        if members == 0 {
+            return Err(SimError::InvalidConfig(
+                "batch needs at least 1 member state (got an empty batch)".to_string(),
+            ));
+        }
+        if members > MAX_BATCH {
+            return Err(SimError::InvalidConfig(format!(
+                "batch of {members} members exceeds the limit of {MAX_BATCH}"
+            )));
+        }
+        let n = circuit.n_qubits();
+        for s in states.iter() {
+            if s.n_qubits() != n {
+                return Err(SimError::QubitMismatch { circuit: n, state: s.n_qubits() });
+            }
+        }
+        let len = 1usize << n;
+        let be = self.backend();
+        let batch_id = next_batch_id();
+        // One tracer per member: spans stay attributable, and each
+        // member's trace is a drop-in for the single-run trace of the
+        // same circuit.
+        let tracers: Option<Vec<Tracer>> = if self.telemetry.enabled {
+            let (chip, cfg) = self
+                .chip
+                .clone()
+                .unwrap_or_else(|| (ChipParams::a64fx(), ExecConfig::single_core()));
+            Some(
+                (0..members)
+                    .map(|_| {
+                        Tracer::new(n, self.threads(), chip.clone(), cfg, self.telemetry.capacity)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        enum BatchPrep {
+            Naive,
+            Fused(Vec<FusedOp>),
+            Blocked(Vec<BlockItem>, u32),
+            Planned(Plan),
+        }
+
+        let start = Instant::now();
+        // Planning products are built ONCE and shared by every member —
+        // the amortization the batch engine exists for.
+        let prep = match self.strategy {
+            Strategy::Naive => BatchPrep::Naive,
+            Strategy::Fused { max_k } => BatchPrep::Fused(fuse(circuit, max_k)),
+            Strategy::Blocked { block_qubits } => {
+                let bq = block_qubits.min(n);
+                BatchPrep::Blocked(build_block_items(circuit, bq, self.telemetry.enabled), bq)
+            }
+            Strategy::Planned { block_qubits, max_k } => {
+                BatchPrep::Planned(plan_circuit(circuit, block_qubits, max_k))
+            }
+        };
+        let ptrs: Vec<AmpPtr> =
+            states.iter_mut().map(|s| AmpPtr(s.amplitudes_mut().as_mut_ptr())).collect();
+        let trs = tracers.as_deref();
+        let sweeps = match &prep {
+            BatchPrep::Naive => {
+                for g in circuit.gates() {
+                    self.sweep_full(
+                        &ptrs,
+                        len,
+                        trs,
+                        |amps| exec_gate(be, None, self.sched, amps, g),
+                        |t, ns| t.record_gate(0, g, ns),
+                    );
+                }
+                circuit.len()
+            }
+            BatchPrep::Fused(ops) => {
+                for op in ops {
+                    self.sweep_full(
+                        &ptrs,
+                        len,
+                        trs,
+                        |amps| exec_fused(be, None, self.sched, amps, op),
+                        |t, ns| t.record_fused(0, op, ns),
+                    );
+                }
+                ops.len()
+            }
+            BatchPrep::Blocked(items, bq) => {
+                for item in items {
+                    match item {
+                        BlockItem::Run(bgs, shadow) => {
+                            self.sweep_blocked(be, &ptrs, len, *bq, bgs, shadow, trs);
+                        }
+                        BlockItem::Single(gi) => {
+                            let g = &circuit.gates()[*gi];
+                            self.sweep_full(
+                                &ptrs,
+                                len,
+                                trs,
+                                |amps| exec_gate(be, None, self.sched, amps, g),
+                                |t, ns| t.record_gate(0, g, ns),
+                            );
+                        }
+                    }
+                }
+                items.len()
+            }
+            BatchPrep::Planned(plan) => {
+                for op in &plan.ops {
+                    match op {
+                        // Untraced block passes get the fine (member ×
+                        // block) grid; traced ones fall through to the
+                        // per-member path so each member's pass is timed
+                        // as one span.
+                        PlanOp::Block(ops) if trs.is_none() => {
+                            let prepared = PreparedRun::new(ops, plan.block_qubits);
+                            let block = prepared.block_len();
+                            let grid = CellGrid::new(members, len / block);
+                            for_each_cell(self.pool.as_deref(), self.sched, grid, |m, b| {
+                                // SAFETY: cells are disjoint (member,
+                                // block) slices; the region barrier ends
+                                // all access before the next sweep.
+                                let chunk = unsafe { ptrs[m].slice(b * block, block) };
+                                prepared.apply_chunk(be, chunk);
+                            });
+                        }
+                        op => {
+                            self.sweep_full(
+                                &ptrs,
+                                len,
+                                trs,
+                                |amps| {
+                                    exec_plan_op(be, None, self.sched, amps, op, plan.block_qubits)
+                                },
+                                |t, ns| match op {
+                                    PlanOp::SwapAxes(a, b) => {
+                                        t.record_kernel(0, KernelKind::Swap, &[*a, *b], ns)
+                                    }
+                                    PlanOp::Block(ops) => t.record_block_pass(0, ops, ns),
+                                    PlanOp::Gate(g) => t.record_gate(0, g, ns),
+                                },
+                            );
+                        }
+                    }
+                }
+                plan.sweeps
+            }
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut traces: Vec<Trace> = Vec::new();
+        if let Some(ts) = tracers {
+            for (m, t) in ts.into_iter().enumerate() {
+                let meta = RunMeta {
+                    strategy: self.strategy.to_string(),
+                    backend: be.name.to_string(),
+                    threads: self.threads() as u32,
+                    schedule: self.sched.to_string(),
+                    n_qubits: n,
+                    label: member_label(&self.telemetry.label, batch_id, m),
+                };
+                let trace = t.finish(meta);
+                // Member 0 honors the configured truncate/append choice;
+                // later members append, so one batched run lands in the
+                // JSONL sink as one contiguous group.
+                let sink_cfg = if m == 0 {
+                    self.telemetry.clone()
+                } else {
+                    self.telemetry.clone().appending(true)
+                };
+                telemetry::write_configured(&sink_cfg, &trace).map_err(|e| {
+                    SimError::TraceIo(match &self.telemetry.trace_path {
+                        Some(p) => format!("{}: {e}", p.display()),
+                        None => e.to_string(),
+                    })
+                })?;
+                traces.push(trace);
+            }
+        }
+
+        let predicted =
+            self.chip.as_ref().map(|(chip, cfg)| predict_batched(chip, cfg, circuit, members));
+        Ok(BatchReport {
+            batch_id,
+            wall_seconds,
+            members,
+            gates: circuit.len(),
+            sweeps,
+            backend: be.name,
+            circuits_per_sec: if wall_seconds > 0.0 { members as f64 / wall_seconds } else { 0.0 },
+            predicted,
+            traces,
+        })
+    }
+
+    /// Run `circuit` on [`batch_size`](BatchSimulator::batch_size)
+    /// fresh `|0…0⟩` members; returns the final states with the report.
+    pub fn run_fresh(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<(Vec<StateVector>, BatchReport), SimError> {
+        let mut states: Vec<StateVector> =
+            (0..self.default_batch).map(|_| StateVector::zero(circuit.n_qubits())).collect();
+        let report = self.run(circuit, &mut states)?;
+        Ok((states, report))
+    }
+
+    /// Sample one noisy trajectory per seed, batched: member `m` starts
+    /// from `|0…0⟩`, draws from `StdRng::seed_from_u64(seeds[m])`, and
+    /// produces exactly the state and error count a sequential
+    /// [`run_trajectory`] call with the same seed produces.
+    pub fn run_trajectories(
+        &self,
+        circuit: &Circuit,
+        channel: NoiseChannel,
+        seeds: &[u64],
+    ) -> Result<TrajectoryBatch, SimError> {
+        let members: Vec<(NoiseChannel, u64)> = seeds.iter().map(|&s| (channel, s)).collect();
+        self.run_trajectories_mixed(circuit, &members)
+    }
+
+    /// Trajectory sampling with a per-member `(channel, seed)` pair —
+    /// one batched call can mix noise models.
+    pub fn run_trajectories_mixed(
+        &self,
+        circuit: &Circuit,
+        members: &[(NoiseChannel, u64)],
+    ) -> Result<TrajectoryBatch, SimError> {
+        if members.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "batch needs at least 1 trajectory seed (got an empty batch)".to_string(),
+            ));
+        }
+        if members.len() > MAX_BATCH {
+            return Err(SimError::InvalidConfig(format!(
+                "batch of {} trajectories exceeds the limit of {MAX_BATCH}",
+                members.len()
+            )));
+        }
+        let n = circuit.n_qubits();
+        let batch_id = next_batch_id();
+        let start = Instant::now();
+        let mut states: Vec<StateVector> = members.iter().map(|_| StateVector::zero(n)).collect();
+        let mut rngs: Vec<StdRng> =
+            members.iter().map(|&(_, seed)| StdRng::seed_from_u64(seed)).collect();
+        let mut errors: Vec<usize> = vec![0; members.len()];
+        {
+            let states_ptr = RowPtr(states.as_mut_ptr());
+            let rngs_ptr = RowPtr(rngs.as_mut_ptr());
+            let errors_ptr = RowPtr(errors.as_mut_ptr());
+            for_each_cell(
+                self.pool.as_deref(),
+                self.sched,
+                CellGrid::per_member(members.len()),
+                |m, _| {
+                    // SAFETY: the per-member grid hands row `m` of every
+                    // table to exactly this cell; the region barrier
+                    // orders all writes before the tables are read below.
+                    let state = unsafe { states_ptr.at(m) };
+                    let rng = unsafe { rngs_ptr.at(m) };
+                    let errs = unsafe { errors_ptr.at(m) };
+                    *errs = run_trajectory(circuit, state, members[m].0, rng);
+                },
+            );
+        }
+        Ok(TrajectoryBatch {
+            batch_id,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            states,
+            errors,
+        })
+    }
+
+    /// One full-state sweep across all members (one cell per member).
+    /// Each cell runs the *serial* kernel path; when tracing, the cell
+    /// also times itself and records into its member's tracer.
+    fn sweep_full<A, R>(
+        &self,
+        ptrs: &[AmpPtr],
+        len: usize,
+        tracers: Option<&[Tracer]>,
+        apply: A,
+        record: R,
+    ) where
+        A: Fn(&mut [C64]) + Sync,
+        R: Fn(&Tracer, u64) + Sync,
+    {
+        for_each_cell(
+            self.pool.as_deref(),
+            self.sched,
+            CellGrid::per_member(ptrs.len()),
+            |m, _| {
+                // SAFETY: cell (m, 0) is the only cell touching member m's
+                // amplitudes; the region barrier ends all access on return.
+                let amps = unsafe { ptrs[m].slice(0, len) };
+                match tracers {
+                    Some(ts) => {
+                        let t0 = Instant::now();
+                        apply(amps);
+                        record(&ts[m], t0.elapsed().as_nanos() as u64);
+                    }
+                    None => apply(amps),
+                }
+            },
+        );
+    }
+
+    /// One blocked run across all members. Untraced: the fine (member ×
+    /// block) grid, each cell applying the identical per-chunk serial
+    /// path. Traced: one cell per member so the run is timed as a
+    /// single span per member, exactly like a single run's trace.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_blocked(
+        &self,
+        be: &KernelBackend,
+        ptrs: &[AmpPtr],
+        len: usize,
+        block_qubits: u32,
+        gates: &[BlockGate],
+        shadow: &[(KernelKind, Vec<u32>)],
+        tracers: Option<&[Tracer]>,
+    ) {
+        match tracers {
+            Some(ts) => {
+                let grid = CellGrid::per_member(ptrs.len());
+                for_each_cell(self.pool.as_deref(), self.sched, grid, |m, _| {
+                    // SAFETY: one cell per member; see `sweep_full`.
+                    let amps = unsafe { ptrs[m].slice(0, len) };
+                    let t0 = Instant::now();
+                    exec_block_run(be, None, self.sched, amps, gates, block_qubits);
+                    ts[m].record_block_run(0, shadow, t0.elapsed().as_nanos() as u64);
+                });
+            }
+            None => {
+                let block = 1usize << block_qubits;
+                let grid = CellGrid::new(ptrs.len(), len / block);
+                for_each_cell(self.pool.as_deref(), self.sched, grid, |m, b| {
+                    // SAFETY: cells are disjoint (member, block) slices;
+                    // the region barrier ends all access on return.
+                    let chunk = unsafe { ptrs[m].slice(b * block, block) };
+                    apply_block_chunk(be, chunk, gates);
+                });
+            }
+        }
+    }
+}
+
+impl Default for BatchSimulator {
+    fn default() -> Self {
+        BatchSimulator::new()
+    }
+}
+
+impl std::fmt::Debug for BatchSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSimulator")
+            .field("strategy", &self.strategy)
+            .field("threads", &self.threads())
+            .field("schedule", &self.sched)
+            .field("batch", &self.default_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Trace label for one member: `[<base>/]batch=<id>/member=<m>`.
+fn member_label(base: &str, batch_id: u64, member: usize) -> String {
+    if base.is_empty() {
+        format!("batch={batch_id}/member={member}")
+    } else {
+        format!("{base}/batch={batch_id}/member={member}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::testing::random_circuit_seeded;
+    use rand::Rng;
+
+    fn all_strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::Naive,
+            Strategy::Fused { max_k: 3 },
+            Strategy::Blocked { block_qubits: 3 },
+            Strategy::Planned { block_qubits: 3, max_k: 3 },
+        ]
+    }
+
+    fn random_members(n: u32, count: usize, seed: u64) -> Vec<StateVector> {
+        (0..count)
+            .map(|m| {
+                let mut rng = StdRng::seed_from_u64(seed + m as u64);
+                StateVector::random(n, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_batch_is_bit_identical_to_sequential_runs() {
+        let circuit = random_circuit_seeded(5, 40, 7);
+        for strategy in all_strategies() {
+            let cfg = SimConfig::default().strategy(strategy).serial();
+            let single = Simulator::from_config(cfg.clone()).unwrap();
+            let batch = BatchSimulator::from_config(cfg).unwrap();
+            let mut expect = random_members(5, 3, 900);
+            for s in expect.iter_mut() {
+                single.run(&circuit, s).unwrap();
+            }
+            let mut got = random_members(5, 3, 900);
+            let report = batch.run(&circuit, &mut got).unwrap();
+            assert_eq!(report.members, 3);
+            assert_eq!(report.gates, circuit.len());
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(g.approx_eq(e, 0.0), "strategy {strategy} diverged from sequential");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // spawns worker threads; covered serially above
+    fn threaded_batch_is_bit_identical_to_serial_members() {
+        let circuit = random_circuit_seeded(6, 50, 13);
+        for strategy in all_strategies() {
+            let serial =
+                Simulator::from_config(SimConfig::default().strategy(strategy).serial()).unwrap();
+            let batch =
+                BatchSimulator::from_config(SimConfig::default().strategy(strategy).threads(4))
+                    .unwrap();
+            let mut expect = random_members(6, 5, 31);
+            for s in expect.iter_mut() {
+                serial.run(&circuit, s).unwrap();
+            }
+            let mut got = random_members(6, 5, 31);
+            batch.run(&circuit, &mut got).unwrap();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(g.approx_eq(e, 0.0), "strategy {strategy} diverged under threads");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_trajectories_match_sequential_sampling() {
+        let circuit = random_circuit_seeded(4, 30, 11);
+        let channel = NoiseChannel::BitFlip { p: 0.3 };
+        let seeds = [1u64, 2, 3];
+        let batch = BatchSimulator::new();
+        let got = batch.run_trajectories(&circuit, channel, &seeds).unwrap();
+        assert_eq!(got.states.len(), 3);
+        for (m, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut state = StateVector::zero(4);
+            let errors = run_trajectory(&circuit, &mut state, channel, &mut rng);
+            assert!(got.states[m].approx_eq(&state, 0.0), "trajectory {m} diverged");
+            assert_eq!(got.errors[m], errors, "trajectory {m} error count diverged");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // spawns worker threads
+    fn threaded_trajectories_match_serial_trajectories() {
+        let circuit = random_circuit_seeded(4, 25, 17);
+        let mixed = [
+            (NoiseChannel::BitFlip { p: 0.2 }, 5u64),
+            (NoiseChannel::Depolarizing { p: 0.1 }, 6),
+            (NoiseChannel::AmplitudeDamping { gamma: 0.15 }, 7),
+            (NoiseChannel::PhaseFlip { p: 0.25 }, 8),
+        ];
+        let serial = BatchSimulator::new();
+        let threaded = BatchSimulator::from_config(SimConfig::default().threads(3)).unwrap();
+        let a = serial.run_trajectories_mixed(&circuit, &mixed).unwrap();
+        let b = threaded.run_trajectories_mixed(&circuit, &mixed).unwrap();
+        assert_eq!(a.errors, b.errors);
+        for (x, y) in a.states.iter().zip(&b.states) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+    }
+
+    #[test]
+    fn traced_batch_produces_per_member_traces() {
+        let circuit = random_circuit_seeded(4, 12, 3);
+        for strategy in all_strategies() {
+            let cfg = SimConfig::default().strategy(strategy).traced();
+            let batch = BatchSimulator::from_config(cfg.clone()).unwrap();
+            let untraced =
+                BatchSimulator::from_config(cfg.telemetry(TelemetryConfig::off())).unwrap();
+            let mut traced_states = random_members(4, 2, 50);
+            let report = batch.run(&circuit, &mut traced_states).unwrap();
+            assert_eq!(report.traces.len(), 2, "strategy {strategy}");
+            for (m, trace) in report.traces.iter().enumerate() {
+                assert_eq!(trace.summary.spans, report.sweeps, "strategy {strategy}");
+                let label = &trace.meta.label;
+                assert!(label.contains(&format!("batch={}", report.batch_id)), "{label}");
+                assert!(label.contains(&format!("member={m}")), "{label}");
+            }
+            // Tracing must not perturb the arithmetic.
+            let mut plain_states = random_members(4, 2, 50);
+            untraced.run(&circuit, &mut plain_states).unwrap();
+            for (t, p) in traced_states.iter().zip(&plain_states) {
+                assert!(t.approx_eq(p, 0.0), "strategy {strategy}: tracing changed results");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_and_width_limits_are_enforced() {
+        let sim = BatchSimulator::new();
+        let circuit = random_circuit_seeded(2, 5, 1);
+        let mut empty: Vec<StateVector> = Vec::new();
+        let err = sim.run(&circuit, &mut empty).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let mut mismatched = vec![StateVector::zero(3)];
+        assert!(matches!(
+            sim.run(&circuit, &mut mismatched).unwrap_err(),
+            SimError::QubitMismatch { circuit: 2, state: 3 }
+        ));
+        let wide = random_circuit_seeded(1, 3, 2);
+        let mut too_many: Vec<StateVector> =
+            (0..MAX_BATCH + 1).map(|_| StateVector::zero(1)).collect();
+        let err = sim.run(&wide, &mut too_many).unwrap_err();
+        assert!(err.to_string().contains(&MAX_BATCH.to_string()), "{err}");
+        assert!(sim
+            .run_trajectories(&wide, NoiseChannel::BitFlip { p: 0.1 }, &[])
+            .unwrap_err()
+            .to_string()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn rejects_per_run_resilience_configs() {
+        use crate::integrity::IntegrityMode;
+        let err =
+            BatchSimulator::from_config(SimConfig::default().integrity_mode(IntegrityMode::Check))
+                .unwrap_err();
+        assert!(err.to_string().contains("integrity"), "{err}");
+        let err = BatchSimulator::from_config(
+            SimConfig::default().checkpoint_every(4, std::env::temp_dir()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn run_fresh_uses_configured_batch_size() {
+        let batch = BatchSimulator::from_config(SimConfig::default().batch(4)).unwrap();
+        assert_eq!(batch.batch_size(), 4);
+        let circuit = random_circuit_seeded(3, 10, 5);
+        let (states, report) = batch.run_fresh(&circuit).unwrap();
+        assert_eq!(states.len(), 4);
+        assert_eq!(report.members, 4);
+        // Identical circuit from identical |0…0⟩ starts: members agree.
+        for s in &states[1..] {
+            assert!(s.approx_eq(&states[0], 0.0));
+        }
+        assert!(report.circuits_per_sec > 0.0);
+    }
+
+    #[test]
+    fn batch_ids_are_unique_and_tagged() {
+        let sim = BatchSimulator::new();
+        let circuit = random_circuit_seeded(3, 6, 9);
+        let mut a = vec![StateVector::zero(3)];
+        let mut b = vec![StateVector::zero(3)];
+        let ra = sim.run(&circuit, &mut a).unwrap();
+        let rb = sim.run(&circuit, &mut b).unwrap();
+        assert_ne!(ra.batch_id, rb.batch_id);
+    }
+
+    #[test]
+    fn attached_model_predicts_batched_gains() {
+        let cfg = SimConfig::default()
+            .strategy(Strategy::Fused { max_k: 3 })
+            .model(ChipParams::a64fx(), ExecConfig::full_chip());
+        let batch = BatchSimulator::from_config(cfg).unwrap();
+        let circuit = random_circuit_seeded(6, 20, 21);
+        let mut states = random_members(6, 8, 70);
+        let report = batch.run(&circuit, &mut states).unwrap();
+        let p = report.predicted.expect("model attached");
+        assert_eq!(p.members, 8);
+        assert!(p.speedup >= 1.0);
+        assert!(p.batched_seconds < p.sequential_seconds);
+    }
+
+    // Seeds reaching `StateVector::random` must not collide with the
+    // gate-stream seeds, or members become correlated; keep this a
+    // compile-time reminder that `random_members` offsets its seeds.
+    #[test]
+    fn random_members_are_distinct() {
+        let ms = random_members(4, 3, 200);
+        let mut rng = StdRng::seed_from_u64(200);
+        let _ = rng.gen_bool(0.5);
+        assert!(!ms[0].approx_eq(&ms[1], 1e-6));
+        assert!(!ms[1].approx_eq(&ms[2], 1e-6));
+    }
+}

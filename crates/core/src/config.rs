@@ -97,7 +97,7 @@ impl CheckpointConfig {
 /// All fields are public — construct literally or through the fluent
 /// builder methods; [`SimConfig::build`] (or
 /// [`Simulator::from_config`]) validates and instantiates the engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// How the circuit maps onto kernel sweeps.
     pub strategy: Strategy,
@@ -119,6 +119,27 @@ pub struct SimConfig {
     pub integrity: IntegrityPolicy,
     /// Periodic state checkpointing (off by default).
     pub checkpoint: Option<CheckpointConfig>,
+    /// Batch size for [`BatchSimulator::run_fresh`](crate::batch::BatchSimulator::run_fresh)
+    /// and the CLI's
+    /// `--batch` flag (1 = single-run behaviour; at most
+    /// [`MAX_BATCH`](crate::batch::MAX_BATCH) members).
+    pub batch: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            strategy: Strategy::default(),
+            backend: BackendChoice::default(),
+            pool: PoolSpec::default(),
+            schedule: Schedule::default(),
+            model: None,
+            telemetry: TelemetryConfig::default(),
+            integrity: IntegrityPolicy::default(),
+            checkpoint: None,
+            batch: 1,
+        }
+    }
 }
 
 impl SimConfig {
@@ -212,6 +233,15 @@ impl SimConfig {
         self
     }
 
+    /// Batch size for batched execution ([`BatchSimulator`] /
+    /// `--batch`). Single-run engines ignore it.
+    ///
+    /// [`BatchSimulator`]: crate::batch::BatchSimulator
+    pub fn batch(mut self, members: usize) -> SimConfig {
+        self.batch = members;
+        self
+    }
+
     /// Check the configuration without building an engine.
     pub fn validate(&self) -> Result<(), SimError> {
         if let PoolSpec::Threads(0) = self.pool {
@@ -240,6 +270,18 @@ impl SimConfig {
             return Err(SimError::InvalidConfig(
                 "integrity mode `restore` needs checkpointing (set --checkpoint-every)".to_string(),
             ));
+        }
+        if self.batch == 0 {
+            return Err(SimError::InvalidConfig(
+                "batch size must be at least 1 member (1 = single-run behaviour)".to_string(),
+            ));
+        }
+        if self.batch > crate::batch::MAX_BATCH {
+            return Err(SimError::InvalidConfig(format!(
+                "batch size {} exceeds the limit of {} members",
+                self.batch,
+                crate::batch::MAX_BATCH
+            )));
         }
         Ok(())
     }
@@ -290,6 +332,11 @@ impl SimConfig {
                 Some(ck) => format!("every {} gates -> {}", ck.every, ck.dir.display()),
                 None => "off".to_string(),
             }
+        ));
+        out.push_str(&format!(
+            "  batch:     {}{}\n",
+            self.batch,
+            if self.batch == 1 { " (single run)" } else { " members" }
         ));
         out
     }
@@ -346,6 +393,27 @@ mod tests {
     fn zero_checkpoint_interval_rejected() {
         let err = SimConfig::new().checkpoint_every(0, "/tmp/x").validate().unwrap_err();
         assert!(err.to_string().contains("checkpoint interval"));
+    }
+
+    #[test]
+    fn zero_batch_is_a_clean_error() {
+        let err = SimConfig::new().batch(0).validate().unwrap_err();
+        assert!(err.to_string().contains("batch size must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn oversized_batch_is_a_clean_error() {
+        let err = SimConfig::new().batch(crate::batch::MAX_BATCH + 1).validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds the limit"), "{err}");
+        SimConfig::new().batch(crate::batch::MAX_BATCH).validate().unwrap();
+    }
+
+    #[test]
+    fn batch_defaults_to_one_and_describes_itself() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.batch, 1);
+        assert!(cfg.describe().contains("batch:     1 (single run)"));
+        assert!(SimConfig::new().batch(8).describe().contains("batch:     8 members"));
     }
 
     #[test]

@@ -67,9 +67,17 @@ pub fn apply_blocked(be: &KernelBackend, amps: &mut [C64], gates: &[BlockGate], 
         );
     }
     for chunk in amps.chunks_exact_mut(block) {
-        for g in gates {
-            g.apply(be, chunk);
-        }
+        apply_block_chunk(be, chunk, gates);
+    }
+}
+
+/// Apply one run of block gates to a single cache-resident chunk — the
+/// per-cell unit both the worksharing loops here and the batched
+/// (member × block) engine dispatch, so every path performs the
+/// identical per-amplitude arithmetic.
+pub fn apply_block_chunk(be: &KernelBackend, chunk: &mut [C64], gates: &[BlockGate]) {
+    for g in gates {
+        g.apply(be, chunk);
     }
 }
 
@@ -100,9 +108,7 @@ pub fn apply_blocked_parallel(
             // SAFETY: blocks are disjoint `2^block_qubits` slices; each
             // block index lands in exactly one chunk.
             let slice = unsafe { p.slice(bi * block, block) };
-            for g in gates {
-                g.apply(be, slice);
-            }
+            apply_block_chunk(be, slice, gates);
         }
     });
 }
@@ -143,6 +149,36 @@ fn prepare_fused(ops: &[FusedOp], block_qubits: u32) -> Vec<PreparedFusedOp<'_>>
             }
         })
         .collect()
+}
+
+/// A run of fused ops lowered exactly once for repeated per-chunk
+/// application. The batched engine prepares each plan block one time
+/// and re-walks the same offset tables for every (member, block) cell,
+/// which is what amortizes the gate-stream setup across the batch.
+pub struct PreparedRun<'a> {
+    ops: Vec<PreparedFusedOp<'a>>,
+    block: usize,
+}
+
+impl<'a> PreparedRun<'a> {
+    /// Lower `ops` (all on qubits below `block_qubits`) for per-chunk
+    /// application.
+    pub fn new(ops: &'a [FusedOp], block_qubits: u32) -> PreparedRun<'a> {
+        PreparedRun { ops: prepare_fused(ops, block_qubits), block: 1usize << block_qubits }
+    }
+
+    /// Amplitudes per chunk (`2^block_qubits`).
+    pub fn block_len(&self) -> usize {
+        self.block
+    }
+
+    /// Apply the whole run to one cache-resident chunk.
+    pub fn apply_chunk(&self, be: &KernelBackend, chunk: &mut [C64]) {
+        debug_assert_eq!(chunk.len(), self.block);
+        for op in &self.ops {
+            op.apply(be, chunk);
+        }
+    }
 }
 
 /// Apply a run of fused ops (all on qubits below `block_qubits`) block by

@@ -24,9 +24,12 @@
 //! `QCS_BACKEND` environment variable (`auto`/`scalar`/`simd`) and the
 //! CLI `--backend` flag override detection.
 
-#[cfg(target_arch = "x86_64")]
+// The native modules are vendor intrinsics; Miri interprets portable
+// Rust only, so under `cfg(miri)` they are compiled out and every
+// dispatch resolves to the portable backend.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 pub mod avx2;
-#[cfg(target_arch = "aarch64")]
+#[cfg(all(target_arch = "aarch64", not(miri)))]
 pub mod neon;
 pub mod portable;
 
@@ -91,20 +94,25 @@ impl FromStr for BackendChoice {
     }
 }
 
-/// The best native backend the host supports, if any.
+/// The best native backend the host supports, if any. Always `None`
+/// under Miri, which cannot execute vendor intrinsics.
 pub fn native() -> Option<&'static KernelBackend> {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(miri)]
+    {
+        None
+    }
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
             return Some(&avx2::BACKEND);
         }
         None
     }
-    #[cfg(target_arch = "aarch64")]
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
     {
         Some(&neon::BACKEND)
     }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64", miri)))]
     {
         None
     }

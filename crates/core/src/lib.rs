@@ -22,6 +22,11 @@
 //!   A64FX performance model together.
 //! * [`perf`] — per-gate traffic/time prediction hooks into
 //!   `a64fx-model`.
+//! * [`batch`] — gate-major batched multi-circuit execution: one
+//!   [`BatchSimulator`](batch::BatchSimulator) call runs B independent
+//!   states (or noisy trajectories) bit-identically to B single runs.
+//! * [`testing`] — seeded random-circuit generators shared by the
+//!   differential-conformance test suites.
 //!
 //! # Quick start
 //!
@@ -44,6 +49,7 @@
 
 pub mod align;
 pub mod analysis;
+pub mod batch;
 pub mod checkpoint;
 pub mod circuit;
 pub mod complex;
@@ -64,9 +70,11 @@ pub mod qasm;
 pub mod sim;
 pub mod state;
 pub mod telemetry;
+pub mod testing;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::batch::{BatchReport, BatchSimulator, TrajectoryBatch};
     pub use crate::circuit::{Circuit, Gate};
     pub use crate::complex::C64;
     pub use crate::config::{PoolSpec, SimConfig};
@@ -75,6 +83,7 @@ pub mod prelude {
     pub use crate::integrity::{IntegrityMode, IntegrityPolicy};
     pub use crate::kernels::simd::BackendChoice;
     pub use crate::measure::MeasurementResult;
+    pub use crate::noise::NoiseChannel;
     pub use crate::sim::{RunReport, SimError, Simulator, Strategy};
     pub use crate::state::StateVector;
     pub use crate::telemetry::TelemetryConfig;

@@ -272,6 +272,97 @@ pub fn predict_planned(chip: &ChipParams, cfg: &ExecConfig, plan: &Plan) -> Mode
     report
 }
 
+/// Approximate latency of warming a cold gate stream before a sweep can
+/// start streaming amplitudes: one HBM2 round trip for the matrix/
+/// descriptor line (A64FX main-memory latency per public
+/// microbenchmark literature). Sequential runs pay it once per sweep;
+/// gate-major batched runs pay it once per *op*, because the first
+/// member's sweep leaves the stream hot for the remaining members.
+const COLD_STREAM_LATENCY_S: f64 = 150e-9;
+
+/// Prediction of a batched gate-major execution against the same
+/// members run as independent sequential circuits.
+#[derive(Debug, Clone)]
+pub struct BatchPrediction {
+    /// Batch members.
+    pub members: usize,
+    /// The amplitude-streaming profile of one member (gate-by-gate).
+    pub per_member: ModelReport,
+    /// Gate-stream bytes one run touches cold: matrix entries plus a
+    /// descriptor line per sweep.
+    pub gate_stream_bytes: u64,
+    /// Predicted seconds for `members` independent sequential runs.
+    pub sequential_seconds: f64,
+    /// Predicted seconds for one gate-major batched run.
+    pub batched_seconds: f64,
+    /// `sequential_seconds / batched_seconds` (≥ 1).
+    pub speedup: f64,
+}
+
+impl BatchPrediction {
+    /// Predicted batched throughput in circuits per second.
+    pub fn circuits_per_sec_batched(&self) -> f64 {
+        if self.batched_seconds > 0.0 {
+            self.members as f64 / self.batched_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Predicted sequential throughput in circuits per second.
+    pub fn circuits_per_sec_sequential(&self) -> f64 {
+        if self.sequential_seconds > 0.0 {
+            self.members as f64 / self.sequential_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Predict a batched execution of `circuit` over `members` independent
+/// state vectors in gate-major order.
+///
+/// The amplitude work is strictly per member — batching never reduces
+/// it. What batching amortizes is the *gate stream*: the per-sweep
+/// matrix/descriptor fetch (cold-latency serialized, not
+/// bandwidth-amortized) and its bytes. A sequential run pays the warmup
+/// for every sweep of every member; the gate-major batch pays it once
+/// per op. The gain is therefore largest at small `n`, where a sweep is
+/// short relative to the warmup, and vanishes as the amplitude stream
+/// approaches the HBM roof — the expected E14 shape.
+pub fn predict_batched(
+    chip: &ChipParams,
+    cfg: &ExecConfig,
+    circuit: &Circuit,
+    members: usize,
+) -> BatchPrediction {
+    let per_member = predict_circuit(chip, cfg, circuit);
+    // 16 B per complex matrix entry (4^k entries for a k-qubit gate)
+    // plus one 64 B dispatch-descriptor line per sweep.
+    let gate_stream_bytes: u64 = circuit
+        .gates()
+        .iter()
+        .map(|g| {
+            let k = g.qubits().len() as u32;
+            (16u64 << (2 * k)) + 64
+        })
+        .sum();
+    let stream_fetch_seconds = gate_stream_bytes as f64 / chip.peak_l2bw(cfg.active_cmgs)
+        + circuit.len() as f64 * COLD_STREAM_LATENCY_S;
+    let m = members as f64;
+    let sequential_seconds = m * (per_member.seconds + stream_fetch_seconds);
+    let batched_seconds = m * per_member.seconds + stream_fetch_seconds;
+    let speedup = if batched_seconds > 0.0 { sequential_seconds / batched_seconds } else { 1.0 };
+    BatchPrediction {
+        members,
+        per_member,
+        gate_stream_bytes,
+        sequential_seconds,
+        batched_seconds,
+        speedup,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +371,58 @@ mod tests {
 
     fn chip() -> ChipParams {
         ChipParams::a64fx()
+    }
+
+    #[test]
+    fn batched_prediction_amortizes_the_gate_stream() {
+        let chip = chip();
+        let cfg = ExecConfig::full_chip();
+        let circuit = library::qft(12);
+        let p1 = predict_batched(&chip, &cfg, &circuit, 1);
+        let p8 = predict_batched(&chip, &cfg, &circuit, 8);
+        // One member: nothing to amortize.
+        assert!((p1.speedup - 1.0).abs() < 1e-12);
+        assert!((p1.sequential_seconds - p1.batched_seconds).abs() < 1e-15);
+        // Eight members: the per-run stream warmup is paid once.
+        assert!(p8.speedup > 1.0);
+        assert!(p8.batched_seconds < p8.sequential_seconds);
+        assert!(p8.circuits_per_sec_batched() > p8.circuits_per_sec_sequential());
+        // The amplitude work itself is never reduced.
+        assert!(p8.batched_seconds >= 8.0 * p8.per_member.seconds);
+    }
+
+    #[test]
+    fn batched_gain_grows_with_members_and_shrinks_with_width() {
+        let chip = chip();
+        let cfg = ExecConfig::full_chip();
+        let small = library::qft(10);
+        let s2 = predict_batched(&chip, &cfg, &small, 2);
+        let s16 = predict_batched(&chip, &cfg, &small, 16);
+        assert!(s16.speedup > s2.speedup, "{} vs {}", s16.speedup, s2.speedup);
+        // At large n the amplitude stream hits the HBM roof and the
+        // warmup is negligible: the relative gain must collapse.
+        let large = library::qft(26);
+        let l16 = predict_batched(&chip, &cfg, &large, 16);
+        assert!(
+            s16.speedup > l16.speedup,
+            "small-n {} should out-gain large-n {}",
+            s16.speedup,
+            l16.speedup
+        );
+        assert!(l16.speedup < 1.05, "HBM-bound regime should be near-flat: {}", l16.speedup);
+    }
+
+    #[test]
+    fn gate_stream_bytes_count_matrices_and_descriptors() {
+        let chip = chip();
+        let cfg = ExecConfig::single_core();
+        let mut c = Circuit::new(4);
+        c.h(0); // 1q: 16·4 + 64
+        c.cx(0, 1); // 2q: 16·16 + 64
+        c.ccx(0, 1, 2); // 3q: 16·64 + 64
+        let p = predict_batched(&chip, &cfg, &c, 4);
+        assert_eq!(p.gate_stream_bytes, (64 + 64) + (256 + 64) + (1024 + 64));
+        assert_eq!(p.members, 4);
     }
 
     #[test]

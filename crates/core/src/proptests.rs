@@ -7,43 +7,15 @@ use crate::config::SimConfig;
 use crate::library;
 use crate::sim::{Simulator, Strategy as ExecStrategy};
 use crate::state::StateVector;
+use crate::testing;
 
-/// Strategy: an arbitrary valid gate on `n` qubits.
-fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = move || (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    let angle = -6.3f64..6.3;
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::Y),
-        q.clone().prop_map(Gate::Z),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::T),
-        q.clone().prop_map(Gate::Sx),
-        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Rx(q, a)),
-        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Ry(q, a)),
-        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Rz(q, a)),
-        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Phase(q, a)),
-        q2().prop_map(|(c, t)| Gate::Cx(c, t)),
-        q2().prop_map(|(a, b)| Gate::Cz(a, b)),
-        (q2(), angle.clone()).prop_map(|((a, b), th)| Gate::CPhase(a, b, th)),
-        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
-        q2().prop_map(|(a, b)| Gate::ISwap(a, b)),
-        (q2(), angle.clone()).prop_map(|((a, b), th)| Gate::Rzz(a, b, th)),
-        (q2(), angle).prop_map(|((a, b), th)| Gate::Rxx(a, b, th)),
-    ]
-}
-
-/// Strategy: a random circuit on exactly `n` qubits.
+/// Strategy: a random circuit on exactly `n` qubits, drawn from the
+/// shared [`testing`] generator so the property suite exercises every
+/// gate constructor (including `Unitary1`/`Unitary2` matrices and the
+/// three-qubit `Ccx`/`CSwap`) and shrinks over `(gates, seed)`.
 fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        for g in gates {
-            c.push(g);
-        }
-        c
-    })
+    (0..max_gates, any::<u64>())
+        .prop_map(move |(gates, seed)| testing::random_circuit_seeded(n, gates, seed))
 }
 
 proptest! {
@@ -97,7 +69,9 @@ proptest! {
         c in arb_circuit(6, 30),
         seed in 0u64..1000,
         block_qubits in 2u32..7,
-        max_k in 2u32..5,
+        // Generated circuits include 3-qubit gates, so the fusion cap
+        // must admit them.
+        max_k in 3u32..5,
     ) {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -182,13 +156,16 @@ proptest! {
     /// on the zero state for any QASM-expressible circuit.
     #[test]
     fn qasm_roundtrip_preserves_action(c in arb_circuit(4, 20)) {
-        // Replace the one gate shape emit() rejects.
+        // Replace or drop the gate shapes emit() rejects: ISwap becomes
+        // a plain Swap, and raw unitary matrices (no QASM 2.0 form) are
+        // elided — the property quantifies over whatever remains.
         let mut qasm_safe = Circuit::new(4);
         for g in c.gates() {
             match g {
                 Gate::ISwap(a, b) => {
                     qasm_safe.swap(*a, *b);
                 }
+                Gate::Unitary1(..) | Gate::Unitary2(..) => {}
                 other => {
                     qasm_safe.push(other.clone());
                 }

@@ -88,7 +88,10 @@ impl std::str::FromStr for Strategy {
             return Ok(Strategy::Planned { block_qubits: b, max_k: k });
         }
         Err(format!(
-            "unknown strategy `{text}` (valid: naive | fused:<k> | blocked:<b> | planned:<b>:<k>)"
+            "unknown strategy `{text}` (valid: naive | fused:<k> | blocked:<b> | planned:<b>:<k>; \
+             every strategy also runs batched — set the batch size separately, \
+             1..={} members)",
+            crate::batch::MAX_BATCH
         ))
     }
 }
@@ -303,6 +306,10 @@ impl Simulator {
             telemetry,
             integrity,
             checkpoint,
+            // Batch size only matters to `BatchSimulator`; a single-run
+            // engine built from a batched config is still valid (it is
+            // how the conformance suite builds its reference runs).
+            batch: _,
         } = config;
         let pool = match pool {
             // One thread is the calling thread: skip the pool entirely.
@@ -506,10 +513,7 @@ impl Simulator {
         while i < gates.len() {
             let g = &gates[i];
             let t0 = tr.map(|_| Instant::now());
-            match &self.pool {
-                Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
-                None => apply_gate_with(be, amps, g),
-            }
+            exec_gate(be, self.pool.as_deref(), self.sched, amps, g);
             if let (Some(t), Some(t0)) = (tr, t0) {
                 t.record_gate(0, g, t0.elapsed().as_nanos() as u64);
             }
@@ -531,12 +535,7 @@ impl Simulator {
         while i < ops.len() {
             let op = &ops[i];
             let t0 = tr.map(|_| Instant::now());
-            match &self.pool {
-                Some(pool) => {
-                    parallel::apply_kq(pool, self.sched, amps, &op.qubits, &op.matrix, be)
-                }
-                None => simd::apply_kq(be, amps, &op.qubits, &op.matrix),
-            }
+            exec_fused(be, self.pool.as_deref(), self.sched, amps, op);
             if let (Some(t), Some(t0)) = (tr, t0) {
                 t.record_fused(0, op, t0.elapsed().as_nanos() as u64);
             }
@@ -555,63 +554,24 @@ impl Simulator {
         guard: &mut Option<RunGuard>,
     ) -> Result<usize, SimError> {
         let block_qubits = block_qubits.min(state.n_qubits());
-        // One item = one sweep: either a cache-resident run of block
-        // gates or a single fallback gate. Materialized up front so a
-        // guard rollback can rewind to any sweep boundary.
-        enum Item {
-            // The second vec is the kernel-kind/qubit shadow of the run,
-            // maintained only while tracing.
-            Run(Vec<BlockGate>, Vec<(KernelKind, Vec<u32>)>),
-            Single(usize),
-        }
-        let mut items: Vec<Item> = Vec::new();
-        let mut run: Vec<BlockGate> = Vec::new();
-        let mut members: Vec<(KernelKind, Vec<u32>)> = Vec::new();
-        for (gi, g) in circuit.gates().iter().enumerate() {
-            match to_block_gate(g, block_qubits) {
-                Some(bg) => {
-                    run.push(bg);
-                    if tr.is_some() {
-                        members.push((crate::perf::classify(g), g.qubits()));
-                    }
-                }
-                None => {
-                    if !run.is_empty() {
-                        items.push(Item::Run(
-                            std::mem::take(&mut run),
-                            std::mem::take(&mut members),
-                        ));
-                    }
-                    items.push(Item::Single(gi));
-                }
-            }
-        }
-        if !run.is_empty() {
-            items.push(Item::Run(run, members));
-        }
+        // One item = one sweep; materialized up front so a guard
+        // rollback can rewind to any sweep boundary.
+        let items = build_block_items(circuit, block_qubits, tr.is_some());
 
         let amps = state.amplitudes_mut();
         let mut i = 0;
         while i < items.len() {
             let t0 = tr.map(|_| Instant::now());
             match &items[i] {
-                Item::Run(bgs, mem) => {
-                    match &self.pool {
-                        Some(pool) => {
-                            apply_blocked_parallel(be, pool, self.sched, amps, bgs, block_qubits)
-                        }
-                        None => apply_blocked(be, amps, bgs, block_qubits),
-                    }
+                BlockItem::Run(bgs, mem) => {
+                    exec_block_run(be, self.pool.as_deref(), self.sched, amps, bgs, block_qubits);
                     if let (Some(t), Some(t0)) = (tr, t0) {
                         t.record_block_run(0, mem, t0.elapsed().as_nanos() as u64);
                     }
                 }
-                Item::Single(gi) => {
+                BlockItem::Single(gi) => {
                     let g = &circuit.gates()[*gi];
-                    match &self.pool {
-                        Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
-                        None => apply_gate_with(be, amps, g),
-                    }
+                    exec_gate(be, self.pool.as_deref(), self.sched, amps, g);
                     if let (Some(t), Some(t0)) = (tr, t0) {
                         t.record_gate(0, g, t0.elapsed().as_nanos() as u64);
                     }
@@ -635,27 +595,7 @@ impl Simulator {
         while i < plan.ops.len() {
             let op = &plan.ops[i];
             let t0 = tr.map(|_| Instant::now());
-            match op {
-                PlanOp::SwapAxes(a, b) => match &self.pool {
-                    Some(pool) => parallel::apply_swap(pool, self.sched, amps, *a, *b, be),
-                    None => simd::apply_swap(be, amps, *a, *b),
-                },
-                PlanOp::Block(ops) => match &self.pool {
-                    Some(pool) => apply_blocked_fused_parallel(
-                        be,
-                        pool,
-                        self.sched,
-                        amps,
-                        ops,
-                        plan.block_qubits,
-                    ),
-                    None => apply_blocked_fused(be, amps, ops, plan.block_qubits),
-                },
-                PlanOp::Gate(g) => match &self.pool {
-                    Some(pool) => apply_gate_parallel_with(be, pool, self.sched, amps, g),
-                    None => apply_gate_with(be, amps, g),
-                },
-            }
+            exec_plan_op(be, self.pool.as_deref(), self.sched, amps, op, plan.block_qubits);
             if let (Some(t), Some(t0)) = (tr, t0) {
                 let ns = t0.elapsed().as_nanos() as u64;
                 match op {
@@ -681,6 +621,128 @@ fn advance(guard: &mut Option<RunGuard>, amps: &mut [C64], i: usize) -> Result<u
             GuardAction::Restored(step) => Ok(step),
         },
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-op executors.
+//
+// Both the single-run `Simulator` loops above and the batched engine
+// (`crate::batch`) funnel every sweep through these functions, so a
+// batch member executes the *identical* kernel calls a lone run does.
+// The bit-exact batched-vs-sequential conformance guarantee holds by
+// construction: parallelism only changes which thread touches which
+// disjoint index range, never the per-amplitude arithmetic.
+
+/// One full-state gate sweep, serial or workshared.
+pub(crate) fn exec_gate(
+    be: &KernelBackend,
+    pool: Option<&ThreadPool>,
+    sched: Schedule,
+    amps: &mut [C64],
+    g: &Gate,
+) {
+    match pool {
+        Some(pool) => apply_gate_parallel_with(be, pool, sched, amps, g),
+        None => apply_gate_with(be, amps, g),
+    }
+}
+
+/// One fused k-qubit sweep, serial or workshared.
+pub(crate) fn exec_fused(
+    be: &KernelBackend,
+    pool: Option<&ThreadPool>,
+    sched: Schedule,
+    amps: &mut [C64],
+    op: &FusedOp,
+) {
+    match pool {
+        Some(pool) => parallel::apply_kq(pool, sched, amps, &op.qubits, &op.matrix, be),
+        None => simd::apply_kq(be, amps, &op.qubits, &op.matrix),
+    }
+}
+
+/// One cache-blocked run of low-target gates, serial or workshared.
+pub(crate) fn exec_block_run(
+    be: &KernelBackend,
+    pool: Option<&ThreadPool>,
+    sched: Schedule,
+    amps: &mut [C64],
+    gates: &[BlockGate],
+    block_qubits: u32,
+) {
+    match pool {
+        Some(pool) => apply_blocked_parallel(be, pool, sched, amps, gates, block_qubits),
+        None => apply_blocked(be, amps, gates, block_qubits),
+    }
+}
+
+/// One step of a plan, serial or workshared.
+pub(crate) fn exec_plan_op(
+    be: &KernelBackend,
+    pool: Option<&ThreadPool>,
+    sched: Schedule,
+    amps: &mut [C64],
+    op: &PlanOp,
+    block_qubits: u32,
+) {
+    match op {
+        PlanOp::SwapAxes(a, b) => match pool {
+            Some(pool) => parallel::apply_swap(pool, sched, amps, *a, *b, be),
+            None => simd::apply_swap(be, amps, *a, *b),
+        },
+        PlanOp::Block(ops) => match pool {
+            Some(pool) => apply_blocked_fused_parallel(be, pool, sched, amps, ops, block_qubits),
+            None => apply_blocked_fused(be, amps, ops, block_qubits),
+        },
+        PlanOp::Gate(g) => exec_gate(be, pool, sched, amps, g),
+    }
+}
+
+/// One sweep item of a `Strategy::Blocked` execution: either a
+/// cache-resident run of block gates or a single fallback gate (by gate
+/// index into the source circuit).
+pub(crate) enum BlockItem {
+    /// The second vec is the kernel-kind/qubit shadow of the run,
+    /// maintained only while tracing.
+    Run(Vec<BlockGate>, Vec<(KernelKind, Vec<u32>)>),
+    Single(usize),
+}
+
+/// Materialize the sweep items of a blocked execution up front (so a
+/// guard rollback can rewind to any sweep boundary, and so a batched
+/// run can share one item list across every member). `shadow` keeps the
+/// per-run classification table the tracer needs.
+pub(crate) fn build_block_items(
+    circuit: &Circuit,
+    block_qubits: u32,
+    shadow: bool,
+) -> Vec<BlockItem> {
+    let mut items: Vec<BlockItem> = Vec::new();
+    let mut run: Vec<BlockGate> = Vec::new();
+    let mut members: Vec<(KernelKind, Vec<u32>)> = Vec::new();
+    for (gi, g) in circuit.gates().iter().enumerate() {
+        match to_block_gate(g, block_qubits) {
+            Some(bg) => {
+                run.push(bg);
+                if shadow {
+                    members.push((crate::perf::classify(g), g.qubits()));
+                }
+            }
+            None => {
+                if !run.is_empty() {
+                    items.push(BlockItem::Run(
+                        std::mem::take(&mut run),
+                        std::mem::take(&mut members),
+                    ));
+                }
+                items.push(BlockItem::Single(gi));
+            }
+        }
+    }
+    if !run.is_empty() {
+        items.push(BlockItem::Run(run, members));
+    }
+    items
 }
 
 impl Default for Simulator {

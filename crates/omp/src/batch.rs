@@ -1,0 +1,158 @@
+//! Batched (member × block) worksharing.
+//!
+//! A batched sweep applies the same gate to `members` independent state
+//! vectors, each split into `blocks` disjoint slabs. The iteration
+//! space is the rectangular grid of (member, block) cells; this module
+//! flattens it member-major and workshares the flat index range under
+//! the ordinary [`Schedule`] rules, so every policy the single-run
+//! engine supports (`static`, `static:<chunk>`, `dynamic`, `guided`)
+//! transfers to batched execution unchanged.
+//!
+//! Member-major order matters twice: a thread's contiguous share of a
+//! static schedule covers consecutive blocks of the *same* member
+//! (amplitude locality), and the serial fallback visits cells in
+//! exactly the order a sequence of independent single runs would.
+
+use std::ops::Range;
+
+use crate::pool::ThreadPool;
+use crate::schedule::Schedule;
+
+/// The rectangular iteration space of one batched sweep: `members`
+/// independent state vectors × `blocks` disjoint slabs per member,
+/// flattened member-major (all of member 0's blocks, then member 1's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellGrid {
+    /// Independent state vectors in the batch.
+    pub members: usize,
+    /// Disjoint slabs per member (1 = the whole state is one cell).
+    pub blocks: usize,
+}
+
+impl CellGrid {
+    /// A grid of `members × blocks` cells.
+    pub fn new(members: usize, blocks: usize) -> CellGrid {
+        CellGrid { members, blocks }
+    }
+
+    /// One cell per member: full-state sweeps that cannot be split
+    /// further without coordinating writes inside a member.
+    pub fn per_member(members: usize) -> CellGrid {
+        CellGrid { members, blocks: 1 }
+    }
+
+    /// Total cells.
+    pub fn len(&self) -> usize {
+        self.members * self.blocks
+    }
+
+    /// Whether the grid has no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a flat member-major index back to its (member, block) cell.
+    #[inline]
+    pub fn cell(&self, idx: usize) -> (usize, usize) {
+        debug_assert!(idx < self.len());
+        (idx / self.blocks, idx % self.blocks)
+    }
+}
+
+/// Shard the grid's cells across the pool under `sched`, calling
+/// `body(member, block)` exactly once per cell. Without a pool the
+/// cells run inline, member-major — the order B sequential single runs
+/// would use. The pool's region barrier means every cell has finished
+/// when this returns.
+pub fn for_each_cell<F>(pool: Option<&ThreadPool>, sched: Schedule, grid: CellGrid, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if grid.is_empty() {
+        return;
+    }
+    match pool {
+        Some(pool) => pool.parallel_for(0..grid.len(), sched, |r: Range<usize>| {
+            for idx in r {
+                let (m, b) = grid.cell(idx);
+                body(m, b);
+            }
+        }),
+        None => {
+            for idx in 0..grid.len() {
+                let (m, b) = grid.cell(idx);
+                body(m, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn all_schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(3) },
+            Schedule::Dynamic { chunk: 2 },
+            Schedule::Guided { min_chunk: 1 },
+        ]
+    }
+
+    #[test]
+    fn cell_mapping_is_member_major() {
+        let g = CellGrid::new(3, 4);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.cell(0), (0, 0));
+        assert_eq!(g.cell(3), (0, 3));
+        assert_eq!(g.cell(4), (1, 0));
+        assert_eq!(g.cell(11), (2, 3));
+    }
+
+    #[test]
+    fn serial_order_matches_sequential_runs() {
+        let g = CellGrid::new(2, 3);
+        let seen = std::sync::Mutex::new(Vec::new());
+        for_each_cell(None, Schedule::default_static(), g, |m, b| {
+            seen.lock().unwrap().push((m, b));
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn every_cell_visited_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            for sched in all_schedules() {
+                for (members, blocks) in [(1usize, 1usize), (4, 1), (1, 8), (5, 7), (16, 16)] {
+                    let grid = CellGrid::new(members, blocks);
+                    let hits: Vec<AtomicUsize> =
+                        (0..grid.len()).map(|_| AtomicUsize::new(0)).collect();
+                    for_each_cell(Some(&pool), sched, grid, |m, b| {
+                        hits[m * blocks + b].fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert!(
+                        hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                        "threads={threads} sched={sched:?} {members}x{blocks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grids_are_noops() {
+        let pool = ThreadPool::new(2);
+        for grid in [CellGrid::new(0, 5), CellGrid::new(5, 0), CellGrid::new(0, 0)] {
+            assert!(grid.is_empty());
+            for_each_cell(Some(&pool), Schedule::default_static(), grid, |_, _| {
+                panic!("no cells should run");
+            });
+            for_each_cell(None, Schedule::default_static(), grid, |_, _| {
+                panic!("no cells should run");
+            });
+        }
+    }
+}

@@ -64,7 +64,9 @@ impl std::str::FromStr for Schedule {
             Some((k, c)) => {
                 let c: usize = c.parse().map_err(|e| format!("schedule chunk `{c}`: {e}"))?;
                 if c == 0 {
-                    return Err("schedule chunk must be at least 1".to_string());
+                    return Err("schedule chunk must be at least 1 (it also sets the \
+                                (member x block) cell granularity of batched runs)"
+                        .to_string());
                 }
                 (k, Some(c))
             }
@@ -76,7 +78,8 @@ impl std::str::FromStr for Schedule {
             "guided" => Ok(Schedule::Guided { min_chunk: chunk.unwrap_or(1) }),
             other => Err(format!(
                 "unknown schedule `{other}` (valid: static | static:<chunk> | \
-                 dynamic[:<chunk>] | guided[:<min_chunk>])"
+                 dynamic[:<chunk>] | guided[:<min_chunk>]; the same policy shards \
+                 batched (member x block) work, so batch-size limits apply upstream)"
             )),
         }
     }

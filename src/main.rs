@@ -15,6 +15,9 @@
 //!   --ranks <r>                              distributed ranks (power of 2)
 //!   --shots <s>                              sample and print counts
 //!   --probs <top>                            print the top-N probabilities
+//!   --batch <b>                              run b independent members gate-major (single process)
+//!   --trajectories <n>                       sample n noisy trajectories in one batch (needs --noise)
+//!   --noise bitflip:p|phaseflip:p|depolarizing:p|damping:g   per-gate noise channel
 //!   --model                                  attach the A64FX model report
 //!   --trace                                  record per-sweep telemetry spans
 //!   --trace-out <file.jsonl>                 write the trace as JSONL (implies --trace)
@@ -57,6 +60,8 @@ struct Options {
     faults: Option<String>,
     checkpoint_every: usize,
     checkpoint_dir: Option<PathBuf>,
+    trajectories: usize,
+    noise: Option<NoiseChannel>,
 }
 
 impl Default for Options {
@@ -72,6 +77,8 @@ impl Default for Options {
             faults: None,
             checkpoint_every: 0,
             checkpoint_dir: None,
+            trajectories: 0,
+            noise: None,
         }
     }
 }
@@ -123,6 +130,7 @@ fn usage() -> String {
      opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>  --threads <t>  --ranks <r>\n\
            --backend auto|scalar|simd  --schedule static[:c]|dynamic[:c]|guided[:c]\n\
            --shots <s>  --probs <top>  --model  --trace  --trace-out <file>  --verbose\n\
+           --batch <b>  --trajectories <n>  --noise bitflip:p|phaseflip:p|depolarizing:p|damping:g\n\
            --faults <spec|default>  --checkpoint-every <n>  --checkpoint-dir <path>\n\
            --integrity off|check|repair|restore  --seed <u64>"
         .to_string()
@@ -174,6 +182,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--probs" => {
                 opts.probs = value("--probs")?.parse().map_err(|e| format!("--probs: {e}"))?
             }
+            "--batch" => {
+                // Folded into the SimConfig so `validate()` owns the
+                // limits (≥ 1 member, ≤ MAX_BATCH).
+                opts.config.batch =
+                    value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
+            }
+            "--trajectories" => {
+                opts.trajectories =
+                    value("--trajectories")?.parse().map_err(|e| format!("--trajectories: {e}"))?;
+                if opts.trajectories == 0 {
+                    return Err("--trajectories needs at least 1 trajectory".to_string());
+                }
+            }
+            "--noise" => opts.noise = Some(parse_noise(&value("--noise")?)?),
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--faults" => opts.faults = Some(value("--faults")?),
             "--checkpoint-every" => {
@@ -204,7 +226,44 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if opts.faults.is_some() && opts.ranks <= 1 {
         return Err("--faults injects transport faults and needs --ranks > 1".to_string());
     }
+    if (opts.config.batch > 1 || opts.trajectories > 0) && opts.ranks > 1 {
+        return Err("--batch/--trajectories run gate-major in a single process and do not \
+             compose with --ranks > 1"
+            .to_string());
+    }
+    if opts.trajectories > 0 && opts.noise.is_none() {
+        return Err(
+            "--trajectories samples noisy trajectories and needs --noise <channel>".to_string()
+        );
+    }
+    if opts.noise.is_some() && opts.trajectories == 0 {
+        return Err("--noise needs --trajectories <n> to sample against".to_string());
+    }
     Ok(opts)
+}
+
+/// Resolve `--noise` into a channel: `<kind>:<prob>` with kind one of
+/// `bitflip`, `phaseflip`, `depolarizing`, `damping`.
+fn parse_noise(spec: &str) -> Result<NoiseChannel, String> {
+    let (kind, prob) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--noise: `{spec}` is not of the form <kind>:<prob>"))?;
+    let p: f64 = prob.parse().map_err(|e| format!("--noise: probability `{prob}`: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--noise: probability {p} outside [0, 1]"));
+    }
+    Ok(match kind {
+        "bitflip" => NoiseChannel::BitFlip { p },
+        "phaseflip" => NoiseChannel::PhaseFlip { p },
+        "depolarizing" => NoiseChannel::Depolarizing { p },
+        "damping" => NoiseChannel::AmplitudeDamping { gamma: p },
+        other => {
+            return Err(format!(
+                "--noise: unknown channel `{other}` \
+                 (valid: bitflip, phaseflip, depolarizing, damping)"
+            ))
+        }
+    })
 }
 
 /// Resolve `--faults` into a plan: `default` scales to the paper's
@@ -263,6 +322,8 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
 
     let state = if opts.ranks > 1 {
         execute_distributed(circuit, opts)?
+    } else if opts.trajectories > 0 || opts.config.batch > 1 {
+        execute_batched(circuit, opts)?
     } else {
         let sim = opts.config.clone().build().map_err(|e| e.to_string())?;
         let mut state = StateVector::zero(circuit.n_qubits());
@@ -318,6 +379,66 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Gate-major batched execution: `--batch` runs B fresh members of the
+/// same circuit, `--trajectories` samples N noisy trajectories. Both
+/// are bit-identical to the equivalent sequence of single runs; the
+/// returned state (member 0) feeds `--probs` / `--shots` like a single
+/// run's would.
+fn execute_batched(circuit: &Circuit, opts: &Options) -> Result<StateVector, String> {
+    let engine = BatchSimulator::from_config(opts.config.clone()).map_err(|e| e.to_string())?;
+    if opts.trajectories > 0 {
+        let channel = opts.noise.expect("parse_options guarantees --noise with --trajectories");
+        let seeds: Vec<u64> =
+            (0..opts.trajectories as u64).map(|i| opts.seed.wrapping_add(i)).collect();
+        let batch = engine.run_trajectories(circuit, channel, &seeds).map_err(|e| e.to_string())?;
+        let total: usize = batch.errors.iter().sum();
+        println!(
+            "sampled {} trajectories in {:.3} ms (batch #{}, {:.1} trajectories/s)",
+            batch.states.len(),
+            batch.wall_seconds * 1e3,
+            batch.batch_id,
+            batch.states.len() as f64 / batch.wall_seconds
+        );
+        println!(
+            "noise: {:?}, {} error events total ({:.2} per trajectory)",
+            channel,
+            total,
+            total as f64 / batch.states.len() as f64
+        );
+        let mut states = batch.states;
+        Ok(states.swap_remove(0))
+    } else {
+        let (mut states, report) = engine.run_fresh(circuit).map_err(|e| e.to_string())?;
+        println!(
+            "executed {} members × {} sweeps in {:.3} ms (batch #{}, {} kernels, \
+             {:.1} circuits/s)",
+            report.members,
+            report.sweeps,
+            report.wall_seconds * 1e3,
+            report.batch_id,
+            report.backend,
+            report.circuits_per_sec
+        );
+        if let Some(model) = &report.predicted {
+            println!(
+                "A64FX model: {:.1} circuits/s batched vs {:.1} sequential \
+                 ({:.2}× from gate-stream reuse)",
+                model.circuits_per_sec_batched(),
+                model.circuits_per_sec_sequential(),
+                model.speedup
+            );
+        }
+        if !report.traces.is_empty() {
+            let spans: usize = report.traces.iter().map(|t| t.summary.spans).sum();
+            println!("trace: {} member traces, {} spans total", report.traces.len(), spans);
+            if let Some(path) = &opts.config.telemetry.trace_path {
+                println!("traces written to {}", path.display());
+            }
+        }
+        Ok(states.swap_remove(0))
+    }
 }
 
 fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector, String> {

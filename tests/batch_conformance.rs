@@ -1,0 +1,146 @@
+//! Differential-conformance matrix for batched execution.
+//!
+//! The contract under test: a `BatchSimulator` run over B members is
+//! **bit-identical** (tolerance 0.0) to B independent *serial* single
+//! runs of the same configuration — across every execution strategy,
+//! every kernel backend, serial and threaded batch pools, and with
+//! telemetry on or off. The serial reference is deliberate: a threaded
+//! single-run engine splits amplitude sweeps at pool-dependent chunk
+//! boundaries and may drift by an ulp (the property suite bounds it at
+//! 1e-10), whereas the batch engine shards at (member × block)
+//! granularity and runs the serial kernel sequence inside every cell —
+//! so its results are thread-count-invariant by construction. The
+//! whole matrix also reruns in CI with `QCS_BACKEND=scalar` to pin the
+//! portable kernels.
+//!
+//! A final section extends conformance to distributed members under
+//! transport faults: with the seed taken from `QCS_FAULT_SEED` (read,
+//! never set — the test binary is multithreaded), each member executed
+//! through the resilient distributed path must be bit-identical to the
+//! clean distributed run and agree with its batched counterpart.
+
+use a64fx_qcs::core::prelude::*;
+use a64fx_qcs::core::testing;
+use a64fx_qcs::dist::{run_distributed, run_resilient, ResilienceConfig};
+use a64fx_qcs::mpi::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MEMBERS: usize = 3;
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Naive,
+    Strategy::Fused { max_k: 3 },
+    Strategy::Blocked { block_qubits: 3 },
+    Strategy::Planned { block_qubits: 3, max_k: 3 },
+];
+
+/// B independent single runs through the single-run engine, each from
+/// a fresh zero state — the reference the batch must reproduce.
+fn reference_members(circuit: &Circuit, config: &SimConfig) -> Vec<StateVector> {
+    (0..MEMBERS)
+        .map(|_| {
+            let sim = config.clone().build().unwrap();
+            let mut s = StateVector::zero(circuit.n_qubits());
+            sim.run(circuit, &mut s).unwrap();
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn batched_runs_are_bit_identical_across_the_conformance_matrix() {
+    let circuit = testing::random_circuit_seeded(6, 36, 9001);
+    let backends = [BackendChoice::Auto, BackendChoice::Scalar, BackendChoice::Simd];
+    for strategy in STRATEGIES {
+        for backend in backends {
+            for threads in [1usize, 3] {
+                for traced in [false, true] {
+                    let mut config =
+                        SimConfig::new().strategy(strategy).backend(backend).batch(MEMBERS);
+                    if traced {
+                        config = config.telemetry(TelemetryConfig::on());
+                    }
+                    let cell =
+                        format!("{strategy:?} × {backend:?} × threads={threads} × traced={traced}");
+                    // Serial single runs are the reference; the engine
+                    // under test additionally gets the cell's pool.
+                    let expected = reference_members(&circuit, &config);
+                    let engine = BatchSimulator::from_config(config.threads(threads)).unwrap();
+                    let (states, report) = engine.run_fresh(&circuit).unwrap();
+                    assert_eq!(report.members, MEMBERS, "{cell}");
+                    if traced {
+                        assert_eq!(report.traces.len(), MEMBERS, "{cell}");
+                    } else {
+                        assert!(report.traces.is_empty(), "{cell}");
+                    }
+                    for (m, (got, want)) in states.iter().zip(&expected).enumerate() {
+                        assert!(
+                            got.approx_eq(want, 0.0),
+                            "{cell}: member {m} diverged (max diff {})",
+                            got.max_abs_diff(want)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_trajectories_are_bit_identical_across_backends_and_pools() {
+    // Trajectory sampling is the same contract with a noise channel and
+    // per-member RNG in the loop: batch member m must reproduce a
+    // sequential `run_trajectory` with seed m exactly.
+    use a64fx_qcs::core::noise::run_trajectory;
+    let circuit = testing::random_circuit_seeded(5, 20, 4242);
+    let channel = NoiseChannel::Depolarizing { p: 0.08 };
+    let seeds: Vec<u64> = (0..MEMBERS as u64).map(|i| 100 + i).collect();
+    for backend in [BackendChoice::Auto, BackendChoice::Scalar] {
+        for threads in [1usize, 3] {
+            let engine =
+                BatchSimulator::from_config(SimConfig::new().backend(backend).threads(threads))
+                    .unwrap();
+            let batch = engine.run_trajectories(&circuit, channel, &seeds).unwrap();
+            for (m, &seed) in seeds.iter().enumerate() {
+                let mut s = StateVector::zero(5);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let errors = run_trajectory(&circuit, &mut s, channel, &mut rng);
+                assert!(
+                    batch.states[m].approx_eq(&s, 0.0),
+                    "{backend:?} × threads={threads}: trajectory {m} diverged"
+                );
+                assert_eq!(batch.errors[m], errors, "{backend:?} × threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_members_conform_under_the_fault_seed() {
+    let seed: u64 = std::env::var("QCS_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let circuit = testing::random_circuit_seeded(8, 24, 7);
+    // The single-process batched reference.
+    let engine = BatchSimulator::from_config(SimConfig::new().batch(MEMBERS)).unwrap();
+    let (members, _) = engine.run_fresh(&circuit).unwrap();
+    // The clean distributed run the faulted members must reproduce.
+    let (clean, _) = run_distributed(&circuit, 4).unwrap();
+    for (m, member) in members.iter().enumerate() {
+        let cfg = ResilienceConfig {
+            fault_plan: Some(FaultPlan::default_intensity(seed + m as u64)),
+            ..ResilienceConfig::default()
+        };
+        let run = run_resilient(&circuit, 4, &cfg).unwrap();
+        assert!(
+            run.state.approx_eq(&clean, 0.0),
+            "member {m} (fault seed {}): transport faults leaked into the state",
+            seed + m as u64
+        );
+        assert!(
+            run.state.approx_eq(member, 1e-10),
+            "member {m}: distributed result diverged from its batched counterpart \
+             (max diff {})",
+            run.state.max_abs_diff(member)
+        );
+    }
+}

@@ -172,3 +172,106 @@ fn zero_threads_is_a_clean_error() {
     let err = run_err(&["demo", "ghz", "3", "--threads", "0"]);
     assert!(err.contains("at least 1"), "{err}");
 }
+
+#[test]
+fn batched_demo_reports_throughput_and_matches_single_run() {
+    let out = run_ok(&["demo", "ghz", "4", "--batch", "4", "--probs", "2"]);
+    assert!(out.contains("4 members"), "{out}");
+    assert!(out.contains("circuits/s"), "{out}");
+    // Member 0 feeds --probs exactly like a single run's state would.
+    assert!(out.contains("|0000⟩  0.500000"), "{out}");
+    assert!(out.contains("|1111⟩  0.500000"), "{out}");
+}
+
+#[test]
+fn batched_demo_with_model_prints_the_amortization_column() {
+    let out = run_ok(&["demo", "qft", "6", "--batch", "8", "--model"]);
+    assert!(out.contains("circuits/s batched"), "{out}");
+    assert!(out.contains("gate-stream reuse"), "{out}");
+}
+
+#[test]
+fn trajectories_demo_reports_noise_events() {
+    let out = run_ok(&[
+        "demo",
+        "ghz",
+        "4",
+        "--trajectories",
+        "5",
+        "--noise",
+        "depolarizing:0.05",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.contains("sampled 5 trajectories"), "{out}");
+    assert!(out.contains("error events total"), "{out}");
+}
+
+#[test]
+fn zero_batch_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--batch", "0"]);
+    assert!(err.contains("at least 1 member"), "{err}");
+}
+
+#[test]
+fn oversized_batch_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--batch", "5000"]);
+    assert!(err.contains("exceeds the limit"), "{err}");
+}
+
+#[test]
+fn batch_with_ranks_is_a_clean_error() {
+    let err = run_err(&["demo", "qft", "8", "--batch", "2", "--ranks", "2"]);
+    assert!(err.contains("--ranks"), "{err}");
+}
+
+#[test]
+fn trajectories_without_noise_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--trajectories", "4"]);
+    assert!(err.contains("--noise"), "{err}");
+}
+
+#[test]
+fn zero_trajectories_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--trajectories", "0", "--noise", "bitflip:0.1"]);
+    assert!(err.contains("at least 1 trajectory"), "{err}");
+}
+
+#[test]
+fn noise_without_trajectories_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--noise", "bitflip:0.1"]);
+    assert!(err.contains("--trajectories"), "{err}");
+}
+
+#[test]
+fn bad_noise_spec_is_a_clean_error() {
+    let err = run_err(&["demo", "ghz", "3", "--trajectories", "2", "--noise", "cosmic:0.5"]);
+    assert!(err.contains("unknown channel"), "{err}");
+    let err = run_err(&["demo", "ghz", "3", "--trajectories", "2", "--noise", "bitflip:1.5"]);
+    assert!(err.contains("outside [0, 1]"), "{err}");
+}
+
+#[test]
+fn batch_with_integrity_is_a_clean_error() {
+    // Per-run rollback state does not compose with gate-major batching;
+    // the engine rejects the combination with an explanation.
+    let err = run_err(&["demo", "ghz", "4", "--batch", "2", "--integrity", "check"]);
+    assert!(err.contains("do not compose with"), "{err}");
+}
+
+#[test]
+fn batched_trace_out_writes_all_member_traces() {
+    let dir = std::env::temp_dir().join("a64fx_qcs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batch_trace_cli.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let out = run_ok(&["demo", "qft", "4", "--batch", "3", "--trace-out", path.to_str().unwrap()]);
+    assert!(out.contains("3 member traces"), "{out}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let runs = text.lines().filter(|l| l.contains("\"type\":\"run\"")).count();
+    assert_eq!(runs, 3, "one run header per member:\n{text}");
+    for m in 0..3 {
+        assert!(text.contains(&format!("member={m}")), "member {m} label missing");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -9,8 +9,8 @@ use a64fx_qcs::a64fx::traffic::{KernelKind, TrafficModel};
 use a64fx_qcs::a64fx::ChipParams;
 use a64fx_qcs::core::gates::standard;
 use a64fx_qcs::core::kernels::sve::apply_1q_sve;
-use a64fx_qcs::core::library;
-use a64fx_qcs::core::perf::predict_circuit;
+use a64fx_qcs::core::perf::{predict_batched, predict_circuit};
+use a64fx_qcs::core::testing;
 use a64fx_qcs::core::StateVector;
 use a64fx_qcs::sve::{SveCtx, Vl};
 use qcs_bench::replay_1q_stream;
@@ -114,22 +114,56 @@ fn bottleneck_transitions_match_roofline() {
 #[test]
 fn circuit_prediction_decomposes_into_gate_predictions() {
     // predict_circuit must equal the sum over gates of single-gate
-    // circuits' predictions (the model is per-sweep additive).
+    // circuits' predictions (the model is per-sweep additive) — for
+    // arbitrary generated circuits, not just structured families.
     let chip = ChipParams::a64fx();
     let cfg = ExecConfig::full_chip();
-    let circuit = library::qft(8);
-    let whole = predict_circuit(&chip, &cfg, &circuit);
-    let mut sum_seconds = 0.0;
-    let mut sum_bytes = 0u64;
-    for g in circuit.gates() {
-        let mut single = a64fx_qcs::core::circuit::Circuit::new(8);
-        single.push(g.clone());
-        let p = predict_circuit(&chip, &cfg, &single);
-        sum_seconds += p.seconds;
-        sum_bytes += p.mem_bytes;
+    for seed in 0..8u64 {
+        let circuit = testing::random_circuit_seeded(8, 30, seed);
+        let whole = predict_circuit(&chip, &cfg, &circuit);
+        let mut sum_seconds = 0.0;
+        let mut sum_bytes = 0u64;
+        for g in circuit.gates() {
+            let mut single = a64fx_qcs::core::circuit::Circuit::new(8);
+            single.push(g.clone());
+            let p = predict_circuit(&chip, &cfg, &single);
+            sum_seconds += p.seconds;
+            sum_bytes += p.mem_bytes;
+        }
+        assert!(
+            (whole.seconds - sum_seconds).abs() / sum_seconds < 1e-12,
+            "seed {seed}: per-sweep additivity broken"
+        );
+        assert_eq!(whole.mem_bytes, sum_bytes, "seed {seed}");
     }
-    assert!((whole.seconds - sum_seconds).abs() / sum_seconds < 1e-12);
-    assert_eq!(whole.mem_bytes, sum_bytes);
+}
+
+#[test]
+fn batched_prediction_is_consistent_with_the_single_run_model() {
+    // The batched model must embed the single-run model exactly: its
+    // per-member column is predict_circuit verbatim, the sequential
+    // column is m × (member + gate-stream fetch), and amortizing the
+    // fetch can only help (speedup ≥ 1, monotone in members).
+    let chip = ChipParams::a64fx();
+    let cfg = ExecConfig::full_chip();
+    for seed in 0..4u64 {
+        let circuit = testing::random_circuit_seeded(14, 50, seed);
+        let single = predict_circuit(&chip, &cfg, &circuit);
+        let mut last_speedup = 0.0;
+        for members in [1usize, 2, 8, 32] {
+            let b = predict_batched(&chip, &cfg, &circuit, members);
+            assert_eq!(b.members, members);
+            assert_eq!(b.per_member.seconds, single.seconds, "seed {seed}");
+            assert_eq!(b.per_member.mem_bytes, single.mem_bytes, "seed {seed}");
+            assert!(b.speedup >= 1.0, "seed {seed}: amortization cannot hurt");
+            assert!(b.batched_seconds <= b.sequential_seconds, "seed {seed}");
+            assert!(
+                b.speedup >= last_speedup,
+                "seed {seed}: speedup must be monotone in batch size"
+            );
+            last_speedup = b.speedup;
+        }
+    }
 }
 
 #[test]
