@@ -58,6 +58,8 @@ fn bench(name: &str, c: &Circuit) {
                 let plan = qcs_core::plan::plan_circuit(c, block_qubits, max_k);
                 qcs_core::perf::predict_planned(&chip, &cfg, &plan).seconds
             }
+            // Not in the fixed-strategy table above.
+            Strategy::Auto => unreachable!("e7 benches fixed strategies only"),
         };
         table.row(&[label, fmt_secs(host), fmt_secs(model_secs), sweeps.to_string()]);
     }

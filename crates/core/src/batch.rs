@@ -35,16 +35,16 @@ use rand::SeedableRng;
 use crate::circuit::Circuit;
 use crate::complex::C64;
 use crate::config::{PoolSpec, SimConfig};
-use crate::fusion::{fuse, FusedOp};
+use crate::fusion::{fuse_costed, FusedOp};
 use crate::kernels::blocked::{apply_block_chunk, BlockGate, PreparedRun};
+use crate::kernels::fused::PreparedFused;
 use crate::kernels::simd::{self, BackendChoice, KernelBackend};
 use crate::kernels::AmpPtr;
 use crate::noise::{run_trajectory, NoiseChannel};
 use crate::perf::{predict_batched, BatchPrediction};
 use crate::plan::{plan_circuit, Plan, PlanOp};
 use crate::sim::{
-    build_block_items, exec_block_run, exec_fused, exec_gate, exec_plan_op, BlockItem, SimError,
-    Strategy,
+    build_block_items, exec_block_run, exec_gate, exec_plan_op, BlockItem, SimError, Strategy,
 };
 use crate::state::StateVector;
 use crate::telemetry::{self, RunMeta, TelemetryConfig, Trace, Tracer};
@@ -295,12 +295,24 @@ impl BatchSimulator {
             Planned(Plan),
         }
 
+        // `Auto` resolves to a concrete strategy per circuit from the
+        // calibrated model, exactly as the single-run engine does — so a
+        // batched run stays bit-identical to its sequential members.
+        let strategy = match self.strategy {
+            Strategy::Auto => crate::calibrate::choose(circuit),
+            s => s,
+        };
         let start = Instant::now();
         // Planning products are built ONCE and shared by every member —
         // the amortization the batch engine exists for.
-        let prep = match self.strategy {
+        let prep = match strategy {
             Strategy::Naive => BatchPrep::Naive,
-            Strategy::Fused { max_k } => BatchPrep::Fused(fuse(circuit, max_k)),
+            Strategy::Fused { max_k } => {
+                // Same cost-aware lowering as the single-run engine, so
+                // batched members stay bit-identical to serial runs.
+                let costs = crate::calibrate::Calibration::get().fuse_costs();
+                BatchPrep::Fused(fuse_costed(circuit, max_k, &costs))
+            }
             Strategy::Blocked { block_qubits } => {
                 let bq = block_qubits.min(n);
                 BatchPrep::Blocked(build_block_items(circuit, bq, self.telemetry.enabled), bq)
@@ -308,6 +320,7 @@ impl BatchSimulator {
             Strategy::Planned { block_qubits, max_k } => {
                 BatchPrep::Planned(plan_circuit(circuit, block_qubits, max_k))
             }
+            Strategy::Auto => unreachable!("Auto resolved to a concrete strategy above"),
         };
         let ptrs: Vec<AmpPtr> =
             states.iter_mut().map(|s| AmpPtr(s.amplitudes_mut().as_mut_ptr())).collect();
@@ -326,12 +339,14 @@ impl BatchSimulator {
                 circuit.len()
             }
             BatchPrep::Fused(ops) => {
-                for op in ops {
+                // Each op is lowered once and its specialized form
+                // reused across every member sweep.
+                for (op, prep) in ops.iter().zip(ops.iter().map(PreparedFused::new)) {
                     self.sweep_full(
                         &ptrs,
                         len,
                         trs,
-                        |amps| exec_fused(be, None, self.sched, amps, op),
+                        |amps| prep.apply(be, amps),
                         |t, ns| t.record_fused(0, op, ns),
                     );
                 }

@@ -145,13 +145,23 @@ impl Default for SimConfig {
 impl SimConfig {
     /// The default configuration: naive strategy, auto backend, serial,
     /// static schedule, no model — with telemetry resolved from the
-    /// environment (`QCS_TRACE`, `QCS_TRACE_OUT`; off when unset).
+    /// environment (`QCS_TRACE`, `QCS_TRACE_OUT`; off when unset) and
+    /// the strategy overridable via `QCS_STRATEGY` (any value the CLI's
+    /// `--strategy` accepts, e.g. `fused:4` or `auto`; unparseable
+    /// values are ignored).
     ///
     /// Use `SimConfig::default()` for the environment-independent
     /// configuration, or override with
+    /// [`strategy`](SimConfig::strategy) /
     /// [`telemetry`](SimConfig::telemetry) explicitly.
     pub fn new() -> SimConfig {
-        SimConfig::default().telemetry(TelemetryConfig::default().from_env())
+        let mut cfg = SimConfig::default().telemetry(TelemetryConfig::default().from_env());
+        if let Ok(text) = std::env::var("QCS_STRATEGY") {
+            if let Ok(s) = text.parse::<Strategy>() {
+                cfg.strategy = s;
+            }
+        }
+        cfg
     }
 
     /// Select the execution strategy.
@@ -414,6 +424,34 @@ mod tests {
         assert_eq!(cfg.batch, 1);
         assert!(cfg.describe().contains("batch:     1 (single run)"));
         assert!(SimConfig::new().batch(8).describe().contains("batch:     8 members"));
+    }
+
+    #[test]
+    fn auto_strategy_validates_and_describes() {
+        let cfg = SimConfig::default().strategy(Strategy::Auto);
+        cfg.validate().unwrap();
+        assert!(cfg.describe().contains("strategy:  auto"));
+        cfg.build().unwrap();
+    }
+
+    #[test]
+    fn strategy_env_override_applies_to_new_only() {
+        // Serialise env-var tests to avoid cross-test races.
+        std::env::set_var("QCS_STRATEGY", "auto");
+        assert_eq!(SimConfig::new().strategy, Strategy::Auto);
+        // `default()` stays environment-independent.
+        assert_eq!(SimConfig::default().strategy, Strategy::Naive);
+        // Explicit builder choice still wins over the environment.
+        assert_eq!(
+            SimConfig::new().strategy(Strategy::Fused { max_k: 3 }).strategy,
+            Strategy::Fused { max_k: 3 }
+        );
+        std::env::set_var("QCS_STRATEGY", "planned:12:4");
+        assert_eq!(SimConfig::new().strategy, Strategy::Planned { block_qubits: 12, max_k: 4 });
+        // Unparseable values are ignored, not fatal.
+        std::env::set_var("QCS_STRATEGY", "warp-drive");
+        assert_eq!(SimConfig::new().strategy, Strategy::Naive);
+        std::env::remove_var("QCS_STRATEGY");
     }
 
     #[test]

@@ -11,8 +11,8 @@ use omp_par::{Schedule, ThreadPool};
 
 use crate::complex::C64;
 use crate::fusion::FusedOp;
-use crate::gates::matrices::{DenseMatrix, Mat2, Mat4};
-use crate::kernels::index::spread_bits;
+use crate::gates::matrices::{Mat2, Mat4};
+use crate::kernels::fused::PreparedFused;
 use crate::kernels::simd::{self, KernelBackend};
 use crate::kernels::AmpPtr;
 
@@ -113,26 +113,7 @@ pub fn apply_blocked_parallel(
     });
 }
 
-/// A fused op lowered for repeated per-block application: amplitude
-/// offsets precomputed once, re-walked for every block.
-struct PreparedFusedOp<'a> {
-    /// Ascending qubit indices (local basis order of the matrix).
-    qubits: &'a [u32],
-    /// `spread_bits` amplitude offset of each local basis index.
-    offsets: Vec<usize>,
-    matrix: &'a DenseMatrix,
-}
-
-impl PreparedFusedOp<'_> {
-    /// Gather → dense mat-vec → scatter over every group of the block,
-    /// via the backend's fused-gate kernel (which keeps its own
-    /// gather/scatter scratch on the stack for `k ≤ 5`).
-    fn apply(&self, be: &KernelBackend, block: &mut [C64]) {
-        simd::apply_kq_prepared(be, block, self.qubits, &self.offsets, self.matrix);
-    }
-}
-
-fn prepare_fused(ops: &[FusedOp], block_qubits: u32) -> Vec<PreparedFusedOp<'_>> {
+fn prepare_fused(ops: &[FusedOp], block_qubits: u32) -> Vec<PreparedFused<'_>> {
     ops.iter()
         .map(|op| {
             assert!(
@@ -141,12 +122,7 @@ fn prepare_fused(ops: &[FusedOp], block_qubits: u32) -> Vec<PreparedFusedOp<'_>>
                 op.qubits,
                 block_qubits
             );
-            let dim = op.matrix.dim();
-            PreparedFusedOp {
-                qubits: &op.qubits,
-                offsets: (0..dim).map(|local| spread_bits(local, &op.qubits)).collect(),
-                matrix: &op.matrix,
-            }
+            PreparedFused::new(op)
         })
         .collect()
 }
@@ -156,7 +132,7 @@ fn prepare_fused(ops: &[FusedOp], block_qubits: u32) -> Vec<PreparedFusedOp<'_>>
 /// and re-walks the same offset tables for every (member, block) cell,
 /// which is what amortizes the gate-stream setup across the batch.
 pub struct PreparedRun<'a> {
-    ops: Vec<PreparedFusedOp<'a>>,
+    ops: Vec<PreparedFused<'a>>,
     block: usize,
 }
 

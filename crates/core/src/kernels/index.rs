@@ -47,6 +47,18 @@ pub fn spread_bits(local: usize, ts: &[u32]) -> usize {
     off
 }
 
+/// Inverse of [`spread_bits`]: extract the local basis index from an
+/// amplitude index `i` over target positions `ts` (ascending) — bit `j`
+/// of the result is bit `ts[j]` of `i`.
+#[inline]
+pub fn compress_bits(i: usize, ts: &[u32]) -> usize {
+    let mut local = 0usize;
+    for (j, &t) in ts.iter().enumerate() {
+        local |= ((i >> t) & 1) << j;
+    }
+    local
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +140,16 @@ mod tests {
         assert_eq!(spread_bits(0b101, &[1, 3, 6]), (1 << 1) | (1 << 6));
         assert_eq!(spread_bits(0b010, &[1, 3, 6]), 1 << 3);
         assert_eq!(spread_bits(0, &[2, 5]), 0);
+    }
+
+    #[test]
+    fn compress_bits_inverts_spread_bits() {
+        let ts = [1u32, 3, 6];
+        for local in 0..8usize {
+            assert_eq!(compress_bits(spread_bits(local, &ts), &ts), local);
+        }
+        // Bits outside the targets are ignored.
+        assert_eq!(compress_bits(0b1111111, &ts), 0b111);
+        assert_eq!(compress_bits(0b0100101, &[0, 2, 5]), 0b111);
     }
 }

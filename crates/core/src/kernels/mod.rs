@@ -19,6 +19,7 @@
 
 pub mod blocked;
 pub mod dispatch;
+pub mod fused;
 pub mod index;
 pub mod parallel;
 pub mod scalar;

@@ -4,8 +4,9 @@
 //! planes (the shuffle analogue of SVE's `ld2`/`st2` in `kernels/sve.rs`),
 //! matrix entries are splatted once per run, and the complex multiply
 //! uses the same fused ordering as [`C64::fma`] — `fmadd` then `fnmadd`
-//! on the real plane — so the pair/quad kernels are bit-identical to the
-//! scalar sweeps.
+//! on the real plane. The scalar sweeps agree within one ulp per term
+//! (exactly, on builds where [`C64::fma`] itself lowers to hardware
+//! FMA; baseline x86-64 builds use plain mul/add there instead).
 //!
 //! Every public entry point is a safe wrapper that jumps into a
 //! `#[target_feature(enable = "avx2,fma")]` body; the module is only
@@ -21,8 +22,16 @@ use crate::kernels::KQ_STACK_DIM;
 
 use super::{portable, KernelBackend};
 
-pub(super) static BACKEND: KernelBackend =
-    KernelBackend { name: "avx2", width: W, pairs_1q, scale_run, swap_runs, quads_2q, kq_range };
+pub(super) static BACKEND: KernelBackend = KernelBackend {
+    name: "avx2",
+    width: W,
+    pairs_1q,
+    scale_run,
+    swap_runs,
+    quads_2q,
+    kq_range,
+    mat_vec,
+};
 
 /// Complex lanes per vector step (4 × f64 per plane).
 const W: usize = 4;
@@ -203,6 +212,35 @@ unsafe fn quads_2q_impl(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut
             *ps[row].add(i) = o;
         }
         i += 1;
+    }
+}
+
+/// Dense mat-vec over a gathered contiguous vector: vectorize along the
+/// (row-major, contiguous) matrix rows with a horizontal-sum reduction,
+/// as in [`kq_contiguous_impl`]. Vectors narrower than W fall back.
+fn mat_vec(vin: &[C64], out: &mut [C64], m: &DenseMatrix) {
+    if vin.len() < W {
+        return portable::mat_vec(vin, out, m);
+    }
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { mat_vec_impl(vin, out, m) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mat_vec_impl(vin: &[C64], out: &mut [C64], m: &DenseMatrix) {
+    let dim = vin.len();
+    debug_assert_eq!(dim, m.dim());
+    debug_assert_eq!(out.len(), dim);
+    let nv = dim / W; // dim is a power of two ≥ W
+    let mdata = m.data().as_ptr();
+    let pin = vin.as_ptr();
+    for (row, o) in out.iter_mut().enumerate() {
+        let mrow = mdata.add(row * dim);
+        let mut acc = zero();
+        for j in 0..nv {
+            acc = fma(acc, load(mrow.add(W * j)), load(pin.add(W * j)));
+        }
+        *o = hsum(acc);
     }
 }
 

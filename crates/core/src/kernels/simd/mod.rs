@@ -68,6 +68,10 @@ pub struct KernelBackend {
     /// The caller must hold exclusive access to every amplitude
     /// reachable from the group range.
     pub kq_range: unsafe fn(*mut C64, usize, usize, &[u32], &[usize], &DenseMatrix),
+    /// Dense mat-vec `out[row] = Σ_col m[row][col]·in[col]` over a
+    /// gathered contiguous vector — the arithmetic core the specialized
+    /// fused-block executor pairs with its own gather/scatter.
+    pub mat_vec: fn(&[C64], &mut [C64], &DenseMatrix),
 }
 
 /// User-facing backend selection (CLI `--backend`, `QCS_BACKEND`).

@@ -15,8 +15,16 @@ use crate::kernels::KQ_STACK_DIM;
 
 use super::{portable, KernelBackend};
 
-pub(super) static BACKEND: KernelBackend =
-    KernelBackend { name: "neon", width: W, pairs_1q, scale_run, swap_runs, quads_2q, kq_range };
+pub(super) static BACKEND: KernelBackend = KernelBackend {
+    name: "neon",
+    width: W,
+    pairs_1q,
+    scale_run,
+    swap_runs,
+    quads_2q,
+    kq_range,
+    mat_vec,
+};
 
 /// Complex lanes per vector step (2 × f64 per plane).
 const W: usize = 2;
@@ -168,6 +176,32 @@ fn quads_2q(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut [C64], m: &
                 *ps[row].add(i) = o;
             }
             i += 1;
+        }
+    }
+}
+
+/// Dense mat-vec over a gathered contiguous vector: vectorize along the
+/// matrix rows with a horizontal-sum reduction, as in [`kq_contiguous`].
+/// Vectors narrower than W fall back.
+fn mat_vec(vin: &[C64], out: &mut [C64], m: &DenseMatrix) {
+    let dim = vin.len();
+    debug_assert_eq!(dim, m.dim());
+    debug_assert_eq!(out.len(), dim);
+    if dim < W {
+        return portable::mat_vec(vin, out, m);
+    }
+    let nv = dim / W; // dim is a power of two ≥ W
+    let mdata = m.data().as_ptr();
+    let pin = vin.as_ptr();
+    // SAFETY: NEON is baseline on aarch64; pointers stay in bounds.
+    unsafe {
+        for (row, o) in out.iter_mut().enumerate() {
+            let mrow = mdata.add(row * dim);
+            let mut acc = zero();
+            for j in 0..nv {
+                acc = fma(acc, load(mrow.add(W * j)), load(pin.add(W * j)));
+            }
+            *o = hsum(acc);
         }
     }
 }

@@ -21,6 +21,7 @@ pub(super) static BACKEND: KernelBackend = KernelBackend {
     swap_runs,
     quads_2q,
     kq_range,
+    mat_vec,
 };
 
 /// `out0 = m00·a0 + m01·a1`, `out1 = m10·a0 + m11·a1` over paired runs.
@@ -56,6 +57,22 @@ fn quads_2q(a0: &mut [C64], a1: &mut [C64], a2: &mut [C64], a3: &mut [C64], m: &
         a1[i] = out[1];
         a2[i] = out[2];
         a3[i] = out[3];
+    }
+}
+
+/// Dense mat-vec over a gathered contiguous vector, with the same
+/// [`C64::fma`] accumulation order as [`kq_range`]'s inner loop — so a
+/// specialized fused sweep through this primitive reproduces the scalar
+/// kernel bit-for-bit.
+pub(super) fn mat_vec(vin: &[C64], out: &mut [C64], m: &DenseMatrix) {
+    debug_assert_eq!(vin.len(), m.dim());
+    debug_assert_eq!(out.len(), m.dim());
+    for (row, o) in out.iter_mut().enumerate() {
+        let mut acc = C64::default();
+        for (col, &s) in vin.iter().enumerate() {
+            acc = acc.fma(m.get(row, col), s);
+        }
+        *o = acc;
     }
 }
 

@@ -22,6 +22,8 @@
 //!   A64FX performance model together.
 //! * [`perf`] — per-gate traffic/time prediction hooks into
 //!   `a64fx-model`.
+//! * [`calibrate`] — startup micro-benchmark measuring per-kernel costs
+//!   on the actual machine; powers [`Strategy`](sim::Strategy)`::Auto`.
 //! * [`batch`] — gate-major batched multi-circuit execution: one
 //!   [`BatchSimulator`](batch::BatchSimulator) call runs B independent
 //!   states (or noisy trajectories) bit-identically to B single runs.
@@ -50,6 +52,7 @@
 pub mod align;
 pub mod analysis;
 pub mod batch;
+pub mod calibrate;
 pub mod checkpoint;
 pub mod circuit;
 pub mod complex;

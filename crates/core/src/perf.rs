@@ -148,7 +148,15 @@ pub fn block_pass_traffic(
     let amps = 1u64 << n;
     let kind = KernelKind::FusedDense { k: widest as u8 };
     let mut traffic = model.predict(kind, n, &ops[0].qubits);
-    traffic.flops = ops.iter().map(|o| amps * (8u64 << o.qubits.len())).sum();
+    // Gate-backed singletons run their own kernel, not the dense block
+    // mat-vec; count their real arithmetic.
+    traffic.flops = ops
+        .iter()
+        .map(|o| match &o.gate {
+            Some(g) => model.predict(classify(g), n, &o.qubits).flops,
+            None => amps * (8u64 << o.qubits.len()),
+        })
+        .sum();
     traffic.amps_read = amps * ops.len() as u64;
     traffic.amps_written = amps;
     traffic.arithmetic_intensity =
@@ -225,7 +233,11 @@ pub fn predict_fused(chip: &ChipParams, cfg: &ExecConfig, plan: &[FusedOp], n: u
         bottlenecks: BTreeMap::new(),
     };
     for op in plan {
-        let kind = KernelKind::FusedDense { k: op.qubits.len() as u8 };
+        let kind = match &op.gate {
+            // A gate-backed singleton sweeps through its own kernel.
+            Some(g) => classify(g),
+            None => KernelKind::FusedDense { k: op.qubits.len() as u8 },
+        };
         let traffic = model.predict(kind, n, &op.qubits);
         accumulate(&mut report, chip, cfg, kind, traffic, n, &model);
     }
@@ -270,6 +282,15 @@ pub fn predict_planned(chip: &ChipParams, cfg: &ExecConfig, plan: &Plan) -> Mode
         }
     }
     report
+}
+
+/// Calibrated twin of the analytic predictors: price a strategy for
+/// `circuit` from the machine's *measured* per-kernel costs
+/// ([`crate::calibrate`]) instead of A64FX datasheet constants — the
+/// numbers `Strategy::Auto` actually ranks candidates with. Returns
+/// predicted serial nanoseconds.
+pub fn predict_calibrated_ns(circuit: &Circuit, strategy: crate::sim::Strategy) -> f64 {
+    crate::calibrate::predict_strategy_ns(crate::calibrate::Calibration::get(), circuit, strategy)
 }
 
 /// Approximate latency of warming a cold gate stream before a sweep can

@@ -12,13 +12,19 @@
 //! its gates fused into ≤ `max_k`-qubit dense unitaries.
 //!
 //! Unlike the distributed case, relabeling here is not free: a physical
-//! axis swap costs one (half-state) sweep. The planner therefore prices
-//! each run — `swaps_needed + 1` block sweeps versus `gates` naive
-//! sweeps — and only relocates when it wins. A final normalization
-//! restores the identity layout so callers see logical amplitudes.
+//! axis swap costs one (half-state) sweep — and on cache-hostile hosts
+//! a wide (low↔high) axis swap costs several times a gate sweep, while
+//! a block pass is nowhere near one cheap sweep. The planner therefore
+//! prices each run in *calibrated nanoseconds*: relocation swaps (each
+//! charged twice, since normalization must eventually undo it) plus the
+//! fused block pass, versus one naive sweep per gate, all from the same
+//! [`Calibration`] the auto-tuner uses. It only relocates when the
+//! block side wins. A final normalization restores the identity layout
+//! so callers see logical amplitudes.
 
+use crate::calibrate::{fused_block_pass_ns, fused_per_amp, gate_per_amp, Calibration};
 use crate::circuit::{Circuit, Gate};
-use crate::fusion::{fuse, FusedOp};
+use crate::fusion::{fuse_costed, FusedOp};
 
 /// A logical→physical qubit permutation.
 ///
@@ -138,8 +144,21 @@ impl Plan {
 }
 
 /// Plan `circuit` for blocked execution with `block_qubits`-wide blocks,
-/// fusing ≤ `max_k`-qubit sub-runs inside each block.
+/// fusing ≤ `max_k`-qubit sub-runs inside each block. Run pricing uses
+/// the process-wide machine [`Calibration`].
 pub fn plan_circuit(circuit: &Circuit, block_qubits: u32, max_k: u32) -> Plan {
+    plan_circuit_with(circuit, block_qubits, max_k, Calibration::get())
+}
+
+/// [`plan_circuit`] with an explicit cost table — the auto-tuner passes
+/// the calibration it is pricing with so prediction and execution agree,
+/// and tests pass [`Calibration::analytic`] for deterministic shapes.
+pub fn plan_circuit_with(
+    circuit: &Circuit,
+    block_qubits: u32,
+    max_k: u32,
+    cal: &Calibration,
+) -> Plan {
     let n = circuit.n_qubits();
     let block_qubits = block_qubits.min(n);
     let mut planner = Planner {
@@ -149,6 +168,7 @@ pub fn plan_circuit(circuit: &Circuit, block_qubits: u32, max_k: u32) -> Plan {
         swaps_inserted: 0,
         block_qubits,
         max_k,
+        cal,
     };
 
     let mut run: Vec<Gate> = Vec::new();
@@ -188,16 +208,17 @@ pub fn plan_circuit(circuit: &Circuit, block_qubits: u32, max_k: u32) -> Plan {
     }
 }
 
-struct Planner {
+struct Planner<'c> {
     perm: Permutation,
     ops: Vec<PlanOp>,
     sweeps: usize,
     swaps_inserted: usize,
     block_qubits: u32,
     max_k: u32,
+    cal: &'c Calibration,
 }
 
-impl Planner {
+impl Planner<'_> {
     fn emit_fallback(&mut self, gate: &Gate) {
         let perm = &self.perm;
         self.ops.push(PlanOp::Gate(Box::new(gate.remap(|q| perm.phys(q)))));
@@ -209,39 +230,61 @@ impl Planner {
         if run.is_empty() {
             return;
         }
+        let cal = self.cal;
         // Logical support qubits currently on high physical axes.
         let high: Vec<u32> =
             support.iter().copied().filter(|&q| self.perm.phys(q) >= self.block_qubits).collect();
-        // A blocked run costs one relabeling sweep per high qubit plus
-        // the block pass itself; naive execution costs one sweep per
-        // gate. Only relocate when blocking strictly wins.
-        if high.len() + 1 >= run.len() {
+        // Hypothetically relocate: compute the swap list and would-be
+        // layout without committing anything yet.
+        let mut perm = self.perm.clone();
+        let mut swaps: Vec<(u32, u32)> = Vec::new();
+        for &hq in &high {
+            let target = (0..self.block_qubits)
+                .find(|&p| !support.contains(&perm.logical_at(p)))
+                .expect("support fits below the block width");
+            let from = perm.phys(hq);
+            swaps.push((from, target));
+            perm.swap_phys(from, target);
+        }
+        // Rewrite the run onto the would-be physical axes and fuse it
+        // inside the block. In-block costed fusion: the pass shares one
+        // memory stream, so members are priced by their arithmetic above
+        // the stream floor.
+        let mut block_circuit = Circuit::new(self.block_qubits);
+        for g in run.iter() {
+            block_circuit.push(g.remap(|q| perm.phys(q)));
+        }
+        let widest =
+            block_circuit.gates().iter().map(|g| g.qubits().len() as u32).max().unwrap_or(1);
+        let fused = fuse_costed(&block_circuit, self.max_k.max(widest), &cal.block_fuse_costs());
+        // Price both executions in calibrated nanoseconds. Each
+        // relocation swap is charged twice: normalization (or a later
+        // run's relocation) must eventually swap the layout back.
+        let amps = (1u64 << self.perm.len()) as f64;
+        let sweep = |per_amp: f64| cal.sweep_overhead_ns + amps * per_amp;
+        let naive_ns: f64 = run.iter().map(|g| sweep(gate_per_amp(cal, g))).sum();
+        let block_ns = 2.0 * swaps.len() as f64 * sweep(cal.swap)
+            + fused_block_pass_ns(cal, amps, fused.iter().map(|op| fused_per_amp(cal, op)));
+        // Relocation risk is asymmetric under calibration noise: a wrong
+        // fallback forgoes a small win, a wrong commit pays the swaps
+        // AND the low-stride block passes. Swap-bearing routes must
+        // therefore be predicted to win by a clear margin; in-place
+        // blocks (no swaps) commit on any predicted win.
+        let margin = if swaps.is_empty() { 1.0 } else { 1.25 };
+        if naive_ns <= block_ns * margin {
             for g in run.drain(..) {
                 self.emit_fallback(&g);
             }
             support.clear();
             return;
         }
-        for &hq in &high {
-            let target = (0..self.block_qubits)
-                .find(|&p| !support.contains(&self.perm.logical_at(p)))
-                .expect("support fits below the block width");
-            let from = self.perm.phys(hq);
+        for (from, target) in swaps {
             self.ops.push(PlanOp::SwapAxes(from, target));
-            self.perm.swap_phys(from, target);
             self.sweeps += 1;
             self.swaps_inserted += 1;
         }
-        // All support qubits now sit below the block width; rewrite the
-        // run onto physical axes and fuse it inside the block.
-        let mut block_circuit = Circuit::new(self.block_qubits);
-        for g in run.drain(..) {
-            let perm = &self.perm;
-            block_circuit.push(g.remap(|q| perm.phys(q)));
-        }
-        let widest =
-            block_circuit.gates().iter().map(|g| g.qubits().len() as u32).max().unwrap_or(1);
-        let fused = fuse(&block_circuit, self.max_k.max(widest));
+        self.perm = perm;
+        run.clear();
         self.ops.push(PlanOp::Block(fused));
         self.sweeps += 1;
         support.clear();
@@ -266,6 +309,12 @@ impl Planner {
 mod tests {
     use super::*;
     use crate::library;
+
+    /// Deterministic shape tests: pin the analytic cost table so the
+    /// expected plan shapes don't depend on host timing.
+    fn plan(c: &Circuit, block_qubits: u32, max_k: u32) -> Plan {
+        plan_circuit_with(c, block_qubits, max_k, &Calibration::analytic())
+    }
 
     #[test]
     fn identity_permutation_maps_straight_through() {
@@ -322,7 +371,7 @@ mod tests {
         // identity (relocations undone by normalization).
         for seed in 0..4u64 {
             let c = library::random_circuit(8, 40, seed);
-            let plan = plan_circuit(&c, 4, 4);
+            let plan = plan(&c, 4, 4);
             let mut p = Permutation::identity(8);
             for op in &plan.ops {
                 if let PlanOp::SwapAxes(a, b) = op {
@@ -337,7 +386,7 @@ mod tests {
     fn low_circuit_plans_to_single_block_without_swaps() {
         // All gates already below the block width: one block, no swaps.
         let c = library::rotation_layers(10, 3, 0.2);
-        let plan = plan_circuit(&c, 10, 4);
+        let plan = plan(&c, 10, 4);
         assert_eq!(plan.sweeps, 1);
         assert_eq!(plan.swaps_inserted, 0);
         assert_eq!(plan.blocks(), 1);
@@ -354,7 +403,7 @@ mod tests {
         for _ in 0..8 {
             c.h(8).cx(8, 9).cx(9, 10);
         }
-        let plan = plan_circuit(&c, 4, 4);
+        let plan = plan(&c, 4, 4);
         assert_eq!(plan.gates_fallback(), 0);
         assert_eq!(plan.blocks(), 1);
         assert_eq!(plan.swaps_inserted, 6);
@@ -368,7 +417,7 @@ mod tests {
         // sweeps) never beats one naive sweep.
         let mut c = Circuit::new(10);
         c.h(9);
-        let plan = plan_circuit(&c, 4, 4);
+        let plan = plan(&c, 4, 4);
         assert_eq!(plan.gates_fallback(), 1);
         assert_eq!(plan.swaps_inserted, 0);
         assert_eq!(plan.sweeps, 1);
@@ -378,7 +427,7 @@ mod tests {
     fn wide_gates_fall_back() {
         let mut c = Circuit::new(8);
         c.ccx(0, 3, 6);
-        let plan = plan_circuit(&c, 2, 2);
+        let plan = plan(&c, 2, 2);
         assert_eq!(plan.gates_fallback(), 1);
         assert_eq!(plan.blocks(), 0);
     }
@@ -388,7 +437,7 @@ mod tests {
         for seed in 0..4u64 {
             let c = library::random_circuit(9, 50, seed);
             for b in [2u32, 4, 6, 9] {
-                let plan = plan_circuit(&c, b, 4);
+                let plan = plan(&c, b, 4);
                 // The pricing rule guarantees each flushed run costs no
                 // more than its gate count; only final normalization can
                 // add sweeps beyond naive.
@@ -406,7 +455,7 @@ mod tests {
     fn block_ops_stay_below_block_width() {
         for seed in 0..4u64 {
             let c = library::random_circuit(8, 60, seed);
-            let plan = plan_circuit(&c, 5, 3);
+            let plan = plan(&c, 5, 3);
             for op in &plan.ops {
                 if let PlanOp::Block(fops) = op {
                     for f in fops {

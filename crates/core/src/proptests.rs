@@ -55,10 +55,51 @@ proptest! {
             ExecStrategy::Fused { max_k: 3 },
             ExecStrategy::Fused { max_k: 5 },
             ExecStrategy::Blocked { block_qubits: 3 },
+            ExecStrategy::Auto,
         ] {
             let mut s = init.clone();
             SimConfig::new().strategy(strat).build().unwrap().run(&c, &mut s).unwrap();
             prop_assert!(s.approx_eq(&reference, 1e-8), "{:?}", strat);
+        }
+    }
+
+    /// Specialized fused kernels (diagonal / permutation / sparse /
+    /// dense) agree with the generic scalar k-qubit path op-by-op and
+    /// with naive execution end-to-end, on every available backend.
+    #[test]
+    fn specialized_fused_matches_generic_and_naive(
+        c in arb_circuit(6, 30),
+        seed in 0u64..1000,
+        // Generated circuits include 3-qubit gates, so the fusion cap
+        // must admit them.
+        max_k in 3u32..6,
+    ) {
+        use rand::SeedableRng;
+        use crate::kernels::fused::apply_fused;
+        use crate::kernels::{scalar, simd};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = StateVector::random(6, &mut rng);
+        let mut reference = init.clone();
+        Simulator::new().run(&c, &mut reference).unwrap();
+        let plan = crate::fusion::fuse(&c, max_k);
+        let mut backends = vec![simd::backend_for(simd::BackendChoice::Scalar)];
+        if let Some(b) = simd::native() {
+            backends.push(b);
+        }
+        for be in backends {
+            let mut spec = init.clone();
+            let mut generic = init.clone();
+            for op in &plan {
+                apply_fused(be, spec.amplitudes_mut(), op);
+                scalar::apply_kq(generic.amplitudes_mut(), &op.qubits, &op.matrix);
+                prop_assert!(
+                    spec.approx_eq(&generic, 1e-10),
+                    "class {} diverged from generic scalar on {}",
+                    op.class.name(),
+                    be.name
+                );
+            }
+            prop_assert!(spec.approx_eq(&reference, 1e-8), "fused != naive on {}", be.name);
         }
     }
 
@@ -212,7 +253,11 @@ proptest! {
         let mut plain = init.clone();
         Simulator::new().run(&c, &mut plain).unwrap();
         let mut s = init.clone();
+        // Pinned to Naive: the property counts one span per gate, which
+        // only the naive sweep emits (and must hold even when
+        // QCS_STRATEGY overrides the ambient default).
         let sim = SimConfig::new()
+            .strategy(ExecStrategy::Naive)
             .telemetry(crate::telemetry::TelemetryConfig::on())
             .build()
             .unwrap();

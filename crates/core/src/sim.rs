@@ -1,6 +1,6 @@
 //! The execution engine: strategies, threading, timing, and model hooks.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use a64fx_model::timing::ExecConfig;
@@ -12,13 +12,14 @@ use crate::checkpoint::{Checkpointer, ShardMeta};
 use crate::circuit::{Circuit, Gate};
 use crate::complex::C64;
 use crate::config::{CheckpointConfig, PoolSpec, SimConfig};
-use crate::fusion::{fuse, FusedOp};
+use crate::fusion::{fuse_costed, FusedOp};
 use crate::integrity::{self, IntegrityMode, IntegrityPolicy, IntegrityViolation, Outcome};
 use crate::kernels::blocked::{
     apply_blocked, apply_blocked_fused, apply_blocked_fused_parallel, apply_blocked_parallel,
     BlockGate,
 };
 use crate::kernels::dispatch::{apply_gate_parallel_with, apply_gate_with};
+use crate::kernels::fused::PreparedFused;
 use crate::kernels::parallel;
 use crate::kernels::simd::{self, BackendChoice, KernelBackend};
 use crate::perf::{predict_circuit, predict_fused, predict_planned, ModelReport};
@@ -44,6 +45,11 @@ pub enum Strategy {
     /// blocks with ≤ `max_k`-qubit fusion inside each block (the
     /// mpiQulacs-style relabeling idea applied locally).
     Planned { block_qubits: u32, max_k: u32 },
+    /// Measure once, choose per circuit: a startup micro-benchmark
+    /// calibrates per-kernel costs on this machine
+    /// ([`crate::calibrate`]) and each run picks the cheapest concrete
+    /// strategy for its circuit from the calibrated model.
+    Auto,
 }
 
 /// Renders in the CLI's `name[:param…]` syntax, the exact inverse of
@@ -58,6 +64,7 @@ impl std::fmt::Display for Strategy {
             Strategy::Planned { block_qubits, max_k } => {
                 write!(f, "planned:{block_qubits}:{max_k}")
             }
+            Strategy::Auto => write!(f, "auto"),
         }
     }
 }
@@ -65,11 +72,14 @@ impl std::fmt::Display for Strategy {
 impl std::str::FromStr for Strategy {
     type Err = String;
 
-    /// Parse `naive | fused:<k> | blocked:<b> | planned:<b>:<k>`.
+    /// Parse `naive | fused:<k> | blocked:<b> | planned:<b>:<k> | auto`.
     /// Errors name the valid variants.
     fn from_str(text: &str) -> Result<Strategy, String> {
         if text == "naive" {
             return Ok(Strategy::Naive);
+        }
+        if text == "auto" {
+            return Ok(Strategy::Auto);
         }
         if let Some(k) = text.strip_prefix("fused:") {
             let k: u32 = k.parse().map_err(|e| format!("fused:<k>: {e}"))?;
@@ -88,9 +98,9 @@ impl std::str::FromStr for Strategy {
             return Ok(Strategy::Planned { block_qubits: b, max_k: k });
         }
         Err(format!(
-            "unknown strategy `{text}` (valid: naive | fused:<k> | blocked:<b> | planned:<b>:<k>; \
-             every strategy also runs batched — set the batch size separately, \
-             1..={} members)",
+            "unknown strategy `{text}` (valid: naive | fused:<k> | blocked:<b> | \
+             planned:<b>:<k> | auto; every strategy also runs batched — set the batch \
+             size separately, 1..={} members)",
             crate::batch::MAX_BATCH
         ))
     }
@@ -274,6 +284,10 @@ pub struct Simulator {
     telemetry: TelemetryConfig,
     integrity: IntegrityPolicy,
     checkpoint: Option<CheckpointConfig>,
+    /// Memoized [`Strategy::Auto`] resolution: fingerprint of the last
+    /// circuit run plus the strategy chosen for it. Shared across
+    /// clones (the calibration it derives from is process-wide).
+    auto_cache: Arc<Mutex<Option<(u64, Strategy)>>>,
 }
 
 impl Simulator {
@@ -288,6 +302,7 @@ impl Simulator {
             telemetry: TelemetryConfig::off(),
             integrity: IntegrityPolicy::default(),
             checkpoint: None,
+            auto_cache: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -328,6 +343,7 @@ impl Simulator {
                 BackendChoice::Auto => None,
                 explicit => Some(explicit),
             },
+            auto_cache: Arc::new(Mutex::new(None)),
             telemetry,
             integrity,
             checkpoint,
@@ -398,6 +414,35 @@ impl Simulator {
     }
 
     /// Execute `circuit` on `state`.
+    /// Resolve [`Strategy::Auto`] for `circuit`, memoized on a
+    /// structural fingerprint so repeated runs of the same circuit
+    /// (benchmark rounds, batch replicas) skip re-pricing every
+    /// candidate lowering. A stale entry only costs one re-pricing;
+    /// a fingerprint hit on a different circuit is impossible short
+    /// of a hash collision, which would still execute correctly —
+    /// the choice affects speed, never semantics.
+    fn resolve_auto(&self, circuit: &Circuit) -> Strategy {
+        use std::fmt::Write as _;
+        use std::hash::{Hash, Hasher};
+        let mut buf = String::with_capacity(circuit.len() * 24);
+        for g in circuit.gates() {
+            let _ = write!(buf, "{g:?};");
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        circuit.n_qubits().hash(&mut h);
+        buf.hash(&mut h);
+        let fp = h.finish();
+        let mut cache = self.auto_cache.lock().unwrap();
+        if let Some((k, s)) = *cache {
+            if k == fp {
+                return s;
+            }
+        }
+        let s = crate::calibrate::choose(circuit);
+        *cache = Some((fp, s));
+        s
+    }
+
     pub fn run(&self, circuit: &Circuit, state: &mut StateVector) -> Result<RunReport, SimError> {
         if circuit.n_qubits() != state.n_qubits() {
             return Err(SimError::QubitMismatch {
@@ -438,11 +483,21 @@ impl Simulator {
         let tr = tracer.as_deref();
         let mut guard =
             RunGuard::new(&self.integrity, self.checkpoint.as_ref(), circuit.n_qubits())?;
+        // `Auto` resolves to a concrete strategy per circuit from the
+        // calibrated cost model — outside the timed region, because the
+        // one-time process-wide calibration is not part of this run.
+        let strategy = match self.strategy {
+            Strategy::Auto => self.resolve_auto(circuit),
+            s => s,
+        };
         let start = Instant::now();
-        let (sweeps, prep) = match self.strategy {
+        let (sweeps, prep) = match strategy {
             Strategy::Naive => (self.run_naive(be, circuit, state, tr, &mut guard)?, Prep::Direct),
             Strategy::Fused { max_k } => {
-                let ops = fuse(circuit, max_k);
+                // Cost-aware lowering: merge only where the calibrated
+                // block kernel beats the member gates' own kernels.
+                let costs = crate::calibrate::Calibration::get().fuse_costs();
+                let ops = fuse_costed(circuit, max_k, &costs);
                 (self.run_fused_ops(be, &ops, state, tr, &mut guard)?, Prep::Fused(ops))
             }
             Strategy::Blocked { block_qubits } => {
@@ -452,6 +507,7 @@ impl Simulator {
                 let plan = plan_circuit(circuit, block_qubits, max_k);
                 (self.run_planned(be, &plan, state, tr, &mut guard)?, Prep::Planned(plan))
             }
+            Strategy::Auto => unreachable!("Auto resolved to a concrete strategy above"),
         };
         let wall_seconds = start.elapsed().as_secs_f64();
         let predicted = self.chip.as_ref().map(|(chip, cfg)| match &prep {
@@ -531,11 +587,18 @@ impl Simulator {
         guard: &mut Option<RunGuard>,
     ) -> Result<usize, SimError> {
         let amps = state.amplitudes_mut();
+        // Lower every op once, outside the sweep loop: sorting, offset
+        // tables, and class dispatch are not re-done per sweep, and the
+        // hot loop itself performs no heap allocation (`tests/no_alloc`).
+        let preps: Vec<PreparedFused<'_>> = ops.iter().map(PreparedFused::new).collect();
         let mut i = 0;
         while i < ops.len() {
             let op = &ops[i];
             let t0 = tr.map(|_| Instant::now());
-            exec_fused(be, self.pool.as_deref(), self.sched, amps, op);
+            match self.pool.as_deref() {
+                Some(pool) => preps[i].apply_parallel(be, pool, self.sched, amps),
+                None => preps[i].apply(be, amps),
+            }
             if let (Some(t), Some(t0)) = (tr, t0) {
                 t.record_fused(0, op, t0.elapsed().as_nanos() as u64);
             }
@@ -644,20 +707,6 @@ pub(crate) fn exec_gate(
     match pool {
         Some(pool) => apply_gate_parallel_with(be, pool, sched, amps, g),
         None => apply_gate_with(be, amps, g),
-    }
-}
-
-/// One fused k-qubit sweep, serial or workshared.
-pub(crate) fn exec_fused(
-    be: &KernelBackend,
-    pool: Option<&ThreadPool>,
-    sched: Schedule,
-    amps: &mut [C64],
-    op: &FusedOp,
-) {
-    match pool {
-        Some(pool) => parallel::apply_kq(pool, sched, amps, &op.qubits, &op.matrix, be),
-        None => simd::apply_kq(be, amps, &op.qubits, &op.matrix),
     }
 }
 
@@ -832,6 +881,7 @@ mod tests {
             Strategy::Blocked { block_qubits: 4 },
             Strategy::Planned { block_qubits: 4, max_k: 3 },
             Strategy::Planned { block_qubits: 6, max_k: 4 },
+            Strategy::Auto,
         ]
     }
 
@@ -903,7 +953,14 @@ mod tests {
 
     #[test]
     fn fused_strategy_reduces_sweeps() {
-        let c = library::random_circuit(8, 30, 2);
+        // Diagonal-heavy so cost-aware fusion merges under any
+        // calibration: a merged diagonal block is one cheap streaming
+        // pass, never dearer than its members' separate sweeps.
+        let mut c = Circuit::new(8);
+        for i in 0..15u32 {
+            let q = i % 7;
+            c.rz(q, 0.1).cp(q, q + 1, 0.2);
+        }
         let mut s = StateVector::zero(8);
         let naive = Simulator::new().run(&c, &mut s).unwrap();
         let mut s = StateVector::zero(8);
@@ -934,11 +991,19 @@ mod tests {
     #[test]
     fn planned_strategy_beats_blocked_on_high_targets() {
         // Every gate sits on qubits ≥ block width: Blocked falls back to
-        // one sweep per gate, Planned relocates once and blocks the run.
+        // one sweep per gate; Planned relocates once and blocks the run
+        // under the analytic calibration. The engine itself runs the
+        // live (measured) calibration, which may legitimately decline
+        // relocation on a host where it does not pay — so the sweep
+        // advantage is asserted on the analytic plan and the engine is
+        // held to exactly its own plan's sweep count plus semantics.
         let mut c = Circuit::new(12);
         for _ in 0..8 {
             c.h(8).cx(8, 9).cx(9, 10);
         }
+        let analytic =
+            crate::plan::plan_circuit_with(&c, 4, 3, &crate::calibrate::Calibration::analytic());
+        assert!(analytic.sweeps < c.len(), "analytic plan {} !< {}", analytic.sweeps, c.len());
         let run = |strategy| {
             let mut s = StateVector::zero(12);
             let report =
@@ -949,10 +1014,7 @@ mod tests {
         let (blocked_sweeps, _) = run(Strategy::Blocked { block_qubits: 4 });
         let (planned_sweeps, planned_state) = run(Strategy::Planned { block_qubits: 4, max_k: 3 });
         assert_eq!(blocked_sweeps, naive_sweeps);
-        assert!(
-            planned_sweeps < blocked_sweeps,
-            "planned {planned_sweeps} !< blocked {blocked_sweeps}"
-        );
+        assert_eq!(planned_sweeps, crate::plan::plan_circuit(&c, 4, 3).sweeps);
         assert!(planned_state.approx_eq(&reference, 1e-10));
     }
 
@@ -1013,7 +1075,10 @@ mod tests {
     fn model_report_attached_when_requested() {
         let c = library::qft(6);
         let mut s = StateVector::zero(6);
+        // Naive pinned: the sweep-count assertion below is
+        // strategy-dependent (`QCS_STRATEGY` must not leak in).
         let report = SimConfig::new()
+            .strategy(Strategy::Naive)
             .model(ChipParams::a64fx(), ExecConfig::full_chip())
             .build()
             .unwrap()
@@ -1085,7 +1150,9 @@ mod tests {
     fn traced_threaded_run_collects_busy_clocks() {
         let c = library::random_circuit(8, 10, 3);
         let mut s = StateVector::zero(8);
+        // Naive pinned: the meta assertion below is strategy-dependent.
         let sim = SimConfig::new()
+            .strategy(Strategy::Naive)
             .threads(4)
             .telemetry(TelemetryConfig::on().with_label("clocks"))
             .build()
@@ -1181,8 +1248,14 @@ mod tests {
         let mut plain = StateVector::zero(6);
         Simulator::new().run(&c, &mut plain).unwrap();
         let mut s = StateVector::zero(6);
-        let report =
-            SimConfig::new().checkpoint_every(5, &dir).build().unwrap().run(&c, &mut s).unwrap();
+        // Naive pinned: the checkpoint cadence below counts sweeps.
+        let report = SimConfig::new()
+            .strategy(Strategy::Naive)
+            .checkpoint_every(5, &dir)
+            .build()
+            .unwrap()
+            .run(&c, &mut s)
+            .unwrap();
         assert!(s.approx_eq(&plain, EPS));
         let guard = report.guard.unwrap();
         assert_eq!(guard.checkpoints as usize, c.len() / 5);

@@ -477,8 +477,12 @@ impl Tracer {
     }
 
     /// Record one fused-op sweep (kind `FusedDense{k}`, matching
-    /// [`crate::perf::predict_fused`]).
+    /// [`crate::perf::predict_fused`]). A gate-backed singleton executes
+    /// through its per-gate kernel, so it is recorded as that kernel.
     pub fn record_fused(&self, thread: usize, op: &FusedOp, wall_ns: u64) {
+        if let Some(g) = &op.gate {
+            return self.record_gate(thread, g, wall_ns);
+        }
         let kind = KernelKind::FusedDense { k: op.qubits.len() as u8 };
         self.record_kernel(thread, kind, &op.qubits, wall_ns);
     }
@@ -723,10 +727,12 @@ mod tests {
     #[test]
     fn block_pass_span_sums_member_flops() {
         use crate::gates::matrices::DenseMatrix;
-        let ops = vec![
-            FusedOp { qubits: vec![0, 1], matrix: DenseMatrix::identity(2), n_gates: 1 },
-            FusedOp { qubits: vec![1, 2, 3], matrix: DenseMatrix::identity(3), n_gates: 1 },
-        ];
+        let mk = |qubits: Vec<u32>, k: u32| {
+            let matrix = DenseMatrix::identity(k);
+            let class = crate::fusion::classify_matrix(&matrix);
+            FusedOp { qubits, matrix, n_gates: 1, class, gate: None }
+        };
+        let ops = vec![mk(vec![0, 1], 2), mk(vec![1, 2, 3], 3)];
         let tr = tracer(10);
         tr.record_block_pass(0, &ops, 500);
         let trace = tr.finish(RunMeta::default());

@@ -8,7 +8,7 @@
 //! families: ghz qft random qv trotter qaoa grover shor
 //!
 //! options:
-//!   --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>   execution strategy [naive]
+//!   --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>|auto   execution strategy [naive]
 //!   --backend auto|scalar|simd               kernel SIMD backend [auto]
 //!   --threads <t>                            worksharing threads [1]
 //!   --schedule static[:c]|dynamic[:c]|guided[:c]   worksharing schedule [static]
@@ -33,7 +33,8 @@
 //! All execution flags funnel into a single [`SimConfig`]; `--verbose`
 //! prints it back, and the same value stamps every trace header. The
 //! `QCS_TRACE` / `QCS_TRACE_OUT` environment variables enable telemetry
-//! without touching the command line.
+//! without touching the command line, and `QCS_STRATEGY` picks the
+//! default execution strategy (`--strategy` still wins).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -127,7 +128,7 @@ fn run() -> Result<(), String> {
 fn usage() -> String {
     "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
      families: ghz qft random qv trotter qaoa grover shor\n\
-     opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>  --threads <t>  --ranks <r>\n\
+     opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>|auto  --threads <t>  --ranks <r>\n\
            --backend auto|scalar|simd  --schedule static[:c]|dynamic[:c]|guided[:c]\n\
            --shots <s>  --probs <top>  --model  --trace  --trace-out <file>  --verbose\n\
            --batch <b>  --trajectories <n>  --noise bitflip:p|phaseflip:p|depolarizing:p|damping:g\n\

@@ -28,11 +28,15 @@ use rand::SeedableRng;
 
 const MEMBERS: usize = 3;
 
-const STRATEGIES: [Strategy; 4] = [
+const STRATEGIES: [Strategy; 5] = [
     Strategy::Naive,
     Strategy::Fused { max_k: 3 },
     Strategy::Blocked { block_qubits: 3 },
     Strategy::Planned { block_qubits: 3, max_k: 3 },
+    // `Auto` resolves per circuit from the process-wide calibration, so
+    // the batched run and its serial references pick the same concrete
+    // strategy and the bit-identical contract still holds.
+    Strategy::Auto,
 ];
 
 /// B independent single runs through the single-run engine, each from

@@ -55,6 +55,51 @@ fn demo_with_planned_strategy() {
     assert!(out.contains("sweeps"), "{out}");
 }
 
+fn run_ok_env(args: &[&str], envs: &[(&str, &str)]) -> String {
+    let mut cmd = bin();
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {:?} with env {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        envs,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn auto_strategy_round_trips_through_cli() {
+    // The analytic calibration keeps the subprocess fast and machine-independent.
+    let out = run_ok_env(
+        &["demo", "ghz", "4", "--strategy", "auto", "--verbose", "--probs", "2"],
+        &[("QCS_CALIBRATE", "analytic")],
+    );
+    assert!(out.contains("strategy:  auto"), "{out}");
+    assert!(out.contains("|0000⟩  0.500000"), "{out}");
+    assert!(out.contains("|1111⟩  0.500000"), "{out}");
+}
+
+#[test]
+fn strategy_env_variable_sets_the_default() {
+    let out = run_ok_env(
+        &["demo", "ghz", "4", "--verbose", "--probs", "2"],
+        &[("QCS_STRATEGY", "auto"), ("QCS_CALIBRATE", "analytic")],
+    );
+    assert!(out.contains("strategy:  auto"), "{out}");
+    assert!(out.contains("|0000⟩  0.500000"), "{out}");
+    // An explicit --strategy still beats the environment.
+    let out = run_ok_env(
+        &["demo", "ghz", "4", "--strategy", "fused:3", "--verbose"],
+        &[("QCS_STRATEGY", "auto"), ("QCS_CALIBRATE", "analytic")],
+    );
+    assert!(out.contains("strategy:  fused:3"), "{out}");
+}
+
 #[test]
 fn emit_then_run_roundtrip() {
     let qasm = run_ok(&["emit", "ghz", "3"]);

@@ -97,7 +97,9 @@ fn batched_simulation_inside_mpi_ranks() {
     use a64fx_qcs::core::testing;
     let c = testing::random_circuit_seeded(7, 30, 77);
     let mut reference = StateVector::zero(7);
-    Simulator::new().run(&c, &mut reference).unwrap();
+    // Built from `SimConfig::new()` so the reference resolves the same
+    // ambient strategy (e.g. `QCS_STRATEGY=auto`) as the batch engine.
+    SimConfig::new().build().unwrap().run(&c, &mut reference).unwrap();
     let results = World::run(2, |_comm| {
         let c = testing::random_circuit_seeded(7, 30, 77);
         let engine = BatchSimulator::from_config(SimConfig::new().threads(2).batch(4)).unwrap();
