@@ -25,10 +25,13 @@
 //!   predicted execution time under issue, FP, and bandwidth limits.
 //! * [`power`] — the A64FX power knobs (normal/eco/boost) and energy
 //!   estimates, following the authors' Fugaku power-management study.
+//! * [`link`] — a Tofu-D-style α–β interconnect cost model used by the
+//!   distributed exchange planner and the telemetry span pricer.
 
 pub mod area;
 pub mod cache;
 pub mod chip;
+pub mod link;
 pub mod power;
 pub mod roofline;
 pub mod sector;
@@ -38,6 +41,7 @@ pub mod traffic;
 pub use area::{AreaParams, AreaReport};
 pub use cache::{Cache, CacheParams, HierarchyStats, MemoryHierarchy};
 pub use chip::ChipParams;
+pub use link::{LinkModel, LinkParams};
 pub use power::{EnergyEstimate, PowerMode};
 pub use roofline::{attainable_gflops, RooflinePoint};
 pub use sector::SectorCache;

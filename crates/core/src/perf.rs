@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use a64fx_model::link::LinkModel;
 use a64fx_model::timing::{predict, Bottleneck, ExecConfig, KernelProfile};
 use a64fx_model::traffic::{GateTraffic, KernelKind, TrafficModel};
 use a64fx_model::ChipParams;
@@ -384,6 +385,102 @@ pub fn predict_batched(
     }
 }
 
+/// What one rank exchanges over a whole distributed run — the planner's
+/// exact accounting of its own plan, fed to [`predict_distributed`].
+///
+/// All quantities are *per rank* and symmetric across ranks (every
+/// exchange in the engine is pairwise and simultaneous).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeProfile {
+    /// Bytes each rank pushes onto the wire.
+    pub bytes_per_rank: u64,
+    /// Point-to-point messages each rank sends.
+    pub messages_per_rank: u64,
+    /// Exchange phases (pair exchanges plus global–local swaps).
+    pub phases: u64,
+    /// Amplitude bytes of local compute the overlap engine schedules
+    /// *during* the wire time (keep-half sweeps); zero for plans that
+    /// exchange synchronously.
+    pub hidden_bytes_per_rank: u64,
+}
+
+/// Prediction of a distributed execution: local compute plus an α–β
+/// exchange term, with overlap credited as hidden communication.
+#[derive(Debug, Clone)]
+pub struct DistPrediction {
+    /// Ranks the state is sliced across.
+    pub n_ranks: usize,
+    /// Per-rank local compute (the full-circuit sweep work ÷ ranks).
+    pub compute: ModelReport,
+    /// Wire time per rank under the link model (α·msgs/links + B/inj).
+    pub comm_seconds: f64,
+    /// Local compute available to hide behind the wire, in seconds.
+    pub hidden_seconds: f64,
+    /// `max(0, comm − hidden)` — what the critical path actually sees.
+    pub exposed_comm_seconds: f64,
+    /// End-to-end: per-rank compute + exposed communication.
+    pub seconds: f64,
+    /// Bytes each rank exchanged (copied from the profile).
+    pub exchanged_bytes_per_rank: u64,
+}
+
+impl DistPrediction {
+    /// Fraction of the wire time the critical path sees (1.0 when
+    /// nothing is hidden, 0.0 when overlap swallows it all).
+    pub fn exposed_fraction(&self) -> f64 {
+        if self.comm_seconds > 0.0 {
+            self.exposed_comm_seconds / self.comm_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Predict a distributed execution of `circuit` over `n_ranks` ranks
+/// whose plan exchanges according to `profile`.
+///
+/// Compute is the gate-by-gate sweep model divided evenly across ranks
+/// (every rank sweeps its `2^{n−g}`-amplitude slice in parallel).
+/// Communication is priced by the Tofu-D-style α–β [`LinkModel`]; the
+/// overlap engine's keep-half compute (`hidden_bytes_per_rank`, priced
+/// at the HBM roof) is subtracted from the wire time before it lands on
+/// the critical path — the `max(0, comm − compute)` shape the planner
+/// exists to reach.
+pub fn predict_distributed(
+    chip: &ChipParams,
+    cfg: &ExecConfig,
+    circuit: &Circuit,
+    n_ranks: usize,
+    link: &LinkModel,
+    profile: &ExchangeProfile,
+) -> DistPrediction {
+    let full = predict_circuit(chip, cfg, circuit);
+    let r = n_ranks.max(1) as u64;
+    let compute = ModelReport {
+        seconds: full.seconds / r as f64,
+        mem_bytes: full.mem_bytes / r,
+        flops: full.flops / r,
+        sweeps: full.sweeps,
+        bottlenecks: full.bottlenecks,
+    };
+    let comm_seconds = if profile.messages_per_rank == 0 && profile.bytes_per_rank == 0 {
+        0.0
+    } else {
+        link.exchange_time(profile.messages_per_rank, profile.bytes_per_rank)
+    };
+    let hidden_seconds = profile.hidden_bytes_per_rank as f64 / chip.peak_membw(cfg.active_cmgs);
+    let exposed_comm_seconds = (comm_seconds - hidden_seconds).max(0.0);
+    DistPrediction {
+        n_ranks,
+        seconds: compute.seconds + exposed_comm_seconds,
+        comm_seconds,
+        hidden_seconds,
+        exposed_comm_seconds,
+        exchanged_bytes_per_rank: profile.bytes_per_rank,
+        compute,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,5 +613,48 @@ mod tests {
         let r = predict_circuit(&chip(), &ExecConfig::full_chip(), &c);
         assert!(r.gflops() > 0.0);
         assert!(r.effective_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn distributed_prediction_charges_exposed_comm_only() {
+        let cfg = ExecConfig::full_chip();
+        let link = LinkModel::default();
+        let c = library::qft(20);
+        let none = ExchangeProfile::default();
+        let sync = ExchangeProfile {
+            bytes_per_rank: 1 << 28,
+            messages_per_rank: 16,
+            phases: 16,
+            hidden_bytes_per_rank: 0,
+        };
+        let overlapped = ExchangeProfile { hidden_bytes_per_rank: u64::MAX / 2, ..sync };
+        let p0 = predict_distributed(&chip(), &cfg, &c, 4, &link, &none);
+        let ps = predict_distributed(&chip(), &cfg, &c, 4, &link, &sync);
+        let po = predict_distributed(&chip(), &cfg, &c, 4, &link, &overlapped);
+        // No exchange: end-to-end is pure compute.
+        assert_eq!(p0.comm_seconds, 0.0);
+        assert!((p0.seconds - p0.compute.seconds).abs() < 1e-15);
+        // Synchronous exchange pays the full wire time.
+        assert!(ps.comm_seconds > 0.0);
+        assert!((ps.exposed_comm_seconds - ps.comm_seconds).abs() < 1e-15);
+        assert!((ps.exposed_fraction() - 1.0).abs() < 1e-12);
+        // Full overlap hides it entirely; compute is unchanged.
+        assert_eq!(po.exposed_comm_seconds, 0.0);
+        assert_eq!(po.exposed_fraction(), 0.0);
+        assert!(po.seconds < ps.seconds);
+        assert!((po.compute.seconds - ps.compute.seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distributed_compute_splits_across_ranks() {
+        let cfg = ExecConfig::full_chip();
+        let link = LinkModel::default();
+        let c = library::hadamard_layers(22, 1);
+        let none = ExchangeProfile::default();
+        let p2 = predict_distributed(&chip(), &cfg, &c, 2, &link, &none);
+        let p8 = predict_distributed(&chip(), &cfg, &c, 8, &link, &none);
+        let ratio = p2.compute.seconds / p8.compute.seconds;
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio = {ratio}");
+        assert_eq!(p2.compute.mem_bytes, 4 * p8.compute.mem_bytes);
     }
 }

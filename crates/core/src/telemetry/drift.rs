@@ -131,12 +131,24 @@ impl DriftReport {
                 "total:exchange",
                 self.exchange.count,
                 fmt_ns(self.exchange.measured_ns as f64),
-                "-",
-                "-",
+                if self.exchange.model_ns > 0.0 {
+                    fmt_ns(self.exchange.model_ns)
+                } else {
+                    "-".to_string()
+                },
+                self.exchange.ratio().map_or("-".to_string(), |r| format!("{r:.2}x")),
                 self.exchange.achieved_bw() / 1e9,
             ));
         }
         out
+    }
+
+    /// Overall measured/model ratio for exchange spans — the comm-model
+    /// drift figure ([`crate::perf::predict_distributed`]'s α–β pricing
+    /// against the wire time the transport actually measured). `None`
+    /// when the trace has no priced exchange spans.
+    pub fn exchange_ratio(&self) -> Option<f64> {
+        self.exchange.ratio()
     }
 }
 
@@ -212,6 +224,24 @@ mod tests {
         assert!(table.contains("total:compute"));
         assert!(table.contains("total:exchange"));
         assert!(table.contains("1.25x"));
+    }
+
+    #[test]
+    fn priced_exchange_spans_report_comm_drift() {
+        // Exchange spans recorded by the tracer carry a link-model
+        // model_ns; the report must join them like kernel drift.
+        let spans = vec![
+            span(SpanKind::Exchange(ExchangePhase::PairExchange), 300, 100.0, 4096),
+            span(SpanKind::Exchange(ExchangePhase::OverlapSwap), 100, 100.0, 2048),
+        ];
+        let report = DriftReport::from_spans(&spans);
+        assert_eq!(report.exchange_ratio(), Some(2.0));
+        let table = report.to_table();
+        assert!(table.contains("2.00x"), "{table}");
+        assert!(table.contains("exchange:overlap-swap"));
+        // The total:exchange row renders the model column, not "-".
+        let total = table.lines().find(|l| l.starts_with("total:exchange")).unwrap();
+        assert!(!total.contains('-'), "{total}");
     }
 
     #[test]

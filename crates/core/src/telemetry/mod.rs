@@ -61,6 +61,10 @@ pub enum ExchangePhase {
     CtrlExchange,
     /// Half-buffer global–local qubit swap (the remap primitive).
     GlobalSwap,
+    /// Chunked nonblocking global–local swap with resident compute
+    /// scheduled during the flight; `wall_ns` records only the *exposed*
+    /// time (post/wait), not the hidden keep-half compute.
+    OverlapSwap,
     /// Collective (allgather/allreduce) traffic.
     Collective,
     /// Fault recovery: rollback to a checkpoint and replay.
@@ -73,6 +77,7 @@ impl ExchangePhase {
             ExchangePhase::PairExchange => "pair-exchange",
             ExchangePhase::CtrlExchange => "ctrl-exchange",
             ExchangePhase::GlobalSwap => "global-swap",
+            ExchangePhase::OverlapSwap => "overlap-swap",
             ExchangePhase::Collective => "collective",
             ExchangePhase::Recovery => "recovery",
         }
@@ -83,6 +88,7 @@ impl ExchangePhase {
             "pair-exchange" => ExchangePhase::PairExchange,
             "ctrl-exchange" => ExchangePhase::CtrlExchange,
             "global-swap" => ExchangePhase::GlobalSwap,
+            "overlap-swap" => ExchangePhase::OverlapSwap,
             "collective" => ExchangePhase::Collective,
             "recovery" => ExchangePhase::Recovery,
             _ => return None,
@@ -175,8 +181,9 @@ pub struct Span {
     pub bytes: u64,
     /// DP FLOPs executed.
     pub flops: u64,
-    /// Model-predicted nanoseconds under the tracer's chip/config (0 for
-    /// exchange spans — the network model prices those).
+    /// Model-predicted nanoseconds: the sweep model for kernel/block
+    /// spans, the Tofu-D α–β link model for wire exchange spans (0 for
+    /// recovery spans, which move no wire bytes of their own).
     pub model_ns: f64,
     /// The model's limiting resource (`"fp"`/`"memory"`/`"issue"`, or
     /// `"network"` for exchange spans).
@@ -548,6 +555,13 @@ impl Tracer {
 
     /// Record one distributed communication phase: `bytes` is the wire
     /// volume this rank moved, `amps` the amplitudes shipped.
+    ///
+    /// Wire phases carry a `model_ns` priced by the Tofu-D α–β link
+    /// model (one logical message of `bytes`), so drift reports can
+    /// compare measured exchange time against the interconnect model
+    /// exactly as they compare kernels against the sweep model.
+    /// [`ExchangePhase::Recovery`] moves no wire bytes of its own and
+    /// stays unpriced.
     pub fn record_exchange(
         &self,
         thread: usize,
@@ -557,6 +571,10 @@ impl Tracer {
         bytes: u64,
         wall_ns: u64,
     ) {
+        let model_ns = match phase {
+            ExchangePhase::Recovery => 0.0,
+            _ => a64fx_model::link::LinkModel::default().span_ns(bytes),
+        };
         self.push(
             thread,
             Span {
@@ -567,7 +585,7 @@ impl Tracer {
                 amps,
                 bytes,
                 flops: 0,
-                model_ns: 0.0,
+                model_ns,
                 bottleneck: "network",
                 thread: thread as u32,
                 rank: self.rank,
@@ -660,6 +678,7 @@ mod tests {
             SpanKind::Block { gates: 2, k: 0 },
             SpanKind::Exchange(ExchangePhase::PairExchange),
             SpanKind::Exchange(ExchangePhase::GlobalSwap),
+            SpanKind::Exchange(ExchangePhase::OverlapSwap),
         ] {
             assert_eq!(SpanKind::from_label(&kind.label()), Some(kind), "{}", kind.label());
         }
@@ -722,6 +741,18 @@ mod tests {
         assert_eq!(s.bytes, 4096);
         assert_eq!(s.rank, 3);
         assert_eq!(s.bottleneck, "network");
+        // Wire phases are priced by the link model…
+        let expect = a64fx_model::link::LinkModel::default().span_ns(4096);
+        assert_eq!(s.model_ns, expect);
+        assert!(s.model_ns > 0.0);
+    }
+
+    #[test]
+    fn recovery_spans_stay_unpriced() {
+        let tr = Tracer::with_defaults(8, 1, 16);
+        tr.record_exchange(0, ExchangePhase::Recovery, &[2], 0, 0, 55);
+        let trace = tr.finish(RunMeta::default());
+        assert_eq!(trace.spans[0].model_ns, 0.0);
     }
 
     #[test]

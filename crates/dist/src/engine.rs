@@ -15,20 +15,26 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use mpi_sim::{Comm, World};
+use mpi_sim::Comm;
 use qcs_core::align::AlignedAmps;
 use qcs_core::circuit::{Circuit, Gate};
 use qcs_core::complex::{as_f64_slice, C64};
 use qcs_core::kernels::dispatch::apply_gate as apply_local;
 use qcs_core::kernels::index::insert_zero_bit;
 use qcs_core::state::StateVector;
-use qcs_core::telemetry::{ExchangePhase, RunMeta, TelemetryConfig, Trace, Tracer};
+use qcs_core::telemetry::{ExchangePhase, TelemetryConfig, Trace, Tracer};
 
 use crate::error::DistError;
 use crate::partition::Partition;
 
 const TAG_XCHG: u32 = 0xD157_0001;
 const TAG_SWAP: u32 = 0xD157_0002;
+/// Base tag of the chunked overlapped exchange; chunk `i` travels as
+/// `TAG_OVL + i`.
+const TAG_OVL: u32 = 0xD157_0100;
+
+/// Chunks an overlapped half-buffer exchange is split into.
+pub(crate) const OVERLAP_CHUNKS: usize = 8;
 
 /// Bytes on the wire for a C64 buffer (interleaved f64 pairs).
 const C64_BYTES: u64 = 16;
@@ -51,6 +57,10 @@ pub struct DistState {
     rank: usize,
     amps: AlignedAmps,
     tracer: Option<Arc<Tracer>>,
+    /// Reusable exchange scratch, shared by every phase (pair-exchange
+    /// doubled buffers and swap outboxes) so a long circuit allocates
+    /// once instead of once per phase. 64-byte aligned like `amps`.
+    scratch: Option<AlignedAmps>,
 }
 
 /// Send a complex slice as interleaved f64 (C64 is repr(C) f64-pairs).
@@ -66,6 +76,12 @@ fn sendrecv_c64(
     Ok(raw.chunks_exact(2).map(|p| C64::new(p[0], p[1])).collect())
 }
 
+/// The value of global qubit `q`'s bit on `rank`.
+#[inline]
+fn global_bit_of(part: &Partition, rank: usize, q: u32) -> bool {
+    (rank >> part.global_bit(q)) & 1 == 1
+}
+
 impl DistState {
     /// The |0…0⟩ state distributed over the communicator's world.
     pub fn zero(n_qubits: u32, comm: &Comm) -> DistState {
@@ -74,7 +90,7 @@ impl DistState {
         if comm.rank() == 0 {
             amps[0] = C64::real(1.0);
         }
-        DistState { part, rank: comm.rank(), amps, tracer: None }
+        DistState { part, rank: comm.rank(), amps, tracer: None, scratch: None }
     }
 
     /// Slice a full state vector (every rank passes the same `full`).
@@ -83,7 +99,7 @@ impl DistState {
         let rank = comm.rank();
         let start = part.global_index(rank, 0);
         let amps = AlignedAmps::from_slice(&full.amplitudes()[start..start + part.local_len()]);
-        DistState { part, rank, amps, tracer: None }
+        DistState { part, rank, amps, tracer: None, scratch: None }
     }
 
     /// Attach (or detach) a tracer; subsequent communication phases are
@@ -99,21 +115,47 @@ impl DistState {
         amps_moved: u64,
         started: Option<Instant>,
     ) {
-        if let (Some(t), Some(t0)) = (&self.tracer, started) {
-            t.record_exchange(
-                0,
-                phase,
-                qubits,
-                amps_moved,
-                amps_moved * C64_BYTES,
-                t0.elapsed().as_nanos() as u64,
-            );
+        if let (Some(_), Some(t0)) = (&self.tracer, started) {
+            self.record_exchange_ns(phase, qubits, amps_moved, t0.elapsed().as_nanos() as u64);
         }
+    }
+
+    /// Like [`DistState::record_exchange`], with the wall time supplied
+    /// by the caller — the overlapped exchange records only its
+    /// *exposed* nanoseconds, excluding the compute hidden in flight.
+    pub(crate) fn record_exchange_ns(
+        &self,
+        phase: ExchangePhase,
+        qubits: &[u32],
+        amps_moved: u64,
+        wall_ns: u64,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.record_exchange(0, phase, qubits, amps_moved, amps_moved * C64_BYTES, wall_ns);
+        }
+    }
+
+    /// Grab the reusable exchange scratch (≥ `min_len` amplitudes),
+    /// allocating only when the demand outgrows the buffer; return it
+    /// with `self.scratch = Some(buf)` when done. Alignment matches the
+    /// state buffer so kernel sweeps may run inside it.
+    fn take_scratch(&mut self, min_len: usize) -> AlignedAmps {
+        let buf = match self.scratch.take() {
+            Some(b) if b.len() >= min_len => b,
+            _ => AlignedAmps::zeroed(min_len),
+        };
+        debug_assert_eq!(buf.as_ptr() as usize % 64, 0, "exchange scratch must be 64-byte aligned");
+        buf
     }
 
     /// The partition geometry.
     pub fn partition(&self) -> Partition {
         self.part
+    }
+
+    /// This rank's index in the world.
+    pub fn rank(&self) -> usize {
+        self.rank
     }
 
     /// This rank's amplitudes.
@@ -127,52 +169,128 @@ impl DistState {
         &mut self.amps
     }
 
-    /// Apply one gate, communicating as needed.
-    pub fn apply_gate(&mut self, comm: &mut Comm, gate: &Gate) -> Result<(), DistError> {
+    /// Can `gate` run without communication under `part`? True for
+    /// all-local gates, any diagonal gate (global bits are rank-wide
+    /// constants), and controlled gates whose control is global but
+    /// target local. The distributed planner's relocation rule is the
+    /// complement of this predicate.
+    pub(crate) fn is_comm_free(part: &Partition, gate: &Gate) -> bool {
         let qs = gate.qubits();
-        let all_local = qs.iter().all(|&q| self.part.is_local(q));
-        if all_local {
-            apply_local(&mut self.amps, gate);
-            return Ok(());
+        if qs.iter().all(|&q| part.is_local(q)) {
+            return true;
         }
         if gate.is_diagonal() {
-            return self.apply_diagonal_with_globals(gate);
+            return true;
         }
-        // Dense 1q on a global qubit: direct pair exchange.
-        if let Some((q, m)) = gate.as_single() {
-            return self.pair_exchange_1q(comm, q, &m.m);
+        if let Some((c, t, _)) = gate.as_controlled() {
+            if !part.is_local(c) && part.is_local(t) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Apply one gate, communicating as needed.
+    pub fn apply_gate(&mut self, comm: &mut Comm, gate: &Gate) -> Result<(), DistError> {
+        if Self::is_comm_free(&self.part, gate) {
+            return Self::apply_resident_slice(&self.part, self.rank, &mut self.amps, gate);
+        }
+        let vq = self.part.n_local();
+        // Dense 1q on a global qubit: direct pair exchange, dispatching
+        // the original gate variant at a virtual doubled-buffer axis so
+        // the kernel (and its rounding) is the one the serial engine
+        // would have run.
+        if let Some((q, _)) = gate.as_single() {
+            let virtual_gate = gate.remap(|_| vq);
+            return self.pair_exchange_dispatch(
+                comm,
+                ExchangePhase::PairExchange,
+                &[q],
+                q,
+                &virtual_gate,
+            );
         }
         // Controlled dense gates get the cheap special cases.
         if let Some((c, t, m)) = gate.as_controlled() {
             let c_local = self.part.is_local(c);
-            let t_local = self.part.is_local(t);
-            return match (c_local, t_local) {
-                (false, true) => {
-                    // Global control: rank-constant predicate.
-                    if self.global_bit_value(c) {
-                        apply_local(&mut self.amps, &Gate::Unitary1(t, m));
-                    }
-                    Ok(())
-                }
-                (true, false) => self.pair_exchange_controlled(comm, c, t, &m.m),
-                (false, false) => {
-                    if self.global_bit_value(c) {
-                        self.pair_exchange_1q(comm, t, &m.m)
-                    } else {
-                        // Partner has the same (clear) control bit and
-                        // also skips; no exchange needed.
-                        Ok(())
-                    }
-                }
-                (true, true) => Err(DistError::internal(format!(
-                    "controlled gate `{}` with two local qubits reached the exchange path",
-                    gate.name()
-                ))),
+            debug_assert!(!self.part.is_local(t), "comm-free controlled cases handled above");
+            return if c_local {
+                // Local control, global target: exchange, then run the
+                // original controlled kernel against the virtual axis.
+                let virtual_gate = gate.remap(|q| if q == t { vq } else { q });
+                self.pair_exchange_dispatch(
+                    comm,
+                    ExchangePhase::CtrlExchange,
+                    &[c, t],
+                    t,
+                    &virtual_gate,
+                )
+            } else if self.global_bit_value(c) {
+                // Both global, control set here (and on the partner,
+                // which differs only in the target bit): the control is
+                // satisfied buffer-wide, so a dense 1q on the virtual
+                // axis applies the same per-pair arithmetic the serial
+                // controlled kernel would.
+                self.pair_exchange_dispatch(
+                    comm,
+                    ExchangePhase::PairExchange,
+                    &[t],
+                    t,
+                    &Gate::Unitary1(vq, m),
+                )
+            } else {
+                // Partner has the same (clear) control bit and also
+                // skips; no exchange needed.
+                Ok(())
             };
         }
         // General fallback: relocate each global qubit to a free local
         // position, apply, relocate back.
         self.apply_via_remap(comm, gate)
+    }
+
+    /// Apply a communication-free gate (see [`DistState::is_comm_free`])
+    /// to `amps` — the rank's full buffer, or one contiguous half of it
+    /// during an overlapped exchange (legal whenever the gate does not
+    /// touch the top local axis, because every kernel then acts
+    /// independently within each half).
+    fn apply_resident_slice(
+        part: &Partition,
+        rank: usize,
+        amps: &mut [C64],
+        gate: &Gate,
+    ) -> Result<(), DistError> {
+        let qs = gate.qubits();
+        if qs.iter().all(|&q| part.is_local(q)) {
+            apply_local(amps, gate);
+            return Ok(());
+        }
+        if gate.is_diagonal() {
+            return Self::apply_diagonal_with_globals(part, rank, amps, gate);
+        }
+        if let Some((c, t, m)) = gate.as_controlled() {
+            if !part.is_local(c) && part.is_local(t) {
+                // Global control: rank-constant predicate.
+                if global_bit_of(part, rank, c) {
+                    apply_local(amps, &Gate::Unitary1(t, m));
+                }
+                return Ok(());
+            }
+        }
+        Err(DistError::internal(format!(
+            "gate `{}` reached the resident path but needs communication",
+            gate.name()
+        )))
+    }
+
+    /// Apply a comm-free gate to a contiguous sub-range of the local
+    /// buffer (the overlap engine's per-half application).
+    pub(crate) fn apply_resident_on(
+        &mut self,
+        gate: &Gate,
+        range: std::ops::Range<usize>,
+    ) -> Result<(), DistError> {
+        Self::apply_resident_slice(&self.part, self.rank, &mut self.amps[range], gate)
     }
 
     /// Run a whole circuit.
@@ -191,54 +309,60 @@ impl DistState {
 
     /// The value of global qubit `q`'s bit on this rank.
     fn global_bit_value(&self, q: u32) -> bool {
-        (self.rank >> self.part.global_bit(q)) & 1 == 1
+        global_bit_of(&self.part, self.rank, q)
     }
 
-    /// Dense 1q gate on global qubit `q` by whole-buffer pair exchange.
-    fn pair_exchange_1q(
+    /// Dense gate touching global qubit `gq` by whole-buffer pair
+    /// exchange: concatenate the two partner buffers into the scratch
+    /// (this rank's half at index bit `vq = n_local` equal to its `gq`
+    /// bit), dispatch `virtual_gate` — the original gate remapped onto
+    /// `vq` — over the doubled buffer, and keep this rank's half.
+    ///
+    /// Routing through the ordinary kernel dispatch (instead of a
+    /// hand-rolled row combine) makes the distributed arithmetic
+    /// *bit-identical* to the serial engine: the same kernel variant
+    /// runs with the same per-pair operation order, merely at a
+    /// different stride.
+    fn pair_exchange_dispatch(
         &mut self,
         comm: &mut Comm,
-        q: u32,
-        m: &[[C64; 2]; 2],
+        phase: ExchangePhase,
+        span_qubits: &[u32],
+        gq: u32,
+        virtual_gate: &Gate,
     ) -> Result<(), DistError> {
         let t0 = self.tracer.as_ref().map(|_| Instant::now());
-        let partner = self.part.partner(self.rank, q);
-        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps)?;
-        let b = usize::from(self.global_bit_value(q));
-        let (diag, off) = (m[b][b], m[b][1 - b]);
-        for (mine, other) in self.amps.iter_mut().zip(&theirs) {
-            *mine = C64::default().fma(diag, *mine).fma(off, *other);
-        }
-        self.record_exchange(ExchangePhase::PairExchange, &[q], self.amps.len() as u64, t0);
-        Ok(())
-    }
-
-    /// Controlled dense gate: local control `c`, global target `t`.
-    fn pair_exchange_controlled(
-        &mut self,
-        comm: &mut Comm,
-        c: u32,
-        t: u32,
-        m: &[[C64; 2]; 2],
-    ) -> Result<(), DistError> {
-        let t0 = self.tracer.as_ref().map(|_| Instant::now());
-        let partner = self.part.partner(self.rank, t);
-        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps)?;
-        let b = usize::from(self.global_bit_value(t));
-        let (diag, off) = (m[b][b], m[b][1 - b]);
-        let cbit = 1usize << c;
-        for (x, (mine, other)) in self.amps.iter_mut().zip(&theirs).enumerate() {
-            if x & cbit != 0 {
-                *mine = C64::default().fma(diag, *mine).fma(off, *other);
+        let partner = self.part.partner(self.rank, gq);
+        let theirs = sendrecv_c64(comm, partner, TAG_XCHG, &self.amps);
+        let l = self.amps.len();
+        let mut buf = self.take_scratch(2 * l);
+        let theirs = match theirs {
+            Ok(t) => t,
+            Err(e) => {
+                self.scratch = Some(buf);
+                return Err(e);
             }
-        }
-        self.record_exchange(ExchangePhase::CtrlExchange, &[c, t], self.amps.len() as u64, t0);
+        };
+        let r = usize::from(self.global_bit_value(gq));
+        buf[r * l..(r + 1) * l].copy_from_slice(&self.amps);
+        buf[(1 - r) * l..(2 - r) * l].copy_from_slice(&theirs);
+        apply_local(&mut buf[..2 * l], virtual_gate);
+        self.amps.copy_from_slice(&buf[r * l..(r + 1) * l]);
+        self.scratch = Some(buf);
+        self.record_exchange(phase, span_qubits, l as u64, t0);
         Ok(())
     }
 
     /// Diagonal gate with ≥1 global qubit: every factor involving a
-    /// global bit is a rank-wide constant.
-    fn apply_diagonal_with_globals(&mut self, gate: &Gate) -> Result<(), DistError> {
+    /// global bit is a rank-wide constant. Operates on a slice so the
+    /// overlap engine can run it per half (enumeration offsets only
+    /// affect the top local bit, which a half-applied gate never uses).
+    fn apply_diagonal_with_globals(
+        part: &Partition,
+        rank: usize,
+        amps: &mut [C64],
+        gate: &Gate,
+    ) -> Result<(), DistError> {
         // Obtain the diagonal entries from the dense forms.
         match gate.arity() {
             1 => {
@@ -248,8 +372,8 @@ impl DistState {
                         gate.name()
                     ))
                 })?;
-                let d = if self.global_bit_value(q) { m.m[1][1] } else { m.m[0][0] };
-                for a in &mut self.amps {
+                let d = if global_bit_of(part, rank, q) { m.m[1][1] } else { m.m[0][0] };
+                for a in amps.iter_mut() {
                     *a *= d;
                 }
             }
@@ -261,28 +385,28 @@ impl DistState {
                     ))
                 })?;
                 let d = [m.m[0][0], m.m[1][1], m.m[2][2], m.m[3][3]];
-                let h_local = self.part.is_local(h);
-                let l_local = self.part.is_local(l);
+                let h_local = part.is_local(h);
+                let l_local = part.is_local(l);
                 match (h_local, l_local) {
                     (false, false) => {
-                        let idx = ((self.global_bit_value(h) as usize) << 1)
-                            | self.global_bit_value(l) as usize;
-                        for a in &mut self.amps {
+                        let idx = ((global_bit_of(part, rank, h) as usize) << 1)
+                            | global_bit_of(part, rank, l) as usize;
+                        for a in amps.iter_mut() {
                             *a *= d[idx];
                         }
                     }
                     (false, true) => {
-                        let hbit = self.global_bit_value(h) as usize;
+                        let hbit = global_bit_of(part, rank, h) as usize;
                         let lmask = 1usize << l;
-                        for (x, a) in self.amps.iter_mut().enumerate() {
+                        for (x, a) in amps.iter_mut().enumerate() {
                             let idx = (hbit << 1) | usize::from(x & lmask != 0);
                             *a *= d[idx];
                         }
                     }
                     (true, false) => {
-                        let lbit = self.global_bit_value(l) as usize;
+                        let lbit = global_bit_of(part, rank, l) as usize;
                         let hmask = 1usize << h;
-                        for (x, a) in self.amps.iter_mut().enumerate() {
+                        for (x, a) in amps.iter_mut().enumerate() {
                             let idx = ((usize::from(x & hmask != 0)) << 1) | lbit;
                             *a *= d[idx];
                         }
@@ -315,20 +439,95 @@ impl DistState {
         let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let r = usize::from(self.global_bit_value(gq));
         let half = self.amps.len() / 2;
-        // Ship amplitudes whose lq bit ≠ my global bit.
+        // Ship amplitudes whose lq bit ≠ my global bit, gathered into the
+        // reusable scratch (one allocation per run, not per phase).
         let want_bit = 1 - r;
-        let mut outbox = Vec::with_capacity(half);
+        let mut outbox = self.take_scratch(half);
         for j in 0..half {
             let x = insert_zero_bit(j, lq) | (want_bit << lq);
-            outbox.push(self.amps[x]);
+            outbox[j] = self.amps[x];
         }
         let partner = self.part.partner(self.rank, gq);
-        let inbox = sendrecv_c64(comm, partner, TAG_SWAP, &outbox)?;
-        for (j, v) in inbox.into_iter().enumerate() {
+        let inbox = sendrecv_c64(comm, partner, TAG_SWAP, &outbox[..half]);
+        self.scratch = Some(outbox);
+        for (j, v) in inbox?.into_iter().enumerate() {
             let x = insert_zero_bit(j, lq) | (want_bit << lq);
             self.amps[x] = v;
         }
         self.record_exchange(ExchangePhase::GlobalSwap, &[gq, lq], half as u64, t0);
+        Ok(())
+    }
+
+    /// Overlapped global–local swap on the *top* local axis
+    /// `lq = n_local − 1`: the outgoing contiguous half is sent in
+    /// chunks through the nonblocking transport while `resident` —
+    /// comm-free gates scheduled after this swap that do not touch
+    /// `lq` — run on both halves (the outgoing half before departure,
+    /// the resident half during flight). Bit-identical to
+    /// `swap_global_local(gq, lq)` followed by full-buffer application
+    /// of `resident`, because gates avoiding `lq` act independently
+    /// within each half.
+    ///
+    /// The recorded [`ExchangePhase::OverlapSwap`] span carries only the
+    /// *exposed* wall time (chunk posting + drain), not the hidden
+    /// keep-half compute — the separation e5-style accounting needs.
+    pub(crate) fn swap_top_overlapped(
+        &mut self,
+        comm: &mut Comm,
+        gq: u32,
+        resident: &[Gate],
+        chunks: usize,
+    ) -> Result<(), DistError> {
+        let lq = self.part.n_local() - 1;
+        debug_assert!(!self.part.is_local(gq));
+        debug_assert!(resident.iter().all(|g| !g.qubits().contains(&lq)));
+        let half = self.amps.len() / 2;
+        let r = usize::from(self.global_bit_value(gq));
+        let want = 1 - r;
+        let ship = want * half..(want + 1) * half;
+        let keep = (1 - want) * half..(2 - want) * half;
+        for g in resident {
+            self.apply_resident_on(g, ship.clone())?;
+        }
+        let partner = self.part.partner(self.rank, gq);
+        let t0 = Instant::now();
+        {
+            let out = &self.amps[ship.clone()];
+            let k = mpi_sim::chunk_count(out.len(), chunks);
+            let mut off = 0;
+            for i in 0..k {
+                let len = out.len() / k + usize::from(i < out.len() % k);
+                comm.try_send(partner, TAG_OVL + i as u32, as_f64_slice(&out[off..off + len]))?;
+                off += len;
+            }
+        }
+        let reqs = comm.irecv_chunked(partner, TAG_OVL, half, chunks);
+        let mut exposed = t0.elapsed();
+        for g in resident {
+            self.apply_resident_on(g, keep.clone())?;
+        }
+        let t1 = Instant::now();
+        let parts = comm.try_waitall::<f64>(reqs)?;
+        let mut w = ship.start;
+        for (_, data) in parts {
+            for p in data.chunks_exact(2) {
+                self.amps[w] = C64::new(p[0], p[1]);
+                w += 1;
+            }
+        }
+        exposed += t1.elapsed();
+        if w != ship.end {
+            return Err(DistError::internal(format!(
+                "overlapped swap reassembled {} of {half} amplitudes",
+                w - ship.start
+            )));
+        }
+        self.record_exchange_ns(
+            ExchangePhase::OverlapSwap,
+            &[gq, lq],
+            half as u64,
+            exposed.as_nanos() as u64,
+        );
         Ok(())
     }
 
@@ -337,9 +536,15 @@ impl DistState {
     fn apply_via_remap(&mut self, comm: &mut Comm, gate: &Gate) -> Result<(), DistError> {
         let qs = gate.qubits();
         let globals: Vec<u32> = qs.iter().copied().filter(|&q| !self.part.is_local(q)).collect();
-        // Free local qubits: lowest indices not used by the gate.
-        let mut free: Vec<u32> =
-            (0..self.part.n_local()).filter(|q| !qs.contains(q)).take(globals.len()).collect();
+        // Free local qubits: *highest* indices not used by the gate.
+        // High victims keep the remapped gate's minimum axis at or above
+        // the serial gate's, so both runs take the same SIMD-vs-scalar
+        // kernel path and stay bit-identical.
+        let mut free: Vec<u32> = (0..self.part.n_local())
+            .rev()
+            .filter(|q| !qs.contains(q))
+            .take(globals.len())
+            .collect();
         if free.len() != globals.len() {
             return Err(DistError::UnsupportedGate {
                 gate: gate.name().to_string(),
@@ -541,6 +746,11 @@ impl DistState {
 /// Convenience harness: run `circuit` from |0…0⟩ on `n_ranks` ranks and
 /// return the reassembled state plus per-rank communication statistics.
 ///
+/// The scheduling policy is read from `QCS_DIST_PLAN`
+/// (`naive|reorder|overlap`, default naive); use
+/// [`crate::plan::run_distributed_planned`] to pin a kind explicitly.
+/// All kinds produce bit-identical states.
+///
 /// Engine errors are deterministic and symmetric across ranks (they
 /// depend only on the circuit and the partition geometry), so every
 /// rank returns the same `Err` and the world tears down cleanly.
@@ -548,81 +758,33 @@ pub fn run_distributed(
     circuit: &Circuit,
     n_ranks: usize,
 ) -> Result<(StateVector, Vec<mpi_sim::CommStats>), DistError> {
-    let (states, stats) =
-        World::run_with_stats(n_ranks, |comm| -> Result<StateVector, DistError> {
-            let mut st = DistState::zero(circuit.n_qubits(), comm);
-            st.apply_circuit(comm, circuit)?;
-            Ok(st.allgather_full(comm))
-        });
-    let mut first = None;
-    for s in states {
-        let s: StateVector = s?;
-        if first.is_none() {
-            first = Some(s);
-        }
-    }
-    let state = first.ok_or_else(|| DistError::internal("world produced no ranks"))?;
-    Ok((state, stats))
+    crate::plan::run_distributed_planned(circuit, n_ranks, crate::plan::DistPlanKind::from_env())
 }
 
 /// Like [`run_distributed`], but every rank records an exchange span per
 /// communication phase (phase kind, partner qubits, amplitudes moved,
 /// bytes on the wire, wall time). Returns one [`Trace`] per rank; when
 /// `telemetry.trace_path` is set the traces are also written there as
-/// JSONL, one run block per rank.
+/// JSONL, one run block per rank. The scheduling policy follows
+/// `QCS_DIST_PLAN` like [`run_distributed`].
 pub fn run_distributed_traced(
     circuit: &Circuit,
     n_ranks: usize,
     telemetry: &TelemetryConfig,
 ) -> Result<(StateVector, Vec<mpi_sim::CommStats>, Vec<Trace>), DistError> {
-    let n = circuit.n_qubits();
-    let (results, stats) =
-        World::run_with_stats(n_ranks, |comm| -> Result<(StateVector, Trace), DistError> {
-            let mut tracer = Tracer::with_defaults(n, 1, telemetry.capacity);
-            tracer.set_rank(comm.rank() as i32);
-            let tracer = Arc::new(tracer);
-            let mut st = DistState::zero(n, comm);
-            st.set_tracer(Some(Arc::clone(&tracer)));
-            st.apply_circuit(comm, circuit)?;
-            let state = st.allgather_full(comm);
-            st.set_tracer(None);
-            let tracer = Arc::try_unwrap(tracer).map_err(|_| {
-                DistError::internal("tracer still shared after detaching from state")
-            })?;
-            let meta = RunMeta {
-                strategy: format!("dist:{n_ranks}"),
-                backend: "exchange".to_string(),
-                threads: 1,
-                schedule: "static".to_string(),
-                n_qubits: n,
-                label: telemetry.label.clone(),
-            };
-            Ok((state, tracer.finish(meta)))
-        });
-    let mut state = None;
-    let mut traces = Vec::with_capacity(n_ranks);
-    for r in results {
-        let (s, t): (StateVector, Trace) = r?;
-        if state.is_none() {
-            state = Some(s);
-        }
-        traces.push(t);
-    }
-    if telemetry.trace_path.is_some() {
-        let mut cfg = telemetry.clone();
-        for trace in &traces {
-            // One JSONL run block per rank; ranks after the first append.
-            let _ = qcs_core::telemetry::write_configured(&cfg, trace);
-            cfg.append = true;
-        }
-    }
-    let state = state.ok_or_else(|| DistError::internal("world produced no ranks"))?;
-    Ok((state, stats, traces))
+    crate::plan::run_distributed_planned_traced(
+        circuit,
+        n_ranks,
+        crate::plan::DistPlanKind::from_env(),
+        telemetry,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::{run_distributed_planned, run_distributed_planned_traced, DistPlanKind};
+    use mpi_sim::World;
     use qcs_core::library;
     use qcs_core::sim::Simulator;
     use qcs_core::telemetry::SpanKind;
@@ -686,7 +848,7 @@ mod tests {
         // exchange exactly one local buffer per rank.
         let mut c = Circuit::new(8);
         c.h(7); // global for 4 ranks (local = 6 qubits)
-        let (_, stats) = run_distributed(&c, 4).unwrap();
+        let (_, stats) = run_distributed_planned(&c, 4, DistPlanKind::Naive).unwrap();
         let local_bytes = (1u64 << 6) * 16;
         for s in &stats {
             // allgather at the end also communicates; subtract by checking
@@ -751,7 +913,8 @@ mod tests {
         c.h(7);
         let reference = serial_reference(&c);
         let cfg = TelemetryConfig::on();
-        let (state, _, traces) = run_distributed_traced(&c, 4, &cfg).unwrap();
+        let (state, _, traces) =
+            run_distributed_planned_traced(&c, 4, DistPlanKind::Naive, &cfg).unwrap();
         assert!(state.approx_eq(&reference, EPS));
         assert_eq!(traces.len(), 4);
         let local_amps = 1u64 << 6;
@@ -784,7 +947,9 @@ mod tests {
         // exchanges), applies locally, then swaps back.
         let mut c = Circuit::new(8);
         c.h(6).h(7).iswap(6, 7);
-        let (state, _, traces) = run_distributed_traced(&c, 4, &TelemetryConfig::on()).unwrap();
+        let (state, _, traces) =
+            run_distributed_planned_traced(&c, 4, DistPlanKind::Naive, &TelemetryConfig::on())
+                .unwrap();
         assert!(state.approx_eq(&serial_reference(&c), EPS));
         let swaps: usize = traces
             .iter()

@@ -170,7 +170,7 @@ pub fn run_distributed_mapped(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_distributed;
+    use crate::plan::{run_distributed_planned, DistPlanKind};
     use qcs_core::library;
     use qcs_core::sim::Simulator;
 
@@ -236,7 +236,8 @@ mod tests {
             c.h(n - 1);
             c.t(n - 1); // diagonal, free either way
         }
-        let plain = algorithm_bytes(run_distributed, &c, ranks);
+        let plain =
+            algorithm_bytes(|c, r| run_distributed_planned(c, r, DistPlanKind::Naive), &c, ranks);
         let mapped = algorithm_bytes(run_distributed_mapped, &c, ranks);
         assert!(
             mapped * 5 <= plain,
@@ -255,7 +256,8 @@ mod tests {
             c.rx(n - 1, 0.1 * (l + 1) as f64);
             c.ry(n - 2, 0.2 * (l + 1) as f64);
         }
-        let plain_total = algorithm_bytes(run_distributed, &c, ranks);
+        let plain_total =
+            algorithm_bytes(|c, r| run_distributed_planned(c, r, DistPlanKind::Naive), &c, ranks);
         let mapped_total = algorithm_bytes(run_distributed_mapped, &c, ranks);
         assert!(
             mapped_total < plain_total,

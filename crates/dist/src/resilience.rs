@@ -43,6 +43,7 @@ use qcs_core::telemetry::{ExchangePhase, RunMeta, TelemetryConfig, Trace, Tracer
 
 use crate::engine::DistState;
 use crate::error::DistError;
+use crate::plan::{gather_unpermuted, plan_circuit, DistPlanKind, PlannedGate};
 
 /// Knobs for [`run_resilient`].
 #[derive(Debug, Clone)]
@@ -68,6 +69,15 @@ pub struct ResilienceConfig {
     pub inject_failures: Vec<usize>,
     /// Telemetry for recovery spans; disabled by default.
     pub telemetry: TelemetryConfig,
+    /// Distributed scheduling policy; `None` reads `QCS_DIST_PLAN` like
+    /// [`crate::run_distributed`]. The resilient loop steps the plan
+    /// gate-by-gate (each step replays its pre-swaps on rollback), so
+    /// checkpoints and recovery work identically under every kind, and
+    /// all kinds produce bit-identical states. The envelope schedules
+    /// every exchange blocking — [`DistPlanKind::Overlap`] keeps its
+    /// reduced exchange volume but not the chunked-nonblocking message
+    /// pattern, which cannot cross a checkpointable gate boundary.
+    pub dist_plan: Option<DistPlanKind>,
 }
 
 impl Default for ResilienceConfig {
@@ -80,6 +90,7 @@ impl Default for ResilienceConfig {
             integrity: IntegrityPolicy::default(),
             inject_failures: Vec::new(),
             telemetry: TelemetryConfig::default(),
+            dist_plan: None,
         }
     }
 }
@@ -174,12 +185,16 @@ fn run_rank(
         ),
         None => None,
     };
+    let plan =
+        plan_circuit(circuit, n_ranks, cfg.dist_plan.unwrap_or_else(DistPlanKind::from_env))?;
     let mut report = RecoveryReport::default();
     // `snapshot` is the rollback target: (next gate index, shard copy).
+    // The physical layout at any gate index is a pure function of the
+    // plan prefix, so restoring the shard bytes restores the layout too.
     let mut snapshot: (usize, Vec<C64>) = (0, st.local_amps().to_vec());
     let mut replays_left = cfg.max_replays;
     let mut pending_failures: HashSet<usize> = cfg.inject_failures.iter().copied().collect();
-    let gates = circuit.gates();
+    let gates = &plan.steps;
     let mut i = 0usize;
     while i < gates.len() {
         let t0 = Instant::now();
@@ -225,7 +240,7 @@ fn run_rank(
             Err(e) => return Err(e),
         }
     }
-    let state = st.allgather_full(comm);
+    let state = gather_unpermuted(&st, comm, &plan.logical_at);
     st.set_tracer(None);
     let trace = match tracer {
         Some(t) => {
@@ -245,21 +260,27 @@ fn run_rank(
     Ok((state, report, trace))
 }
 
-/// Apply gate `i` and, when due, the integrity guard. Fallible so the
-/// caller can route everything recoverable through one rollback arm.
+/// Apply planned gate `i` (pre-swaps, then the comm-free gate) and,
+/// when due, the integrity guard. Fallible so the caller can route
+/// everything recoverable through one rollback arm.
 fn step_gate(
     st: &mut DistState,
     comm: &mut Comm,
     cfg: &ResilienceConfig,
     pending_failures: &mut HashSet<usize>,
     report: &mut RecoveryReport,
-    gates: &[qcs_core::circuit::Gate],
+    gates: &[PlannedGate],
     i: usize,
 ) -> Result<(), DistError> {
     if pending_failures.remove(&i) {
         return Err(DistError::Injected { gate_index: i });
     }
-    st.apply_gate(comm, &gates[i])?;
+    for &(g, l) in &gates[i].pre_swaps {
+        st.swap_physical(comm, g, l)?;
+    }
+    if let Some(g) = &gates[i].gate {
+        st.apply_gate(comm, g)?;
+    }
     if cfg.integrity.due(i) {
         let local: f64 = st.local_amps().iter().map(|a| a.norm_sqr()).sum();
         let global = comm.allreduce_scalar(ReduceOp::Sum, local);

@@ -36,7 +36,7 @@ pub use comm::{Comm, CommError, World, ANY_SOURCE};
 pub use datatype::Pod;
 pub use fault::{FaultDraw, FaultPlan, FaultSpecError};
 pub use network::{NetworkModel, TofuParams};
-pub use nonblocking::RecvRequest;
+pub use nonblocking::{chunk_count, RecvRequest};
 pub use stats::CommStats;
 
 #[cfg(test)]

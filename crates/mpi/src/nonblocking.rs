@@ -43,10 +43,70 @@ impl Comm {
         self.recv_any(req.src, req.tag)
     }
 
-    /// Complete a batch of pending receives in order.
+    /// Fallible [`Comm::wait`]: transport failures surface as
+    /// [`crate::comm::CommError`] instead of panicking, for callers with
+    /// a rollback path (the resilient distributed engine).
+    pub fn try_wait<T: Pod>(
+        &mut self,
+        req: RecvRequest,
+    ) -> Result<(usize, Vec<T>), crate::comm::CommError> {
+        self.try_recv_any(req.src, req.tag)
+    }
+
+    /// Fallible [`Comm::waitall`]; same request-order contract.
+    pub fn try_waitall<T: Pod>(
+        &mut self,
+        reqs: Vec<RecvRequest>,
+    ) -> Result<Vec<(usize, Vec<T>)>, crate::comm::CommError> {
+        reqs.into_iter().map(|r| self.try_wait(r)).collect()
+    }
+
+    /// Complete a batch of pending receives.
+    ///
+    /// **Ordering contract:** the result vector is in *request order* —
+    /// `result[i]` completes `reqs[i]` — regardless of the order in which
+    /// the matching messages actually arrived (late chunks are stashed by
+    /// tag and matched when their request comes up). The distributed
+    /// overlap engine relies on this to reassemble a chunked exchange by
+    /// plain concatenation; do not reorder completions.
     pub fn waitall<T: Pod>(&mut self, reqs: Vec<RecvRequest>) -> Vec<(usize, Vec<T>)> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
     }
+
+    /// Split `data` into [`chunk_count`]`(data.len(), want)` nearly even
+    /// chunks and send chunk `i` tagged `base_tag + i`. Pair with
+    /// [`Comm::irecv_chunked`] on the receiver; concatenating the
+    /// [`Comm::waitall`] payloads in request order reassembles `data`.
+    pub fn isend_chunked<T: Pod>(&mut self, dest: usize, base_tag: u32, data: &[T], want: usize) {
+        let k = chunk_count(data.len(), want);
+        let mut offset = 0;
+        for i in 0..k {
+            let len = data.len() / k + usize::from(i < data.len() % k);
+            self.isend(dest, base_tag + i as u32, &data[offset..offset + len]);
+            offset += len;
+        }
+        debug_assert_eq!(offset, data.len());
+    }
+
+    /// Post the receives matching an [`Comm::isend_chunked`] of `len`
+    /// elements in `want` requested chunks. Complete with
+    /// [`Comm::waitall`] and concatenate in request order.
+    pub fn irecv_chunked(
+        &mut self,
+        src: usize,
+        base_tag: u32,
+        len: usize,
+        want: usize,
+    ) -> Vec<RecvRequest> {
+        (0..chunk_count(len, want)).map(|i| self.irecv(src, base_tag + i as u32)).collect()
+    }
+}
+
+/// Number of chunks a chunked exchange of `len` elements uses when asked
+/// for `want`: at least one message even for an empty buffer, and never
+/// more messages than elements.
+pub fn chunk_count(len: usize, want: usize) -> usize {
+    want.max(1).min(len.max(1))
 }
 
 #[cfg(test)]
@@ -97,6 +157,44 @@ mod tests {
                 let payload = [c.rank() as u64 * 10];
                 c.isend(0, 7, &payload);
             }
+        });
+    }
+
+    #[test]
+    fn waitall_returns_request_order_even_for_reversed_arrival() {
+        // The sender pushes the chunks backwards; the receiver's waitall
+        // must still hand them back in request order (the contract the
+        // overlap engine's chunk reassembly depends on).
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                for tag in (10u32..14).rev() {
+                    c.isend(1, tag, &[tag as u64 * 100]);
+                }
+            } else {
+                let reqs: Vec<_> = (10u32..14).map(|t| c.irecv(0, t)).collect();
+                let got = c.waitall::<u64>(reqs);
+                let vals: Vec<u64> = got.iter().map(|(_, d)| d[0]).collect();
+                assert_eq!(vals, vec![1000, 1100, 1200, 1300]);
+            }
+        });
+    }
+
+    #[test]
+    fn chunked_exchange_reassembles_by_concatenation() {
+        use super::chunk_count;
+        assert_eq!(chunk_count(100, 4), 4);
+        assert_eq!(chunk_count(3, 8), 3);
+        assert_eq!(chunk_count(0, 8), 1);
+        assert_eq!(chunk_count(100, 0), 1);
+        World::run(2, |c| {
+            let data: Vec<u64> = (0..37).map(|i| i + 1000 * c.rank() as u64).collect();
+            let peer = 1 - c.rank();
+            c.isend_chunked(peer, 0x100, &data, 5);
+            let reqs = c.irecv_chunked(peer, 0x100, data.len(), 5);
+            let parts = c.waitall::<u64>(reqs);
+            let joined: Vec<u64> = parts.into_iter().flat_map(|(_, d)| d).collect();
+            let want: Vec<u64> = (0..37).map(|i| i + 1000 * peer as u64).collect();
+            assert_eq!(joined, want);
         });
     }
 

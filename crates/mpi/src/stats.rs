@@ -50,6 +50,33 @@ impl CommStats {
         self.bytes_received += bytes as u64;
     }
 
+    /// Counters accumulated since `baseline` was snapshotted
+    /// (saturating, so a stale baseline cannot underflow).
+    ///
+    /// The distributed engine uses this for per-phase accounting: snapshot
+    /// [`crate::comm::Comm::stats`] before an exchange phase, subtract
+    /// after, and the difference is exactly what that phase moved.
+    pub fn delta(&self, baseline: &CommStats) -> CommStats {
+        let mut sends_by_dest: Vec<u64> = self.sends_by_dest.clone();
+        for (d, &n) in baseline.sends_by_dest.iter().enumerate() {
+            if d < sends_by_dest.len() {
+                sends_by_dest[d] = sends_by_dest[d].saturating_sub(n);
+            }
+        }
+        CommStats {
+            messages_sent: self.messages_sent.saturating_sub(baseline.messages_sent),
+            messages_received: self.messages_received.saturating_sub(baseline.messages_received),
+            bytes_sent: self.bytes_sent.saturating_sub(baseline.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(baseline.bytes_received),
+            sends_by_dest,
+            retries: self.retries.saturating_sub(baseline.retries),
+            ack_timeouts: self.ack_timeouts.saturating_sub(baseline.ack_timeouts),
+            corrupt_dropped: self.corrupt_dropped.saturating_sub(baseline.corrupt_dropped),
+            duplicates_dropped: self.duplicates_dropped.saturating_sub(baseline.duplicates_dropped),
+            faults_injected: self.faults_injected.saturating_sub(baseline.faults_injected),
+        }
+    }
+
     /// Merge another rank's counters (for world-level aggregation).
     pub fn merge(&mut self, other: &CommStats) {
         self.messages_sent += other.messages_sent;
@@ -114,6 +141,27 @@ mod tests {
         assert_eq!(b.bytes_sent, 157);
         assert_eq!(b.sends_by_dest[3], 2);
         assert_eq!(b.sends_by_dest[5], 1);
+    }
+
+    #[test]
+    fn delta_subtracts_baseline() {
+        let mut s = CommStats::default();
+        s.record_send(1, 100);
+        let base = s.clone();
+        s.record_send(1, 50);
+        s.record_send(2, 8);
+        s.record_recv(1, 30);
+        let d = s.delta(&base);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.bytes_sent, 58);
+        assert_eq!(d.messages_received, 1);
+        assert_eq!(d.bytes_received, 30);
+        assert_eq!(d.sends_by_dest[1], 1);
+        assert_eq!(d.sends_by_dest[2], 1);
+        // A stale (larger) baseline saturates instead of underflowing.
+        let z = base.delta(&s);
+        assert_eq!(z.messages_sent, 0);
+        assert_eq!(z.bytes_sent, 0);
     }
 
     #[test]

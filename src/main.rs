@@ -13,6 +13,7 @@
 //!   --threads <t>                            worksharing threads [1]
 //!   --schedule static[:c]|dynamic[:c]|guided[:c]   worksharing schedule [static]
 //!   --ranks <r>                              distributed ranks (power of 2)
+//!   --dist-plan naive|reorder|overlap        distributed exchange plan [env/naive]
 //!   --shots <s>                              sample and print counts
 //!   --probs <top>                            print the top-N probabilities
 //!   --batch <b>                              run b independent members gate-major (single process)
@@ -33,8 +34,9 @@
 //! All execution flags funnel into a single [`SimConfig`]; `--verbose`
 //! prints it back, and the same value stamps every trace header. The
 //! `QCS_TRACE` / `QCS_TRACE_OUT` environment variables enable telemetry
-//! without touching the command line, and `QCS_STRATEGY` picks the
-//! default execution strategy (`--strategy` still wins).
+//! without touching the command line, `QCS_STRATEGY` picks the default
+//! execution strategy (`--strategy` still wins), and `QCS_DIST_PLAN`
+//! picks the default distributed plan (`--dist-plan` still wins).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +48,10 @@ use a64fx_qcs::core::measure::sample_counts;
 use a64fx_qcs::core::prelude::*;
 use a64fx_qcs::core::telemetry::drift::DriftReport;
 use a64fx_qcs::core::{library, qasm};
-use a64fx_qcs::dist::{run_distributed, run_distributed_traced, run_resilient, ResilienceConfig};
+use a64fx_qcs::dist::{
+    run_distributed_planned, run_distributed_planned_traced, run_resilient, DistPlanKind,
+    ResilienceConfig,
+};
 use a64fx_qcs::mpi::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,6 +59,7 @@ use rand::SeedableRng;
 struct Options {
     config: SimConfig,
     ranks: usize,
+    dist_plan: Option<DistPlanKind>,
     shots: usize,
     probs: usize,
     verbose: bool,
@@ -71,6 +77,7 @@ impl Default for Options {
             // `SimConfig::new()` already resolves QCS_TRACE / QCS_TRACE_OUT.
             config: SimConfig::new(),
             ranks: 1,
+            dist_plan: None,
             shots: 0,
             probs: 0,
             verbose: false,
@@ -129,6 +136,7 @@ fn usage() -> String {
     "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
      families: ghz qft random qv trotter qaoa grover shor\n\
      opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>|auto  --threads <t>  --ranks <r>\n\
+           --dist-plan naive|reorder|overlap\n\
            --backend auto|scalar|simd  --schedule static[:c]|dynamic[:c]|guided[:c]\n\
            --shots <s>  --probs <top>  --model  --trace  --trace-out <file>  --verbose\n\
            --batch <b>  --trajectories <n>  --noise bitflip:p|phaseflip:p|depolarizing:p|damping:g\n\
@@ -176,6 +184,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--verbose" => opts.verbose = true,
             "--ranks" => {
                 opts.ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?
+            }
+            "--dist-plan" => {
+                opts.dist_plan =
+                    Some(value("--dist-plan")?.parse().map_err(|e| format!("--dist-plan: {e}"))?);
             }
             "--shots" => {
                 opts.shots = value("--shots")?.parse().map_err(|e| format!("--shots: {e}"))?
@@ -226,6 +238,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.faults.is_some() && opts.ranks <= 1 {
         return Err("--faults injects transport faults and needs --ranks > 1".to_string());
+    }
+    if opts.dist_plan.is_some() && opts.ranks <= 1 {
+        return Err("--dist-plan schedules distributed exchanges and needs --ranks > 1".to_string());
     }
     if (opts.config.batch > 1 || opts.trajectories > 0) && opts.ranks > 1 {
         return Err("--batch/--trajectories run gate-major in a single process and do not \
@@ -455,7 +470,8 @@ fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector,
             circuit.n_qubits()
         ));
     }
-    println!("running on {} in-process ranks…", opts.ranks);
+    let plan = opts.dist_plan.unwrap_or_else(DistPlanKind::from_env);
+    println!("running on {} in-process ranks ({plan} plan)…", opts.ranks);
     let telemetry = &opts.config.telemetry;
     let resilient = opts.faults.is_some()
         || opts.config.checkpoint.is_some()
@@ -465,7 +481,8 @@ fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector,
     }
     let state = if telemetry.enabled {
         let (state, stats, traces) =
-            run_distributed_traced(circuit, opts.ranks, telemetry).map_err(|e| e.to_string())?;
+            run_distributed_planned_traced(circuit, opts.ranks, plan, telemetry)
+                .map_err(|e| e.to_string())?;
         let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
         println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
         for trace in &traces {
@@ -482,7 +499,8 @@ fn execute_distributed(circuit: &Circuit, opts: &Options) -> Result<StateVector,
         }
         state
     } else {
-        let (state, stats) = run_distributed(circuit, opts.ranks).map_err(|e| e.to_string())?;
+        let (state, stats) =
+            run_distributed_planned(circuit, opts.ranks, plan).map_err(|e| e.to_string())?;
         let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
         println!("communication: {:.2} MiB total across ranks", total as f64 / (1 << 20) as f64);
         state
@@ -502,6 +520,7 @@ fn execute_resilient(circuit: &Circuit, opts: &Options) -> Result<StateVector, S
         max_replays: opts.config.checkpoint.as_ref().map_or(3, |c| c.max_replays),
         integrity: opts.config.integrity.clone(),
         telemetry: opts.config.telemetry.clone(),
+        dist_plan: opts.dist_plan,
         ..ResilienceConfig::default()
     };
     let run = run_resilient(circuit, opts.ranks, &cfg).map_err(|e| e.to_string())?;

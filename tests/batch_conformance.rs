@@ -75,7 +75,9 @@ fn batched_runs_are_bit_identical_across_the_conformance_matrix() {
                     assert_eq!(report.members, MEMBERS, "{cell}");
                     if traced {
                         assert_eq!(report.traces.len(), MEMBERS, "{cell}");
-                    } else {
+                    } else if std::env::var("QCS_TRACE").is_err() {
+                        // QCS_TRACE=1 (the CI tracing pass) legitimately
+                        // turns tracing on for every cell via SimConfig::new.
                         assert!(report.traces.is_empty(), "{cell}");
                     }
                     for (m, (got, want)) in states.iter().zip(&expected).enumerate() {

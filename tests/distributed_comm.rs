@@ -4,14 +4,17 @@
 
 use a64fx_qcs::core::circuit::Circuit;
 use a64fx_qcs::core::library;
-use a64fx_qcs::dist::run_distributed;
+use a64fx_qcs::dist::{run_distributed, run_distributed_planned, DistPlanKind};
 use a64fx_qcs::mpi::{NetworkModel, TofuParams};
 
 /// Communication of the circuit minus the harness's final allgather.
+/// Pinned to the naive per-gate plan: these tests assert the engine's
+/// per-gate exchange regimes, which the reorder/overlap planners exist
+/// to beat (their volumes are asserted in `dist_plan_conformance`).
 fn algorithm_bytes(circuit: &Circuit, ranks: usize) -> Vec<u64> {
-    let (_, with) = run_distributed(circuit, ranks).unwrap();
+    let (_, with) = run_distributed_planned(circuit, ranks, DistPlanKind::Naive).unwrap();
     let empty = Circuit::new(circuit.n_qubits());
-    let (_, base) = run_distributed(&empty, ranks).unwrap();
+    let (_, base) = run_distributed_planned(&empty, ranks, DistPlanKind::Naive).unwrap();
     with.iter().zip(&base).map(|(a, b)| a.bytes_sent.saturating_sub(b.bytes_sent)).collect()
 }
 
