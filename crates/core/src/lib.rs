@@ -67,6 +67,7 @@ pub mod library;
 pub mod measure;
 pub mod noise;
 pub mod optimize;
+pub mod outcome;
 pub mod perf;
 pub mod plan;
 pub mod qasm;
@@ -77,17 +78,18 @@ pub mod testing;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::batch::{BatchReport, BatchSimulator, TrajectoryBatch};
+    pub use crate::batch::{BatchReport, BatchSimulator, TrajectoryBatch, MAX_BATCH};
     pub use crate::circuit::{Circuit, Gate};
     pub use crate::complex::C64;
-    pub use crate::config::{PoolSpec, SimConfig};
+    pub use crate::config::{CheckpointConfig, PoolSpec, SimConfig};
     pub use crate::expectation::{Hamiltonian, Pauli, PauliString};
     pub use crate::gates::{Mat2, Mat4};
     pub use crate::integrity::{IntegrityMode, IntegrityPolicy};
     pub use crate::kernels::simd::BackendChoice;
     pub use crate::measure::MeasurementResult;
     pub use crate::noise::NoiseChannel;
-    pub use crate::sim::{RunReport, SimError, Simulator, Strategy};
+    pub use crate::outcome::{MemberStats, Outcome};
+    pub use crate::sim::{GuardReport, RunReport, SimError, Simulator, Strategy};
     pub use crate::state::StateVector;
     pub use crate::telemetry::TelemetryConfig;
     pub use omp_par::Schedule;

@@ -350,51 +350,6 @@ impl Simulator {
         })
     }
 
-    /// Select an execution strategy.
-    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.strategy(..)`)")]
-    pub fn with_strategy(mut self, strategy: Strategy) -> Simulator {
-        self.strategy = strategy;
-        self
-    }
-
-    /// Workshare sweeps across `n_threads` (including the caller).
-    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.threads(..)`)")]
-    pub fn with_threads(mut self, n_threads: usize) -> Simulator {
-        self.pool = Some(Arc::new(ThreadPool::new(n_threads.max(1))));
-        self
-    }
-
-    /// Share an existing pool.
-    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.pool(..)`)")]
-    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Simulator {
-        self.pool = Some(pool);
-        self
-    }
-
-    /// Choose the worksharing schedule (default: `static`).
-    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.schedule(..)`)")]
-    pub fn with_schedule(mut self, sched: Schedule) -> Simulator {
-        self.sched = sched;
-        self
-    }
-
-    /// Attach an A64FX model: run reports will include predicted time,
-    /// traffic, and bottleneck decomposition for `cfg`.
-    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.model(..)`)")]
-    pub fn with_model(mut self, chip: ChipParams, cfg: ExecConfig) -> Simulator {
-        self.chip = Some((chip, cfg));
-        self
-    }
-
-    /// Select the SIMD kernel backend explicitly. Without this the
-    /// process-wide default applies (runtime feature detection,
-    /// overridable via the `QCS_BACKEND` environment variable).
-    #[deprecated(since = "0.4.0", note = "configure through `SimConfig` (`.backend(..)`)")]
-    pub fn with_backend(mut self, choice: BackendChoice) -> Simulator {
-        self.backend = Some(choice);
-        self
-    }
-
     /// The configured strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
@@ -1099,16 +1054,17 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_builders_still_work() {
-        // The `with_*` forwarders stay behaviour-compatible until they
-        // are removed; this is the one place that exercises them.
-        #[allow(deprecated)]
-        let sim = Simulator::new()
-            .with_strategy(Strategy::Fused { max_k: 3 })
-            .with_threads(2)
-            .with_schedule(Schedule::Dynamic { chunk: 32 })
-            .with_backend(BackendChoice::Scalar)
-            .with_model(ChipParams::a64fx(), ExecConfig::single_core());
+    fn config_covers_every_removed_builder_knob() {
+        // The `with_*` forwarders are gone; `SimConfig` is the only way
+        // to reach every knob they used to set, so pin that coverage.
+        let sim = SimConfig::default()
+            .strategy(Strategy::Fused { max_k: 3 })
+            .threads(2)
+            .schedule(Schedule::Dynamic { chunk: 32 })
+            .backend(BackendChoice::Scalar)
+            .model(ChipParams::a64fx(), ExecConfig::single_core())
+            .build()
+            .unwrap();
         let c = library::ghz(4);
         let mut s = StateVector::zero(4);
         let report = sim.run(&c, &mut s).unwrap();

@@ -15,6 +15,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use super::{RunMeta, Span, SpanKind, Trace};
+use crate::outcome::Outcome;
 
 /// A destination for completed traces.
 pub trait TraceSink {
@@ -77,6 +78,22 @@ impl TraceSink for JsonlSink {
         self.append = true;
         Ok(())
     }
+}
+
+/// Append one `{"type":"outcome",...}` line to a JSONL file (creating
+/// parent directories as needed). Outcome lines interleave freely with
+/// run/span lines: [`read_jsonl`] skips unknown `type` tags, so a trace
+/// file doubles as a usage-accounting ledger. This is what the job
+/// server's per-tenant accounting writes.
+pub fn append_outcome(path: impl AsRef<Path>, outcome: &Outcome) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut w = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(w, "{}", outcome.to_json())
 }
 
 fn escape(s: &str, out: &mut String) {
@@ -461,6 +478,28 @@ mod tests {
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].spans.len(), 1);
         assert_eq!(runs[0].spans[0], trace.spans[0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn outcome_lines_interleave_with_traces() {
+        let dir = std::env::temp_dir().join("qcs_telemetry_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("usage.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let trace = sample_trace();
+        let mut sink = JsonlSink::new(&path, false);
+        sink.consume(&trace).unwrap();
+        let outcome =
+            Outcome { kind: "run".to_string(), ..Outcome::default() }.with_label("tenant-a");
+        append_outcome(&path, &outcome).unwrap();
+        sink.consume(&trace).unwrap();
+        // The trace reader sees both runs and silently skips the
+        // outcome line in between.
+        let runs = read_jsonl(&path).unwrap();
+        assert_eq!(runs.len(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("{\"type\":\"outcome\"")).count(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 

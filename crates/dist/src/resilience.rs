@@ -127,6 +127,50 @@ impl ResilientRun {
     pub fn total_recoveries(&self) -> u64 {
         self.recovery.iter().map(|r| r.recoveries).sum()
     }
+
+    /// Render this run in the unified [`Outcome`](qcs_core::outcome::Outcome)
+    /// schema (kind `"resilient"`, one member per rank). Strategy,
+    /// backend, and elapsed time come from the traces when telemetry
+    /// was enabled; the recovery counters are summed across ranks.
+    pub fn outcome(&self) -> qcs_core::outcome::Outcome {
+        let (strategy, backend, threads, n_qubits) = match self.traces.first() {
+            Some(t) => {
+                (t.meta.strategy.clone(), t.meta.backend.clone(), t.meta.threads, t.meta.n_qubits)
+            }
+            None => (String::new(), String::new(), 1, self.state.n_qubits()),
+        };
+        qcs_core::outcome::Outcome {
+            kind: "resilient".to_string(),
+            label: String::new(),
+            elapsed_seconds: self.traces.iter().map(|t| t.summary.wall_ns).max().unwrap_or(0)
+                as f64
+                * 1e-9,
+            strategy,
+            backend,
+            threads,
+            n_qubits,
+            gates: 0,
+            sweeps: 0,
+            members: self.recovery.len() as u64,
+            batch_id: 0,
+            spans: self.traces.iter().map(|t| t.summary.spans as u64).sum(),
+            bytes: self.traces.iter().map(|t| t.summary.bytes).sum(),
+            recoveries: self.total_recoveries(),
+            checkpoints: self.recovery.iter().map(|r| r.checkpoints).sum(),
+            repairs: self.recovery.iter().map(|r| r.repairs).sum(),
+            member_stats: self
+                .traces
+                .iter()
+                .enumerate()
+                .map(|(m, t)| qcs_core::outcome::MemberStats {
+                    member: m as u32,
+                    spans: t.summary.spans as u64,
+                    bytes: t.summary.bytes,
+                    wall_ns: t.summary.wall_ns,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Run `circuit` from |0…0⟩ over `n_ranks` with the recovery envelope

@@ -77,6 +77,14 @@ impl ThreadPool {
     /// Create a pool that runs regions on `n_threads` threads total
     /// (including the caller). `n_threads` must be at least 1.
     pub fn new(n_threads: usize) -> ThreadPool {
+        ThreadPool::named(n_threads, "omp")
+    }
+
+    /// Like [`ThreadPool::new`], but worker threads are named
+    /// `<name>-worker-<i>` — so a dedicated pool (e.g. the job server's
+    /// simulation workers) is distinguishable in thread dumps and
+    /// profilers from the default `omp-worker-*` pools.
+    pub fn named(n_threads: usize, name: &str) -> ThreadPool {
         assert!(n_threads >= 1, "a pool needs at least the master thread");
         let (ack_tx, ack_rx) = unbounded::<Ack>();
         let mut senders = Vec::with_capacity(n_threads - 1);
@@ -85,7 +93,7 @@ impl ThreadPool {
             let (tx, rx) = bounded::<Msg>(1);
             let ack = ack_tx.clone();
             let handle = std::thread::Builder::new()
-                .name(format!("omp-worker-{w}"))
+                .name(format!("{name}-worker-{w}"))
                 .spawn(move || worker_loop(rx, ack))
                 .expect("spawn pool worker");
             senders.push(tx);

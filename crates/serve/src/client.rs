@@ -1,0 +1,77 @@
+//! A tiny blocking HTTP client for the job API.
+//!
+//! One request per connection (`Connection: close`) — deliberately the
+//! simplest thing that exercises the server's socket path. Shared by
+//! the conformance suite, the throughput bench, and CLI smoke tests.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Issue one request; returns `(status, body)`.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    parse_response(&response)
+}
+
+/// Submit a job and return its id (panics on a non-2xx or malformed
+/// response — bench/test helper ergonomics).
+pub fn submit_job(addr: impl ToSocketAddrs, body: &str) -> std::io::Result<u64> {
+    let (status, resp) = http_request(addr, "POST", "/jobs", body)?;
+    if status != 202 {
+        return Err(std::io::Error::other(format!("submit returned {status}: {resp}")));
+    }
+    crate::json::parse(&resp)
+        .ok()
+        .and_then(|v| v.get("job_id").and_then(crate::json::Value::as_u64))
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no job_id"))
+}
+
+/// Poll `GET /jobs/<id>` until the job leaves the queue; returns the
+/// final status string (`done` / `failed`).
+pub fn wait_for_job(addr: impl ToSocketAddrs + Copy, id: u64) -> std::io::Result<String> {
+    loop {
+        let (status, body) = http_request(addr, "GET", &format!("/jobs/{id}"), "")?;
+        if status != 200 {
+            return Err(std::io::Error::other(format!("status poll returned {status}: {body}")));
+        }
+        let state = crate::json::parse(&body)
+            .ok()
+            .and_then(|v| v.get("status").and_then(|s| s.as_str().map(String::from)))
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
+        if state == "done" || state == "failed" {
+            return Ok(state);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn parse_response(raw: &str) -> std::io::Result<(u16, String)> {
+    let bad = |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| bad("no header break"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok((status, body.to_string()))
+}

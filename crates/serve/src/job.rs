@@ -1,0 +1,376 @@
+//! Job submissions: parsing, validation, and fingerprinting.
+//!
+//! A submission is a JSON object:
+//!
+//! ```json
+//! {
+//!   "tenant": "acme",
+//!   "n": 12,
+//!   "shots": 1000,
+//!   "seed": 7,
+//!   "strategy": "fused:4",
+//!   "backend": "auto",
+//!   "circuit": [{"gate":"h","q":[0]}, {"gate":"cx","q":[0,1]}],
+//!   "observables": ["Z0 Z1", "X0"]
+//! }
+//! ```
+//!
+//! `circuit` is a gate list in the [`Circuit`] builder vocabulary;
+//! alternatively `"qasm"` carries an OpenQASM 2 program for the
+//! existing parser. Everything is validated here, *before* a job
+//! reaches the queue — [`Circuit::push`] asserts on bad qubit indices,
+//! and a panic in the scheduler would take the worker down, so the
+//! worker must only ever see well-formed circuits.
+
+use std::str::FromStr;
+
+use qcs_core::circuit::{Circuit, Gate};
+use qcs_core::expectation::{Pauli, PauliString};
+use qcs_core::io::{fnv1a, fnv1a_update};
+use qcs_core::kernels::simd::BackendChoice;
+use qcs_core::sim::Strategy;
+
+use crate::error::QcsError;
+use crate::json::Value;
+
+/// A validated job, ready for the scheduler.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub tenant: String,
+    pub n: u32,
+    pub shots: u64,
+    pub seed: u64,
+    pub strategy: Strategy,
+    pub backend: BackendChoice,
+    /// Canonical strategy string (via `Display` — round-trips `FromStr`).
+    pub strategy_str: String,
+    /// Canonical backend string (`auto` / `scalar` / `simd`).
+    pub backend_str: String,
+    pub circuit: Circuit,
+    /// `(source text, parsed operator)` pairs; the source text is echoed
+    /// back in the result body.
+    pub observables: Vec<(String, PauliString)>,
+}
+
+fn bad(why: impl Into<String>) -> QcsError {
+    QcsError::BadRequest(why.into())
+}
+
+impl JobSpec {
+    /// Parse and validate one submission body.
+    pub fn parse(body: &str) -> Result<JobSpec, QcsError> {
+        let v = crate::json::parse(body).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        if !matches!(v, Value::Obj(_)) {
+            return Err(bad("submission must be a JSON object"));
+        }
+        let tenant = v
+            .get("tenant")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing string field 'tenant'"))?
+            .to_string();
+        if tenant.is_empty() || tenant.len() > 64 {
+            return Err(bad("'tenant' must be 1..=64 characters"));
+        }
+        let shots = match v.get("shots") {
+            None => 0,
+            Some(s) => s.as_u64().ok_or_else(|| bad("'shots' must be a non-negative integer"))?,
+        };
+        if shots > 10_000_000 {
+            return Err(bad("'shots' exceeds the 10M limit"));
+        }
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => s.as_u64().ok_or_else(|| bad("'seed' must be a non-negative integer"))?,
+        };
+        let strategy_text = v.get("strategy").and_then(Value::as_str).unwrap_or("auto");
+        let strategy = Strategy::from_str(strategy_text).map_err(bad)?;
+        let strategy_str = strategy.to_string();
+        let backend_text = v.get("backend").and_then(Value::as_str).unwrap_or("auto");
+        let backend = BackendChoice::from_str(backend_text).map_err(bad)?;
+        let backend_str = match backend {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Scalar => "scalar",
+            BackendChoice::Simd => "simd",
+        }
+        .to_string();
+
+        let circuit = match (v.get("circuit"), v.get("qasm")) {
+            (Some(_), Some(_)) => {
+                return Err(bad("give either 'circuit' or 'qasm', not both"));
+            }
+            (Some(list), None) => {
+                let n = v
+                    .get("n")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad("missing integer field 'n'"))?;
+                if n == 0 || n > 30 {
+                    return Err(bad("'n' must be in 1..=30"));
+                }
+                parse_gate_list(n as u32, list)?
+            }
+            (None, Some(src)) => {
+                let src = src.as_str().ok_or_else(|| bad("'qasm' must be a string"))?;
+                // The qasm front-end range-checks indices but relies on
+                // `Circuit::push` asserts for duplicate qubits; a panic
+                // here must stay a 400, not kill the connection thread.
+                let c = std::panic::catch_unwind(|| qcs_core::qasm::parse(src))
+                    .map_err(|_| bad("qasm: invalid gate operands"))??;
+                if let Some(n) = v.get("n").and_then(Value::as_u64) {
+                    if n as u32 != c.n_qubits() {
+                        return Err(bad(format!(
+                            "'n' is {n} but the qasm program declares {}",
+                            c.n_qubits()
+                        )));
+                    }
+                }
+                c
+            }
+            (None, None) => return Err(bad("missing 'circuit' (gate list) or 'qasm'")),
+        };
+        let n = circuit.n_qubits();
+
+        let mut observables = Vec::new();
+        if let Some(list) = v.get("observables") {
+            let list = list.as_arr().ok_or_else(|| bad("'observables' must be an array"))?;
+            if list.len() > 64 {
+                return Err(bad("at most 64 observables per job"));
+            }
+            for o in list {
+                let text = o.as_str().ok_or_else(|| bad("observables are strings"))?;
+                observables.push((text.to_string(), parse_pauli(text, n)?));
+            }
+        }
+
+        Ok(JobSpec {
+            tenant,
+            n,
+            shots,
+            seed,
+            strategy,
+            backend,
+            strategy_str,
+            backend_str,
+            circuit,
+            observables,
+        })
+    }
+
+    /// FNV-1a fingerprint of everything that determines the *work* and
+    /// its exact numerical result: width, gate sequence, strategy, and
+    /// backend (different strategies agree only to rounding, so they
+    /// must never share cache entries), plus the observable list (it
+    /// shapes the result body). Jobs with equal fingerprints are
+    /// batch-compatible; `(fingerprint, seed, shots)` keys the cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut text =
+            format!("n={};strategy={};backend={};", self.n, self.strategy_str, self.backend_str);
+        for g in self.circuit.gates() {
+            text.push_str(&format!("{g:?};"));
+        }
+        let mut h = fnv1a(text.as_bytes());
+        for (src, _) in &self.observables {
+            h = fnv1a_update(h, b"obs=");
+            h = fnv1a_update(h, src.as_bytes());
+            h = fnv1a_update(h, b";");
+        }
+        h
+    }
+}
+
+/// Gate-list vocabulary: the [`Circuit`] fluent-builder names, each with
+/// its qubit arity and angle parameters.
+fn parse_gate_list(n: u32, list: &Value) -> Result<Circuit, QcsError> {
+    let list = list.as_arr().ok_or_else(|| bad("'circuit' must be an array"))?;
+    if list.len() > 100_000 {
+        return Err(bad("circuit exceeds the 100k-gate limit"));
+    }
+    let mut circuit = Circuit::new(n);
+    for (i, item) in list.iter().enumerate() {
+        let gate = build_gate(item).map_err(|e| match e {
+            QcsError::BadRequest(why) => bad(format!("circuit[{i}]: {why}")),
+            other => other,
+        })?;
+        // Validate before `push`, which asserts (and would panic).
+        let qs = gate.qubits();
+        for &q in &qs {
+            if q >= n {
+                return Err(bad(format!(
+                    "circuit[{i}]: qubit {q} out of range for a {n}-qubit circuit"
+                )));
+            }
+        }
+        for (a, &qa) in qs.iter().enumerate() {
+            if qs[a + 1..].contains(&qa) {
+                return Err(bad(format!("circuit[{i}]: qubit {qa} used twice")));
+            }
+        }
+        circuit.push(gate);
+    }
+    Ok(circuit)
+}
+
+fn build_gate(item: &Value) -> Result<Gate, QcsError> {
+    let name = item
+        .get("gate")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing string field 'gate'"))?;
+    let qs: Vec<u32> = match item.get("q").and_then(Value::as_arr) {
+        Some(arr) => arr
+            .iter()
+            .map(|q| q.as_u64().map(|q| q as u32))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("'q' entries must be non-negative integers"))?,
+        None => return Err(bad("missing array field 'q'")),
+    };
+    let q = |i: usize| -> Result<u32, QcsError> {
+        qs.get(i).copied().ok_or_else(|| bad(format!("gate '{name}' needs more qubits")))
+    };
+    let angle = |field: &str| -> Result<f64, QcsError> {
+        item.get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| bad(format!("gate '{name}' needs number field '{field}'")))
+    };
+    let arity = |want: usize| -> Result<(), QcsError> {
+        if qs.len() == want {
+            Ok(())
+        } else {
+            Err(bad(format!("gate '{name}' takes {want} qubit(s), got {}", qs.len())))
+        }
+    };
+    let gate = match name {
+        "h" => Gate::H(q(0)?),
+        "x" => Gate::X(q(0)?),
+        "y" => Gate::Y(q(0)?),
+        "z" => Gate::Z(q(0)?),
+        "s" => Gate::S(q(0)?),
+        "sdg" => Gate::Sdg(q(0)?),
+        "t" => Gate::T(q(0)?),
+        "tdg" => Gate::Tdg(q(0)?),
+        "sx" => Gate::Sx(q(0)?),
+        "rx" => Gate::Rx(q(0)?, angle("theta")?),
+        "ry" => Gate::Ry(q(0)?, angle("theta")?),
+        "rz" => Gate::Rz(q(0)?, angle("theta")?),
+        "p" => Gate::Phase(q(0)?, angle("theta")?),
+        "u3" => Gate::U3(q(0)?, angle("theta")?, angle("phi")?, angle("lambda")?),
+        "cx" => Gate::Cx(q(0)?, q(1)?),
+        "cy" => Gate::Cy(q(0)?, q(1)?),
+        "cz" => Gate::Cz(q(0)?, q(1)?),
+        "cp" => Gate::CPhase(q(0)?, q(1)?, angle("theta")?),
+        "swap" => Gate::Swap(q(0)?, q(1)?),
+        "iswap" => Gate::ISwap(q(0)?, q(1)?),
+        "rzz" => Gate::Rzz(q(0)?, q(1)?, angle("theta")?),
+        "rxx" => Gate::Rxx(q(0)?, q(1)?, angle("theta")?),
+        "ccx" => Gate::Ccx(q(0)?, q(1)?, q(2)?),
+        "cswap" => Gate::CSwap(q(0)?, q(1)?, q(2)?),
+        other => return Err(bad(format!("unknown gate '{other}'"))),
+    };
+    let want = gate.qubits().len();
+    arity(want)?;
+    Ok(gate)
+}
+
+/// Parse `"Z0 Z1"`-style Pauli strings: whitespace-separated terms, each
+/// one of `X`/`Y`/`Z` followed by a qubit index.
+fn parse_pauli(text: &str, n: u32) -> Result<PauliString, QcsError> {
+    let mut ops = Vec::new();
+    for term in text.split_whitespace() {
+        let (p, idx) = term.split_at(1);
+        let p = match p {
+            "X" | "x" => Pauli::X,
+            "Y" | "y" => Pauli::Y,
+            "Z" | "z" => Pauli::Z,
+            _ => return Err(bad(format!("observable term '{term}': expected X/Y/Z"))),
+        };
+        let q: u32 =
+            idx.parse().map_err(|_| bad(format!("observable term '{term}': bad qubit index")))?;
+        if q >= n {
+            return Err(bad(format!("observable qubit {q} out of range (n={n})")));
+        }
+        if ops.iter().any(|&(oq, _)| oq == q) {
+            return Err(bad(format!("observable '{text}' uses qubit {q} twice")));
+        }
+        ops.push((q, p));
+    }
+    if ops.is_empty() {
+        return Err(bad("empty observable"));
+    }
+    Ok(PauliString::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submission(extra: &str) -> String {
+        format!(
+            r#"{{"tenant":"acme","n":3,"shots":64,"seed":9,"strategy":"fused:2",
+                "backend":"scalar",
+                "circuit":[{{"gate":"h","q":[0]}},{{"gate":"cx","q":[0,1]}},
+                           {{"gate":"rx","q":[2],"theta":0.25}}]{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn well_formed_submission_parses() {
+        let spec = JobSpec::parse(&submission(",\"observables\":[\"Z0 Z1\",\"X2\"]")).unwrap();
+        assert_eq!(spec.tenant, "acme");
+        assert_eq!(spec.n, 3);
+        assert_eq!(spec.circuit.len(), 3);
+        assert_eq!(spec.strategy_str, "fused:2");
+        assert_eq!(spec.backend_str, "scalar");
+        assert_eq!(spec.observables.len(), 2);
+    }
+
+    #[test]
+    fn qasm_submission_parses() {
+        let spec = JobSpec::parse(
+            r#"{"tenant":"t","qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.n, 2);
+        assert_eq!(spec.circuit.len(), 2);
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_not_panicked() {
+        let cases = [
+            "not json".to_string(),
+            "{}".to_string(),
+            r#"{"tenant":"t","n":3,"circuit":[{"gate":"zap","q":[0]}]}"#.to_string(),
+            r#"{"tenant":"t","n":3,"circuit":[{"gate":"h","q":[5]}]}"#.to_string(),
+            r#"{"tenant":"t","n":3,"circuit":[{"gate":"cx","q":[1,1]}]}"#.to_string(),
+            r#"{"tenant":"t","n":3,"circuit":[{"gate":"rx","q":[0]}]}"#.to_string(),
+            r#"{"tenant":"t","n":3,"circuit":[{"gate":"h","q":[0,1]}]}"#.to_string(),
+            r#"{"tenant":"t","n":0,"circuit":[]}"#.to_string(),
+            r#"{"tenant":"t","n":3,"strategy":"warp","circuit":[]}"#.to_string(),
+            submission(",\"observables\":[\"Q0\"]"),
+            submission(",\"observables\":[\"Z0 Z0\"]"),
+            submission(",\"observables\":[\"Z9\"]"),
+        ];
+        for body in &cases {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert_eq!(err.code(), "serve/bad-request", "{body}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_work_that_differs() {
+        let base = JobSpec::parse(&submission("")).unwrap();
+        let same = JobSpec::parse(&submission("")).unwrap();
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        // seed/shots do NOT enter the fingerprint (they share a batch)…
+        let reseeded =
+            JobSpec::parse(&submission("").replace("\"seed\":9", "\"seed\":10")).unwrap();
+        assert_eq!(base.fingerprint(), reseeded.fingerprint());
+        // …but strategy, backend, gates, and observables all do.
+        let other_strategy = JobSpec::parse(&submission("").replace("fused:2", "naive")).unwrap();
+        assert_ne!(base.fingerprint(), other_strategy.fingerprint());
+        let other_backend =
+            JobSpec::parse(&submission("").replace("\"scalar\"", "\"auto\"")).unwrap();
+        assert_ne!(base.fingerprint(), other_backend.fingerprint());
+        let other_angle = JobSpec::parse(&submission("").replace("0.25", "0.5")).unwrap();
+        assert_ne!(base.fingerprint(), other_angle.fingerprint());
+        let with_obs = JobSpec::parse(&submission(",\"observables\":[\"Z0\"]")).unwrap();
+        assert_ne!(base.fingerprint(), with_obs.fingerprint());
+    }
+}

@@ -6,6 +6,7 @@
 //!
 //! * [`core`] (`qcs-core`) — the state-vector simulator itself.
 //! * [`dist`] (`qcs-dist`) — distributed simulation over the MPI substrate.
+//! * [`serve`] (`qcs-serve`) — the multi-tenant job server.
 //! * [`sve`] (`sve-sim`) — the vector-length-agnostic SVE layer.
 //! * [`omp`] (`omp-par`) — the OpenMP-like parallel runtime.
 //! * [`a64fx`] (`a64fx-model`) — the A64FX performance model.
@@ -16,4 +17,5 @@ pub use mpi_sim as mpi;
 pub use omp_par as omp;
 pub use qcs_core as core;
 pub use qcs_dist as dist;
+pub use qcs_serve as serve;
 pub use sve_sim as sve;

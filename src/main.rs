@@ -4,6 +4,8 @@
 //! a64fx-qcs run <circuit.qasm> [options]     simulate an OpenQASM 2.0 file
 //! a64fx-qcs demo <family> <n> [options]      run a built-in circuit family
 //! a64fx-qcs emit <family> <n>                print a family as OpenQASM 2.0
+//! a64fx-qcs serve [--addr host:port] [--threads <t>] [--verbose]
+//!                                            start the multi-tenant job server
 //!
 //! families: ghz qft random qv trotter qaoa grover shor
 //!
@@ -32,7 +34,12 @@
 //! ```
 //!
 //! All execution flags funnel into a single [`SimConfig`]; `--verbose`
-//! prints it back, and the same value stamps every trace header. The
+//! prints it back (plus the run's unified `{"type":"outcome",...}` JSON
+//! line — the same schema the job server returns and the JSONL usage
+//! ledger appends), and the same value stamps every trace header. The
+//! `serve` subcommand reads its remaining knobs from the `QCS_SERVE_*`
+//! environment (quota, queue bound, width limit, packing window, result
+//! cache, usage ledger). The
 //! `QCS_TRACE` / `QCS_TRACE_OUT` environment variables enable telemetry
 //! without touching the command line, `QCS_STRATEGY` picks the default
 //! execution strategy (`--strategy` still wins), and `QCS_DIST_PLAN`
@@ -53,6 +60,7 @@ use a64fx_qcs::dist::{
     ResilienceConfig,
 };
 use a64fx_qcs::mpi::FaultPlan;
+use a64fx_qcs::serve::{ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -124,6 +132,7 @@ fn run() -> Result<(), String> {
             print!("{text}");
             Ok(())
         }
+        "serve" => serve_command(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -134,6 +143,7 @@ fn run() -> Result<(), String> {
 
 fn usage() -> String {
     "usage: a64fx-qcs run <file.qasm> [opts] | demo <family> <n> [opts] | emit <family> <n>\n\
+            a64fx-qcs serve [--addr host:port] [--threads <t>] [--verbose]\n\
      families: ghz qft random qv trotter qaoa grover shor\n\
      opts: --strategy naive|fused:<k>|blocked:<b>|planned:<b>:<k>|auto  --threads <t>  --ranks <r>\n\
            --dist-plan naive|reorder|overlap\n\
@@ -143,6 +153,51 @@ fn usage() -> String {
            --faults <spec|default>  --checkpoint-every <n>  --checkpoint-dir <path>\n\
            --integrity off|check|repair|restore  --seed <u64>"
         .to_string()
+}
+
+/// `serve`: start the job server and park until `POST /shutdown`.
+/// Everything beyond the bind address and worker threads comes from the
+/// `QCS_SERVE_*` environment via [`ServeConfig::from_env`].
+fn serve_command(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::from_env();
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--threads" => {
+                let t: usize =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads needs at least 1".to_string());
+                }
+                cfg.threads = t;
+            }
+            "--verbose" => verbose = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if verbose {
+        println!(
+            "serve config: quota={} max_pending={} max_qubits={} window_ms={} threads={} \
+             cache={} usage={}",
+            cfg.quota,
+            cfg.max_pending,
+            cfg.max_qubits,
+            cfg.window_ms,
+            cfg.threads,
+            cfg.cache_capacity,
+            cfg.usage_path.as_ref().map_or("off".to_string(), |p| p.display().to_string()),
+        );
+    }
+    let server = Server::start(cfg).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", server.addr());
+    server.wait();
+    println!("server stopped");
+    Ok(())
 }
 
 /// One parsing pass builds the complete [`SimConfig`] plus the
@@ -373,6 +428,18 @@ fn execute(circuit: &Circuit, opts: &Options) -> Result<(), String> {
                 println!("trace written to {}", path.display());
             }
         }
+        if opts.verbose {
+            // The unified result schema — same line the job server's
+            // usage ledger appends and `GET /stats` aggregates from.
+            let outcome = Outcome::from(&report)
+                .with_config(
+                    &opts.config.strategy.to_string(),
+                    opts.config.pool.threads() as u32,
+                    circuit.n_qubits(),
+                )
+                .with_label("cli");
+            println!("outcome: {}", outcome.to_json());
+        }
         state
     };
 
@@ -452,6 +519,16 @@ fn execute_batched(circuit: &Circuit, opts: &Options) -> Result<StateVector, Str
             if let Some(path) = &opts.config.telemetry.trace_path {
                 println!("traces written to {}", path.display());
             }
+        }
+        if opts.verbose {
+            let outcome = Outcome::from(&report)
+                .with_config(
+                    &opts.config.strategy.to_string(),
+                    opts.config.pool.threads() as u32,
+                    circuit.n_qubits(),
+                )
+                .with_label("cli");
+            println!("outcome: {}", outcome.to_json());
         }
         Ok(states.swap_remove(0))
     }

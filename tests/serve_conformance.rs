@@ -1,0 +1,294 @@
+//! Service conformance: the job server must be a transparent front on
+//! the batch engine.
+//!
+//! Every test talks to a real `Server` over a loopback TCP socket —
+//! nothing is mocked below the HTTP layer — and the headline matrix
+//! compares the served counts and expectation values against a direct
+//! in-process `BatchSimulator` run at tolerance **zero**: counts must
+//! match exactly and expectation values must match to the bit.
+
+use a64fx_qcs::core::batch::BatchSimulator;
+use a64fx_qcs::core::circuit::{Circuit, Gate};
+use a64fx_qcs::core::config::SimConfig;
+use a64fx_qcs::core::expectation::{Pauli, PauliString};
+use a64fx_qcs::core::kernels::simd::BackendChoice;
+use a64fx_qcs::core::measure::sample_counts;
+use a64fx_qcs::core::sim::Strategy;
+use a64fx_qcs::serve::client::{http_request, submit_job, wait_for_job};
+use a64fx_qcs::serve::json::{parse, Value};
+use a64fx_qcs::serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u32 = 6;
+const SHOTS: u64 = 200;
+const SEED: u64 = 11;
+
+/// The circuit every matrix cell submits: an entangling layer plus
+/// rotations so no amplitude is trivially 0 or 1.
+fn reference_circuit() -> Circuit {
+    let mut c = Circuit::new(N);
+    for q in 0..N {
+        c.push(Gate::H(q));
+    }
+    c.push(Gate::Cx(0, 1));
+    c.push(Gate::Cx(2, 3));
+    c.push(Gate::Cx(4, 5));
+    c.push(Gate::Rz(1, 0.3));
+    c.push(Gate::Ry(3, -0.7));
+    c.push(Gate::Rx(5, 1.1));
+    c.push(Gate::Cz(1, 4));
+    c.push(Gate::T(0));
+    c
+}
+
+/// JSON gate list matching [`reference_circuit`] exactly.
+fn reference_circuit_json() -> &'static str {
+    r#"[
+        {"gate":"h","q":[0]},{"gate":"h","q":[1]},{"gate":"h","q":[2]},
+        {"gate":"h","q":[3]},{"gate":"h","q":[4]},{"gate":"h","q":[5]},
+        {"gate":"cx","q":[0,1]},{"gate":"cx","q":[2,3]},{"gate":"cx","q":[4,5]},
+        {"gate":"rz","q":[1],"theta":0.3},
+        {"gate":"ry","q":[3],"theta":-0.7},
+        {"gate":"rx","q":[5],"theta":1.1},
+        {"gate":"cz","q":[1,4]},
+        {"gate":"t","q":[0]}
+    ]"#
+}
+
+fn submit_body(tenant: &str, strategy: &str, backend: &str, seed: u64) -> String {
+    format!(
+        r#"{{"tenant":"{tenant}","n":{N},"shots":{SHOTS},"seed":{seed},
+            "strategy":"{strategy}","backend":"{backend}",
+            "observables":["Z0 Z1","X2"],
+            "circuit":{}}}"#,
+        reference_circuit_json()
+    )
+}
+
+/// What the server should have computed, straight from the batch engine.
+fn direct_run(strategy: &str, backend: &str) -> (Vec<(usize, u64)>, Vec<f64>) {
+    let cfg = SimConfig::default()
+        .strategy(strategy.parse::<Strategy>().unwrap())
+        .backend(backend.parse::<BackendChoice>().unwrap())
+        .batch(1);
+    let sim = BatchSimulator::from_config(cfg).unwrap();
+    let (states, _report) = sim.run_fresh(&reference_circuit()).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let counts = sample_counts(&states[0], SHOTS as usize, &mut rng);
+    let z0z1 = PauliString::new(vec![(0, Pauli::Z), (1, Pauli::Z)]);
+    let x2 = PauliString::new(vec![(2, Pauli::X)]);
+    let expectations = vec![z0z1.expectation(&states[0]), x2.expectation(&states[0])];
+    (counts, expectations)
+}
+
+fn served_counts(result: &Value) -> Vec<(usize, u64)> {
+    result
+        .get("counts")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().unwrap();
+            (pair[0].as_u64().unwrap() as usize, pair[1].as_u64().unwrap())
+        })
+        .collect()
+}
+
+fn served_expectations(result: &Value) -> Vec<f64> {
+    result
+        .get("expectations")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| e.get("value").and_then(Value::as_f64).unwrap())
+        .collect()
+}
+
+#[test]
+fn served_results_are_bit_identical_to_direct_batch_runs() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    for strategy in ["naive", "fused:3", "planned:4:3", "auto"] {
+        for backend in ["auto", "scalar"] {
+            let body = submit_body("conformance", strategy, backend, SEED);
+            let id = submit_job(addr, &body).unwrap();
+            assert_eq!(
+                wait_for_job(addr, id).unwrap(),
+                "done",
+                "job failed for {strategy}/{backend}"
+            );
+            let (status, raw) =
+                http_request(addr, "GET", &format!("/jobs/{id}/result"), "").unwrap();
+            assert_eq!(status, 200, "result fetch failed for {strategy}/{backend}: {raw}");
+            let result = parse(&raw).unwrap();
+            assert_eq!(result.get("n_qubits").and_then(Value::as_u64), Some(u64::from(N)));
+            assert_eq!(result.get("shots").and_then(Value::as_u64), Some(SHOTS));
+            assert_eq!(
+                result.get("strategy").and_then(|s| s.as_str().map(String::from)),
+                Some(strategy.to_string())
+            );
+
+            let (want_counts, want_exp) = direct_run(strategy, backend);
+            assert_eq!(
+                served_counts(&result),
+                want_counts,
+                "counts diverge for {strategy}/{backend}"
+            );
+            let got_exp = served_expectations(&result);
+            assert_eq!(got_exp.len(), want_exp.len());
+            for (i, (got, want)) in got_exp.iter().zip(&want_exp).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "expectation {i} diverges for {strategy}/{backend}: {got} vs {want}"
+                );
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn cache_hit_returns_byte_identical_json() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let body = submit_body("cache-tenant", "fused:3", "auto", SEED);
+
+    let first = submit_job(addr, &body).unwrap();
+    assert_eq!(wait_for_job(addr, first).unwrap(), "done");
+    let (status, first_body) =
+        http_request(addr, "GET", &format!("/jobs/{first}/result"), "").unwrap();
+    assert_eq!(status, 200);
+
+    // Same (circuit, seed, shots): must be answered from cache, and the
+    // result bytes must be indistinguishable from the computed ones.
+    let (status, resp) = http_request(addr, "POST", "/jobs", &body).unwrap();
+    assert_eq!(status, 202);
+    assert!(resp.contains("\"cached\":true"), "second submit not served from cache: {resp}");
+    let second = parse(&resp).unwrap().get("job_id").and_then(Value::as_u64).unwrap();
+    let (status, second_body) =
+        http_request(addr, "GET", &format!("/jobs/{second}/result"), "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(first_body, second_body, "cache hit must be byte-identical");
+
+    // A different seed is a different result: miss, not a stale hit.
+    let third =
+        submit_job(addr, &submit_body("cache-tenant", "fused:3", "auto", SEED + 1)).unwrap();
+    assert_eq!(wait_for_job(addr, third).unwrap(), "done");
+    let (_, third_body) = http_request(addr, "GET", &format!("/jobs/{third}/result"), "").unwrap();
+    assert_ne!(first_body, third_body);
+
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert!(stats.cache_misses >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn over_quota_tenant_is_rejected_cleanly() {
+    let cfg = ServeConfig {
+        quota: 1,
+        // Long packing window: the first job stays queued while the
+        // second submission arrives, so the quota is actually exercised.
+        window_ms: 1_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    let first = submit_job(addr, &submit_body("greedy", "naive", "auto", 1)).unwrap();
+    let (status, resp) =
+        http_request(addr, "POST", "/jobs", &submit_body("greedy", "naive", "auto", 2)).unwrap();
+    assert_eq!(status, 429, "second active job must trip the quota: {resp}");
+    assert!(resp.contains("serve/quota-exceeded"), "wrong error code: {resp}");
+
+    // Quotas are per tenant: another tenant is admitted immediately.
+    let other = submit_job(addr, &submit_body("patient", "naive", "auto", 3)).unwrap();
+
+    assert_eq!(wait_for_job(addr, first).unwrap(), "done");
+    assert_eq!(wait_for_job(addr, other).unwrap(), "done");
+
+    // With the first job finished, the tenant's slot is free again.
+    let retry = submit_job(addr, &submit_body("greedy", "naive", "auto", 2)).unwrap();
+    assert_eq!(wait_for_job(addr, retry).unwrap(), "done");
+
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 3);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_submissions_are_rejected_without_killing_the_worker() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let malformed = [
+        // Not JSON at all.
+        "{{{{",
+        // Missing the circuit.
+        r#"{"tenant":"t","n":2,"shots":8,"seed":1}"#,
+        // Qubit out of range.
+        r#"{"tenant":"t","n":2,"shots":8,"seed":1,"circuit":[{"gate":"h","q":[7]}]}"#,
+        // Duplicate qubits on a two-qubit gate (would assert in Circuit::push).
+        r#"{"tenant":"t","n":2,"shots":8,"seed":1,"circuit":[{"gate":"cx","q":[0,0]}]}"#,
+        // Unknown gate name.
+        r#"{"tenant":"t","n":2,"shots":8,"seed":1,"circuit":[{"gate":"warp","q":[0]}]}"#,
+        // QASM with duplicate operands (parser-level panic shielded).
+        r#"{"tenant":"t","n":2,"shots":8,"seed":1,
+            "qasm":"OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n"}"#,
+        // Observable wider than the register.
+        r#"{"tenant":"t","n":2,"shots":8,"seed":1,"observables":["Z5"],
+            "circuit":[{"gate":"h","q":[0]}]}"#,
+    ];
+    for body in malformed {
+        let (status, resp) = http_request(addr, "POST", "/jobs", body).unwrap();
+        assert_eq!(status, 400, "expected a 400 for {body:?}, got {status}: {resp}");
+        assert!(resp.contains("\"error\""), "error body missing code: {resp}");
+    }
+
+    // The server shrugged all of that off and still does real work.
+    let id = submit_job(addr, &submit_body("survivor", "auto", "auto", SEED)).unwrap();
+    assert_eq!(wait_for_job(addr, id).unwrap(), "done");
+    assert_eq!(server.stats().completed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn compatible_jobs_from_independent_tenants_share_one_batch() {
+    let cfg = ServeConfig { window_ms: 400, ..ServeConfig::default() };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // Same circuit/strategy/backend, different tenants and seeds: the
+    // scheduler must pack all three into one gate-major batch.
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            submit_job(addr, &submit_body(&format!("tenant-{i}"), "fused:3", "auto", 100 + i))
+                .unwrap()
+        })
+        .collect();
+    for &id in &ids {
+        assert_eq!(wait_for_job(addr, id).unwrap(), "done");
+    }
+
+    let mut batch_ids = Vec::new();
+    for &id in &ids {
+        let (status, body) = http_request(addr, "GET", &format!("/jobs/{id}"), "").unwrap();
+        assert_eq!(status, 200);
+        let v = parse(&body).unwrap();
+        assert_eq!(v.get("members").and_then(Value::as_u64), Some(3), "not packed: {body}");
+        batch_ids.push(v.get("batch_id").and_then(Value::as_u64).unwrap());
+    }
+    assert!(
+        batch_ids.windows(2).all(|w| w[0] == w[1]),
+        "jobs landed in different batches: {batch_ids:?}"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.batches, 1, "three compatible jobs should cost one batch run");
+    assert_eq!(stats.packed_jobs, 3);
+    assert_eq!(stats.max_batch_members, 3);
+    server.shutdown();
+}
