@@ -111,7 +111,7 @@ fn hbm_bound_seconds(t: &qcs_core::telemetry::Trace) -> f64 {
             let kind = match s.kind {
                 SpanKind::Kernel(k) => k,
                 SpanKind::Block { k, .. } => KernelKind::FusedDense { k },
-                SpanKind::Exchange(_) => return 0.0,
+                SpanKind::Exchange(_) | SpanKind::Reduce { .. } | SpanKind::Measure => return 0.0,
             };
             let profile = KernelProfile {
                 flops: s.flops,

@@ -32,7 +32,7 @@ use omp_par::{for_each_cell, CellGrid, Schedule, ThreadPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, Gate};
 use crate::complex::C64;
 use crate::config::{PoolSpec, SimConfig};
 use crate::fusion::{fuse_costed, FusedOp};
@@ -40,6 +40,7 @@ use crate::kernels::blocked::{apply_block_chunk, BlockGate, PreparedRun};
 use crate::kernels::fused::PreparedFused;
 use crate::kernels::simd::{self, BackendChoice, KernelBackend};
 use crate::kernels::AmpPtr;
+use crate::measure::{measure_qubit, MeasurementResult};
 use crate::noise::{run_trajectory, NoiseChannel};
 use crate::perf::{predict_batched, BatchPrediction};
 use crate::plan::{plan_circuit, Plan, PlanOp};
@@ -116,6 +117,20 @@ pub struct BatchReport {
     pub predicted: Option<BatchPrediction>,
     /// One telemetry trace per member, when telemetry is enabled.
     pub traces: Vec<Trace>,
+}
+
+/// Result of one batched measured ([`BatchSimulator::run_measured`])
+/// execution.
+#[derive(Debug, Clone)]
+pub struct MeasuredBatch {
+    /// Process-unique id of this batched call.
+    pub batch_id: u64,
+    /// Wall time of the whole batch.
+    pub wall_seconds: f64,
+    /// Per-member measurement records, in circuit order.
+    pub outcomes: Vec<Vec<MeasurementResult>>,
+    /// Per-member final classical registers.
+    pub cregs: Vec<u64>,
 }
 
 /// Result of one batched trajectory-sampling call.
@@ -265,6 +280,13 @@ impl BatchSimulator {
             if s.n_qubits() != n {
                 return Err(SimError::QubitMismatch { circuit: n, state: s.n_qubits() });
             }
+        }
+        if circuit.has_nonunitary() {
+            return Err(SimError::InvalidConfig(
+                "circuit contains measurement or classically-controlled ops; use \
+                 `BatchSimulator::run_measured` (per-member RNG streams)"
+                    .to_string(),
+            ));
         }
         let len = 1usize << n;
         let be = self.backend();
@@ -472,6 +494,232 @@ impl BatchSimulator {
         Ok((states, report))
     }
 
+    /// Execute one circuit *per member*, gate-major: gate position `j`
+    /// of every member's circuit is applied across the whole batch
+    /// before position `j+1` starts. Circuits must be same-shaped —
+    /// equal width and equal gate count — which is exactly what a
+    /// parameter sweep of one parameterized circuit produces
+    /// ([`crate::variational`]): the gate stream stays hot along the
+    /// batch axis while each member applies its own angles.
+    ///
+    /// Every member executes the serial naive kernel sequence, so
+    /// member `m`'s final state is bit-identical to running
+    /// `circuits[m]` through a serial `Strategy::Naive`
+    /// [`Simulator`](crate::sim::Simulator).
+    pub fn run_sweep(
+        &self,
+        circuits: &[Circuit],
+        states: &mut [StateVector],
+    ) -> Result<BatchReport, SimError> {
+        let members = states.len();
+        if members == 0 || circuits.len() != members {
+            return Err(SimError::InvalidConfig(format!(
+                "sweep needs one circuit per member state (got {} circuits, {members} states)",
+                circuits.len()
+            )));
+        }
+        if members > MAX_BATCH {
+            return Err(SimError::InvalidConfig(format!(
+                "batch of {members} members exceeds the limit of {MAX_BATCH}"
+            )));
+        }
+        let n = circuits[0].n_qubits();
+        let gate_count = circuits[0].len();
+        for c in circuits {
+            if c.n_qubits() != n || c.len() != gate_count {
+                return Err(SimError::InvalidConfig(format!(
+                    "sweep circuits must be same-shaped: expected {n} qubits × {gate_count} \
+                     gates, got {} × {}",
+                    c.n_qubits(),
+                    c.len()
+                )));
+            }
+            if c.has_nonunitary() {
+                return Err(SimError::InvalidConfig(
+                    "sweep circuits must be unitary; mid-circuit measurement runs \
+                     through `BatchSimulator::run_measured`"
+                        .to_string(),
+                ));
+            }
+        }
+        for s in states.iter() {
+            if s.n_qubits() != n {
+                return Err(SimError::QubitMismatch { circuit: n, state: s.n_qubits() });
+            }
+        }
+        let len = 1usize << n;
+        let be = self.backend();
+        let batch_id = next_batch_id();
+        let tracers: Option<Vec<Tracer>> = if self.telemetry.enabled {
+            let (chip, cfg) = self
+                .chip
+                .clone()
+                .unwrap_or_else(|| (ChipParams::a64fx(), ExecConfig::single_core()));
+            Some(
+                (0..members)
+                    .map(|_| {
+                        Tracer::new(n, self.threads(), chip.clone(), cfg, self.telemetry.capacity)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let start = Instant::now();
+        let ptrs: Vec<AmpPtr> =
+            states.iter_mut().map(|s| AmpPtr(s.amplitudes_mut().as_mut_ptr())).collect();
+        let trs = tracers.as_deref();
+        for j in 0..gate_count {
+            for_each_cell(
+                self.pool.as_deref(),
+                self.sched,
+                CellGrid::per_member(members),
+                |m, _| {
+                    // SAFETY: cell (m, 0) is the only cell touching
+                    // member m's amplitudes; the region barrier ends all
+                    // access before the next sweep.
+                    let amps = unsafe { ptrs[m].slice(0, len) };
+                    let g = &circuits[m].gates()[j];
+                    match trs {
+                        Some(ts) => {
+                            let t0 = Instant::now();
+                            exec_gate(be, None, self.sched, amps, g);
+                            ts[m].record_gate(0, g, t0.elapsed().as_nanos() as u64);
+                        }
+                        None => exec_gate(be, None, self.sched, amps, g),
+                    }
+                },
+            );
+        }
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let mut traces: Vec<Trace> = Vec::new();
+        if let Some(ts) = tracers {
+            for (m, t) in ts.into_iter().enumerate() {
+                let meta = RunMeta {
+                    strategy: "naive".to_string(),
+                    backend: be.name.to_string(),
+                    threads: self.threads() as u32,
+                    schedule: self.sched.to_string(),
+                    n_qubits: n,
+                    label: member_label(&self.telemetry.label, batch_id, m),
+                };
+                let trace = t.finish(meta);
+                let sink_cfg = if m == 0 {
+                    self.telemetry.clone()
+                } else {
+                    self.telemetry.clone().appending(true)
+                };
+                telemetry::write_configured(&sink_cfg, &trace).map_err(|e| {
+                    SimError::TraceIo(match &self.telemetry.trace_path {
+                        Some(p) => format!("{}: {e}", p.display()),
+                        None => e.to_string(),
+                    })
+                })?;
+                traces.push(trace);
+            }
+        }
+        let predicted =
+            self.chip.as_ref().map(|(chip, cfg)| predict_batched(chip, cfg, &circuits[0], members));
+        Ok(BatchReport {
+            batch_id,
+            wall_seconds,
+            members,
+            gates: gate_count,
+            sweeps: gate_count,
+            backend: be.name,
+            circuits_per_sec: if wall_seconds > 0.0 { members as f64 / wall_seconds } else { 0.0 },
+            predicted,
+            traces,
+        })
+    }
+
+    /// Execute one circuit containing [`Gate::Measure`] /
+    /// [`Gate::Cif`] ops on every member, gate-major, with **per-member
+    /// RNG streams**: member `m` draws from
+    /// `StdRng::seed_from_u64(seeds[m])`, one draw per `Measure`, in
+    /// circuit order.
+    ///
+    /// Every member therefore produces the bit-identical state,
+    /// outcome list, and classical register a serial
+    /// [`Simulator::run_measured`](crate::sim::Simulator::run_measured)
+    /// call with `Strategy::Naive` and the same seed produces —
+    /// regardless of this engine's thread count. Unitary gates run
+    /// naive gate-major (a collapse is a barrier at every gate, so no
+    /// per-member lowering products exist to amortize).
+    pub fn run_measured(
+        &self,
+        circuit: &Circuit,
+        states: &mut [StateVector],
+        seeds: &[u64],
+    ) -> Result<MeasuredBatch, SimError> {
+        let members = states.len();
+        if members == 0 || seeds.len() != members {
+            return Err(SimError::InvalidConfig(format!(
+                "measured batch needs one seed per member state (got {} seeds, {members} \
+                 states)",
+                seeds.len()
+            )));
+        }
+        if members > MAX_BATCH {
+            return Err(SimError::InvalidConfig(format!(
+                "batch of {members} members exceeds the limit of {MAX_BATCH}"
+            )));
+        }
+        let n = circuit.n_qubits();
+        for s in states.iter() {
+            if s.n_qubits() != n {
+                return Err(SimError::QubitMismatch { circuit: n, state: s.n_qubits() });
+            }
+        }
+        let be = self.backend();
+        let batch_id = next_batch_id();
+        let start = Instant::now();
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        let mut cregs: Vec<u64> = vec![0; members];
+        let mut outcomes: Vec<Vec<MeasurementResult>> = vec![Vec::new(); members];
+        {
+            let states_ptr = RowPtr(states.as_mut_ptr());
+            let rngs_ptr = RowPtr(rngs.as_mut_ptr());
+            let cregs_ptr = RowPtr(cregs.as_mut_ptr());
+            let outcomes_ptr = RowPtr(outcomes.as_mut_ptr());
+            for g in circuit.gates() {
+                for_each_cell(
+                    self.pool.as_deref(),
+                    self.sched,
+                    CellGrid::per_member(members),
+                    |m, _| {
+                        // SAFETY: the per-member grid hands row `m` of
+                        // every table to exactly this cell; the region
+                        // barrier orders all writes before the next
+                        // gate's cells (or the caller) read them.
+                        let state = unsafe { states_ptr.at(m) };
+                        match g {
+                            Gate::Measure { q, creg: bit } => {
+                                let rng = unsafe { rngs_ptr.at(m) };
+                                let r = measure_qubit(state, *q, rng);
+                                let cr = unsafe { cregs_ptr.at(m) };
+                                if r.outcome == 1 {
+                                    *cr |= 1 << bit;
+                                } else {
+                                    *cr &= !(1 << bit);
+                                }
+                                unsafe { outcomes_ptr.at(m) }.push(r);
+                            }
+                            Gate::Cif { mask, val, gate } => {
+                                let cr = *unsafe { cregs_ptr.at(m) };
+                                if cr & *mask == *val {
+                                    exec_gate(be, None, self.sched, state.amplitudes_mut(), gate);
+                                }
+                            }
+                            g => exec_gate(be, None, self.sched, state.amplitudes_mut(), g),
+                        }
+                    },
+                );
+            }
+        }
+        Ok(MeasuredBatch { batch_id, wall_seconds: start.elapsed().as_secs_f64(), outcomes, cregs })
+    }
+
     /// Sample one noisy trajectory per seed, batched: member `m` starts
     /// from `|0…0⟩`, draws from `StdRng::seed_from_u64(seeds[m])`, and
     /// produces exactly the state and error count a sequential
@@ -503,6 +751,13 @@ impl BatchSimulator {
                 "batch of {} trajectories exceeds the limit of {MAX_BATCH}",
                 members.len()
             )));
+        }
+        if circuit.has_nonunitary() {
+            return Err(SimError::InvalidConfig(
+                "trajectory circuits must be unitary; mid-circuit measurement runs \
+                 through `BatchSimulator::run_measured`"
+                    .to_string(),
+            ));
         }
         let n = circuit.n_qubits();
         let batch_id = next_batch_id();
@@ -791,6 +1046,102 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn run_rejects_nonunitary_circuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0);
+        let sim = BatchSimulator::new();
+        let mut states = vec![StateVector::zero(2)];
+        let err = sim.run(&c, &mut states).unwrap_err();
+        assert!(err.to_string().contains("run_measured"), "{err}");
+        let err = sim.run_trajectories(&c, NoiseChannel::BitFlip { p: 0.1 }, &[1]).unwrap_err();
+        assert!(err.to_string().contains("unitary"), "{err}");
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_to_serial_naive_runs() {
+        use crate::variational::hardware_efficient_ansatz;
+        let pc = hardware_efficient_ansatz(5, 2);
+        let points: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..pc.n_params()).map(|j| 0.1 * (i * 3 + j) as f64).collect())
+            .collect();
+        let circuits: Vec<Circuit> = points.iter().map(|p| pc.bind(p)).collect();
+        let serial = Simulator::new();
+        let mut expect: Vec<StateVector> = circuits.iter().map(|_| StateVector::zero(5)).collect();
+        for (c, s) in circuits.iter().zip(expect.iter_mut()) {
+            serial.run(c, s).unwrap();
+        }
+        for threads in [1usize, 4] {
+            let batch = BatchSimulator::from_config(SimConfig::default().threads(threads)).unwrap();
+            let mut got: Vec<StateVector> = circuits.iter().map(|_| StateVector::zero(5)).collect();
+            let report = batch.run_sweep(&circuits, &mut got).unwrap();
+            assert_eq!(report.sweeps, pc.len());
+            for (m, (g, e)) in got.iter().zip(&expect).enumerate() {
+                assert!(g.approx_eq(e, 0.0), "member {m} diverged (threads={threads})");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_validates_shapes() {
+        let sim = BatchSimulator::new();
+        let mut a = Circuit::new(3);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.h(0).h(1);
+        let mut states = vec![StateVector::zero(3), StateVector::zero(3)];
+        let err = sim.run_sweep(&[a.clone(), b], &mut states).unwrap_err();
+        assert!(err.to_string().contains("same-shaped"), "{err}");
+        let err = sim.run_sweep(&[a.clone()], &mut states).unwrap_err();
+        assert!(err.to_string().contains("one circuit per member"), "{err}");
+        let mut m = Circuit::new(3);
+        m.measure(0, 0);
+        let mut one = vec![StateVector::zero(3)];
+        let err = sim.run_sweep(&[m], &mut one).unwrap_err();
+        assert!(err.to_string().contains("unitary"), "{err}");
+    }
+
+    #[test]
+    fn batched_measured_matches_serial_per_seed() {
+        let mut circuit = Circuit::new(4);
+        for g in random_circuit_seeded(4, 10, 2).gates() {
+            circuit.push(g.clone());
+        }
+        circuit.measure(1, 0);
+        circuit.cif_bit(0, 1, crate::circuit::Gate::X(2));
+        for g in random_circuit_seeded(4, 6, 5).gates() {
+            circuit.push(g.clone());
+        }
+        circuit.measure(3, 1);
+        let seeds = [11u64, 12, 13, 14];
+        let serial = Simulator::new();
+        for threads in [1usize, 3] {
+            let batch = BatchSimulator::from_config(SimConfig::default().threads(threads)).unwrap();
+            let mut states: Vec<StateVector> = seeds.iter().map(|_| StateVector::zero(4)).collect();
+            let got = batch.run_measured(&circuit, &mut states, &seeds).unwrap();
+            for (m, &seed) in seeds.iter().enumerate() {
+                let mut expect = StateVector::zero(4);
+                let report = serial.run_measured(&circuit, &mut expect, seed).unwrap();
+                assert!(
+                    states[m].approx_eq(&expect, 0.0),
+                    "member {m} state diverged (threads={threads})"
+                );
+                assert_eq!(got.cregs[m], report.creg, "member {m} creg");
+                assert_eq!(got.outcomes[m], report.outcomes, "member {m} outcomes");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_batch_validates_seeds() {
+        let sim = BatchSimulator::new();
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0);
+        let mut states = vec![StateVector::zero(2), StateVector::zero(2)];
+        let err = sim.run_measured(&c, &mut states, &[1]).unwrap_err();
+        assert!(err.to_string().contains("one seed per member"), "{err}");
     }
 
     #[test]

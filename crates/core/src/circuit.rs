@@ -48,6 +48,23 @@ pub enum Gate {
     Ccx(u32, u32, u32),
     /// Fredkin: (control, swapped, swapped).
     CSwap(u32, u32, u32),
+    // --- non-unitary / classical control ----------------------------------
+    /// Projective measurement of qubit `q` in the computational basis,
+    /// recording the outcome in classical bit `creg`. Non-unitary:
+    /// rejected by the pure-unitary executors; run such circuits through
+    /// `Simulator::run_measured` / `BatchSimulator::run_measured`.
+    Measure {
+        q: u32,
+        creg: u32,
+    },
+    /// Classically-controlled gate: apply `gate` when the classical
+    /// register satisfies `creg & mask == val`. The inner gate must be
+    /// unitary (no nesting).
+    Cif {
+        mask: u64,
+        val: u64,
+        gate: Box<Gate>,
+    },
 }
 
 impl Gate {
@@ -80,7 +97,15 @@ impl Gate {
             Gate::Unitary2(..) => "u2q",
             Gate::Ccx(..) => "ccx",
             Gate::CSwap(..) => "cswap",
+            Gate::Measure { .. } => "measure",
+            Gate::Cif { .. } => "cif",
         }
+    }
+
+    /// Is this a unitary gate the pure state-vector executors can apply
+    /// unconditionally? `false` for [`Gate::Measure`] and [`Gate::Cif`].
+    pub fn is_unitary(&self) -> bool {
+        !matches!(self, Gate::Measure { .. } | Gate::Cif { .. })
     }
 
     /// The qubits this gate touches, in declaration order.
@@ -109,6 +134,8 @@ impl Gate {
             Gate::Unitary2(a, b, _) => vec![a, b],
             Gate::Ccx(c1, c2, t) => vec![c1, c2, t],
             Gate::CSwap(c, a, b) => vec![c, a, b],
+            Gate::Measure { q, .. } => vec![q],
+            Gate::Cif { ref gate, .. } => gate.qubits(),
         }
     }
 
@@ -224,10 +251,15 @@ impl Gate {
             Gate::Unitary2(a, b, m) => Gate::Unitary2(f(a), f(b), m),
             Gate::Ccx(c1, c2, t) => Gate::Ccx(f(c1), f(c2), f(t)),
             Gate::CSwap(c, a, b) => Gate::CSwap(f(c), f(a), f(b)),
+            Gate::Measure { q, creg } => Gate::Measure { q: f(q), creg },
+            Gate::Cif { mask, val, ref gate } => {
+                Gate::Cif { mask, val, gate: Box::new(gate.remap(f)) }
+            }
         }
     }
 
-    /// The inverse gate.
+    /// The inverse gate. Panics for the non-unitary [`Gate::Measure`]
+    /// and the classically-conditioned [`Gate::Cif`].
     pub fn inverse(&self) -> Gate {
         match *self {
             Gate::H(q) => Gate::H(q),
@@ -256,6 +288,9 @@ impl Gate {
             Gate::Unitary2(a, b, m) => Gate::Unitary2(a, b, m.adjoint()),
             Gate::Ccx(c1, c2, t) => Gate::Ccx(c1, c2, t),
             Gate::CSwap(c, a, b) => Gate::CSwap(c, a, b),
+            Gate::Measure { .. } | Gate::Cif { .. } => {
+                panic!("gate {} has no unitary inverse", self.name())
+            }
         }
     }
 }
@@ -294,8 +329,20 @@ impl Circuit {
         self.gates.is_empty()
     }
 
-    /// Append a gate, validating its qubit indices.
+    /// Append a gate, validating its qubit indices. [`Gate::Measure`]
+    /// must target a classical bit below 64; [`Gate::Cif`] must wrap a
+    /// unitary gate (no nesting) with `val` inside `mask`.
     pub fn push(&mut self, gate: Gate) -> &mut Self {
+        match &gate {
+            Gate::Measure { creg, .. } => {
+                assert!(*creg < 64, "classical bit {creg} beyond the 64-bit register");
+            }
+            Gate::Cif { mask, val, gate: inner } => {
+                assert!(inner.is_unitary(), "cif cannot wrap {}", inner.name());
+                assert_eq!(val & !mask, 0, "cif value {val:#x} has bits outside mask {mask:#x}");
+            }
+            _ => {}
+        }
         let qs = gate.qubits();
         for &q in &qs {
             assert!(
@@ -323,7 +370,29 @@ impl Circuit {
         self
     }
 
-    /// The inverse circuit (gates reversed and inverted).
+    /// Does the circuit contain any non-unitary op (measurement or
+    /// classically-controlled gate)? Such circuits must run through the
+    /// measured execution paths.
+    pub fn has_nonunitary(&self) -> bool {
+        self.gates.iter().any(|g| !g.is_unitary())
+    }
+
+    /// Width of the classical register the circuit writes or reads:
+    /// the highest measured bit plus one, widened by any `cif` mask.
+    pub fn creg_bits(&self) -> u32 {
+        let mut bits = 0u32;
+        for g in &self.gates {
+            match g {
+                Gate::Measure { creg, .. } => bits = bits.max(creg + 1),
+                Gate::Cif { mask, .. } => bits = bits.max(64 - mask.leading_zeros()),
+                _ => {}
+            }
+        }
+        bits
+    }
+
+    /// The inverse circuit (gates reversed and inverted). Panics if the
+    /// circuit contains non-unitary ops.
     pub fn inverse(&self) -> Circuit {
         let mut inv = Circuit::new(self.n_qubits);
         for g in self.gates.iter().rev() {
@@ -431,6 +500,19 @@ impl Circuit {
     pub fn cswap(&mut self, c: u32, a: u32, b: u32) -> &mut Self {
         self.push(Gate::CSwap(c, a, b))
     }
+    /// Measure qubit `q` into classical bit `creg`.
+    pub fn measure(&mut self, q: u32, creg: u32) -> &mut Self {
+        self.push(Gate::Measure { q, creg })
+    }
+    /// Apply `gate` when `creg & mask == val`.
+    pub fn cif(&mut self, mask: u64, val: u64, gate: Gate) -> &mut Self {
+        self.push(Gate::Cif { mask, val, gate: Box::new(gate) })
+    }
+    /// Apply `gate` when classical bit `creg` reads `bit`.
+    pub fn cif_bit(&mut self, creg: u32, bit: u8, gate: Gate) -> &mut Self {
+        assert!(creg < 64, "classical bit {creg} beyond the 64-bit register");
+        self.cif(1u64 << creg, u64::from(bit) << creg, gate)
+    }
 }
 
 #[cfg(test)]
@@ -536,6 +618,50 @@ mod tests {
         a.append(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.gates()[1], Gate::X(1));
+    }
+
+    #[test]
+    fn measure_and_cif_are_nonunitary_ops() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0).cif_bit(0, 1, Gate::X(1)).measure(1, 1);
+        assert!(c.has_nonunitary());
+        assert_eq!(c.creg_bits(), 2);
+        assert_eq!(c.gates()[1].name(), "measure");
+        assert_eq!(c.gates()[2].name(), "cif");
+        assert_eq!(c.gates()[2].qubits(), vec![1]);
+        assert!(!c.gates()[2].is_unitary());
+        let mut u = Circuit::new(2);
+        u.h(0).cx(0, 1);
+        assert!(!u.has_nonunitary());
+        assert_eq!(u.creg_bits(), 0);
+    }
+
+    #[test]
+    fn cif_remap_follows_inner_gate() {
+        let g = Gate::Cif { mask: 1, val: 1, gate: Box::new(Gate::X(0)) };
+        let r = g.remap(|q| q + 3);
+        assert_eq!(r.qubits(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot wrap")]
+    fn nested_cif_rejected() {
+        let inner = Gate::Cif { mask: 1, val: 1, gate: Box::new(Gate::X(0)) };
+        let mut c = Circuit::new(1);
+        c.cif(2, 2, inner);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mask")]
+    fn cif_value_outside_mask_rejected() {
+        let mut c = Circuit::new(1);
+        c.cif(0b01, 0b10, Gate::X(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no unitary inverse")]
+    fn measure_has_no_inverse() {
+        let _ = Gate::Measure { q: 0, creg: 0 }.inverse();
     }
 
     #[test]

@@ -3,8 +3,16 @@
 //! Computed without copying or modifying the state: `P|ψ⟩` is evaluated
 //! lazily per amplitude (each Pauli string is a signed/phased permutation
 //! with one partner index per basis state), then contracted with ⟨ψ|.
+//!
+//! Single strings and [`Hamiltonian`] sums dispatch through the SIMD
+//! reduction kernels in [`crate::kernels::reduce`]; a [`Hamiltonian`]
+//! can additionally be lowered once to a [`CompiledObservable`], which
+//! groups terms by flip mask so every term sharing a Pauli basis is
+//! evaluated in one read-only state sweep — the fast path the
+//! variational driver re-evaluates each optimizer iteration.
 
 use crate::complex::{C64, I};
+use crate::kernels::{reduce, simd};
 use crate::state::StateVector;
 
 /// A single-qubit Pauli operator.
@@ -56,12 +64,10 @@ impl PauliString {
         &self.ops
     }
 
-    /// ⟨ψ|P|ψ⟩ — always real for Hermitian P; returned as `f64`.
-    pub fn expectation(&self, state: &StateVector) -> f64 {
-        for &(q, _) in &self.ops {
-            assert!(q < state.n_qubits(), "Pauli on qubit {q} beyond the state");
-        }
-        // Partition: X and Y flip bits, Z contributes signs.
+    /// Lower to bit masks: `(flip, z, y)` where `flip` collects X|Y
+    /// qubits (the basis-partner XOR), `z` the Z qubits, and `y ⊆ flip`
+    /// the Y qubits (phase bookkeeping).
+    pub fn masks(&self) -> (usize, usize, usize) {
         let mut flip_mask = 0usize;
         let mut z_mask = 0usize;
         let mut y_mask = 0usize;
@@ -75,6 +81,30 @@ impl PauliString {
                 Pauli::Z => z_mask |= 1 << q,
             }
         }
+        (flip_mask, z_mask, y_mask)
+    }
+
+    /// ⟨ψ|P|ψ⟩ — always real for Hermitian P; returned as `f64`.
+    ///
+    /// Dispatches to the active SIMD backend's reduction kernels; use
+    /// [`PauliString::expectation_scalar`] for the sequential reference
+    /// ordering.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        for &(q, _) in &self.ops {
+            assert!(q < state.n_qubits(), "Pauli on qubit {q} beyond the state");
+        }
+        let (flip, z, y) = self.masks();
+        reduce::expect_pauli_string(simd::active(), state.amplitudes(), flip, z, y)
+    }
+
+    /// ⟨ψ|P|ψ⟩ by the sequential per-amplitude loop — the scalar
+    /// reference the SIMD reduction kernels are verified against, and
+    /// the baseline the reduction benchmarks report speedups over.
+    pub fn expectation_scalar(&self, state: &StateVector) -> f64 {
+        for &(q, _) in &self.ops {
+            assert!(q < state.n_qubits(), "Pauli on qubit {q} beyond the state");
+        }
+        let (flip_mask, z_mask, y_mask) = self.masks();
         let n_y = y_mask.count_ones();
         // Global i^{n_y} factor from Y = i·(flip with sign on |1⟩→|0⟩)…
         // handled per-amplitude below: Y|0⟩ = i|1⟩, Y|1⟩ = -i|0⟩.
@@ -134,9 +164,17 @@ impl Hamiltonian {
         &self.terms
     }
 
-    /// ⟨ψ|H|ψ⟩.
+    /// ⟨ψ|H|ψ⟩ through the SIMD reduction kernels, term by term. For
+    /// repeated evaluation (optimizer loops), lower once with
+    /// [`CompiledObservable::compile`] to share sweeps across terms.
     pub fn expectation(&self, state: &StateVector) -> f64 {
         self.terms.iter().map(|(c, p)| c * p.expectation(state)).sum()
+    }
+
+    /// ⟨ψ|H|ψ⟩ by the sequential per-term scalar loops — the reference
+    /// and benchmark baseline for the fused reduction path.
+    pub fn expectation_scalar(&self, state: &StateVector) -> f64 {
+        self.terms.iter().map(|(c, p)| c * p.expectation_scalar(state)).sum()
     }
 
     /// The 1-D transverse-field Ising Hamiltonian on an open chain:
@@ -163,19 +201,7 @@ impl Hamiltonian {
         // Column c of H = H |c⟩ = Σ_k c_k P_k |c⟩; each P_k maps a basis
         // state to a single phased basis state.
         for (coeff, string) in &self.terms {
-            let mut flip = 0usize;
-            let mut zmask = 0usize;
-            let mut ymask = 0usize;
-            for &(q, p) in string.ops() {
-                match p {
-                    Pauli::X => flip |= 1 << q,
-                    Pauli::Y => {
-                        flip |= 1 << q;
-                        ymask |= 1 << q;
-                    }
-                    Pauli::Z => zmask |= 1 << q,
-                }
-            }
+            let (flip, zmask, ymask) = string.masks();
             for c in 0..dim {
                 let r = c ^ flip;
                 // P|c⟩ = phase |r⟩: Z gives (−1)^{z-bits of c}; each Y
@@ -218,6 +244,127 @@ impl Hamiltonian {
             h.add_term(-0.5, PauliString::zz(q, (q + 1) % n));
         }
         (n as f64 / 2.0, h)
+    }
+
+    /// Lower to the sweep-sharing evaluation form.
+    pub fn compile(&self) -> CompiledObservable {
+        CompiledObservable::compile(self)
+    }
+}
+
+/// The weighted Pauli sum `Σ cᵢ·Pᵢ` — the observable form every
+/// variational cost function takes. Alias of [`Hamiltonian`].
+pub type Observable = Hamiltonian;
+
+/// One off-diagonal basis group of a [`CompiledObservable`]: every term
+/// whose X|Y mask equals `flip` shares one pair-product state sweep.
+#[derive(Debug, Clone)]
+struct FlipGroup {
+    flip: usize,
+    coeffs: Vec<f64>,
+    /// Per-term `K = (−i)^{n_y}` global phase.
+    phases: Vec<C64>,
+    /// Per-term sign mask `m = z | y`.
+    masks: Vec<usize>,
+}
+
+/// A [`Hamiltonian`] lowered to mask form and grouped by Pauli basis:
+/// all diagonal (Z-only) terms share one norms sweep, and each distinct
+/// flip mask's terms share one pair-product sweep — so evaluating the
+/// whole observable costs one read-only pass over the state per basis
+/// group instead of one per term.
+#[derive(Debug, Clone)]
+pub struct CompiledObservable {
+    /// Diagonal terms: coefficients and Z sign masks.
+    diag_coeffs: Vec<f64>,
+    diag_masks: Vec<usize>,
+    groups: Vec<FlipGroup>,
+    /// Highest qubit index any term touches (state-width guard).
+    max_qubit: Option<u32>,
+}
+
+impl CompiledObservable {
+    /// Group `h`'s terms by flip mask. Term order within a group follows
+    /// the Hamiltonian's term order, so the evaluation is deterministic.
+    pub fn compile(h: &Hamiltonian) -> CompiledObservable {
+        let mut out = CompiledObservable {
+            diag_coeffs: Vec::new(),
+            diag_masks: Vec::new(),
+            groups: Vec::new(),
+            max_qubit: None,
+        };
+        for (c, p) in h.terms() {
+            let (flip, z, y) = p.masks();
+            if let Some(&(q, _)) = p.ops().iter().max_by_key(|&&(q, _)| q) {
+                out.max_qubit = Some(out.max_qubit.map_or(q, |m| m.max(q)));
+            }
+            if flip == 0 {
+                out.diag_coeffs.push(*c);
+                out.diag_masks.push(z);
+                continue;
+            }
+            let k_phase = reduce::minus_i_pow(y.count_ones());
+            let m = z | y;
+            match out.groups.iter_mut().find(|g| g.flip == flip) {
+                Some(g) => {
+                    g.coeffs.push(*c);
+                    g.phases.push(k_phase);
+                    g.masks.push(m);
+                }
+                None => out.groups.push(FlipGroup {
+                    flip,
+                    coeffs: vec![*c],
+                    phases: vec![k_phase],
+                    masks: vec![m],
+                }),
+            }
+        }
+        out
+    }
+
+    /// Total number of Pauli terms.
+    pub fn terms(&self) -> usize {
+        self.diag_coeffs.len() + self.groups.iter().map(|g| g.coeffs.len()).sum::<usize>()
+    }
+
+    /// Number of read-only state sweeps one evaluation costs: one for
+    /// the shared diagonal group plus one per distinct flip mask.
+    pub fn sweeps(&self) -> usize {
+        usize::from(!self.diag_coeffs.is_empty()) + self.groups.len()
+    }
+
+    /// ⟨ψ|H|ψ⟩ on the active SIMD backend.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.expectation_with(simd::active(), state)
+    }
+
+    /// ⟨ψ|H|ψ⟩ on an explicit backend.
+    pub fn expectation_with(&self, be: &simd::KernelBackend, state: &StateVector) -> f64 {
+        if let Some(q) = self.max_qubit {
+            assert!(q < state.n_qubits(), "observable on qubit {q} beyond the state");
+        }
+        let amps = state.amplitudes();
+        let mut total = 0.0;
+        match self.diag_masks.as_slice() {
+            [] => {}
+            // A lone diagonal term skips the norms scratch entirely.
+            [m] => total += self.diag_coeffs[0] * reduce::expect_z_mask(be, amps, *m),
+            masks => {
+                let mut accs = vec![0.0; masks.len()];
+                reduce::accumulate_diag_group(be, amps, masks, &mut accs);
+                for (acc, c) in accs.iter().zip(&self.diag_coeffs) {
+                    total += c * acc;
+                }
+            }
+        }
+        for g in &self.groups {
+            let mut accs = vec![C64::default(); g.masks.len()];
+            reduce::accumulate_flip_group(be, amps, g.flip, &g.masks, &mut accs);
+            for ((acc, k), c) in accs.iter().zip(&g.phases).zip(&g.coeffs) {
+                total += c * 2.0 * (*k * *acc).re;
+            }
+        }
+        total
     }
 }
 
@@ -376,6 +523,68 @@ mod tests {
     fn zero_hamiltonian_expectation_is_zero() {
         let s = rand_state(3, 9);
         assert_eq!(Hamiltonian::zero().expectation(&s), 0.0);
+    }
+
+    #[test]
+    fn simd_expectation_matches_scalar_reference() {
+        let strings = [
+            PauliString::identity(),
+            PauliString::z(2),
+            PauliString::new(vec![(0, Pauli::Y), (3, Pauli::X)]),
+            PauliString::new(vec![(0, Pauli::X), (1, Pauli::Y), (2, Pauli::Z), (4, Pauli::Y)]),
+        ];
+        for (i, p) in strings.iter().enumerate() {
+            let s = rand_state(6, 300 + i as u64);
+            let fast = p.expectation(&s);
+            let slow = p.expectation_scalar(&s);
+            assert!((fast - slow).abs() < 1e-12, "string #{i}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn compiled_observable_matches_per_term_path() {
+        let h = Hamiltonian::new(vec![
+            (0.7, PauliString::identity()),
+            (-1.3, PauliString::z(0)),
+            (0.4, PauliString::zz(1, 3)),
+            (0.9, PauliString::x(2)),
+            (-0.2, PauliString::new(vec![(2, Pauli::X), (4, Pauli::Z)])),
+            (0.55, PauliString::new(vec![(0, Pauli::Y), (1, Pauli::Y)])),
+            (1.1, PauliString::new(vec![(0, Pauli::X), (1, Pauli::X)])),
+        ]);
+        let compiled = h.compile();
+        assert_eq!(compiled.terms(), 7);
+        // Basis groups: diagonal {I, Z0, Z1Z3}, flip {2}, flip {2}∪{4}…
+        // X2 and X2Z4 share flip mask 0b100; Y0Y1 and X0X1 share 0b11.
+        assert_eq!(compiled.sweeps(), 3);
+        for seed in 0..4 {
+            let s = rand_state(5, 40 + seed);
+            let fused = compiled.expectation(&s);
+            let per_term = h.expectation_scalar(&s);
+            assert!((fused - per_term).abs() < 1e-12, "seed {seed}: {fused} vs {per_term}");
+        }
+    }
+
+    #[test]
+    fn compiled_tfim_matches_scalar_on_wide_state() {
+        // Wide enough that the grouped sweep chunks (CHUNK = 1024) are
+        // exercised across multiple chunks per group.
+        let n = 12u32;
+        let h = Hamiltonian::ising_chain(n, 1.1, 0.6);
+        let compiled = h.compile();
+        // Diagonal ZZ terms share one sweep; each X_q is its own flip group.
+        assert_eq!(compiled.sweeps(), 1 + n as usize);
+        let s = rand_state(n, 77);
+        let fused = compiled.expectation(&s);
+        let per_term = h.expectation_scalar(&s);
+        assert!((fused - per_term).abs() < 1e-11, "{fused} vs {per_term}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the state")]
+    fn compiled_observable_width_guard() {
+        let h = Hamiltonian::new(vec![(1.0, PauliString::z(5))]);
+        let _ = h.compile().expectation(&StateVector::zero(3));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod dispatch;
 pub mod fused;
 pub mod index;
 pub mod parallel;
+pub mod reduce;
 pub mod scalar;
 pub mod simd;
 pub mod sve;

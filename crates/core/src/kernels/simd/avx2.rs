@@ -31,6 +31,12 @@ pub(super) static BACKEND: KernelBackend = KernelBackend {
     quads_2q,
     kq_range,
     mat_vec,
+    sum_norms_run,
+    norms_into_run,
+    sum_f64_run,
+    dot_conj_run,
+    mul_conj_into_run,
+    sum_c64_run,
 };
 
 /// Complex lanes per vector step (4 × f64 per plane).
@@ -99,6 +105,180 @@ unsafe fn hsum(v: CVec) -> C64 {
         _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s))
     }
     C64::new(hadd4(v.re), hadd4(v.im))
+}
+
+fn sum_norms_run(run: &[C64]) -> f64 {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { sum_norms_impl(run) }
+}
+
+/// `Σ |a|²`: norms ignore the re/im interleave, so square-accumulate the
+/// raw f64 lanes with two independent accumulators (FP sums cannot be
+/// reassociated by the compiler; the manual unroll is the vectorization).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sum_norms_impl(run: &[C64]) -> f64 {
+    let n = run.len();
+    let p = run.as_ptr() as *const f64;
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + W <= n {
+        let a = _mm256_loadu_pd(p.add(2 * i));
+        let b = _mm256_loadu_pd(p.add(2 * i + 4));
+        acc0 = _mm256_fmadd_pd(a, a, acc0);
+        acc1 = _mm256_fmadd_pd(b, b, acc1);
+        i += W;
+    }
+    let acc = _mm256_add_pd(acc0, acc1);
+    let s = _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+    let mut total = _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+    while i < n {
+        total += run[i].norm_sqr();
+        i += 1;
+    }
+    total
+}
+
+fn norms_into_run(run: &[C64], out: &mut [f64]) {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { norms_into_impl(run, out) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn norms_into_impl(run: &[C64], out: &mut [f64]) {
+    debug_assert_eq!(run.len(), out.len());
+    let n = run.len();
+    let p = run.as_ptr() as *const f64;
+    let po = out.as_mut_ptr();
+    let mut i = 0;
+    while i + W <= n {
+        let a = _mm256_loadu_pd(p.add(2 * i)); // re0 im0 re1 im1
+        let b = _mm256_loadu_pd(p.add(2 * i + 4)); // re2 im2 re3 im3
+                                                   // hadd(a², b²) = [n0 n2 n1 n3]; permute back to [n0 n1 n2 n3].
+        let h = _mm256_hadd_pd(_mm256_mul_pd(a, a), _mm256_mul_pd(b, b));
+        _mm256_storeu_pd(po.add(i), _mm256_permute4x64_pd(h, 0b11011000));
+        i += W;
+    }
+    while i < n {
+        *po.add(i) = run[i].norm_sqr();
+        i += 1;
+    }
+}
+
+fn sum_f64_run(run: &[f64]) -> f64 {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { sum_f64_impl(run) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sum_f64_impl(run: &[f64]) -> f64 {
+    let n = run.len();
+    let p = run.as_ptr();
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(p.add(i)));
+        acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(p.add(i + 4)));
+        i += 8;
+    }
+    let acc = _mm256_add_pd(acc0, acc1);
+    let s = _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+    let mut total = _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+    while i < n {
+        total += *p.add(i);
+        i += 1;
+    }
+    total
+}
+
+fn dot_conj_run(u: &[C64], v: &[C64]) -> C64 {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { dot_conj_impl(u, v) }
+}
+
+/// `Σ conj(u)·v` on deinterleaved planes:
+/// re += u.re·v.re + u.im·v.im, im += u.re·v.im − u.im·v.re.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_conj_impl(u: &[C64], v: &[C64]) -> C64 {
+    debug_assert_eq!(u.len(), v.len());
+    let n = u.len();
+    let pu = u.as_ptr();
+    let pv = v.as_ptr();
+    let mut acc = zero();
+    let mut i = 0;
+    while i + W <= n {
+        let a = load(pu.add(i));
+        let b = load(pv.add(i));
+        acc.re = _mm256_fmadd_pd(a.im, b.im, _mm256_fmadd_pd(a.re, b.re, acc.re));
+        acc.im = _mm256_fnmadd_pd(a.im, b.re, _mm256_fmadd_pd(a.re, b.im, acc.im));
+        i += W;
+    }
+    let mut total = hsum(acc);
+    while i < n {
+        total = total.fma(u[i].conj(), v[i]);
+        i += 1;
+    }
+    total
+}
+
+fn mul_conj_into_run(u: &[C64], v: &[C64], out: &mut [C64]) {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { mul_conj_into_impl(u, v, out) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mul_conj_into_impl(u: &[C64], v: &[C64], out: &mut [C64]) {
+    debug_assert_eq!(u.len(), v.len());
+    debug_assert_eq!(u.len(), out.len());
+    let n = u.len();
+    let pu = u.as_ptr();
+    let pv = v.as_ptr();
+    let po = out.as_mut_ptr();
+    let mut i = 0;
+    while i + W <= n {
+        let a = load(pu.add(i));
+        let b = load(pv.add(i));
+        let prod = CVec {
+            re: _mm256_fmadd_pd(a.im, b.im, _mm256_mul_pd(a.re, b.re)),
+            im: _mm256_fnmadd_pd(a.im, b.re, _mm256_mul_pd(a.re, b.im)),
+        };
+        store(prod, po.add(i));
+        i += W;
+    }
+    while i < n {
+        *po.add(i) = u[i].conj() * v[i];
+        i += 1;
+    }
+}
+
+fn sum_c64_run(run: &[C64]) -> C64 {
+    // SAFETY: this backend is only installed after feature detection.
+    unsafe { sum_c64_impl(run) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sum_c64_impl(run: &[C64]) -> C64 {
+    let n = run.len();
+    let p = run.as_ptr() as *const f64;
+    // Complex sums are lane-order independent per component: accumulate
+    // the raw interleave and fold [re im re im] at the end.
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + W <= n {
+        acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(p.add(2 * i)));
+        acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(p.add(2 * i + 4)));
+        i += W;
+    }
+    let acc = _mm256_add_pd(acc0, acc1);
+    let s = _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+    let mut total = C64::new(_mm_cvtsd_f64(s), _mm_cvtsd_f64(_mm_unpackhi_pd(s, s)));
+    while i < n {
+        total += run[i];
+        i += 1;
+    }
+    total
 }
 
 fn pairs_1q(a0: &mut [C64], a1: &mut [C64], m: &Mat2) {

@@ -72,6 +72,20 @@ pub struct KernelBackend {
     /// gathered contiguous vector — the arithmetic core the specialized
     /// fused-block executor pairs with its own gather/scatter.
     pub mat_vec: fn(&[C64], &mut [C64], &DenseMatrix),
+    /// `Σ |a|²` over one run — the norm/diagonal-expectation reduction.
+    pub sum_norms_run: fn(&[C64]) -> f64,
+    /// `out[k] = |run[k]|²` — materialize norms into an `f64` scratch so
+    /// several diagonal observable terms can share one state sweep.
+    pub norms_into_run: fn(&[C64], &mut [f64]),
+    /// `Σ x` over an `f64` scratch run (signed per-run by the driver).
+    pub sum_f64_run: fn(&[f64]) -> f64,
+    /// `Σ conj(u)·v` over paired runs — the off-diagonal Pauli pairing.
+    pub dot_conj_run: fn(&[C64], &[C64]) -> C64,
+    /// `out[k] = conj(u[k])·v[k]` — materialize the pair cross-products
+    /// so several Pauli terms sharing a flip mask reuse one state sweep.
+    pub mul_conj_into_run: fn(&[C64], &[C64], &mut [C64]),
+    /// `Σ x` over a complex scratch run.
+    pub sum_c64_run: fn(&[C64]) -> C64,
 }
 
 /// User-facing backend selection (CLI `--backend`, `QCS_BACKEND`).

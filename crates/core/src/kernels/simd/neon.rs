@@ -24,6 +24,12 @@ pub(super) static BACKEND: KernelBackend = KernelBackend {
     quads_2q,
     kq_range,
     mat_vec,
+    sum_norms_run,
+    norms_into_run,
+    sum_f64_run,
+    dot_conj_run,
+    mul_conj_into_run,
+    sum_c64_run,
 };
 
 /// Complex lanes per vector step (2 × f64 per plane).
@@ -79,6 +85,154 @@ unsafe fn mul(w: CVec, v: CVec) -> CVec {
 #[inline(always)]
 unsafe fn hsum(v: CVec) -> C64 {
     C64::new(vaddvq_f64(v.re), vaddvq_f64(v.im))
+}
+
+/// `Σ |a|²`: norms ignore the re/im interleave, so square-accumulate the
+/// raw f64 lanes with two independent accumulators (the manual unroll is
+/// the vectorization — FP sums cannot be reassociated by the compiler).
+fn sum_norms_run(run: &[C64]) -> f64 {
+    let n = run.len();
+    let p = run.as_ptr() as *const f64;
+    // SAFETY: NEON is baseline on aarch64; pointers stay in bounds.
+    unsafe {
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + W <= n {
+            let a = vld1q_f64(p.add(2 * i));
+            let b = vld1q_f64(p.add(2 * i + 2));
+            acc0 = vfmaq_f64(acc0, a, a);
+            acc1 = vfmaq_f64(acc1, b, b);
+            i += W;
+        }
+        let mut total = vaddvq_f64(vaddq_f64(acc0, acc1));
+        while i < n {
+            total += run[i].norm_sqr();
+            i += 1;
+        }
+        total
+    }
+}
+
+fn norms_into_run(run: &[C64], out: &mut [f64]) {
+    debug_assert_eq!(run.len(), out.len());
+    let n = run.len();
+    let p = run.as_ptr();
+    let po = out.as_mut_ptr();
+    // SAFETY: as in `sum_norms_run`.
+    unsafe {
+        let mut i = 0;
+        while i + W <= n {
+            let v = load(p.add(i));
+            vst1q_f64(po.add(i), vfmaq_f64(vmulq_f64(v.re, v.re), v.im, v.im));
+            i += W;
+        }
+        while i < n {
+            *po.add(i) = run[i].norm_sqr();
+            i += 1;
+        }
+    }
+}
+
+fn sum_f64_run(run: &[f64]) -> f64 {
+    let n = run.len();
+    let p = run.as_ptr();
+    // SAFETY: as in `sum_norms_run`.
+    unsafe {
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            acc0 = vaddq_f64(acc0, vld1q_f64(p.add(i)));
+            acc1 = vaddq_f64(acc1, vld1q_f64(p.add(i + 2)));
+            i += 4;
+        }
+        let mut total = vaddvq_f64(vaddq_f64(acc0, acc1));
+        while i < n {
+            total += *p.add(i);
+            i += 1;
+        }
+        total
+    }
+}
+
+/// `Σ conj(u)·v` on deinterleaved planes:
+/// re += u.re·v.re + u.im·v.im, im += u.re·v.im − u.im·v.re.
+fn dot_conj_run(u: &[C64], v: &[C64]) -> C64 {
+    debug_assert_eq!(u.len(), v.len());
+    let n = u.len();
+    let pu = u.as_ptr();
+    let pv = v.as_ptr();
+    // SAFETY: as in `sum_norms_run`.
+    unsafe {
+        let mut acc = zero();
+        let mut i = 0;
+        while i + W <= n {
+            let a = load(pu.add(i));
+            let b = load(pv.add(i));
+            acc.re = vfmaq_f64(vfmaq_f64(acc.re, a.re, b.re), a.im, b.im);
+            acc.im = vfmsq_f64(vfmaq_f64(acc.im, a.re, b.im), a.im, b.re);
+            i += W;
+        }
+        let mut total = hsum(acc);
+        while i < n {
+            total = total.fma(u[i].conj(), v[i]);
+            i += 1;
+        }
+        total
+    }
+}
+
+fn mul_conj_into_run(u: &[C64], v: &[C64], out: &mut [C64]) {
+    debug_assert_eq!(u.len(), v.len());
+    debug_assert_eq!(u.len(), out.len());
+    let n = u.len();
+    let pu = u.as_ptr();
+    let pv = v.as_ptr();
+    let po = out.as_mut_ptr();
+    // SAFETY: as in `sum_norms_run`.
+    unsafe {
+        let mut i = 0;
+        while i + W <= n {
+            let a = load(pu.add(i));
+            let b = load(pv.add(i));
+            let prod = CVec {
+                re: vfmaq_f64(vmulq_f64(a.re, b.re), a.im, b.im),
+                im: vfmsq_f64(vmulq_f64(a.re, b.im), a.im, b.re),
+            };
+            store(prod, po.add(i));
+            i += W;
+        }
+        while i < n {
+            *po.add(i) = u[i].conj() * v[i];
+            i += 1;
+        }
+    }
+}
+
+fn sum_c64_run(run: &[C64]) -> C64 {
+    let n = run.len();
+    let p = run.as_ptr() as *const f64;
+    // Complex sums are lane-order independent per component: accumulate
+    // the raw interleave and fold [re im] at the end.
+    // SAFETY: as in `sum_norms_run`.
+    unsafe {
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + W <= n {
+            acc0 = vaddq_f64(acc0, vld1q_f64(p.add(2 * i)));
+            acc1 = vaddq_f64(acc1, vld1q_f64(p.add(2 * i + 2)));
+            i += W;
+        }
+        let acc = vaddq_f64(acc0, acc1);
+        let mut total = C64::new(vgetq_lane_f64(acc, 0), vgetq_lane_f64(acc, 1));
+        while i < n {
+            total += run[i];
+            i += 1;
+        }
+        total
+    }
 }
 
 fn pairs_1q(a0: &mut [C64], a1: &mut [C64], m: &Mat2) {

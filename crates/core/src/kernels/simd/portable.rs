@@ -22,6 +22,12 @@ pub(super) static BACKEND: KernelBackend = KernelBackend {
     quads_2q,
     kq_range,
     mat_vec,
+    sum_norms_run,
+    norms_into_run,
+    sum_f64_run,
+    dot_conj_run,
+    mul_conj_into_run,
+    sum_c64_run,
 };
 
 /// `out0 = m00·a0 + m01·a1`, `out1 = m10·a0 + m11·a1` over paired runs.
@@ -74,6 +80,61 @@ pub(super) fn mat_vec(vin: &[C64], out: &mut [C64], m: &DenseMatrix) {
         }
         *o = acc;
     }
+}
+
+/// `Σ |a|²` over one run, accumulated sequentially (the reference
+/// ordering the reduction conformance tests compare SIMD backends to).
+fn sum_norms_run(run: &[C64]) -> f64 {
+    let mut acc = 0.0;
+    for a in run {
+        acc += a.norm_sqr();
+    }
+    acc
+}
+
+/// `out[k] = |run[k]|²`.
+fn norms_into_run(run: &[C64], out: &mut [f64]) {
+    debug_assert_eq!(run.len(), out.len());
+    for (a, o) in run.iter().zip(out.iter_mut()) {
+        *o = a.norm_sqr();
+    }
+}
+
+/// `Σ x` over an `f64` scratch run.
+fn sum_f64_run(run: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in run {
+        acc += x;
+    }
+    acc
+}
+
+/// `Σ conj(u)·v` over paired runs.
+fn dot_conj_run(u: &[C64], v: &[C64]) -> C64 {
+    debug_assert_eq!(u.len(), v.len());
+    let mut acc = C64::default();
+    for (a, b) in u.iter().zip(v.iter()) {
+        acc = acc.fma(a.conj(), *b);
+    }
+    acc
+}
+
+/// `out[k] = conj(u[k])·v[k]`.
+fn mul_conj_into_run(u: &[C64], v: &[C64], out: &mut [C64]) {
+    debug_assert_eq!(u.len(), v.len());
+    debug_assert_eq!(u.len(), out.len());
+    for ((a, b), o) in u.iter().zip(v.iter()).zip(out.iter_mut()) {
+        *o = a.conj() * *b;
+    }
+}
+
+/// `Σ x` over a complex scratch run.
+fn sum_c64_run(run: &[C64]) -> C64 {
+    let mut acc = C64::default();
+    for &x in run {
+        acc += x;
+    }
+    acc
 }
 
 /// Fused k-qubit gather → mat-vec → scatter over groups `g0..g1`.

@@ -27,6 +27,9 @@
 //! * [`batch`] — gate-major batched multi-circuit execution: one
 //!   [`BatchSimulator`](batch::BatchSimulator) call runs B independent
 //!   states (or noisy trajectories) bit-identically to B single runs.
+//! * [`variational`] — parameterized circuits, parameter-shift
+//!   gradients, and VQE optimizer loops that evaluate each iteration's
+//!   parameter sweep as one gate-major batch.
 //! * [`testing`] — seeded random-circuit generators shared by the
 //!   differential-conformance test suites.
 //!
@@ -75,23 +78,29 @@ pub mod sim;
 pub mod state;
 pub mod telemetry;
 pub mod testing;
+pub mod variational;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::batch::{BatchReport, BatchSimulator, TrajectoryBatch, MAX_BATCH};
+    pub use crate::batch::{
+        BatchReport, BatchSimulator, MeasuredBatch, TrajectoryBatch, MAX_BATCH,
+    };
     pub use crate::circuit::{Circuit, Gate};
     pub use crate::complex::C64;
     pub use crate::config::{CheckpointConfig, PoolSpec, SimConfig};
-    pub use crate::expectation::{Hamiltonian, Pauli, PauliString};
+    pub use crate::expectation::{CompiledObservable, Hamiltonian, Observable, Pauli, PauliString};
     pub use crate::gates::{Mat2, Mat4};
     pub use crate::integrity::{IntegrityMode, IntegrityPolicy};
     pub use crate::kernels::simd::BackendChoice;
     pub use crate::measure::MeasurementResult;
     pub use crate::noise::NoiseChannel;
     pub use crate::outcome::{MemberStats, Outcome};
-    pub use crate::sim::{GuardReport, RunReport, SimError, Simulator, Strategy};
+    pub use crate::sim::{GuardReport, MeasuredReport, RunReport, SimError, Simulator, Strategy};
     pub use crate::state::StateVector;
     pub use crate::telemetry::TelemetryConfig;
+    pub use crate::variational::{
+        hardware_efficient_ansatz, ParamCircuit, ParamOp, VqeDriver, VqeResult,
+    };
     pub use omp_par::Schedule;
 }
 

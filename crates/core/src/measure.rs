@@ -15,10 +15,15 @@ pub struct MeasurementResult {
 
 /// Measure qubit `q` projectively, collapsing the state, using `rng` for
 /// the Born-rule draw.
+///
+/// Exactly two state sweeps: one read-only probability pass, one
+/// project-and-renormalize pass ([`collapse_with_prob`] reuses the
+/// probability instead of recomputing it).
 pub fn measure_qubit<R: Rng>(state: &mut StateVector, q: u32, rng: &mut R) -> MeasurementResult {
     let p1 = state.prob_qubit_one(q);
     let outcome = u8::from(rng.gen_range(0.0..1.0) < p1);
-    collapse(state, q, outcome);
+    let p = if outcome == 1 { p1 } else { 1.0 - p1 };
+    collapse_with_prob(state, q, outcome, p);
     MeasurementResult { qubit: q, outcome }
 }
 
@@ -27,9 +32,17 @@ pub fn measure_qubit<R: Rng>(state: &mut StateVector, q: u32, rng: &mut R) -> Me
 /// Panics if the outcome has (near-)zero probability — projecting onto an
 /// impossible branch is a caller bug.
 pub fn collapse(state: &mut StateVector, q: u32, outcome: u8) {
+    let p1 = state.prob_qubit_one(q);
+    let p = if outcome == 1 { p1 } else { 1.0 - p1 };
+    collapse_with_prob(state, q, outcome, p);
+}
+
+/// [`collapse`] with the outcome probability already known — the single
+/// write sweep. Callers that just measured the qubit pass the Born
+/// probability through instead of paying a second read sweep.
+pub fn collapse_with_prob(state: &mut StateVector, q: u32, outcome: u8, p: f64) {
     let bit = 1usize << q;
     let keep_set = outcome == 1;
-    let p = if keep_set { state.prob_qubit_one(q) } else { 1.0 - state.prob_qubit_one(q) };
     assert!(p > 1e-14, "collapsing qubit {q} onto probability-{p} outcome {outcome}");
     let scale = 1.0 / p.sqrt();
     for (i, a) in state.amplitudes_mut().iter_mut().enumerate() {
@@ -41,26 +54,54 @@ pub fn collapse(state: &mut StateVector, q: u32, outcome: u8) {
     }
 }
 
-/// Draw `shots` full-register samples from the state's Born distribution
-/// *without* collapsing it, via inverse-transform sampling on the prefix
-/// sums (the standard statevector sampler).
+/// Multi-shot register sampler with a reusable CDF scratch buffer.
+///
+/// Building the prefix-sum table is the `O(2^n)` part of sampling; a
+/// loop that samples many states of the same width (the serve scheduler,
+/// trajectory batches) reuses one allocation across calls instead of
+/// growing a fresh `Vec` per state.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    cdf: Vec<f64>,
+}
+
+impl Sampler {
+    pub fn new() -> Sampler {
+        Sampler::default()
+    }
+
+    /// Draw `shots` full-register samples from the state's Born
+    /// distribution *without* collapsing it, via inverse-transform
+    /// sampling on the prefix sums (the standard statevector sampler).
+    pub fn sample<R: Rng>(
+        &mut self,
+        state: &StateVector,
+        shots: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, u64)> {
+        // Prefix sums of probabilities into the reused scratch.
+        self.cdf.clear();
+        self.cdf.reserve(state.len());
+        let mut acc = 0.0;
+        for a in state.amplitudes() {
+            acc += a.norm_sqr();
+            self.cdf.push(acc);
+        }
+        let total = acc;
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            let u: f64 = rng.gen_range(0.0..total);
+            // Binary search the first prefix ≥ u.
+            let idx = self.cdf.partition_point(|&c| c < u).min(state.len() - 1);
+            *counts.entry(idx).or_insert(0u64) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// One-shot convenience over [`Sampler`] (fresh scratch per call).
 pub fn sample_counts<R: Rng>(state: &StateVector, shots: usize, rng: &mut R) -> Vec<(usize, u64)> {
-    // Prefix sums of probabilities.
-    let mut cdf = Vec::with_capacity(state.len());
-    let mut acc = 0.0;
-    for a in state.amplitudes() {
-        acc += a.norm_sqr();
-        cdf.push(acc);
-    }
-    let total = acc;
-    let mut counts = std::collections::BTreeMap::new();
-    for _ in 0..shots {
-        let u: f64 = rng.gen_range(0.0..total);
-        // Binary search the first prefix ≥ u.
-        let idx = cdf.partition_point(|&c| c < u).min(state.len() - 1);
-        *counts.entry(idx).or_insert(0u64) += 1;
-    }
-    counts.into_iter().collect()
+    Sampler::new().sample(state, shots, rng)
 }
 
 /// Marginal probability distribution of a qubit subset (ascending order of
@@ -160,6 +201,32 @@ mod tests {
         let before = s.clone();
         let _ = sample_counts(&s, 100, &mut rng);
         assert!(s.approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn collapse_with_prob_matches_collapse() {
+        let mut a = bell();
+        let mut b = bell();
+        let p = a.prob_qubit_one(1);
+        collapse(&mut a, 1, 1);
+        collapse_with_prob(&mut b, 1, 1, p);
+        assert!(a.approx_eq(&b, 0.0), "passing the probability through must not change results");
+    }
+
+    #[test]
+    fn sampler_scratch_reuse_matches_fresh() {
+        let mut sampler = Sampler::new();
+        let s3 = StateVector::basis(3, 5);
+        let s2 = bell();
+        // Reuse across widths: the scratch shrinks/grows with the state.
+        let mut rng = StdRng::seed_from_u64(7);
+        let first = sampler.sample(&s3, 50, &mut rng);
+        assert_eq!(first, vec![(5, 50)]);
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let reused = sampler.sample(&s2, 200, &mut rng_a);
+        let fresh = sample_counts(&s2, 200, &mut rng_b);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use a64fx_model::link::LinkModel;
 use a64fx_model::timing::{predict, Bottleneck, ExecConfig, KernelProfile};
-use a64fx_model::traffic::{GateTraffic, KernelKind, TrafficModel};
+use a64fx_model::traffic::{GateTraffic, KernelKind, TrafficModel, AMP_BYTES};
 use a64fx_model::ChipParams;
 
 use crate::circuit::{Circuit, Gate};
@@ -283,6 +283,86 @@ pub fn predict_planned(chip: &ChipParams, cfg: &ExecConfig, plan: &Plan) -> Mode
         }
     }
     report
+}
+
+/// Traffic of one fused observable reduction over an `n`-qubit state:
+/// `sweeps` *read-only* full-state passes (one per Pauli basis group —
+/// the diagonal terms share one, each distinct flip mask adds one), with
+/// no writebacks. The materialize pass costs ~3 flops per amplitude per
+/// sweep (norm or conjugate product) and each of the `terms` sign folds
+/// adds ~1 flop per amplitude over L1-resident scratch.
+pub fn expectation_traffic(
+    model: &TrafficModel,
+    n: u32,
+    terms: usize,
+    sweeps: usize,
+) -> GateTraffic {
+    let amps = 1u64 << n;
+    let line_bytes = model.chip().l2.line_bytes as u64;
+    let total_lines = (amps * AMP_BYTES).div_ceil(line_bytes);
+    let lines_touched = total_lines * sweeps as u64;
+    // Read-only: every touched line is filled once, never written back.
+    let mem_bytes = lines_touched * line_bytes;
+    let flops = amps * (3 * sweeps as u64 + terms as u64);
+    GateTraffic {
+        amps_read: amps * sweeps as u64,
+        amps_written: 0,
+        lines_touched,
+        mem_bytes,
+        flops,
+        arithmetic_intensity: if mem_bytes == 0 { 0.0 } else { flops as f64 / mem_bytes as f64 },
+    }
+}
+
+/// Predict one fused observable evaluation (`terms` Pauli terms in
+/// `sweeps` basis-group passes) on the modelled chip.
+pub fn predict_expectation(
+    chip: &ChipParams,
+    cfg: &ExecConfig,
+    n: u32,
+    terms: usize,
+    sweeps: usize,
+) -> (GateTraffic, SweepPrediction) {
+    let model = TrafficModel::new(chip.clone());
+    let traffic = expectation_traffic(&model, n, terms, sweeps);
+    let p = predict_sweep(chip, cfg, &model, KernelKind::OneQubitDiagonal, &traffic, n);
+    (traffic, p)
+}
+
+/// Traffic of one projective measurement: a read-only probability pass
+/// plus a single read+write collapse pass. `measure::collapse_with_prob`
+/// reuses the probability from the outcome draw, so the collapse side is
+/// exactly one sweep — the telemetry regression test pins this total so
+/// a reintroduced second probability pass shows up as a price mismatch.
+pub fn measure_traffic(model: &TrafficModel, n: u32) -> GateTraffic {
+    let amps = 1u64 << n;
+    let line_bytes = model.chip().l2.line_bytes as u64;
+    let total_lines = (amps * AMP_BYTES).div_ceil(line_bytes);
+    // Probability fill + collapse fill + collapse writeback.
+    let lines_touched = 3 * total_lines;
+    let mem_bytes = lines_touched * line_bytes;
+    // Norm accumulate on the probability pass, scale-or-zero on collapse.
+    let flops = amps * 5;
+    GateTraffic {
+        amps_read: 2 * amps,
+        amps_written: amps,
+        lines_touched,
+        mem_bytes,
+        flops,
+        arithmetic_intensity: if mem_bytes == 0 { 0.0 } else { flops as f64 / mem_bytes as f64 },
+    }
+}
+
+/// Predict one projective measurement (probability + collapse sweeps).
+pub fn predict_measure(
+    chip: &ChipParams,
+    cfg: &ExecConfig,
+    n: u32,
+) -> (GateTraffic, SweepPrediction) {
+    let model = TrafficModel::new(chip.clone());
+    let traffic = measure_traffic(&model, n);
+    let p = predict_sweep(chip, cfg, &model, KernelKind::OneQubitDiagonal, &traffic, n);
+    (traffic, p)
 }
 
 /// Calibrated twin of the analytic predictors: price a strategy for

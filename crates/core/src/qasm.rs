@@ -6,13 +6,16 @@
 //!
 //! * header (`OPENQASM 2.0;`) and `include` lines are accepted and
 //!   ignored;
-//! * one `qreg` declares the circuit width; `creg` is accepted;
+//! * one `qreg` declares the circuit width; one `creg` (≤ 64 bits)
+//!   declares the classical register;
 //! * gates: `h x y z s sdg t tdg sx rx ry rz p u1 u3 cx cy cz cp cu1
 //!   swap rzz rxx ccx cswap id`;
 //! * angle expressions support numbers, `pi`, `+ - * /`, unary minus,
 //!   and parentheses;
-//! * `measure`, `barrier`, and comments are accepted and ignored (this
-//!   simulator measures via [`crate::measure`] after the run).
+//! * `measure q[i] -> c[j];` becomes [`Gate::Measure`] and
+//!   `if(c==val) gate ...;` becomes [`Gate::Cif`] over the full creg
+//!   mask (OpenQASM 2.0 `if` compares the whole register);
+//! * `barrier` and comments are accepted and ignored.
 //!
 //! Anything else produces a [`QasmError`] with the line number.
 
@@ -41,6 +44,8 @@ fn err(line: usize, message: impl Into<String>) -> QasmError {
 pub fn parse(source: &str) -> Result<Circuit, QasmError> {
     let mut circuit: Option<Circuit> = None;
     let mut qreg_name = String::new();
+    let mut creg_name = String::new();
+    let mut creg_size: u32 = 0;
 
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
@@ -66,10 +71,86 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
                 circuit = Some(Circuit::new(size));
                 continue;
             }
-            if stmt.starts_with("creg")
-                || stmt.starts_with("barrier")
-                || stmt.starts_with("measure")
-            {
+            if let Some(rest) = stmt.strip_prefix("creg") {
+                if creg_size != 0 {
+                    return Err(err(line, "only one creg is supported"));
+                }
+                let (name, size) = parse_reg(rest.trim(), line)?;
+                if size > 64 {
+                    return Err(err(line, format!("creg size {size} exceeds the 64-bit register")));
+                }
+                creg_name = name;
+                creg_size = size;
+                continue;
+            }
+            if stmt.starts_with("barrier") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("measure") {
+                let c =
+                    circuit.as_mut().ok_or_else(|| err(line, "measure before qreg declaration"))?;
+                let (src, dst) = rest
+                    .split_once("->")
+                    .ok_or_else(|| err(line, "expected `measure q[i] -> c[j]`"))?;
+                let q = parse_qubit(src, &qreg_name, line)?;
+                let width = c.n_qubits();
+                if q >= width {
+                    return Err(err(line, format!("qubit index {q} exceeds qreg size {width}")));
+                }
+                if creg_size == 0 {
+                    return Err(err(line, "measure before creg declaration"));
+                }
+                let bit = parse_qubit(dst, &creg_name, line)?;
+                if bit >= creg_size {
+                    return Err(err(
+                        line,
+                        format!("classical bit {bit} exceeds creg size {creg_size}"),
+                    ));
+                }
+                c.push(Gate::Measure { q, creg: bit });
+                continue;
+            }
+            if stmt.starts_with("if") && stmt[2..].trim_start().starts_with('(') {
+                let rest = stmt[2..].trim_start();
+                let rest = &rest[1..]; // consume `(`
+                let close =
+                    rest.find(')').ok_or_else(|| err(line, "missing `)` in if condition"))?;
+                let cond = &rest[..close];
+                let body = rest[close + 1..].trim();
+                let (name, val_text) = cond
+                    .split_once("==")
+                    .ok_or_else(|| err(line, "if condition must be `creg==value`"))?;
+                if creg_size == 0 {
+                    return Err(err(line, "if before creg declaration"));
+                }
+                let name = name.trim();
+                if name != creg_name {
+                    return Err(err(
+                        line,
+                        format!("unknown register `{name}` (declared: `{creg_name}`)"),
+                    ));
+                }
+                let val: u64 = val_text
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(line, "if value must be an unsigned integer"))?;
+                let mask: u64 = if creg_size == 64 { u64::MAX } else { (1u64 << creg_size) - 1 };
+                if val & !mask != 0 {
+                    return Err(err(line, format!("if value {val} exceeds creg size {creg_size}")));
+                }
+                let c =
+                    circuit.as_mut().ok_or_else(|| err(line, "gate before qreg declaration"))?;
+                let gate = parse_gate(body, &qreg_name, line)?;
+                let width = c.n_qubits();
+                for &q in &gate.qubits() {
+                    if q >= width {
+                        return Err(err(
+                            line,
+                            format!("qubit index {q} exceeds qreg size {width}"),
+                        ));
+                    }
+                }
+                c.push(Gate::Cif { mask, val, gate: Box::new(gate) });
                 continue;
             }
             // A gate statement: name[(params)] args.
@@ -385,40 +466,62 @@ impl ExprParser<'_> {
 pub fn emit(circuit: &Circuit) -> Result<String, String> {
     let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
     out.push_str(&format!("qreg q[{}];\n", circuit.n_qubits()));
+    let creg_bits = circuit.creg_bits();
+    if creg_bits > 0 {
+        out.push_str(&format!("creg c[{creg_bits}];\n"));
+    }
     for g in circuit.gates() {
-        let q = g.qubits();
-        let stmt = match g {
-            Gate::H(_)
-            | Gate::X(_)
-            | Gate::Y(_)
-            | Gate::Z(_)
-            | Gate::S(_)
-            | Gate::Sdg(_)
-            | Gate::T(_)
-            | Gate::Tdg(_)
-            | Gate::Sx(_) => {
-                format!("{} q[{}];", g.name(), q[0])
-            }
-            Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) | Gate::Phase(_, a) => {
-                format!("{}({}) q[{}];", g.name(), a, q[0])
-            }
-            Gate::U3(_, t, p, l) => format!("u3({t},{p},{l}) q[{}];", q[0]),
-            Gate::Cx(..) | Gate::Cy(..) | Gate::Cz(..) | Gate::Swap(..) => {
-                format!("{} q[{}],q[{}];", g.name(), q[0], q[1])
-            }
-            Gate::CPhase(_, _, a) => format!("cp({a}) q[{}],q[{}];", q[0], q[1]),
-            Gate::Rzz(_, _, a) => format!("rzz({a}) q[{}],q[{}];", q[0], q[1]),
-            Gate::Rxx(_, _, a) => format!("rxx({a}) q[{}],q[{}];", q[0], q[1]),
-            Gate::Ccx(..) => format!("ccx q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
-            Gate::CSwap(..) => format!("cswap q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
-            Gate::ISwap(..) | Gate::Unitary1(..) | Gate::Unitary2(..) => {
-                return Err(format!("gate `{}` has no OpenQASM 2.0 form", g.name()))
-            }
-        };
-        out.push_str(&stmt);
+        out.push_str(&gate_stmt(g, creg_bits)?);
         out.push('\n');
     }
     Ok(out)
+}
+
+/// One gate as a QASM statement. `creg_bits` is the emitted classical
+/// register width — OpenQASM 2.0 `if` compares the whole register, so a
+/// [`Gate::Cif`] is expressible only when its mask covers exactly that.
+fn gate_stmt(g: &Gate, creg_bits: u32) -> Result<String, String> {
+    let q = g.qubits();
+    let stmt = match g {
+        Gate::H(_)
+        | Gate::X(_)
+        | Gate::Y(_)
+        | Gate::Z(_)
+        | Gate::S(_)
+        | Gate::Sdg(_)
+        | Gate::T(_)
+        | Gate::Tdg(_)
+        | Gate::Sx(_) => {
+            format!("{} q[{}];", g.name(), q[0])
+        }
+        Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) | Gate::Phase(_, a) => {
+            format!("{}({}) q[{}];", g.name(), a, q[0])
+        }
+        Gate::U3(_, t, p, l) => format!("u3({t},{p},{l}) q[{}];", q[0]),
+        Gate::Cx(..) | Gate::Cy(..) | Gate::Cz(..) | Gate::Swap(..) => {
+            format!("{} q[{}],q[{}];", g.name(), q[0], q[1])
+        }
+        Gate::CPhase(_, _, a) => format!("cp({a}) q[{}],q[{}];", q[0], q[1]),
+        Gate::Rzz(_, _, a) => format!("rzz({a}) q[{}],q[{}];", q[0], q[1]),
+        Gate::Rxx(_, _, a) => format!("rxx({a}) q[{}],q[{}];", q[0], q[1]),
+        Gate::Ccx(..) => format!("ccx q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
+        Gate::CSwap(..) => format!("cswap q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
+        Gate::Measure { q, creg } => format!("measure q[{q}] -> c[{creg}];"),
+        Gate::Cif { mask, val, gate } => {
+            let full = if creg_bits >= 64 { u64::MAX } else { (1u64 << creg_bits) - 1 };
+            if *mask != full {
+                return Err(format!(
+                    "cif mask {mask:#x} is not the full {creg_bits}-bit register; \
+                     OpenQASM 2.0 `if` compares the whole creg"
+                ));
+            }
+            format!("if(c=={val}) {}", gate_stmt(gate, creg_bits)?)
+        }
+        Gate::ISwap(..) | Gate::Unitary1(..) | Gate::Unitary2(..) => {
+            return Err(format!("gate `{}` has no OpenQASM 2.0 form", g.name()))
+        }
+    };
+    Ok(stmt)
 }
 
 #[cfg(test)]
@@ -441,11 +544,74 @@ mod tests {
         "#;
         let c = parse(src).unwrap();
         assert_eq!(c.n_qubits(), 2);
-        assert_eq!(c.gates(), &[Gate::H(0), Gate::Cx(0, 1)]);
-        let mut s = StateVector::zero(2);
-        Simulator::new().run(&c, &mut s).unwrap();
-        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
-        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert_eq!(c.gates(), &[Gate::H(0), Gate::Cx(0, 1), Gate::Measure { q: 0, creg: 0 }]);
+        assert_eq!(c.creg_bits(), 1);
+        assert!(c.has_nonunitary());
+    }
+
+    #[test]
+    fn parse_measure_and_classical_if() {
+        let src = r#"
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            measure q[0] -> c[0];
+            if(c==1) x q[1];
+            measure q[1] -> c[1];
+        "#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.gates().len(), 4);
+        assert_eq!(c.gates()[1], Gate::Measure { q: 0, creg: 0 });
+        match &c.gates()[2] {
+            Gate::Cif { mask, val, gate } => {
+                assert_eq!(*mask, 0b11);
+                assert_eq!(*val, 1);
+                assert_eq!(**gate, Gate::X(1));
+            }
+            g => panic!("{g:?}"),
+        }
+        assert_eq!(c.creg_bits(), 2);
+    }
+
+    #[test]
+    fn measure_and_if_roundtrip_through_emit() {
+        let mut c = Circuit::new(3);
+        c.h(0).measure(0, 0).measure(1, 1);
+        c.cif(0b11, 0b01, Gate::X(2));
+        let text = emit(&c).unwrap();
+        assert!(text.contains("creg c[2];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+        assert!(text.contains("if(c==1) x q[2];"));
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.gates(), c.gates());
+    }
+
+    #[test]
+    fn emit_rejects_partial_creg_mask_cif() {
+        let mut c = Circuit::new(2);
+        c.measure(0, 0).measure(1, 1);
+        // Single-bit condition over a 2-bit creg: no QASM 2.0 form.
+        c.cif_bit(0, 1, Gate::X(1));
+        let e = emit(&c).unwrap_err();
+        assert!(e.contains("full"), "{e}");
+    }
+
+    #[test]
+    fn measure_before_creg_rejected() {
+        let e = parse("qreg q[2]; measure q[0] -> c[0];").unwrap_err();
+        assert!(e.message.contains("before creg"));
+    }
+
+    #[test]
+    fn if_value_beyond_creg_rejected() {
+        let e = parse("qreg q[1]; creg c[1]; if(c==2) x q[0];").unwrap_err();
+        assert!(e.message.contains("exceeds creg size"));
+    }
+
+    #[test]
+    fn classical_bit_beyond_creg_rejected() {
+        let e = parse("qreg q[2]; creg c[1]; measure q[0] -> c[1];").unwrap_err();
+        assert!(e.message.contains("exceeds creg size"));
     }
 
     #[test]

@@ -405,13 +405,13 @@ impl Simulator {
                 state: state.n_qubits(),
             });
         }
-        // Planning products are built once inside the timed region and
-        // shared with the model prediction afterwards — fusing or
-        // planning is never repeated for the report.
-        enum Prep {
-            Direct,
-            Fused(Vec<FusedOp>),
-            Planned(Plan),
+        if circuit.has_nonunitary() {
+            return Err(SimError::InvalidConfig(
+                "circuit contains measurement or classically-controlled ops; run it \
+                 through `Simulator::run_measured` (unitary strategies cannot fuse or \
+                 reorder across a collapse)"
+                    .to_string(),
+            ));
         }
         let be = self.backend();
         // Telemetry setup stays outside the timed region; when disabled
@@ -446,24 +446,7 @@ impl Simulator {
             s => s,
         };
         let start = Instant::now();
-        let (sweeps, prep) = match strategy {
-            Strategy::Naive => (self.run_naive(be, circuit, state, tr, &mut guard)?, Prep::Direct),
-            Strategy::Fused { max_k } => {
-                // Cost-aware lowering: merge only where the calibrated
-                // block kernel beats the member gates' own kernels.
-                let costs = crate::calibrate::Calibration::get().fuse_costs();
-                let ops = fuse_costed(circuit, max_k, &costs);
-                (self.run_fused_ops(be, &ops, state, tr, &mut guard)?, Prep::Fused(ops))
-            }
-            Strategy::Blocked { block_qubits } => {
-                (self.run_blocked(be, circuit, state, block_qubits, tr, &mut guard)?, Prep::Direct)
-            }
-            Strategy::Planned { block_qubits, max_k } => {
-                let plan = plan_circuit(circuit, block_qubits, max_k);
-                (self.run_planned(be, &plan, state, tr, &mut guard)?, Prep::Planned(plan))
-            }
-            Strategy::Auto => unreachable!("Auto resolved to a concrete strategy above"),
-        };
+        let (sweeps, prep) = self.execute_circuit(be, strategy, circuit, state, tr, &mut guard)?;
         let wall_seconds = start.elapsed().as_secs_f64();
         let predicted = self.chip.as_ref().map(|(chip, cfg)| match &prep {
             Prep::Direct => predict_circuit(chip, cfg, circuit),
@@ -471,31 +454,7 @@ impl Simulator {
             Prep::Planned(plan) => predict_planned(chip, cfg, plan),
         });
         let trace = match tracer {
-            Some(t) => {
-                if let Some(pool) = &self.pool {
-                    pool.set_observer(None);
-                }
-                // Detaching the observer dropped the pool's clone; the
-                // tracer is exclusively ours again.
-                let t = Arc::try_unwrap(t)
-                    .unwrap_or_else(|_| unreachable!("tracer still shared after detach"));
-                let meta = RunMeta {
-                    strategy: self.strategy.to_string(),
-                    backend: be.name.to_string(),
-                    threads: self.threads() as u32,
-                    schedule: self.sched.to_string(),
-                    n_qubits: circuit.n_qubits(),
-                    label: self.telemetry.label.clone(),
-                };
-                let trace = t.finish(meta);
-                telemetry::write_configured(&self.telemetry, &trace).map_err(|e| {
-                    SimError::TraceIo(match &self.telemetry.trace_path {
-                        Some(p) => format!("{}: {e}", p.display()),
-                        None => e.to_string(),
-                    })
-                })?;
-                Some(trace)
-            }
+            Some(t) => Some(self.finish_trace(t, be, circuit.n_qubits())?),
             None => None,
         };
         Ok(RunReport {
@@ -504,6 +463,203 @@ impl Simulator {
             sweeps,
             backend: be.name,
             predicted,
+            trace,
+            guard: guard.map(|g| g.report),
+        })
+    }
+
+    /// Execute one unitary circuit under a *concrete* strategy (`Auto`
+    /// resolves here, per circuit). Shared by [`Simulator::run`] and the
+    /// per-segment loop of [`Simulator::run_measured`].
+    fn execute_circuit(
+        &self,
+        be: &KernelBackend,
+        strategy: Strategy,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        tr: Option<&Tracer>,
+        guard: &mut Option<RunGuard>,
+    ) -> Result<(usize, Prep), SimError> {
+        Ok(match strategy {
+            Strategy::Naive => (self.run_naive(be, circuit, state, tr, guard)?, Prep::Direct),
+            Strategy::Fused { max_k } => {
+                // Cost-aware lowering: merge only where the calibrated
+                // block kernel beats the member gates' own kernels.
+                let costs = crate::calibrate::Calibration::get().fuse_costs();
+                let ops = fuse_costed(circuit, max_k, &costs);
+                (self.run_fused_ops(be, &ops, state, tr, guard)?, Prep::Fused(ops))
+            }
+            Strategy::Blocked { block_qubits } => {
+                (self.run_blocked(be, circuit, state, block_qubits, tr, guard)?, Prep::Direct)
+            }
+            Strategy::Planned { block_qubits, max_k } => {
+                let plan = plan_circuit(circuit, block_qubits, max_k);
+                (self.run_planned(be, &plan, state, tr, guard)?, Prep::Planned(plan))
+            }
+            Strategy::Auto => {
+                let s = self.resolve_auto(circuit);
+                return self.execute_circuit(be, s, circuit, state, tr, guard);
+            }
+        })
+    }
+
+    /// Detach the tracer from the pool, close it, and write the
+    /// configured sink.
+    fn finish_trace(
+        &self,
+        tracer: Arc<Tracer>,
+        be: &KernelBackend,
+        n_qubits: u32,
+    ) -> Result<Trace, SimError> {
+        if let Some(pool) = &self.pool {
+            pool.set_observer(None);
+        }
+        // Detaching the observer dropped the pool's clone; the
+        // tracer is exclusively ours again.
+        let t = Arc::try_unwrap(tracer)
+            .unwrap_or_else(|_| unreachable!("tracer still shared after detach"));
+        let meta = RunMeta {
+            strategy: self.strategy.to_string(),
+            backend: be.name.to_string(),
+            threads: self.threads() as u32,
+            schedule: self.sched.to_string(),
+            n_qubits,
+            label: self.telemetry.label.clone(),
+        };
+        let trace = t.finish(meta);
+        telemetry::write_configured(&self.telemetry, &trace).map_err(|e| {
+            SimError::TraceIo(match &self.telemetry.trace_path {
+                Some(p) => format!("{}: {e}", p.display()),
+                None => e.to_string(),
+            })
+        })?;
+        Ok(trace)
+    }
+
+    /// Execute a circuit that may contain [`Gate::Measure`] and
+    /// [`Gate::Cif`] ops.
+    ///
+    /// The circuit is segmented at every non-unitary op: each maximal
+    /// unitary run executes under the configured strategy (a measurement
+    /// is therefore a plan/fusion *barrier* — no lowering crosses a
+    /// collapse), the measurement itself draws from
+    /// `StdRng::seed_from_u64(seed)` and collapses in two sweeps
+    /// ([`crate::measure::measure_qubit`]), and classically-controlled
+    /// gates consult the classical register accumulated so far.
+    ///
+    /// **RNG-stream contract:** all randomness comes from the one seeded
+    /// stream, consumed in circuit order (one draw per `Measure`). The
+    /// batched engine gives member `m` its own stream seeded with
+    /// `seeds[m]`, so a batched member is bit-identical to a serial
+    /// `run_measured` call with that seed.
+    ///
+    /// Checkpoint snapshots are not taken (a rollback cannot rewind the
+    /// RNG stream across a collapse); integrity sweeps still run.
+    pub fn run_measured(
+        &self,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        seed: u64,
+    ) -> Result<MeasuredReport, SimError> {
+        use rand::SeedableRng;
+        if circuit.n_qubits() != state.n_qubits() {
+            return Err(SimError::QubitMismatch {
+                circuit: circuit.n_qubits(),
+                state: state.n_qubits(),
+            });
+        }
+        let be = self.backend();
+        let tracer = if self.telemetry.enabled {
+            let (chip, cfg) = self
+                .chip
+                .clone()
+                .unwrap_or_else(|| (ChipParams::a64fx(), ExecConfig::single_core()));
+            let t = Arc::new(Tracer::new(
+                circuit.n_qubits(),
+                self.threads(),
+                chip,
+                cfg,
+                self.telemetry.capacity,
+            ));
+            if let Some(pool) = &self.pool {
+                pool.set_observer(Some(t.clone() as Arc<dyn RegionObserver>));
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let tr = tracer.as_deref();
+        let mut guard = RunGuard::new(&self.integrity, None, circuit.n_qubits())?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut outcomes: Vec<crate::measure::MeasurementResult> = Vec::new();
+        let mut creg: u64 = 0;
+        let mut segments = 0usize;
+        let mut sweeps = 0usize;
+        let mut seg = Circuit::new(circuit.n_qubits());
+        let start = Instant::now();
+        for g in circuit.gates() {
+            if g.is_unitary() {
+                seg.push(g.clone());
+                continue;
+            }
+            if !seg.is_empty() {
+                let (s, _) =
+                    self.execute_circuit(be, self.strategy, &seg, state, tr, &mut guard)?;
+                sweeps += s;
+                segments += 1;
+                seg = Circuit::new(circuit.n_qubits());
+            }
+            match g {
+                Gate::Measure { q, creg: bit } => {
+                    let t0 = tr.map(|_| Instant::now());
+                    let r = crate::measure::measure_qubit(state, *q, &mut rng);
+                    if let (Some(t), Some(t0)) = (tr, t0) {
+                        t.record_measure(0, *q, t0.elapsed().as_nanos() as u64);
+                    }
+                    if r.outcome == 1 {
+                        creg |= 1 << bit;
+                    } else {
+                        creg &= !(1 << bit);
+                    }
+                    outcomes.push(r);
+                }
+                Gate::Cif { mask, val, gate } => {
+                    if creg & *mask == *val {
+                        let t0 = tr.map(|_| Instant::now());
+                        exec_gate(
+                            be,
+                            self.pool.as_deref(),
+                            self.sched,
+                            state.amplitudes_mut(),
+                            gate,
+                        );
+                        if let (Some(t), Some(t0)) = (tr, t0) {
+                            t.record_gate(0, gate, t0.elapsed().as_nanos() as u64);
+                        }
+                        sweeps += 1;
+                    }
+                }
+                _ => unreachable!("non-unitary gates are Measure/Cif only"),
+            }
+        }
+        if !seg.is_empty() {
+            let (s, _) = self.execute_circuit(be, self.strategy, &seg, state, tr, &mut guard)?;
+            sweeps += s;
+            segments += 1;
+        }
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let trace = match tracer {
+            Some(t) => Some(self.finish_trace(t, be, circuit.n_qubits())?),
+            None => None,
+        };
+        Ok(MeasuredReport {
+            wall_seconds,
+            gates: circuit.len(),
+            segments,
+            sweeps,
+            outcomes,
+            creg,
+            backend: be.name,
             trace,
             guard: guard.map(|g| g.report),
         })
@@ -626,6 +782,40 @@ impl Simulator {
         }
         Ok(plan.sweeps)
     }
+}
+
+/// Planning products of one unitary execution, built once inside the
+/// timed region and shared with the model prediction afterwards —
+/// fusing or planning is never repeated for the report.
+enum Prep {
+    Direct,
+    Fused(Vec<FusedOp>),
+    Planned(Plan),
+}
+
+/// Report of one [`Simulator::run_measured`] execution.
+#[derive(Debug, Clone)]
+pub struct MeasuredReport {
+    /// Measured wall time of the host execution.
+    pub wall_seconds: f64,
+    /// Gates (unitary + non-unitary) in the source circuit.
+    pub gates: usize,
+    /// Maximal unitary segments executed between collapse barriers.
+    pub segments: usize,
+    /// State sweeps across all unitary segments plus taken `Cif` gates
+    /// (measurement collapse passes are not counted here).
+    pub sweeps: usize,
+    /// Every projective measurement, in circuit order.
+    pub outcomes: Vec<crate::measure::MeasurementResult>,
+    /// Final classical register: bit `creg` of each `Measure` holds its
+    /// observed outcome.
+    pub creg: u64,
+    /// Name of the SIMD kernel backend that executed the sweeps.
+    pub backend: &'static str,
+    /// The full telemetry trace, when telemetry is enabled.
+    pub trace: Option<Trace>,
+    /// Resilience-guard activity, when integrity sweeps were enabled.
+    pub guard: Option<GuardReport>,
 }
 
 /// Advance the executor index past item `i`, running any guard work
@@ -1264,6 +1454,115 @@ mod tests {
         assert!(matches!(guard.after_item(&mut amps, 0), Ok(GuardAction::Continue)));
         assert_eq!(guard.report.repairs, 1);
         assert!((amps[0].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_rejects_nonunitary_circuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0);
+        let mut s = StateVector::zero(2);
+        let err = Simulator::new().run(&c, &mut s).unwrap_err();
+        assert!(err.to_string().contains("run_measured"), "{err}");
+    }
+
+    #[test]
+    fn run_measured_on_unitary_circuit_matches_run() {
+        let c = library::qft(5);
+        let init = random_init(5, 33);
+        let mut plain = init.clone();
+        Simulator::new().run(&c, &mut plain).unwrap();
+        for strat in all_strategies() {
+            let mut s = init.clone();
+            let report = SimConfig::new()
+                .strategy(strat)
+                .build()
+                .unwrap()
+                .run_measured(&c, &mut s, 1)
+                .unwrap();
+            assert!(s.approx_eq(&plain, EPS), "{strat:?}");
+            assert_eq!(report.segments, 1);
+            assert!(report.outcomes.is_empty());
+            assert_eq!(report.creg, 0);
+        }
+    }
+
+    #[test]
+    fn measured_run_collapses_and_fills_creg() {
+        // GHZ then measure qubit 0: qubits 1,2 must agree with the
+        // observed bit, and the creg records it.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure(0, 0);
+        for seed in 0..20u64 {
+            let mut s = StateVector::zero(3);
+            let report = Simulator::new().run_measured(&c, &mut s, seed).unwrap();
+            assert_eq!(report.outcomes.len(), 1);
+            let bit = report.outcomes[0].outcome;
+            assert_eq!(report.creg, bit as u64);
+            let expect = if bit == 1 { 0b111 } else { 0b000 };
+            assert!((s.probability(expect) - 1.0).abs() < EPS, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cif_consults_the_classical_register() {
+        // Active teleport-style correction: measure q0, X on q1 iff 1.
+        // Afterwards q1 is deterministically |0⟩... flipped to match.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure(0, 0);
+        c.cif_bit(0, 1, Gate::X(1));
+        for seed in 0..20u64 {
+            let mut s = StateVector::zero(2);
+            let report = Simulator::new().run_measured(&c, &mut s, seed).unwrap();
+            let bit = report.outcomes[0].outcome as usize;
+            // Bell + measure: q1 == q0; the conditional X undoes a 1.
+            let expect = bit; // q0 stays `bit`, q1 flipped back to 0
+            assert!((s.probability(expect) - 1.0).abs() < EPS, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn measured_run_strategies_agree_per_seed() {
+        // Strategy changes lowering of unitary segments only; the RNG
+        // stream (one draw per measure, in order) is identical, so all
+        // strategies observe the same outcomes and final state.
+        let mut c = Circuit::new(5);
+        for g in library::random_circuit(5, 12, 3).gates() {
+            c.push(g.clone());
+        }
+        c.measure(2, 0);
+        for g in library::random_circuit(5, 8, 4).gates() {
+            c.push(g.clone());
+        }
+        c.cif_bit(0, 1, Gate::Z(0));
+        c.measure(4, 1);
+        let mut reference = StateVector::zero(5);
+        let ref_report = Simulator::new().run_measured(&c, &mut reference, 9).unwrap();
+        assert_eq!(ref_report.segments, 2);
+        for strat in all_strategies() {
+            let mut s = StateVector::zero(5);
+            let report = SimConfig::new()
+                .strategy(strat)
+                .build()
+                .unwrap()
+                .run_measured(&c, &mut s, 9)
+                .unwrap();
+            assert_eq!(report.creg, ref_report.creg, "{strat:?}");
+            assert_eq!(report.outcomes, ref_report.outcomes, "{strat:?}");
+            assert!(s.approx_eq(&reference, EPS), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn measured_run_records_measure_spans() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut s = StateVector::zero(3);
+        let sim = SimConfig::new().telemetry(TelemetryConfig::on()).build().unwrap();
+        let report = sim.run_measured(&c, &mut s, 5).unwrap();
+        let trace = report.trace.expect("telemetry enabled");
+        let measures =
+            trace.spans.iter().filter(|sp| matches!(sp.kind, telemetry::SpanKind::Measure)).count();
+        assert_eq!(measures, 2);
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub enum SpanKind {
     Block { gates: u32, k: u8 },
     /// One distributed communication phase.
     Exchange(ExchangePhase),
+    /// One fused observable reduction: `terms` Pauli terms evaluated in
+    /// `sweeps` read-only basis-group passes over the state.
+    Reduce { terms: u32, sweeps: u32 },
+    /// One projective measurement: a probability pass plus a single
+    /// collapse pass.
+    Measure,
 }
 
 impl SpanKind {
@@ -115,6 +121,8 @@ impl SpanKind {
             SpanKind::Kernel(k) => format!("kernel:{}", kernel_kind_name(*k)),
             SpanKind::Block { gates, k } => format!("block:g{gates}:k{k}"),
             SpanKind::Exchange(p) => format!("exchange:{}", p.name()),
+            SpanKind::Reduce { terms, sweeps } => format!("reduce:t{terms}:s{sweeps}"),
+            SpanKind::Measure => "measure".to_string(),
         }
     }
 
@@ -131,6 +139,15 @@ impl SpanKind {
         }
         if let Some(rest) = s.strip_prefix("exchange:") {
             return ExchangePhase::from_name(rest).map(SpanKind::Exchange);
+        }
+        if let Some(rest) = s.strip_prefix("reduce:") {
+            let (t, sw) = rest.split_once(":s")?;
+            let terms: u32 = t.strip_prefix('t')?.parse().ok()?;
+            let sweeps: u32 = sw.parse().ok()?;
+            return Some(SpanKind::Reduce { terms, sweeps });
+        }
+        if s == "measure" {
+            return Some(SpanKind::Measure);
         }
         None
     }
@@ -553,6 +570,38 @@ impl Tracer {
         );
     }
 
+    /// Record one fused observable reduction (`terms` Pauli terms in
+    /// `sweeps` basis-group passes). Priced by
+    /// [`perf::expectation_traffic`]: read-only passes, no writebacks.
+    pub fn record_reduce(&self, thread: usize, terms: usize, sweeps: usize, wall_ns: u64) {
+        let traffic = perf::expectation_traffic(&self.model, self.n_qubits, terms, sweeps);
+        let span_kind = SpanKind::Reduce { terms: terms as u32, sweeps: sweeps as u32 };
+        self.record_traffic(
+            thread,
+            span_kind,
+            &[],
+            KernelKind::OneQubitDiagonal,
+            &traffic,
+            wall_ns,
+        );
+    }
+
+    /// Record one projective measurement of qubit `q`. Priced by
+    /// [`perf::measure_traffic`]: one probability pass plus ONE collapse
+    /// pass — the span's byte counter is the regression guard against
+    /// reintroducing a second probability sweep into the collapse.
+    pub fn record_measure(&self, thread: usize, q: u32, wall_ns: u64) {
+        let traffic = perf::measure_traffic(&self.model, self.n_qubits);
+        self.record_traffic(
+            thread,
+            SpanKind::Measure,
+            &[q],
+            KernelKind::OneQubitDiagonal,
+            &traffic,
+            wall_ns,
+        );
+    }
+
     /// Record one distributed communication phase: `bytes` is the wire
     /// volume this rank moved, `amps` the amplitudes shipped.
     ///
@@ -679,6 +728,8 @@ mod tests {
             SpanKind::Exchange(ExchangePhase::PairExchange),
             SpanKind::Exchange(ExchangePhase::GlobalSwap),
             SpanKind::Exchange(ExchangePhase::OverlapSwap),
+            SpanKind::Reduce { terms: 12, sweeps: 5 },
+            SpanKind::Measure,
         ] {
             assert_eq!(SpanKind::from_label(&kind.label()), Some(kind), "{}", kind.label());
         }
@@ -771,6 +822,34 @@ mod tests {
         assert_eq!(s.kind, SpanKind::Block { gates: 2, k: 3 });
         let amps = 1u64 << 10;
         assert_eq!(s.flops, amps * (8 << 2) + amps * (8 << 3));
+    }
+
+    #[test]
+    fn reduce_span_prices_read_only_group_sweeps() {
+        let tr = tracer(12);
+        tr.record_reduce(0, 9, 3, 777);
+        let trace = tr.finish(RunMeta::default());
+        let s = &trace.spans[0];
+        assert_eq!(s.kind, SpanKind::Reduce { terms: 9, sweeps: 3 });
+        let expected = crate::perf::expectation_traffic(&TrafficModel::a64fx(), 12, 9, 3);
+        assert_eq!(s.bytes, expected.mem_bytes);
+        assert_eq!(s.flops, expected.flops);
+        assert_eq!(s.amps, expected.amps_read);
+        assert_eq!(s.wall_ns, 777);
+    }
+
+    #[test]
+    fn measure_span_prices_single_pass_collapse() {
+        let tr = tracer(10);
+        tr.record_measure(0, 4, 321);
+        let trace = tr.finish(RunMeta::default());
+        let s = &trace.spans[0];
+        assert_eq!(s.kind, SpanKind::Measure);
+        assert_eq!(s.qubits, vec![4]);
+        // One probability fill + one collapse fill + writeback: 48 B/amp.
+        // A double-probability collapse would price 64 B/amp instead.
+        assert_eq!(s.bytes, 48 << 10);
+        assert_eq!(s.amps, 2 << 10);
     }
 
     #[test]

@@ -21,6 +21,18 @@
 //! reaches the queue — [`Circuit::push`] asserts on bad qubit indices,
 //! and a panic in the scheduler would take the worker down, so the
 //! worker must only ever see well-formed circuits.
+//!
+//! # Parameter sweeps
+//!
+//! Rotation gates may carry `"param": <slot>` instead of a concrete
+//! `"theta"`, turning the submission into a *sweep*: a top-level
+//! `"points"` array then lists the parameter vectors to evaluate, and
+//! the result reports counts/expectations per point. The
+//! [`fingerprint`](JobSpec::fingerprint) covers the *structure* (slots,
+//! not values), so sweeps over the same template — different points,
+//! different tenants — pack into one gate-major batch; the concrete
+//! points only enter the result-cache key
+//! ([`cache_fingerprint`](JobSpec::cache_fingerprint)).
 
 use std::str::FromStr;
 
@@ -29,6 +41,7 @@ use qcs_core::expectation::{Pauli, PauliString};
 use qcs_core::io::{fnv1a, fnv1a_update};
 use qcs_core::kernels::simd::BackendChoice;
 use qcs_core::sim::Strategy;
+use qcs_core::variational::ParamCircuit;
 
 use crate::error::QcsError;
 use crate::json::Value;
@@ -50,6 +63,11 @@ pub struct JobSpec {
     /// `(source text, parsed operator)` pairs; the source text is echoed
     /// back in the result body.
     pub observables: Vec<(String, PauliString)>,
+    /// The parameterized template, when any gate carried `"param"`.
+    /// `circuit` then holds the template bound at `points[0]`.
+    pub ansatz: Option<ParamCircuit>,
+    /// Parameter points to evaluate (empty for plain jobs).
+    pub points: Vec<Vec<f64>>,
 }
 
 fn bad(why: impl Into<String>) -> QcsError {
@@ -94,7 +112,7 @@ impl JobSpec {
         }
         .to_string();
 
-        let circuit = match (v.get("circuit"), v.get("qasm")) {
+        let (circuit, ansatz, points) = match (v.get("circuit"), v.get("qasm")) {
             (Some(_), Some(_)) => {
                 return Err(bad("give either 'circuit' or 'qasm', not both"));
             }
@@ -106,9 +124,26 @@ impl JobSpec {
                 if n == 0 || n > 30 {
                     return Err(bad("'n' must be in 1..=30"));
                 }
-                parse_gate_list(n as u32, list)?
+                let (template, saw_param) = parse_gate_list(n as u32, list)?;
+                if saw_param {
+                    let points = parse_points(&v, template.n_params())?;
+                    let circuit = template.bind(&points[0]);
+                    (circuit, Some(template), points)
+                } else {
+                    if v.get("points").is_some() {
+                        return Err(bad(
+                            "'points' needs parameterized gates ('param' slots) to bind",
+                        ));
+                    }
+                    (template.bind(&[]), None, Vec::new())
+                }
             }
             (None, Some(src)) => {
+                if v.get("points").is_some() {
+                    return Err(bad(
+                        "'points' sweeps use the 'circuit' gate-list form, not 'qasm'",
+                    ));
+                }
                 let src = src.as_str().ok_or_else(|| bad("'qasm' must be a string"))?;
                 // The qasm front-end range-checks indices but relies on
                 // `Circuit::push` asserts for duplicate qubits; a panic
@@ -123,7 +158,7 @@ impl JobSpec {
                         )));
                     }
                 }
-                c
+                (strip_terminal_measurements(c)?, None, Vec::new())
             }
             (None, None) => return Err(bad("missing 'circuit' (gate list) or 'qasm'")),
         };
@@ -152,7 +187,14 @@ impl JobSpec {
             backend_str,
             circuit,
             observables,
+            ansatz,
+            points,
         })
+    }
+
+    /// Whether this job sweeps a parameterized template over points.
+    pub fn is_sweep(&self) -> bool {
+        self.ansatz.is_some()
     }
 
     /// FNV-1a fingerprint of everything that determines the *work* and
@@ -160,12 +202,25 @@ impl JobSpec {
     /// backend (different strategies agree only to rounding, so they
     /// must never share cache entries), plus the observable list (it
     /// shapes the result body). Jobs with equal fingerprints are
-    /// batch-compatible; `(fingerprint, seed, shots)` keys the cache.
+    /// batch-compatible; for sweeps the *template structure* (slots,
+    /// fixed gates) is hashed — not the concrete points — so sweeps
+    /// over the same template pack into one gate-major batch across
+    /// tenants. `(cache_fingerprint, seed, shots)` keys the cache.
     pub fn fingerprint(&self) -> u64 {
         let mut text =
             format!("n={};strategy={};backend={};", self.n, self.strategy_str, self.backend_str);
-        for g in self.circuit.gates() {
-            text.push_str(&format!("{g:?};"));
+        match &self.ansatz {
+            Some(template) => {
+                text.push_str("template;");
+                for op in template.ops() {
+                    text.push_str(&format!("{op:?};"));
+                }
+            }
+            None => {
+                for g in self.circuit.gates() {
+                    text.push_str(&format!("{g:?};"));
+                }
+            }
         }
         let mut h = fnv1a(text.as_bytes());
         for (src, _) in &self.observables {
@@ -175,22 +230,111 @@ impl JobSpec {
         }
         h
     }
+
+    /// The result-cache key: the batch [`fingerprint`](JobSpec::fingerprint)
+    /// plus the concrete parameter points — two sweeps over the same
+    /// template share a batch but must never share cached results.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let mut h = self.fingerprint();
+        for point in &self.points {
+            h = fnv1a_update(h, b"pt=");
+            for val in point {
+                h = fnv1a_update(h, &val.to_bits().to_le_bytes());
+            }
+            h = fnv1a_update(h, b";");
+        }
+        h
+    }
+}
+
+/// A qasm program's trailing measurement layer is implied by `shots`
+/// and dropped; anything *mid-circuit* (a measurement feeding later
+/// gates, or any classically-controlled gate) cannot run under the
+/// batch engine and is a clean 400.
+fn strip_terminal_measurements(c: Circuit) -> Result<Circuit, QcsError> {
+    if !c.has_nonunitary() {
+        return Ok(c);
+    }
+    let gates = c.gates();
+    let cut = gates.iter().rposition(|g| g.is_unitary()).map_or(0, |i| i + 1);
+    for g in &gates[..cut] {
+        if !g.is_unitary() {
+            return Err(bad(
+                "qasm: mid-circuit measurement / classical control is not supported by the \
+                 job server; only a terminal measurement layer (implied by 'shots') is",
+            ));
+        }
+    }
+    if gates[cut..].iter().any(|g| !matches!(g, Gate::Measure { .. })) {
+        return Err(bad("qasm: classically-controlled gates are not supported by the job server"));
+    }
+    let mut out = Circuit::new(c.n_qubits());
+    for g in &gates[..cut] {
+        out.push(g.clone());
+    }
+    Ok(out)
+}
+
+/// The `"points"` array of a sweep submission: 1..=256 parameter
+/// vectors, each exactly `n_params` finite numbers long.
+fn parse_points(v: &Value, n_params: usize) -> Result<Vec<Vec<f64>>, QcsError> {
+    let list = v
+        .get("points")
+        .ok_or_else(|| bad("parameterized gates need a 'points' array of parameter vectors"))?;
+    let list =
+        list.as_arr().ok_or_else(|| bad("'points' must be an array of parameter vectors"))?;
+    if list.is_empty() {
+        return Err(bad("'points' must list at least one parameter vector"));
+    }
+    if list.len() > 256 {
+        return Err(bad("at most 256 points per sweep job"));
+    }
+    let mut out = Vec::with_capacity(list.len());
+    for (i, p) in list.iter().enumerate() {
+        let arr =
+            p.as_arr().ok_or_else(|| bad(format!("points[{i}] must be an array of numbers")))?;
+        if arr.len() != n_params {
+            return Err(bad(format!(
+                "points[{i}] has {} values; the template has {n_params} parameter slot(s)",
+                arr.len()
+            )));
+        }
+        let vals: Vec<f64> = arr
+            .iter()
+            .map(Value::as_f64)
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad(format!("points[{i}] entries must be numbers")))?;
+        if vals.iter().any(|x| !x.is_finite()) {
+            return Err(bad(format!("points[{i}] contains a non-finite value")));
+        }
+        out.push(vals);
+    }
+    Ok(out)
 }
 
 /// Gate-list vocabulary: the [`Circuit`] fluent-builder names, each with
-/// its qubit arity and angle parameters.
-fn parse_gate_list(n: u32, list: &Value) -> Result<Circuit, QcsError> {
+/// its qubit arity and angle parameters. Returns the circuit as a
+/// [`ParamCircuit`] template (binding a 0-parameter template yields the
+/// plain circuit) plus whether any gate carried a `"param"` slot.
+fn parse_gate_list(n: u32, list: &Value) -> Result<(ParamCircuit, bool), QcsError> {
     let list = list.as_arr().ok_or_else(|| bad("'circuit' must be an array"))?;
     if list.len() > 100_000 {
         return Err(bad("circuit exceeds the 100k-gate limit"));
     }
-    let mut circuit = Circuit::new(n);
+    let mut template = ParamCircuit::new(n);
+    let mut saw_param = false;
     for (i, item) in list.iter().enumerate() {
-        let gate = build_gate(item).map_err(|e| match e {
+        let at = |e: QcsError| match e {
             QcsError::BadRequest(why) => bad(format!("circuit[{i}]: {why}")),
             other => other,
-        })?;
-        // Validate before `push`, which asserts (and would panic).
+        };
+        if item.get("param").is_some() {
+            saw_param = true;
+            push_param_gate(&mut template, item).map_err(at)?;
+            continue;
+        }
+        let gate = build_gate(item).map_err(at)?;
+        // Validate before `fixed`, which asserts (and would panic).
         let qs = gate.qubits();
         for &q in &qs {
             if q >= n {
@@ -204,9 +348,97 @@ fn parse_gate_list(n: u32, list: &Value) -> Result<Circuit, QcsError> {
                 return Err(bad(format!("circuit[{i}]: qubit {qa} used twice")));
             }
         }
-        circuit.push(gate);
+        template.fixed(gate);
     }
-    Ok(circuit)
+    Ok((template, saw_param))
+}
+
+/// One `"param"`-carrying rotation: slot `p` may re-use any slot the
+/// template already has, or be exactly the next fresh one — the same
+/// allocate-in-order discipline the [`ParamCircuit`] builder asserts,
+/// surfaced here as a 400.
+fn push_param_gate(template: &mut ParamCircuit, item: &Value) -> Result<(), QcsError> {
+    let name = item
+        .get("gate")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing string field 'gate'"))?;
+    if item.get("theta").is_some() {
+        return Err(bad(format!("gate '{name}': give 'param' or 'theta', not both")));
+    }
+    let slot = item
+        .get("param")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("'param' must be a non-negative integer slot"))? as usize;
+    let qs: Vec<u32> = match item.get("q").and_then(Value::as_arr) {
+        Some(arr) => arr
+            .iter()
+            .map(|q| q.as_u64().map(|q| q as u32))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("'q' entries must be non-negative integers"))?,
+        None => return Err(bad("missing array field 'q'")),
+    };
+    let n = template.n_qubits();
+    for &q in &qs {
+        if q >= n {
+            return Err(bad(format!("qubit {q} out of range for a {n}-qubit circuit")));
+        }
+    }
+    if qs.len() == 2 && qs[0] == qs[1] {
+        return Err(bad(format!("gate '{name}': qubit {} used twice", qs[0])));
+    }
+    if slot > template.n_params() {
+        return Err(bad(format!(
+            "gate '{name}': parameter slot {slot} introduced out of order \
+             ({} allocated so far; slots are dense, in first-use order)",
+            template.n_params()
+        )));
+    }
+    let fresh = slot == template.n_params();
+    match (name, qs.len()) {
+        ("rx", 1) => {
+            if fresh {
+                template.rx(qs[0]);
+            } else {
+                template.rx_param(qs[0], slot);
+            }
+        }
+        ("ry", 1) => {
+            if fresh {
+                template.ry(qs[0]);
+            } else {
+                template.ry_param(qs[0], slot);
+            }
+        }
+        ("rz", 1) => {
+            if fresh {
+                template.rz(qs[0]);
+            } else {
+                template.rz_param(qs[0], slot);
+            }
+        }
+        ("rzz", 2) => {
+            if fresh {
+                template.rzz(qs[0], qs[1]);
+            } else {
+                template.rzz_param(qs[0], qs[1], slot);
+            }
+        }
+        ("rxx", 2) => {
+            if fresh {
+                template.rxx(qs[0], qs[1]);
+            } else {
+                template.rxx_param(qs[0], qs[1], slot);
+            }
+        }
+        _ => {
+            return Err(bad(format!(
+                "gate '{name}' with {} qubit(s) cannot take 'param' \
+                 (parameterized gates: rx/ry/rz on 1 qubit, rzz/rxx on 2)",
+                qs.len()
+            )))
+        }
+    }
+    Ok(())
 }
 
 fn build_gate(item: &Value) -> Result<Gate, QcsError> {
@@ -351,6 +583,105 @@ mod tests {
             let err = JobSpec::parse(body).unwrap_err();
             assert_eq!(err.code(), "serve/bad-request", "{body}");
         }
+    }
+
+    #[test]
+    fn qasm_terminal_measurements_are_stripped() {
+        let spec = JobSpec::parse(
+            r#"{"tenant":"t","qasm":"OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.circuit.len(), 2, "the terminal measure layer is implied by shots");
+        assert!(!spec.circuit.has_nonunitary());
+    }
+
+    #[test]
+    fn qasm_mid_circuit_measurement_is_a_clean_400() {
+        let mid = JobSpec::parse(
+            r#"{"tenant":"t","qasm":"OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\nx q[1];\n"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(mid.code(), "serve/bad-request");
+        let cif = JobSpec::parse(
+            r#"{"tenant":"t","qasm":"OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\nif(c==1) x q[1];\n"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(cif.code(), "serve/bad-request");
+    }
+
+    fn sweep_submission(points: &str) -> String {
+        format!(
+            r#"{{"tenant":"acme","n":2,"seed":3,"backend":"scalar",
+                "circuit":[{{"gate":"ry","q":[0],"param":0}},
+                           {{"gate":"cz","q":[0,1]}},
+                           {{"gate":"ry","q":[1],"param":1}}],
+                "points":{points},
+                "observables":["Z0 Z1"]}}"#
+        )
+    }
+
+    #[test]
+    fn sweep_submission_parses() {
+        let spec = JobSpec::parse(&sweep_submission("[[0.1,0.2],[0.3,0.4]]")).unwrap();
+        assert!(spec.is_sweep());
+        assert_eq!(spec.points.len(), 2);
+        assert_eq!(spec.ansatz.as_ref().unwrap().n_params(), 2);
+        // `circuit` is the template bound at points[0].
+        assert_eq!(spec.circuit.len(), 3);
+    }
+
+    #[test]
+    fn sweep_fingerprint_covers_structure_not_points() {
+        let a = JobSpec::parse(&sweep_submission("[[0.1,0.2]]")).unwrap();
+        let b = JobSpec::parse(&sweep_submission("[[0.5,0.6],[0.7,0.8]]")).unwrap();
+        // Same template ⇒ same batch fingerprint: the jobs pack.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // …but never share cache entries.
+        assert_ne!(a.cache_fingerprint(), b.cache_fingerprint());
+        // A plain job never collides with a sweep job's cache key.
+        let plain = JobSpec::parse(&submission("")).unwrap();
+        assert_eq!(plain.fingerprint(), plain.cache_fingerprint());
+    }
+
+    #[test]
+    fn bad_sweep_submissions_are_rejected() {
+        let cases = [
+            // wrong point arity
+            sweep_submission("[[0.1]]"),
+            // empty and missing points
+            sweep_submission("[]"),
+            sweep_submission("null"),
+            // non-finite value
+            sweep_submission("[[0.1,\"nan\"]]"),
+            // points without params
+            submission(",\"points\":[[0.1]]"),
+            // param slot out of order
+            r#"{"tenant":"t","n":1,"circuit":[{"gate":"rx","q":[0],"param":1}],"points":[[0.1]]}"#
+                .to_string(),
+            // param on a non-rotation gate
+            r#"{"tenant":"t","n":1,"circuit":[{"gate":"h","q":[0],"param":0}],"points":[[0.1]]}"#
+                .to_string(),
+            // both param and theta
+            r#"{"tenant":"t","n":1,"circuit":[{"gate":"rx","q":[0],"param":0,"theta":0.5}],"points":[[0.1]]}"#
+                .to_string(),
+        ];
+        for body in &cases {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert_eq!(err.code(), "serve/bad-request", "{body}");
+        }
+    }
+
+    #[test]
+    fn shared_param_slot_drives_several_gates() {
+        let spec = JobSpec::parse(
+            r#"{"tenant":"t","n":2,
+                "circuit":[{"gate":"rx","q":[0],"param":0},
+                           {"gate":"rx","q":[1],"param":0}],
+                "points":[[1.5]]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.ansatz.as_ref().unwrap().n_params(), 1);
+        assert_eq!(spec.circuit.len(), 2);
     }
 
     #[test]

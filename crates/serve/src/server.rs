@@ -409,7 +409,9 @@ fn submit(shared: &Arc<Shared>, body: &str) -> Result<String, QcsError> {
         shared.core.lock().unwrap().stats.rejected += 1;
         return Err(QcsError::TooWide { n: spec.n, max: cfg.max_qubits });
     }
-    let key = (spec.fingerprint(), spec.seed, spec.shots);
+    // Cache key uses the *cache* fingerprint (template + concrete
+    // points); batch grouping below uses the structural fingerprint.
+    let key = (spec.cache_fingerprint(), spec.seed, spec.shots);
     let mut core = shared.core.lock().unwrap();
     let active = core.tenants.get(&spec.tenant).map_or(0, |t| t.active);
     if active >= cfg.quota {
@@ -628,6 +630,9 @@ fn scheduler_loop(shared: Arc<Shared>) {
 /// Execute one fingerprint-group as a single gate-major batch and
 /// complete every member job.
 fn run_group(shared: &Arc<Shared>, fingerprint: u64, members: Vec<(u64, JobSpec)>) {
+    if members[0].1.is_sweep() {
+        return run_sweep_group(shared, members);
+    }
     let spec0 = &members[0].1;
     let mut cfg =
         SimConfig::default().strategy(spec0.strategy).backend(spec0.backend).batch(members.len());
@@ -692,6 +697,142 @@ fn run_group(shared: &Arc<Shared>, fingerprint: u64, members: Vec<(u64, JobSpec)
             let _ = qcs_core::telemetry::sink::append_outcome(path, &line);
         }
     }
+}
+
+/// Execute one sweep-fingerprint group. Every member job's points are
+/// flattened into one circuit list — the templates are structurally
+/// identical (that is what the fingerprint hashes), so the bound
+/// circuits are same-shaped and [`run_sweep`] carries them gate-major
+/// in `MAX_BATCH`-sized waves: the cross-tenant packing win, per
+/// *point* rather than per job.
+///
+/// [`run_sweep`]: qcs_core::batch::BatchSimulator::run_sweep
+fn run_sweep_group(shared: &Arc<Shared>, members: Vec<(u64, JobSpec)>) {
+    let spec0 = &members[0].1;
+    let mut cfg = SimConfig::default().strategy(spec0.strategy).backend(spec0.backend);
+    if let Some(pool) = &shared.pool {
+        cfg = cfg.pool(Arc::clone(pool));
+    }
+    let circuits: Vec<_> = members
+        .iter()
+        .flat_map(|(_, spec)| {
+            let template = spec.ansatz.as_ref().expect("sweep group member has a template");
+            spec.points.iter().map(move |p| template.bind(p))
+        })
+        .collect();
+    let result = qcs_core::batch::BatchSimulator::from_config(cfg).and_then(|engine| {
+        let mut states: Vec<StateVector> = Vec::with_capacity(circuits.len());
+        let mut wall = 0.0;
+        let mut batch_id = 0;
+        let mut backend = "";
+        let mut waves = 0u64;
+        let mut max_members = 0usize;
+        for chunk in circuits.chunks(MAX_BATCH) {
+            let mut wave: Vec<StateVector> =
+                chunk.iter().map(|c| StateVector::zero(c.n_qubits())).collect();
+            let report = engine.run_sweep(chunk, &mut wave)?;
+            wall += report.wall_seconds;
+            batch_id = report.batch_id;
+            backend = report.backend;
+            waves += 1;
+            max_members = max_members.max(report.members);
+            states.extend(wave);
+        }
+        Ok((states, wall, batch_id, backend, waves, max_members))
+    });
+    match result {
+        Ok((states, wall, batch_id, backend, waves, max_members)) => {
+            let total_points = states.len().max(1);
+            let mut core = shared.core.lock().unwrap();
+            core.stats.batches += waves;
+            core.stats.max_batch_members = core.stats.max_batch_members.max(max_members as u64);
+            if members.len() >= 2 {
+                core.stats.packed_jobs += members.len() as u64;
+            }
+            let mut offset = 0usize;
+            for (id, spec) in &members {
+                let mine = &states[offset..offset + spec.points.len()];
+                offset += spec.points.len();
+                let body = render_sweep_result(spec, mine, backend);
+                core.cache.insert((spec.cache_fingerprint(), spec.seed, spec.shots), body.clone());
+                core.stats.completed += 1;
+                let share = wall * spec.points.len() as f64 / total_points as f64;
+                let usage = core.tenants.entry(spec.tenant.clone()).or_default();
+                usage.active = usage.active.saturating_sub(1);
+                usage.completed += 1;
+                usage.elapsed_seconds += share;
+                if let Some(job) = core.jobs.get_mut(id) {
+                    job.state = JobState::Done;
+                    job.batch_id = batch_id;
+                    job.members = total_points as u64;
+                    job.elapsed_seconds = share;
+                    job.result = Some(body);
+                }
+            }
+        }
+        Err(e) => {
+            let err = QcsError::from(e);
+            let (code, status, msg) = (err.code(), err.http_status(), err.to_string());
+            let mut core = shared.core.lock().unwrap();
+            for (id, spec) in &members {
+                core.stats.failed += 1;
+                let usage = core.tenants.entry(spec.tenant.clone()).or_default();
+                usage.active = usage.active.saturating_sub(1);
+                usage.failed += 1;
+                if let Some(job) = core.jobs.get_mut(id) {
+                    job.state = JobState::Failed;
+                    job.error = Some((code, status, msg.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// The public sweep-result body: one entry per point, counts sampled
+/// with `seed + point_index`, expectations per observable. Like
+/// [`render_result`], a pure function of the work, so cache hits serve
+/// these exact bytes again.
+fn render_sweep_result(spec: &JobSpec, states: &[StateVector], backend: &str) -> String {
+    let mut body = format!(
+        "{{\"type\":\"sweep_result\",\"n_qubits\":{},\"points\":{},\"shots\":{},\"seed\":{},\
+         \"strategy\":{},\"backend\":{},\"template_fnv1a\":{},\"gates\":{},\"results\":[",
+        spec.n,
+        states.len(),
+        spec.shots,
+        spec.seed,
+        quote(&spec.strategy_str),
+        quote(backend),
+        quote(&format!("{:016x}", spec.fingerprint())),
+        spec.circuit.len(),
+    );
+    for (i, state) in states.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(i as u64));
+        let counts = sample_counts(state, spec.shots as usize, &mut rng);
+        body.push_str(&format!("{{\"point\":{i},\"counts\":["));
+        for (k, (index, count)) in counts.iter().enumerate() {
+            if k > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("[{index},{count}]"));
+        }
+        body.push_str("],\"expectations\":[");
+        for (k, (source, op)) in spec.observables.iter().enumerate() {
+            if k > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"observable\":{},\"value\":{}}}",
+                quote(source),
+                op.expectation(state)
+            ));
+        }
+        body.push_str("]}");
+    }
+    body.push_str("]}");
+    body
 }
 
 /// Render the public result body. Deliberately excludes job id, timing,

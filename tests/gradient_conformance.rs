@@ -1,0 +1,165 @@
+//! Differential conformance of the variational layer.
+//!
+//! The parameter-shift rule is *exact* for the generator-squared-to-I
+//! rotations the [`ParamCircuit`] vocabulary exposes, so its gradients
+//! must match central finite differences to the truncation error of the
+//! latter — rtol 1e-6 at eps 1e-5 — on every kernel backend. The
+//! driver's batched energies are additionally cross-checked against
+//! serial runs under every execution strategy, and the two optimizers
+//! get TFIM convergence smoke tests (deterministic, seeded).
+
+use a64fx_qcs::core::config::SimConfig;
+use a64fx_qcs::core::expectation::Hamiltonian;
+use a64fx_qcs::core::kernels::simd::BackendChoice;
+use a64fx_qcs::core::prelude::*;
+use a64fx_qcs::core::variational::hardware_efficient_ansatz;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tfim(n: u32) -> Hamiltonian {
+    Hamiltonian::ising_chain(n, 1.0, 0.7)
+}
+
+fn random_theta(p: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..p).map(|_| rng.gen_range(-1.2..1.2)).collect()
+}
+
+/// rtol 1e-6 against a reference, with an absolute floor for
+/// components that are themselves ~0.
+fn assert_close(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len());
+    for (j, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-6 * w.abs().max(1.0);
+        assert!((g - w).abs() <= tol, "{what}[{j}]: {g} vs {w} (tol {tol})");
+    }
+}
+
+/// Parameter-shift ≡ central finite differences on every backend.
+#[test]
+fn parameter_shift_matches_finite_differences_on_every_backend() {
+    let n = 4;
+    let ansatz = hardware_efficient_ansatz(n, 2);
+    let h = tfim(n);
+    let theta = random_theta(ansatz.n_params(), 42);
+    for backend in [BackendChoice::Auto, BackendChoice::Scalar, BackendChoice::Simd] {
+        let engine = BatchSimulator::from_config(SimConfig::default().backend(backend)).unwrap();
+        let driver = VqeDriver::with_engine(ansatz.clone(), &h, engine);
+        let shift = driver.gradient(&theta).unwrap();
+        let fd = driver.gradient_fd(&theta, 1e-5).unwrap();
+        assert_close(&shift, &fd, &format!("gradient[{backend:?}]"));
+    }
+}
+
+/// The shift rule is backend-independent well below the fd tolerance:
+/// scalar and native gradients agree to 1e-12.
+#[test]
+fn gradients_agree_across_backends() {
+    let n = 5;
+    let ansatz = hardware_efficient_ansatz(n, 1);
+    let h = tfim(n);
+    let theta = random_theta(ansatz.n_params(), 7);
+    let scalar = VqeDriver::with_engine(
+        ansatz.clone(),
+        &h,
+        BatchSimulator::from_config(SimConfig::default().backend(BackendChoice::Scalar)).unwrap(),
+    )
+    .gradient(&theta)
+    .unwrap();
+    let native = VqeDriver::with_engine(
+        ansatz.clone(),
+        &h,
+        BatchSimulator::from_config(SimConfig::default().backend(BackendChoice::Simd)).unwrap(),
+    )
+    .gradient(&theta)
+    .unwrap();
+    for (j, (s, v)) in scalar.iter().zip(&native).enumerate() {
+        assert!((s - v).abs() <= 1e-12, "component {j}: scalar {s} vs simd {v}");
+    }
+}
+
+/// The driver's batched (gate-major, naive) energies agree with a
+/// serial run of the bound circuit under every strategy × backend
+/// combination — the batched sweep is not a different simulator, just
+/// a different schedule.
+#[test]
+fn batched_energies_agree_with_every_strategy_and_backend() {
+    let n = 4;
+    let ansatz = hardware_efficient_ansatz(n, 2);
+    let h = tfim(n);
+    let compiled = h.compile();
+    let points: Vec<Vec<f64>> = (0..4).map(|i| random_theta(ansatz.n_params(), 50 + i)).collect();
+    let driver = VqeDriver::new(ansatz.clone(), &h);
+    let batched = driver.energies(&points).unwrap();
+
+    for strategy in ["naive", "fused:2", "blocked:3", "planned:3:2", "auto"] {
+        for backend in ["auto", "scalar"] {
+            let cfg = SimConfig::default()
+                .strategy(strategy.parse::<Strategy>().unwrap())
+                .backend(backend.parse::<BackendChoice>().unwrap());
+            let sim = cfg.build().unwrap();
+            for (point, &want) in points.iter().zip(&batched) {
+                let mut state = StateVector::zero(n);
+                sim.run(&ansatz.bind(point), &mut state).unwrap();
+                let got = compiled.expectation(&state);
+                // Strategies reorder floating-point work; agreement is
+                // to rounding, not to the bit.
+                assert!(
+                    (got - want).abs() <= 1e-9,
+                    "{strategy}/{backend}: serial {got} vs batched {want}"
+                );
+            }
+        }
+    }
+}
+
+/// Gradient descent on the TFIM: monotone-ish descent to near the true
+/// ground state, with the documented evaluation accounting.
+#[test]
+fn gradient_descent_converges_on_tfim() {
+    let n = 4;
+    let h = tfim(n);
+    let ansatz = hardware_efficient_ansatz(n, 2);
+    let p = ansatz.n_params();
+    let driver = VqeDriver::new(ansatz, &h);
+    let theta0 = random_theta(p, 11);
+    let iters = 30;
+    let result = driver.minimize_gd(&theta0, iters, 0.1).unwrap();
+
+    assert_eq!(result.energies.len(), iters);
+    assert_eq!(result.evals, iters * (2 * p + 1) + 1);
+    let first = result.energies[0];
+    assert!(result.energy < first, "no descent: {first} -> {}", result.energy);
+    let ground = h.ground_energy(n);
+    assert!(result.energy >= ground - 1e-9, "below the ground state: {} < {ground}", result.energy);
+    assert!(
+        result.energy - ground < 0.35,
+        "too far from the ground state after {iters} iterations: {} vs {ground}",
+        result.energy
+    );
+}
+
+/// SPSA on the TFIM: deterministic per seed, descends, and never
+/// undercuts the exact ground energy.
+#[test]
+fn spsa_converges_and_is_deterministic() {
+    let n = 4;
+    let h = tfim(n);
+    let ansatz = hardware_efficient_ansatz(n, 1);
+    let p = ansatz.n_params();
+    let driver = VqeDriver::new(ansatz, &h);
+    let theta0 = random_theta(p, 23);
+
+    let a = driver.minimize_spsa(&theta0, 80, 0.4, 0.15, 5).unwrap();
+    let b = driver.minimize_spsa(&theta0, 80, 0.4, 0.15, 5).unwrap();
+    assert_eq!(a.energies, b.energies, "SPSA must be deterministic for a fixed seed");
+    assert_eq!(a.theta, b.theta);
+    assert_eq!(a.evals, 80 * 3 + 1);
+
+    let other = driver.minimize_spsa(&theta0, 80, 0.4, 0.15, 6).unwrap();
+    assert_ne!(a.energies, other.energies, "different seeds draw different directions");
+
+    let ground = h.ground_energy(n);
+    assert!(a.energy < a.energies[0], "no descent: {} -> {}", a.energies[0], a.energy);
+    assert!(a.energy >= ground - 1e-9);
+}

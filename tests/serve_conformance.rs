@@ -13,7 +13,9 @@ use a64fx_qcs::core::config::SimConfig;
 use a64fx_qcs::core::expectation::{Pauli, PauliString};
 use a64fx_qcs::core::kernels::simd::BackendChoice;
 use a64fx_qcs::core::measure::sample_counts;
-use a64fx_qcs::core::sim::Strategy;
+use a64fx_qcs::core::sim::{Simulator, Strategy};
+use a64fx_qcs::core::state::StateVector;
+use a64fx_qcs::core::variational::ParamCircuit;
 use a64fx_qcs::serve::client::{http_request, submit_job, wait_for_job};
 use a64fx_qcs::serve::json::{parse, Value};
 use a64fx_qcs::serve::{ServeConfig, Server};
@@ -290,5 +292,76 @@ fn compatible_jobs_from_independent_tenants_share_one_batch() {
     assert_eq!(stats.batches, 1, "three compatible jobs should cost one batch run");
     assert_eq!(stats.packed_jobs, 3);
     assert_eq!(stats.max_batch_members, 3);
+    server.shutdown();
+}
+
+#[test]
+fn sweep_jobs_pack_per_point_across_tenants() {
+    let cfg = ServeConfig { window_ms: 400, ..ServeConfig::default() };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // Two tenants sweep the same template at different points: the
+    // structural fingerprint matches, so all three points ride one
+    // gate-major batch.
+    let sweep_body = |tenant: &str, points: &str| {
+        format!(
+            r#"{{"tenant":"{tenant}","n":3,"shots":0,"seed":5,
+                "circuit":[{{"gate":"ry","q":[0],"param":0}},
+                           {{"gate":"cx","q":[0,1]}},
+                           {{"gate":"cx","q":[1,2]}},
+                           {{"gate":"ry","q":[2],"param":1}}],
+                "points":{points},
+                "observables":["Z0 Z2","X0"]}}"#
+        )
+    };
+    let alice_points = [[0.3, 0.9], [1.2, -0.4]];
+    let a = submit_job(addr, &sweep_body("alice", "[[0.3,0.9],[1.2,-0.4]]")).unwrap();
+    let b = submit_job(addr, &sweep_body("bob", "[[0.0,2.2]]")).unwrap();
+    assert_eq!(wait_for_job(addr, a).unwrap(), "done");
+    assert_eq!(wait_for_job(addr, b).unwrap(), "done");
+
+    let stats = server.stats();
+    assert_eq!(stats.batches, 1, "three points over one template should cost one batch");
+    assert_eq!(stats.max_batch_members, 3, "per-point packing: 2 + 1 points in one batch");
+    assert_eq!(stats.packed_jobs, 2);
+
+    // Alice's per-point expectations are bit-identical to binding the
+    // template and running each point serially.
+    let (status, raw) = http_request(addr, "GET", &format!("/jobs/{a}/result"), "").unwrap();
+    assert_eq!(status, 200, "{raw}");
+    let result = parse(&raw).unwrap();
+    assert_eq!(
+        result.get("type").and_then(|t| t.as_str().map(String::from)).as_deref(),
+        Some("sweep_result")
+    );
+    assert_eq!(result.get("points").and_then(Value::as_u64), Some(2));
+    let per_point = result.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(per_point.len(), 2);
+    let z0z2 = PauliString::new(vec![(0, Pauli::Z), (2, Pauli::Z)]);
+    let x0 = PauliString::new(vec![(0, Pauli::X)]);
+    for (i, point) in alice_points.iter().enumerate() {
+        let mut template = ParamCircuit::new(3);
+        template.ry(0).fixed(Gate::Cx(0, 1)).fixed(Gate::Cx(1, 2)).ry(2);
+        let mut state = StateVector::zero(3);
+        Simulator::new().run(&template.bind(point), &mut state).unwrap();
+        let want = [z0z2.expectation(&state), x0.expectation(&state)];
+        let got = served_expectations(&per_point[i]);
+        assert_eq!(got.len(), want.len());
+        for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "point {i} expectation {k}: {g} vs {w}");
+        }
+    }
+
+    // Same template, different points: packs, but never a cache hit.
+    let c = submit_job(addr, &sweep_body("alice", "[[0.7,0.7]]")).unwrap();
+    assert_eq!(wait_for_job(addr, c).unwrap(), "done");
+    assert_eq!(server.stats().cache_hits, 0);
+
+    // Identical resubmission: a cache hit with byte-identical body.
+    let (status, resp) =
+        http_request(addr, "POST", "/jobs", &sweep_body("alice", "[[0.7,0.7]]")).unwrap();
+    assert_eq!(status, 202);
+    assert!(resp.contains("\"cached\":true"), "identical sweep not cached: {resp}");
     server.shutdown();
 }
